@@ -1,0 +1,280 @@
+package cascade
+
+// This file holds the testing.B harness: one benchmark per table and
+// figure of the paper's evaluation (regenerating the numbers recorded in
+// EXPERIMENTS.md) plus ablation benchmarks for the design choices called
+// out in DESIGN.md (§4.2 inlining, §4.3 forwarding, §4.4 open loop,
+// §4.5 native mode, §5.1 lazy evaluation). Rates are reported as custom
+// metrics in virtual hertz; wall-clock ns/op measures the simulator
+// infrastructure itself.
+
+import (
+	"testing"
+
+	"cascade/internal/bench"
+	"cascade/internal/elab"
+	"cascade/internal/fpga"
+	"cascade/internal/netlist"
+	"cascade/internal/runtime"
+	"cascade/internal/toolchain"
+	"cascade/internal/userstudy"
+	"cascade/internal/vclock"
+	"cascade/internal/verilog"
+	"cascade/internal/workloads/ledswitch"
+	"cascade/internal/workloads/pow"
+	"cascade/internal/workloads/regexgen"
+)
+
+// fastTC returns a toolchain whose virtual latency is negligible, for
+// benchmarks that measure steady-state execution rather than the JIT
+// timeline.
+func fastTC(dev *fpga.Device) *toolchain.Toolchain {
+	o := toolchain.DefaultOptions()
+	o.Scale = 1e9
+	o.BasePs = 1
+	return toolchain.New(dev, o)
+}
+
+// newRT builds a runtime, evals the prelude and program, and fails the
+// benchmark on error.
+func newRT(b *testing.B, opts runtime.Options, prog string) *runtime.Runtime {
+	b.Helper()
+	if opts.Device == nil {
+		opts.Device = fpga.NewCycloneV()
+		opts.Toolchain = fastTC(opts.Device)
+	}
+	if opts.OpenLoopTargetPs == 0 {
+		opts.OpenLoopTargetPs = 200 * vclock.Us
+	}
+	rt := runtime.New(opts)
+	if err := rt.Eval(runtime.DefaultPrelude); err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Eval(prog); err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+// reportVirtualRate runs b.N ticks and reports the virtual clock rate.
+func reportVirtualRate(b *testing.B, rt *runtime.Runtime) {
+	b.Helper()
+	b.ResetTimer()
+	t0, k0 := rt.VirtualNow(), rt.Ticks()
+	rt.RunTicks(uint64(b.N))
+	b.StopTimer()
+	dt := float64(rt.VirtualNow()-t0) / float64(vclock.S)
+	if dt > 0 {
+		b.ReportMetric(float64(rt.Ticks()-k0)/dt, "virtualHz")
+	}
+}
+
+func powProg() string {
+	cfg := pow.DefaultConfig()
+	cfg.Target = 0
+	return pow.Generate(cfg) + `
+wire [31:0] hashes, nonce, hash0, sol;
+wire found;
+Pow miner(.clk(clk.val), .hashes(hashes), .nonce(nonce),
+          .found(found), .hash0(hash0), .solution(sol));
+`
+}
+
+// --- Figure 11: proof of work -------------------------------------------
+
+func BenchmarkFig11_IVerilogBaseline(b *testing.B) {
+	rt := newRT(b, runtime.Options{DisableJIT: true, EagerSim: true}, powProg())
+	reportVirtualRate(b, rt)
+}
+
+func BenchmarkFig11_CascadeSoftware(b *testing.B) {
+	rt := newRT(b, runtime.Options{DisableJIT: true}, powProg())
+	reportVirtualRate(b, rt)
+}
+
+func BenchmarkFig11_CascadeOpenLoop(b *testing.B) {
+	rt := newRT(b, runtime.Options{}, powProg())
+	if !rt.WaitForPhase(runtime.PhaseOpenLoop, 100_000) {
+		b.Fatalf("no open loop: %v", rt.Phase())
+	}
+	rt.Step()
+	reportVirtualRate(b, rt)
+}
+
+func BenchmarkFig11_Native(b *testing.B) {
+	rt := newRT(b, runtime.Options{Native: true}, powProg())
+	rt.RunTicks(4_000) // climb to open loop
+	reportVirtualRate(b, rt)
+}
+
+// BenchmarkFig11_Timeline regenerates the whole figure per iteration.
+func BenchmarkFig11_Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := bench.RunFig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.CascadeOpenLoopHz, "openLoopHz")
+		b.ReportMetric(f.SpatialOverhead, "spatialX")
+	}
+}
+
+// --- Figure 12: streaming regex ------------------------------------------
+
+func regexProg(b *testing.B) string {
+	prog, _, err := regexgen.GenerateStreaming(bench.Fig12Pattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+func BenchmarkFig12_StreamingSoftware(b *testing.B) {
+	rt := newRT(b, runtime.Options{DisableJIT: true}, regexProg(b))
+	rt.World().Stream("main.fifo").PushBytes(make([]byte, 1<<20))
+	reportVirtualRate(b, rt)
+}
+
+func BenchmarkFig12_StreamingOpenLoop(b *testing.B) {
+	rt := newRT(b, runtime.Options{}, regexProg(b))
+	rt.World().Stream("main.fifo").PushBytes(make([]byte, 1<<22))
+	if !rt.WaitForPhase(runtime.PhaseOpenLoop, 100_000) {
+		b.Fatalf("no open loop: %v", rt.Phase())
+	}
+	rt.Step()
+	reportVirtualRate(b, rt)
+}
+
+func BenchmarkFig12_Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := bench.RunFig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.CascadeOpenIOs, "IO/s")
+	}
+}
+
+// --- Figure 13 and Table 1 ------------------------------------------------
+
+func BenchmarkFig13_UserStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := bench.RunFig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Summary.MoreBuildsPct(), "moreBuilds%")
+		b.ReportMetric(f.Summary.CompileTimeRatio(), "compileRatioX")
+	}
+}
+
+func BenchmarkTable1_ClassStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		agg, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(agg.Blocking.Mean, "blockingMean")
+	}
+}
+
+// --- Ablations (DESIGN.md) -------------------------------------------------
+
+// Inlining (§4.2): multi-engine lock-step hardware vs inlined hardware.
+func BenchmarkAblation_InlineOff(b *testing.B) {
+	rt := newRT(b, runtime.Options{DisableInline: true}, ledswitch.Figure3)
+	rt.RunTicks(2_000)
+	reportVirtualRate(b, rt)
+}
+
+func BenchmarkAblation_InlineOn_ForwardingOff(b *testing.B) {
+	// Forwarding disabled isolates the §4.3 effect: stdlib engines keep
+	// costing per-iteration messages.
+	rt := newRT(b, runtime.Options{DisableForwarding: true}, ledswitch.Figure3)
+	rt.RunTicks(2_000)
+	reportVirtualRate(b, rt)
+}
+
+// Open loop (§4.4): forwarded lock-step vs open-loop bursts.
+func BenchmarkAblation_OpenLoopOff(b *testing.B) {
+	rt := newRT(b, runtime.Options{DisableOpenLoop: true}, ledswitch.Figure3)
+	rt.RunTicks(2_000)
+	reportVirtualRate(b, rt)
+}
+
+func BenchmarkAblation_OpenLoopOn(b *testing.B) {
+	rt := newRT(b, runtime.Options{}, ledswitch.Figure3)
+	if !rt.WaitForPhase(runtime.PhaseOpenLoop, 100_000) {
+		b.Fatalf("no open loop: %v", rt.Phase())
+	}
+	rt.Step()
+	reportVirtualRate(b, rt)
+}
+
+// Lazy evaluation (§5.1): the software engine's dependency-driven
+// activation vs naive re-evaluation.
+func BenchmarkAblation_LazyEval(b *testing.B) {
+	rt := newRT(b, runtime.Options{DisableJIT: true}, powProg())
+	reportVirtualRate(b, rt)
+}
+
+func BenchmarkAblation_EagerEval(b *testing.B) {
+	rt := newRT(b, runtime.Options{DisableJIT: true, EagerSim: true}, powProg())
+	reportVirtualRate(b, rt)
+}
+
+// Open-loop burst sizing (§4.4 adaptive profiling): small vs large
+// iteration budgets change the message amortization.
+func BenchmarkAblation_OpenLoopBurst64us(b *testing.B) {
+	rt := newRT(b, runtime.Options{OpenLoopTargetPs: 64 * vclock.Us}, ledswitch.Figure3)
+	if !rt.WaitForPhase(runtime.PhaseOpenLoop, 100_000) {
+		b.Fatal("no open loop")
+	}
+	reportVirtualRate(b, rt)
+}
+
+func BenchmarkAblation_OpenLoopBurst4ms(b *testing.B) {
+	rt := newRT(b, runtime.Options{OpenLoopTargetPs: 4 * vclock.Ms}, ledswitch.Figure3)
+	if !rt.WaitForPhase(runtime.PhaseOpenLoop, 100_000) {
+		b.Fatal("no open loop")
+	}
+	reportVirtualRate(b, rt)
+}
+
+// --- End-to-end study benchmark --------------------------------------------
+
+func BenchmarkUserStudyModel(b *testing.B) {
+	cfg := userstudy.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		userstudy.Run(cfg)
+	}
+}
+
+// Optimizer ablation: netlist area with and without the cleanup pass.
+func BenchmarkAblation_OptimizerArea(b *testing.B) {
+	cfg := pow.DefaultConfig()
+	src := pow.Generate(cfg)
+	for i := 0; i < b.N; i++ {
+		raw, opt := compileBothPaths(b, src)
+		b.ReportMetric(float64(raw.Stats.CodeOps), "rawOps")
+		b.ReportMetric(float64(opt.Stats.CodeOps), "optOps")
+	}
+}
+
+func compileBothPaths(b *testing.B, src string) (*netlist.Program, *netlist.Program) {
+	b.Helper()
+	mods, _, errs := verilog.ParseProgramFragment(src)
+	if len(errs) > 0 {
+		b.Fatal(errs[0])
+	}
+	f, err := elab.Elaborate(mods[0], "dut", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := netlist.CompileRaw(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return raw, netlist.Optimize(raw)
+}

@@ -1,0 +1,120 @@
+// Package cascade is a JIT compiler and runtime for Verilog, a Go
+// reproduction of "Just-in-Time Compilation for Verilog: A New Technique
+// for Improving the FPGA Programming Experience" (Schkufza, Wei,
+// Rossbach — ASPLOS 2019).
+//
+// Code eval'd into a Runtime begins executing immediately in a software
+// simulator while a (virtual) vendor toolchain compiles a hardware
+// engine in the background; when it finishes, execution migrates onto
+// the simulated FPGA and simply gets faster — printf debugging, IO side
+// effects on the virtual peripheral board, and mid-run code additions
+// keep working throughout.
+//
+// Quick start:
+//
+//	rt := cascade.New(cascade.Options{})
+//	rt.MustEval(cascade.DefaultPrelude) // Clock clk; Pad#(4) pad; Led#(8) led
+//	rt.MustEval(`
+//	    reg [7:0] cnt = 1;
+//	    always @(posedge clk.val) cnt <= (cnt == 8'h80) ? 1 : (cnt << 1);
+//	    assign led.val = cnt;
+//	`)
+//	rt.RunTicks(1000)
+//	fmt.Printf("leds: %08b, engine: %v\n", rt.World().Led("main.led"), rt.Phase())
+//
+// The package is a thin facade over the implementation in internal/:
+// see internal/runtime (scheduler and JIT state machine), internal/sim
+// (reference event-driven interpreter), internal/netlist (synthesis and
+// the compiled evaluator), internal/toolchain and internal/fpga (the
+// blackbox vendor-flow and device models), and internal/repl (the
+// interactive interface).
+package cascade
+
+import (
+	"io"
+
+	"cascade/internal/fpga"
+	"cascade/internal/repl"
+	"cascade/internal/runtime"
+	"cascade/internal/stdlib"
+	"cascade/internal/toolchain"
+	"cascade/internal/vclock"
+)
+
+// Core types, re-exported.
+type (
+	// Runtime executes one Cascade program (paper §3.4).
+	Runtime = runtime.Runtime
+	// Options configures a Runtime, including the ablation switches.
+	Options = runtime.Options
+	// Phase is the JIT state of the program (paper Figure 9).
+	Phase = runtime.Phase
+	// View receives program output and runtime status.
+	View = runtime.View
+	// BufView is a View that records output (tests, tooling).
+	BufView = runtime.BufView
+	// World is the virtual peripheral board: buttons, LEDs, streams.
+	World = stdlib.World
+	// Device is the simulated FPGA.
+	Device = fpga.Device
+	// Toolchain is the blackbox vendor-compiler model.
+	Toolchain = toolchain.Toolchain
+	// ToolchainOptions tunes the compile-latency model.
+	ToolchainOptions = toolchain.Options
+	// TimeModel assigns virtual-time costs to runtime work.
+	TimeModel = vclock.Model
+	// REPL is the interactive read-eval-print interface (paper §3.1).
+	REPL = repl.REPL
+	// Snapshot is a portable capture of a running program (paper §9's
+	// virtual-machine-migration direction): take one with
+	// Runtime.Snapshot, ship it (EncodeSnapshot/DecodeSnapshot), and
+	// Restore it onto a fresh runtime on another device.
+	Snapshot = runtime.Snapshot
+)
+
+// EncodeSnapshot renders a snapshot as a self-contained text blob.
+func EncodeSnapshot(s *Snapshot) string { return runtime.EncodeSnapshot(s) }
+
+// DecodeSnapshot parses EncodeSnapshot's format.
+func DecodeSnapshot(text string) (*Snapshot, error) { return runtime.DecodeSnapshot(text) }
+
+// JIT phases (paper Figure 9).
+const (
+	PhaseSoftware  = runtime.PhaseSoftware
+	PhaseInlined   = runtime.PhaseInlined
+	PhaseHardware  = runtime.PhaseHardware
+	PhaseForwarded = runtime.PhaseForwarded
+	PhaseOpenLoop  = runtime.PhaseOpenLoop
+	PhaseNative    = runtime.PhaseNative
+)
+
+// DefaultPrelude declares the standard IO environment (paper §3.2).
+const DefaultPrelude = runtime.DefaultPrelude
+
+// New creates a runtime with paper-calibrated defaults for any option
+// left zero: a Cyclone V-sized device, the default toolchain model, and
+// the default time model.
+func New(opts Options) *Runtime { return runtime.New(opts) }
+
+// NewWorld creates an empty virtual peripheral board.
+func NewWorld() *World { return stdlib.NewWorld() }
+
+// NewCycloneV returns the paper's device: 110K LEs at 50 MHz.
+func NewCycloneV() *Device { return fpga.NewCycloneV() }
+
+// NewDevice returns a device with the given capacity and clock.
+func NewDevice(capacityLEs int, clockHz uint64) *Device {
+	return fpga.NewDevice(capacityLEs, clockHz)
+}
+
+// NewToolchain returns a vendor-flow model bound to dev.
+func NewToolchain(dev *Device, opts ToolchainOptions) *Toolchain {
+	return toolchain.New(dev, opts)
+}
+
+// DefaultToolchainOptions returns the paper-calibrated latency model.
+func DefaultToolchainOptions() ToolchainOptions { return toolchain.DefaultOptions() }
+
+// NewREPL builds an interactive session over a fresh runtime; program
+// output and status go to out.
+func NewREPL(opts Options, out io.Writer) (*REPL, error) { return repl.New(opts, out) }

@@ -1,0 +1,93 @@
+package cascade
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fastOptions returns options whose virtual toolchain compiles almost
+// instantly, so facade tests exercise the full JIT quickly.
+func fastOptions() Options {
+	dev := NewCycloneV()
+	tco := DefaultToolchainOptions()
+	tco.Scale = 1e9
+	tco.BasePs = 1
+	return Options{Device: dev, Toolchain: NewToolchain(dev, tco), OpenLoopTargetPs: 10_000_000}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	rt := New(fastOptions())
+	if err := rt.Eval(DefaultPrelude); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Eval(`
+        reg [7:0] cnt = 1;
+        always @(posedge clk.val) cnt <= (cnt == 8'h80) ? 1 : (cnt << 1);
+        assign led.val = cnt;
+    `); err != nil {
+		t.Fatal(err)
+	}
+	rt.RunTicks(1000)
+	if rt.Phase() != PhaseOpenLoop {
+		t.Fatalf("phase %v", rt.Phase())
+	}
+	if led := rt.World().Led("main.led"); led == 0 {
+		t.Fatal("led never driven")
+	}
+	if !strings.Contains(rt.ProgramSource(), "cnt") {
+		t.Fatal("program source introspection broken")
+	}
+}
+
+func TestFacadeREPL(t *testing.T) {
+	var out strings.Builder
+	r, err := NewREPL(fastOptions(), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Batch(`
+        reg [3:0] n = 0;
+        always @(posedge clk.val) begin
+            n <= n + 1;
+            if (n == 9) begin $display("done %d", n); $finish; end
+        end
+    `, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Runtime().Finished() {
+		t.Fatal("batch program did not finish")
+	}
+	if !strings.Contains(out.String(), "done 9") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestFacadeGPIO(t *testing.T) {
+	rt := New(fastOptions())
+	if err := rt.Eval(`Clock clk(); GPIO#(8) gpio();`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Eval(`assign gpio.out = gpio.in + 8'd1;`); err != nil {
+		t.Fatal(err)
+	}
+	rt.World().DriveGPIO("main.gpio", 41)
+	rt.RunTicks(3)
+	if got := rt.World().GPIO("main.gpio"); got != 42 {
+		t.Fatalf("gpio out=%d, want 42", got)
+	}
+}
+
+// Example demonstrates the package-level quick start.
+func Example() {
+	rt := New(Options{DisableJIT: true})
+	rt.MustEval(DefaultPrelude)
+	rt.MustEval(`
+        reg [7:0] cnt = 1;
+        always @(posedge clk.val) cnt <= cnt + 1;
+        assign led.val = cnt;
+    `)
+	rt.RunTicks(9)
+	fmt.Printf("leds=%d engine=%v\n", rt.World().Led("main.led"), rt.Phase())
+	// Output: leds=10 engine=software(inlined)
+}

@@ -1,0 +1,123 @@
+// Command cascade-bench regenerates the tables and figures of the
+// paper's evaluation (§6). Each experiment runs the full Cascade-Go
+// pipeline on the paper's workloads and prints the series/rows the paper
+// plots; EXPERIMENTS.md records paper-versus-measured values.
+//
+// Usage:
+//
+//	cascade-bench                       # run everything
+//	cascade-bench -experiment fig11     # one experiment
+//	cascade-bench -experiment fig12
+//	cascade-bench -experiment fig13
+//	cascade-bench -experiment table1
+//	cascade-bench -experiment intext    # §6's in-text claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cascade/internal/bench"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "fig11 | fig12 | fig13 | table1 | intext | all")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig11", func() error {
+		f, err := bench.RunFig11()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 11: proof-of-work virtual clock frequency vs time")
+		fmt.Print(bench.FormatSeries(f.Series, "Hz"))
+		fmt.Printf("startup             %8.2f s   (paper: <1 s)\n", f.StartupSec)
+		fmt.Printf("iVerilog rate       %8.0f Hz  (paper: ~650 Hz)\n", f.IVerilogHz)
+		fmt.Printf("Cascade sim rate    %8.0f Hz  (paper: 2.4x iVerilog)\n", f.CascadeSimHz)
+		fmt.Printf("sim speedup         %8.2f x   (paper: 2.4x)\n", f.SimSpeedup)
+		fmt.Printf("Quartus compile     %8.0f s   (paper: ~600 s)\n", f.QuartusCompileSec)
+		fmt.Printf("Cascade compile     %8.0f s   (background)\n", f.CascadeCompileSec)
+		fmt.Printf("open-loop rate      %8.2f MHz (paper: within 2.9x of 50 MHz)\n", f.CascadeOpenLoopHz/1e6)
+		fmt.Printf("open-loop gap       %8.2f x   (paper: 2.9x)\n", f.OpenLoopGap)
+		fmt.Printf("spatial overhead    %8.2f x   (paper: 2.9x)\n", f.SpatialOverhead)
+		return nil
+	})
+
+	run("fig12", func() error {
+		f, err := bench.RunFig12()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 12: streaming regex IO operations per second vs time")
+		fmt.Printf("pattern %q -> %d DFA states\n", f.Pattern, f.DFAStates)
+		fmt.Print(bench.FormatSeries(f.Series, "IO/s"))
+		fmt.Printf("Cascade sim         %8.1f KIO/s (paper: 32 KIO/s)\n", f.CascadeSimIOs/1e3)
+		fmt.Printf("Cascade open loop   %8.1f KIO/s (paper: 492 KIO/s)\n", f.CascadeOpenIOs/1e3)
+		fmt.Printf("Quartus native      %8.1f KIO/s (paper: 560 KIO/s)\n", f.QuartusIOs/1e3)
+		fmt.Printf("Quartus compile     %8.0f s     (paper: 570 s)\n", f.QuartusCompileSec)
+		fmt.Printf("spatial overhead    %8.2f x     (paper: 6.5x)\n", f.SpatialOverhead)
+		return nil
+	})
+
+	run("fig13", func() error {
+		f, err := bench.RunFig13()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 13: user study (n=20), per-subject scatter data")
+		for _, row := range f.Rows {
+			fmt.Println(row)
+		}
+		s := f.Summary
+		fmt.Printf("\nQuartus compile (starter): %.0f s; Cascade turnaround: %.1f s\n",
+			f.QuartusCompileSec, f.CascadeStartupSec)
+		fmt.Printf("more compilations with Cascade  %+6.0f %% (paper: +43%%)\n", s.MoreBuildsPct())
+		fmt.Printf("faster task completion          %+6.0f %% (paper: +21%%)\n", s.FasterCompletionPct())
+		fmt.Printf("less time compiling             %6.0f x  (paper: 67x)\n", s.CompileTimeRatio())
+		return nil
+	})
+
+	run("table1", func() error {
+		agg, err := bench.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1: class-study statistics over 31 generated solutions")
+		for _, row := range agg.Rows() {
+			fmt.Println(row)
+		}
+		fmt.Printf("(%d of %d submissions include build logs; paper: 23 of 31)\n", agg.WithLogs, agg.N)
+		return nil
+	})
+
+	run("intext", func() error {
+		f11, err := bench.RunFig11()
+		if err != nil {
+			return err
+		}
+		f12, err := bench.RunFig12()
+		if err != nil {
+			return err
+		}
+		fmt.Println("In-text claims (§6):")
+		fmt.Printf("time to first instruction     %6.2f s  (paper: <1 s)\n", f11.StartupSec)
+		fmt.Printf("debug-env performance gap     %6.2f x  (paper: within 3x)\n", f11.OpenLoopGap)
+		fmt.Printf("PoW spatial overhead          %6.2f x  (paper: 2.9x)\n", f11.SpatialOverhead)
+		fmt.Printf("regex spatial overhead        %6.2f x  (paper: 6.5x)\n", f12.SpatialOverhead)
+		fmt.Printf("native mode: area identical to Quartus by construction (no wrapper)\n")
+		return nil
+	})
+}

@@ -1,0 +1,82 @@
+// Command cascade is the Cascade-Go REPL: a JIT compiler and runtime for
+// Verilog (paper §3.1). Run it with no arguments for an interactive
+// session against the default virtual board (a clock, four buttons, and
+// eight LEDs), or with -batch to execute a file.
+//
+// Usage:
+//
+//	cascade                     # interactive REPL
+//	cascade -batch prog.v       # batch mode: eval file, run to $finish
+//	cascade -batch prog.v -ticks 100000
+//	cascade -no-jit             # stay in software (simulator only)
+//	cascade -native             # native mode (§4.5)
+//	cascade -compile-scale 600  # speed up the virtual vendor toolchain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cascade/internal/fpga"
+	"cascade/internal/repl"
+	"cascade/internal/runtime"
+	"cascade/internal/toolchain"
+)
+
+func main() {
+	batch := flag.String("batch", "", "evaluate a Verilog file instead of reading stdin")
+	restore := flag.String("restore", "", "restore a snapshot written by :save and continue it")
+	ticks := flag.Uint64("ticks", 1_000_000, "batch mode: maximum clock ticks to run")
+	noJIT := flag.Bool("no-jit", false, "disable the JIT (software simulation only)")
+	native := flag.Bool("native", false, "native mode: compile exactly as written (§4.5)")
+	scale := flag.Float64("compile-scale", 600, "divide virtual compile latency (1 = paper-faithful)")
+	flag.Parse()
+
+	dev := fpga.NewCycloneV()
+	tco := toolchain.DefaultOptions()
+	tco.Scale = *scale
+	opts := runtime.Options{
+		Device:     dev,
+		Toolchain:  toolchain.New(dev, tco),
+		DisableJIT: *noJIT,
+		Native:     *native,
+	}
+	var r *repl.REPL
+	var err error
+	if *restore != "" {
+		blob, rerr := os.ReadFile(*restore)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "cascade: %v\n", rerr)
+			os.Exit(1)
+		}
+		snap, rerr := runtime.DecodeSnapshot(string(blob))
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "cascade: %v\n", rerr)
+			os.Exit(1)
+		}
+		r, err = repl.NewRestored(opts, snap, os.Stdout)
+	} else {
+		r, err = repl.New(opts, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cascade: %v\n", err)
+		os.Exit(1)
+	}
+	if *batch != "" {
+		src, err := os.ReadFile(*batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade: %v\n", err)
+			os.Exit(1)
+		}
+		if err := r.Batch(string(src), *ticks); err != nil {
+			fmt.Fprintf(os.Stderr, "cascade: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := r.Interact(os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "cascade: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// PoW: the paper's §6.1 benchmark as an application — a SHA-256
+// proof-of-work miner that searches for a nonce whose hash clears a
+// target, printing every solution with $display even after the design
+// has migrated to hardware, and terminating with $finish.
+//
+//	go run ./examples/pow
+package main
+
+import (
+	"fmt"
+
+	"cascade/internal/fpga"
+	"cascade/internal/runtime"
+	"cascade/internal/toolchain"
+	"cascade/internal/vclock"
+	"cascade/internal/workloads/pow"
+)
+
+func main() {
+	cfg := pow.DefaultConfig()
+	cfg.Target = 0x08000000 // ~1 in 32 hashes solves
+	cfg.Display = true
+	cfg.FinishOnFind = true
+
+	// The reference implementation predicts the solution the hardware
+	// must find.
+	wantNonce, ok := cfg.FindNonce(10_000)
+	if !ok {
+		panic("reference search found nothing")
+	}
+	fmt.Printf("reference (crypto/sha256) predicts nonce %d\n", wantNonce)
+
+	dev := fpga.NewCycloneV()
+	tco := toolchain.DefaultOptions()
+	tco.Scale = 2000 // demo-friendly compile latency
+	rt := runtime.New(runtime.Options{
+		Device:           dev,
+		Toolchain:        toolchain.New(dev, tco),
+		OpenLoopTargetPs: 100 * vclock.Us,
+		View:             stdoutView{},
+	})
+	if err := rt.Eval(runtime.DefaultPrelude); err != nil {
+		panic(err)
+	}
+	prog := pow.Generate(cfg) + `
+wire [31:0] hashes, nonce, hash0, sol;
+wire found;
+Pow miner(.clk(clk.val), .hashes(hashes), .nonce(nonce),
+          .found(found), .hash0(hash0), .solution(sol));
+`
+	if err := rt.Eval(prog); err != nil {
+		panic(err)
+	}
+
+	lastPhase := runtime.PhaseEmpty
+	for !rt.Finished() && rt.Ticks() < 10_000_000 {
+		rt.RunTicks(200)
+		if p := rt.Phase(); p != lastPhase {
+			fmt.Printf("[%8.2f vs] engine: %v\n", float64(rt.VirtualNow())/1e12, p)
+			lastPhase = p
+		}
+	}
+	if !rt.Finished() {
+		fmt.Println("no solution within the tick budget")
+		return
+	}
+	fmt.Printf("finished after %d ticks (%.0f hashes) at %.2f virtual seconds in phase %v\n",
+		rt.Ticks(), float64(rt.Ticks())/float64(pow.CyclesPerHash), float64(rt.VirtualNow())/1e12, rt.Phase())
+}
+
+// stdoutView prints program output directly.
+type stdoutView struct{}
+
+func (stdoutView) Display(text string)        { fmt.Print(text) }
+func (stdoutView) Info(f string, args ...any) { fmt.Printf("[cascade] "+f+"\n", args...) }
+func (stdoutView) Error(err error)            { fmt.Println("[cascade] error:", err) }

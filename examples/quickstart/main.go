@@ -1,0 +1,95 @@
+// Quickstart: the paper's running example (§2.1) end to end.
+//
+// Eight LEDs animate one at a time while four buttons can pause the
+// show. The program is eval'd into a running Cascade runtime: it starts
+// executing in a software simulator in well under a (virtual) second,
+// the JIT compiles a hardware engine in the background, and execution
+// migrates onto the simulated FPGA without disturbing the animation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"cascade/internal/fpga"
+	"cascade/internal/runtime"
+	"cascade/internal/toolchain"
+	"cascade/internal/vclock"
+	"cascade/internal/workloads/ledswitch"
+)
+
+func ledBar(v uint64) string {
+	var sb strings.Builder
+	for i := 7; i >= 0; i-- {
+		if v>>uint(i)&1 == 1 {
+			sb.WriteString("●")
+		} else {
+			sb.WriteString("○")
+		}
+	}
+	return sb.String()
+}
+
+func main() {
+	// Speed the virtual vendor toolchain up 600x so the demo's JIT
+	// transition happens within the first screenful.
+	dev := fpga.NewCycloneV()
+	tco := toolchain.DefaultOptions()
+	tco.Scale = 600
+	rt := runtime.New(runtime.Options{
+		Device:           dev,
+		Toolchain:        toolchain.New(dev, tco),
+		OpenLoopTargetPs: 50 * vclock.Us,
+	})
+
+	fmt.Println("eval: standard prelude (Clock clk; Pad#(4) pad; Led#(8) led)")
+	if err := rt.Eval(runtime.DefaultPrelude); err != nil {
+		panic(err)
+	}
+	fmt.Println("eval: the running example (Rol + counter)")
+	if err := rt.Eval(ledswitch.Figure3); err != nil {
+		panic(err)
+	}
+	fmt.Printf("code is running %.3f virtual seconds after eval\n\n", float64(rt.StartupPs())/1e12)
+
+	lastPhase := runtime.PhaseEmpty
+	for i := 0; i < 40; i++ {
+		rt.RunTicks(1)
+		if p := rt.Phase(); p != lastPhase {
+			fmt.Printf("--- engine state: %v ---\n", p)
+			lastPhase = p
+		}
+		if i%2 == 0 {
+			fmt.Printf("t=%7.3fs  led=%s\n", float64(rt.VirtualNow())/1e12, ledBar(rt.World().Led("main.led")))
+		}
+		if i == 24 {
+			fmt.Println(">>> pressing button 0 (animation pauses)")
+			rt.World().PressPad("main.pad", 1)
+		}
+		if i == 32 {
+			fmt.Println(">>> releasing button 0")
+			rt.World().PressPad("main.pad", 0)
+		}
+	}
+
+	// Let the background compilation finish (idle time also counts) and
+	// watch execution migrate into hardware.
+	if readyAt, pending := rt.CompileReadyAt(); pending && rt.VirtualNow() < readyAt {
+		fmt.Printf("\nwaiting out the background compile (finishes at %.2f virtual s)...\n",
+			float64(readyAt)/1e12)
+		rt.Idle(readyAt - rt.VirtualNow() + 1)
+	}
+	for i := 0; i < 16; i++ {
+		rt.RunTicks(1)
+		if p := rt.Phase(); p != lastPhase {
+			fmt.Printf("--- engine state: %v ---\n", p)
+			lastPhase = p
+		}
+		if i%2 == 0 {
+			fmt.Printf("t=%7.3fs  led=%s\n", float64(rt.VirtualNow())/1e12, ledBar(rt.World().Led("main.led")))
+		}
+	}
+	fmt.Printf("\nfinal phase: %v, hardware area: %d LEs\n", rt.Phase(), rt.AreaLEs())
+}

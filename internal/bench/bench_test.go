@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"testing"
+)
+
+// These tests assert the *shape* claims of the paper's evaluation: who
+// wins, by roughly what factor, and where the crossovers fall. Absolute
+// numbers live in EXPERIMENTS.md.
+
+func TestFig11Shape(t *testing.T) {
+	f, err := RunFig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fig11: startup=%.2fs iverilog=%.0fHz sim=%.0fHz ol=%.2fMHz native=%.0fMHz "+
+		"quartus=%.0fs cascadeCompile=%.0fs simSpeedup=%.2fx olGap=%.2fx spatial=%.2fx",
+		f.StartupSec, f.IVerilogHz, f.CascadeSimHz, f.CascadeOpenLoopHz/1e6, f.NativeHz/1e6,
+		f.QuartusCompileSec, f.CascadeCompileSec, f.SimSpeedup, f.OpenLoopGap, f.SpatialOverhead)
+
+	// Cascade begins execution in under a second (paper: <1s).
+	if f.StartupSec >= 1.0 {
+		t.Errorf("startup %.2fs, want <1s", f.StartupSec)
+	}
+	// iVerilog runs immediately but in the sub-kHz band (paper: 650 Hz).
+	if f.IVerilogHz < 100 || f.IVerilogHz > 20_000 {
+		t.Errorf("iVerilog rate %.0f Hz out of band", f.IVerilogHz)
+	}
+	// Cascade simulates faster than iVerilog (paper: 2.4x).
+	if f.SimSpeedup < 1.2 || f.SimSpeedup > 8 {
+		t.Errorf("sim speedup %.2fx, want ~2.4x", f.SimSpeedup)
+	}
+	// Quartus needs minutes of compilation (paper: ~10 min).
+	if f.QuartusCompileSec < 120 || f.QuartusCompileSec > 1800 {
+		t.Errorf("quartus compile %.0fs, want minutes", f.QuartusCompileSec)
+	}
+	// Open loop lands within ~3x of native (paper: 2.9x).
+	if f.OpenLoopGap < 1.5 || f.OpenLoopGap > 4.5 {
+		t.Errorf("open-loop gap %.2fx, want ~2.9x", f.OpenLoopGap)
+	}
+	// Spatial overhead is small-constant (paper: 2.9x).
+	if f.SpatialOverhead < 1.5 || f.SpatialOverhead > 5 {
+		t.Errorf("spatial overhead %.2fx, want ~2.9x", f.SpatialOverhead)
+	}
+	// The crossover ordering: Cascade compiles in the background and
+	// transitions no later than twice the native flow (the wrapped
+	// design is bigger, so somewhat later is expected).
+	if f.CascadeCompileSec < f.QuartusCompileSec*0.5 || f.CascadeCompileSec > f.QuartusCompileSec*4 {
+		t.Errorf("cascade compile %.0fs vs quartus %.0fs: implausible ratio", f.CascadeCompileSec, f.QuartusCompileSec)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	f, err := RunFig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fig12: states=%d sim=%.0f IO/s ol=%.0f KIO/s quartus=%.0f KIO/s compile=%.0fs spatial=%.2fx",
+		f.DFAStates, f.CascadeSimIOs, f.CascadeOpenIOs/1e3, f.QuartusIOs/1e3, f.QuartusCompileSec, f.SpatialOverhead)
+
+	// Simulation-phase IO in the tens-of-KIO/s band (paper: 32 KIO/s).
+	if f.CascadeSimIOs < 200 || f.CascadeSimIOs > 100_000 {
+		t.Errorf("sim IO rate %.0f out of band", f.CascadeSimIOs)
+	}
+	// After migration, Cascade approaches but does not exceed the
+	// native rate (paper: 492 vs 560 KIO/s).
+	if f.CascadeOpenIOs > f.QuartusIOs {
+		t.Errorf("cascade %.0f IO/s exceeds native %.0f", f.CascadeOpenIOs, f.QuartusIOs)
+	}
+	if f.CascadeOpenIOs < f.QuartusIOs/2 {
+		t.Errorf("cascade %.0f IO/s should be close to native %.0f", f.CascadeOpenIOs, f.QuartusIOs)
+	}
+	// Both far exceed the simulation phase.
+	if f.CascadeOpenIOs < f.CascadeSimIOs*4 {
+		t.Errorf("migration should multiply IO throughput: %.0f -> %.0f", f.CascadeSimIOs, f.CascadeOpenIOs)
+	}
+	// The regex design is small; spatial overhead exceeds the PoW one
+	// (paper: 6.5x vs 2.9x) because the wrapper amortizes worse.
+	if f.SpatialOverhead < 2 || f.SpatialOverhead > 12 {
+		t.Errorf("spatial overhead %.2fx out of band (paper: 6.5x)", f.SpatialOverhead)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	f, err := RunFig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Summary
+	t.Logf("fig13: quartusCompile=%.0fs cascadeStartup=%.2fs builds +%.0f%% faster %.0f%% compileRatio %.0fx",
+		f.QuartusCompileSec, f.CascadeStartupSec, s.MoreBuildsPct(), s.FasterCompletionPct(), s.CompileTimeRatio())
+	if s.MoreBuildsPct() < 15 {
+		t.Errorf("cascade should drive more builds: %+.0f%%", s.MoreBuildsPct())
+	}
+	if s.FasterCompletionPct() < 5 {
+		t.Errorf("cascade should complete faster: %+.0f%%", s.FasterCompletionPct())
+	}
+	if s.CompileTimeRatio() < 25 {
+		t.Errorf("compile-time ratio %.0fx, want order of paper's 67x", s.CompileTimeRatio())
+	}
+	if len(f.Rows) != 21 {
+		t.Errorf("rows=%d", len(f.Rows))
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	agg, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range agg.Rows() {
+		t.Log(row)
+	}
+	if agg.N != 31 || agg.WithLogs != 23 {
+		t.Errorf("corpus shape: n=%d logs=%d", agg.N, agg.WithLogs)
+	}
+	if agg.Blocking.Mean < 3*agg.Nonblock.Mean {
+		t.Errorf("blocking should dominate nonblocking (paper: 8x)")
+	}
+}

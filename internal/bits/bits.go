@@ -1,0 +1,579 @@
+// Package bits implements arbitrary-width two-state (0/1) bit vectors with
+// the full set of Verilog operators needed by the Cascade simulator,
+// synthesizer, and compiled netlist evaluator.
+//
+// Values are unsigned; all operators follow Verilog's unsigned semantics
+// truncated to the result width. The four-state (x/z) extension of the IEEE
+// standard is intentionally not modeled (see DESIGN.md). Division and
+// modulus by zero yield zero where real Verilog would yield x.
+//
+// A Vector's unused high bits are always kept zero (the normalization
+// invariant), so word-level comparisons and hashing are well defined.
+package bits
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// WordBits is the number of bits stored per machine word.
+const WordBits = 64
+
+// Vector is an unsigned bit vector of fixed width. The zero value is an
+// unusable zero-width vector; use New or one of the From constructors.
+type Vector struct {
+	width int
+	words []uint64
+}
+
+func wordsFor(width int) int {
+	if width <= 0 {
+		return 0
+	}
+	return (width + WordBits - 1) / WordBits
+}
+
+// New returns a zero-valued vector of the given width. Widths below 1 are
+// clamped to 1 so callers never construct degenerate vectors.
+func New(width int) *Vector {
+	if width < 1 {
+		width = 1
+	}
+	return &Vector{width: width, words: make([]uint64, wordsFor(width))}
+}
+
+// FromUint64 returns a vector of the given width holding v truncated to
+// that width.
+func FromUint64(width int, v uint64) *Vector {
+	b := New(width)
+	b.words[0] = v
+	b.normalize()
+	return b
+}
+
+// FromBig returns a vector of the given width holding |v| truncated to that
+// width. Negative values are interpreted as their two's complement at the
+// target width, matching Verilog's treatment of negative decimal literals.
+func FromBig(width int, v *big.Int) *Vector {
+	b := New(width)
+	x := new(big.Int).Set(v)
+	if x.Sign() < 0 {
+		mod := new(big.Int).Lsh(big.NewInt(1), uint(b.width))
+		x.Mod(x, mod)
+		if x.Sign() < 0 {
+			x.Add(x, mod)
+		}
+	}
+	for i := range b.words {
+		b.words[i] = x.Uint64()
+		x.Rsh(x, WordBits)
+	}
+	b.normalize()
+	return b
+}
+
+// FromBool returns a 1-bit vector holding 1 if v is true.
+func FromBool(v bool) *Vector {
+	if v {
+		return FromUint64(1, 1)
+	}
+	return New(1)
+}
+
+// Width reports the vector's width in bits.
+func (b *Vector) Width() int { return b.width }
+
+// Words exposes the underlying word storage (least significant first).
+// Callers must not mutate the returned slice.
+func (b *Vector) Words() []uint64 { return b.words }
+
+// normalize zeroes the unused high bits of the top word.
+func (b *Vector) normalize() {
+	if rem := b.width % WordBits; rem != 0 {
+		b.words[len(b.words)-1] &= (uint64(1) << rem) - 1
+	}
+}
+
+// Clone returns an independent copy of b.
+func (b *Vector) Clone() *Vector {
+	c := &Vector{width: b.width, words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// CopyFrom overwrites b in place with v truncated or zero-extended to b's
+// width. It never allocates and reports whether b's value changed.
+func (b *Vector) CopyFrom(v *Vector) bool {
+	changed := false
+	for i := range b.words {
+		var w uint64
+		if i < len(v.words) {
+			w = v.words[i]
+		}
+		if i == len(b.words)-1 {
+			if rem := b.width % WordBits; rem != 0 {
+				w &= (uint64(1) << rem) - 1
+			}
+		}
+		if b.words[i] != w {
+			changed = true
+			b.words[i] = w
+		}
+	}
+	return changed
+}
+
+// SetUint64 overwrites b in place with v truncated to b's width and reports
+// whether the value changed.
+func (b *Vector) SetUint64(v uint64) bool {
+	tmp := FromUint64(b.width, v)
+	return b.CopyFrom(tmp)
+}
+
+// Resize returns a copy of b truncated or zero-extended to width.
+func (b *Vector) Resize(width int) *Vector {
+	c := New(width)
+	c.CopyFrom(b)
+	return c
+}
+
+// Uint64 returns the low 64 bits of b.
+func (b *Vector) Uint64() uint64 {
+	if len(b.words) == 0 {
+		return 0
+	}
+	return b.words[0]
+}
+
+// Big returns b as a big.Int.
+func (b *Vector) Big() *big.Int {
+	x := new(big.Int)
+	for i := len(b.words) - 1; i >= 0; i-- {
+		x.Lsh(x, WordBits)
+		x.Or(x, new(big.Int).SetUint64(b.words[i]))
+	}
+	return x
+}
+
+// IsZero reports whether every bit of b is zero.
+func (b *Vector) IsZero() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bool reports whether b is nonzero (Verilog truthiness).
+func (b *Vector) Bool() bool { return !b.IsZero() }
+
+// Bit returns bit i of b (0 if i is out of range).
+func (b *Vector) Bit(i int) uint {
+	if i < 0 || i >= b.width {
+		return 0
+	}
+	return uint(b.words[i/WordBits]>>(i%WordBits)) & 1
+}
+
+// SetBit sets bit i of b to v in place. Out-of-range indices are ignored.
+func (b *Vector) SetBit(i int, v uint) {
+	if i < 0 || i >= b.width {
+		return
+	}
+	mask := uint64(1) << (i % WordBits)
+	if v&1 != 0 {
+		b.words[i/WordBits] |= mask
+	} else {
+		b.words[i/WordBits] &^= mask
+	}
+}
+
+// Equal reports whether a and b hold the same value, ignoring width
+// differences (both are compared as unbounded unsigned integers).
+func (b *Vector) Equal(o *Vector) bool {
+	n := len(b.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		var x, y uint64
+		if i < len(b.words) {
+			x = b.words[i]
+		}
+		if i < len(o.words) {
+			y = o.words[i]
+		}
+		if x != y {
+			return false
+		}
+	}
+	return true
+}
+
+// Cmp compares a and b as unsigned integers: -1 if b<o, 0 if equal, 1 if b>o.
+func (b *Vector) Cmp(o *Vector) int {
+	n := len(b.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	for i := n - 1; i >= 0; i-- {
+		var x, y uint64
+		if i < len(b.words) {
+			x = b.words[i]
+		}
+		if i < len(o.words) {
+			y = o.words[i]
+		}
+		if x < y {
+			return -1
+		}
+		if x > y {
+			return 1
+		}
+	}
+	return 0
+}
+
+// binary width rule: result width of arithmetic/bitwise binary ops is the
+// max of the operand widths (callers apply context-widening separately).
+func maxWidth(a, o *Vector) int {
+	if a.width > o.width {
+		return a.width
+	}
+	return o.width
+}
+
+// Add returns a+o at the max operand width (carry out is truncated).
+func (b *Vector) Add(o *Vector) *Vector {
+	r := New(maxWidth(b, o))
+	var carry uint64
+	for i := range r.words {
+		var x, y uint64
+		if i < len(b.words) {
+			x = b.words[i]
+		}
+		if i < len(o.words) {
+			y = o.words[i]
+		}
+		s := x + y
+		c1 := uint64(0)
+		if s < x {
+			c1 = 1
+		}
+		s2 := s + carry
+		if s2 < s {
+			c1 = 1
+		}
+		r.words[i] = s2
+		carry = c1
+	}
+	r.normalize()
+	return r
+}
+
+// Sub returns a-o (two's complement) at the max operand width.
+func (b *Vector) Sub(o *Vector) *Vector {
+	r := New(maxWidth(b, o))
+	var borrow uint64
+	for i := range r.words {
+		var x, y uint64
+		if i < len(b.words) {
+			x = b.words[i]
+		}
+		if i < len(o.words) {
+			y = o.words[i]
+		}
+		d := x - y
+		b1 := uint64(0)
+		if x < y {
+			b1 = 1
+		}
+		d2 := d - borrow
+		if d < borrow {
+			b1 = 1
+		}
+		r.words[i] = d2
+		borrow = b1
+	}
+	r.normalize()
+	return r
+}
+
+// Neg returns the two's complement negation of b at b's width.
+func (b *Vector) Neg() *Vector {
+	return New(b.width).Sub(b)
+}
+
+// Mul returns a*o truncated to the max operand width.
+func (b *Vector) Mul(o *Vector) *Vector {
+	w := maxWidth(b, o)
+	// Schoolbook multiply over 32-bit halves keeps everything in uint64.
+	x, y := b.Big(), o.Big()
+	return FromBig(w, new(big.Int).Mul(x, y))
+}
+
+// Div returns a/o (unsigned) at the max operand width; division by zero
+// yields zero.
+func (b *Vector) Div(o *Vector) *Vector {
+	w := maxWidth(b, o)
+	if o.IsZero() {
+		return New(w)
+	}
+	return FromBig(w, new(big.Int).Div(b.Big(), o.Big()))
+}
+
+// Mod returns a%o (unsigned) at the max operand width; modulus by zero
+// yields zero.
+func (b *Vector) Mod(o *Vector) *Vector {
+	w := maxWidth(b, o)
+	if o.IsZero() {
+		return New(w)
+	}
+	return FromBig(w, new(big.Int).Mod(b.Big(), o.Big()))
+}
+
+// Pow returns a**o truncated to a's width (Verilog-2001 power operator).
+func (b *Vector) Pow(o *Vector) *Vector {
+	w := b.width
+	if o.IsZero() {
+		return FromUint64(w, 1)
+	}
+	mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	return FromBig(w, new(big.Int).Exp(b.Big(), o.Big(), mod))
+}
+
+func (b *Vector) bitwise(o *Vector, f func(x, y uint64) uint64) *Vector {
+	r := New(maxWidth(b, o))
+	for i := range r.words {
+		var x, y uint64
+		if i < len(b.words) {
+			x = b.words[i]
+		}
+		if i < len(o.words) {
+			y = o.words[i]
+		}
+		r.words[i] = f(x, y)
+	}
+	r.normalize()
+	return r
+}
+
+// And returns the bitwise AND at the max operand width.
+func (b *Vector) And(o *Vector) *Vector {
+	return b.bitwise(o, func(x, y uint64) uint64 { return x & y })
+}
+
+// Or returns the bitwise OR at the max operand width.
+func (b *Vector) Or(o *Vector) *Vector {
+	return b.bitwise(o, func(x, y uint64) uint64 { return x | y })
+}
+
+// Xor returns the bitwise XOR at the max operand width.
+func (b *Vector) Xor(o *Vector) *Vector {
+	return b.bitwise(o, func(x, y uint64) uint64 { return x ^ y })
+}
+
+// Xnor returns the bitwise XNOR at the max operand width.
+func (b *Vector) Xnor(o *Vector) *Vector {
+	r := b.bitwise(o, func(x, y uint64) uint64 { return ^(x ^ y) })
+	r.normalize()
+	return r
+}
+
+// Not returns the bitwise complement of b at b's width.
+func (b *Vector) Not() *Vector {
+	r := New(b.width)
+	for i := range r.words {
+		r.words[i] = ^b.words[i]
+	}
+	r.normalize()
+	return r
+}
+
+// RedAnd returns the 1-bit AND reduction of b.
+func (b *Vector) RedAnd() *Vector {
+	full := b.width / WordBits
+	for i := 0; i < full; i++ {
+		if b.words[i] != ^uint64(0) {
+			return FromBool(false)
+		}
+	}
+	if rem := b.width % WordBits; rem != 0 {
+		mask := (uint64(1) << rem) - 1
+		if b.words[len(b.words)-1]&mask != mask {
+			return FromBool(false)
+		}
+	}
+	return FromBool(true)
+}
+
+// RedOr returns the 1-bit OR reduction of b.
+func (b *Vector) RedOr() *Vector { return FromBool(!b.IsZero()) }
+
+// RedXor returns the 1-bit XOR reduction (parity) of b.
+func (b *Vector) RedXor() *Vector {
+	var parity uint64
+	for _, w := range b.words {
+		parity ^= w
+	}
+	parity ^= parity >> 32
+	parity ^= parity >> 16
+	parity ^= parity >> 8
+	parity ^= parity >> 4
+	parity ^= parity >> 2
+	parity ^= parity >> 1
+	return FromBool(parity&1 != 0)
+}
+
+// Shl returns b shifted left by the value of o (as an unsigned integer),
+// truncated to b's width. Shifts at or beyond the width yield zero.
+func (b *Vector) Shl(o *Vector) *Vector {
+	return b.ShlUint(shiftAmount(o, b.width))
+}
+
+// Shr returns b logically shifted right by the value of o, at b's width.
+func (b *Vector) Shr(o *Vector) *Vector {
+	return b.ShrUint(shiftAmount(o, b.width))
+}
+
+// shiftAmount clamps the shift operand to width (any larger amount fully
+// shifts the value out, so the exact value does not matter).
+func shiftAmount(o *Vector, width int) int {
+	for i := 1; i < len(o.words); i++ {
+		if o.words[i] != 0 {
+			return width
+		}
+	}
+	v := o.Uint64()
+	if v > uint64(width) {
+		return width
+	}
+	return int(v)
+}
+
+// ShlUint returns b shifted left by n bits, truncated to b's width.
+func (b *Vector) ShlUint(n int) *Vector {
+	r := New(b.width)
+	if n >= b.width {
+		return r
+	}
+	wordShift, bitShift := n/WordBits, uint(n%WordBits)
+	for i := len(r.words) - 1; i >= wordShift; i-- {
+		w := b.words[i-wordShift] << bitShift
+		if bitShift != 0 && i-wordShift-1 >= 0 {
+			w |= b.words[i-wordShift-1] >> (WordBits - bitShift)
+		}
+		r.words[i] = w
+	}
+	r.normalize()
+	return r
+}
+
+// ShrUint returns b logically shifted right by n bits, at b's width.
+func (b *Vector) ShrUint(n int) *Vector {
+	r := New(b.width)
+	if n >= b.width {
+		return r
+	}
+	wordShift, bitShift := n/WordBits, uint(n%WordBits)
+	for i := 0; i < len(r.words)-wordShift; i++ {
+		w := b.words[i+wordShift] >> bitShift
+		if bitShift != 0 && i+wordShift+1 < len(b.words) {
+			w |= b.words[i+wordShift+1] << (WordBits - bitShift)
+		}
+		r.words[i] = w
+	}
+	r.normalize()
+	return r
+}
+
+// Slice returns bits [hi:lo] of b as a new vector of width hi-lo+1.
+// Out-of-range bits read as zero; an inverted range yields a 1-bit zero.
+func (b *Vector) Slice(hi, lo int) *Vector {
+	if hi < lo {
+		return New(1)
+	}
+	return b.ShrUint(lo).Resize(hi - lo + 1)
+}
+
+// SetSlice overwrites bits [hi:lo] of b in place with v (truncated or
+// zero-extended to the slice width) and reports whether b changed.
+func (b *Vector) SetSlice(hi, lo int, v *Vector) bool {
+	if hi < lo || lo >= b.width {
+		return false
+	}
+	if hi >= b.width {
+		hi = b.width - 1
+	}
+	changed := false
+	for i := lo; i <= hi; i++ {
+		nv := v.Bit(i - lo)
+		if b.Bit(i) != nv {
+			changed = true
+			b.SetBit(i, nv)
+		}
+	}
+	return changed
+}
+
+// Concat returns {b, o}: b occupies the high bits, o the low bits.
+func (b *Vector) Concat(o *Vector) *Vector {
+	r := New(b.width + o.width)
+	r.CopyFrom(o)
+	shifted := b.Resize(r.width).ShlUint(o.width)
+	for i := range r.words {
+		r.words[i] |= shifted.words[i]
+	}
+	r.normalize()
+	return r
+}
+
+// Repl returns b replicated n times ({n{b}}). n below 1 yields a 1-bit zero.
+func (b *Vector) Repl(n int) *Vector {
+	if n < 1 {
+		return New(1)
+	}
+	r := New(b.width * n)
+	for i := 0; i < n; i++ {
+		shifted := b.Resize(r.width).ShlUint(i * b.width)
+		for j := range r.words {
+			r.words[j] |= shifted.words[j]
+		}
+	}
+	r.normalize()
+	return r
+}
+
+// String formats b as width'hXX... (Verilog sized hexadecimal).
+func (b *Vector) String() string {
+	return fmt.Sprintf("%d'h%s", b.width, b.Hex())
+}
+
+// Hex returns the hexadecimal digits of b, without prefix, using the
+// minimal digit count for the width.
+func (b *Vector) Hex() string {
+	digits := (b.width + 3) / 4
+	var sb strings.Builder
+	for i := digits - 1; i >= 0; i-- {
+		nib := (b.words[i*4/WordBits] >> ((i * 4) % WordBits)) & 0xf
+		sb.WriteByte("0123456789abcdef"[nib])
+	}
+	return sb.String()
+}
+
+// Bin returns the binary digits of b, one character per bit.
+func (b *Vector) Bin() string {
+	var sb strings.Builder
+	for i := b.width - 1; i >= 0; i-- {
+		sb.WriteByte('0' + byte(b.Bit(i)))
+	}
+	return sb.String()
+}
+
+// Dec returns the decimal representation of b.
+func (b *Vector) Dec() string { return b.Big().String() }
+
+// Oct returns the octal digits of b.
+func (b *Vector) Oct() string { return b.Big().Text(8) }

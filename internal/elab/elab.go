@@ -1,0 +1,754 @@
+package elab
+
+import (
+	"fmt"
+
+	"cascade/internal/bits"
+	"cascade/internal/verilog"
+)
+
+// maxUnroll caps for-loop unrolling so a runaway loop bound fails fast.
+const maxUnroll = 1 << 16
+
+// Elaborate lowers a flat module (no instances, no hierarchical
+// references; Cascade's IR pass guarantees both) into a Flat subprogram.
+// params supplies final parameter overrides (already evaluated by the
+// caller); unknown names are an error.
+func Elaborate(mod *verilog.Module, instName string, params map[string]*bits.Vector) (*Flat, error) {
+	e := &elaborator{
+		flat: &Flat{
+			Name:     instName,
+			ModName:  mod.Name,
+			Params:   map[string]*bits.Vector{},
+			VarIndex: map[string]int{},
+			Source:   mod,
+		},
+		consts:   map[string]*bits.Vector{},
+		loopVars: map[string]*bits.Vector{},
+		assigned: map[*Var]*bits.Vector{},
+	}
+	if err := e.run(mod, params); err != nil {
+		return nil, err
+	}
+	return e.flat, nil
+}
+
+type elaborator struct {
+	flat     *Flat
+	consts   map[string]*bits.Vector // parameters and localparams
+	loopVars map[string]*bits.Vector // active for-loop bindings
+	assigned map[*Var]*bits.Vector   // continuous-assign markers
+
+	netInitAssigns []*verilog.ContAssign // wire x = expr desugarings
+}
+
+func (e *elaborator) errf(pos verilog.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (e *elaborator) run(mod *verilog.Module, overrides map[string]*bits.Vector) error {
+	// Header parameters, in declaration order, with overrides applied.
+	declared := map[string]bool{}
+	for _, pd := range mod.Params {
+		declared[pd.Name] = true
+		var v *bits.Vector
+		if ov, ok := overrides[pd.Name]; ok {
+			v = ov
+		} else {
+			cv, err := e.constExpr(pd.Value)
+			if err != nil {
+				return err
+			}
+			v = cv
+		}
+		if pd.Range != nil {
+			w, err := e.rangeWidth(pd.Range, pd.DeclPos)
+			if err != nil {
+				return err
+			}
+			v = v.Resize(w)
+		}
+		e.consts[pd.Name] = v
+		e.flat.Params[pd.Name] = v
+	}
+	for name := range overrides {
+		if !declared[name] {
+			return e.errf(mod.NamePos, "module %s has no parameter %s", mod.Name, name)
+		}
+	}
+
+	// Ports become variables first, in header order.
+	for _, pt := range mod.Ports {
+		if pt.Dir == verilog.Inout {
+			return e.errf(pt.PortPos, "inout ports are not supported")
+		}
+		w := 1
+		if pt.Range != nil {
+			var err error
+			w, err = e.rangeWidth(pt.Range, pt.PortPos)
+			if err != nil {
+				return err
+			}
+		}
+		var init *bits.Vector
+		if pt.Init != nil {
+			cv, cerr := e.constExpr(pt.Init)
+			if cerr != nil {
+				return cerr
+			}
+			init = cv.Resize(w)
+		}
+		v, err := e.declare(pt.Name, w, pt.Kind == verilog.Reg, 0, 0, init, pt.PortPos)
+		if err != nil {
+			return err
+		}
+		if pt.Dir == verilog.Input {
+			v.IsInput = true
+		} else {
+			v.IsOutput = true
+		}
+	}
+
+	// First pass: declarations (so later items can reference later decls
+	// is NOT allowed in our model — Verilog requires declaration before
+	// use for implicit clarity; we do a decl pre-pass to be permissive,
+	// matching common tool behaviour).
+	for _, it := range mod.Items {
+		switch x := it.(type) {
+		case *verilog.ParamDecl:
+			cv, err := e.constExpr(x.Value)
+			if err != nil {
+				return err
+			}
+			if x.Range != nil {
+				w, err := e.rangeWidth(x.Range, x.DeclPos)
+				if err != nil {
+					return err
+				}
+				cv = cv.Resize(w)
+			}
+			if _, dup := e.consts[x.Name]; dup {
+				return e.errf(x.DeclPos, "duplicate parameter %s", x.Name)
+			}
+			e.consts[x.Name] = cv
+			e.flat.Params[x.Name] = cv
+		case *verilog.NetDecl:
+			if err := e.netDecl(x); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Net declaration assignments collected by the first pass.
+	for _, ca := range e.netInitAssigns {
+		if err := e.contAssign(ca); err != nil {
+			return err
+		}
+	}
+
+	// Second pass: behaviour.
+	for _, it := range mod.Items {
+		switch x := it.(type) {
+		case *verilog.ParamDecl, *verilog.NetDecl:
+			// handled above
+		case *verilog.ContAssign:
+			if err := e.contAssign(x); err != nil {
+				return err
+			}
+		case *verilog.AlwaysBlock:
+			if err := e.always(x); err != nil {
+				return err
+			}
+		case *verilog.InitialBlock:
+			body, err := e.stmt(x.Body)
+			if err != nil {
+				return err
+			}
+			if body != nil {
+				e.flat.Initials = append(e.flat.Initials, body)
+			}
+		case *verilog.Instance:
+			return e.errf(x.InstPos, "internal: instance %s survived IR flattening", x.Name)
+		default:
+			return e.errf(it.Pos(), "unsupported module item %T", it)
+		}
+	}
+	e.flat.refreshPortLists()
+	return nil
+}
+
+func (e *elaborator) declare(name string, width int, isReg bool, arrLen, arrLo int, init *bits.Vector, pos verilog.Pos) (*Var, error) {
+	if _, dup := e.flat.VarIndex[name]; dup {
+		return nil, e.errf(pos, "duplicate declaration of %s", name)
+	}
+	if _, dup := e.consts[name]; dup {
+		return nil, e.errf(pos, "%s is already declared as a parameter", name)
+	}
+	if width < 1 {
+		return nil, e.errf(pos, "%s has non-positive width %d", name, width)
+	}
+	v := &Var{
+		Name: name, Index: len(e.flat.Vars), Width: width, IsReg: isReg,
+		ArrayLen: arrLen, ArrayLo: arrLo, Init: init,
+	}
+	e.flat.VarIndex[name] = v.Index
+	e.flat.Vars = append(e.flat.Vars, v)
+	return v, nil
+}
+
+// finishPorts records input/output lists after all declarations exist.
+func (f *Flat) refreshPortLists() {
+	f.Inputs = f.Inputs[:0]
+	f.Outputs = f.Outputs[:0]
+	for _, v := range f.Vars {
+		if v.IsInput {
+			f.Inputs = append(f.Inputs, v)
+		}
+		if v.IsOutput {
+			f.Outputs = append(f.Outputs, v)
+		}
+	}
+}
+
+func (e *elaborator) rangeWidth(r *verilog.Range, pos verilog.Pos) (int, error) {
+	hi, err := e.constExpr(r.Hi)
+	if err != nil {
+		return 0, err
+	}
+	lo, err := e.constExpr(r.Lo)
+	if err != nil {
+		return 0, err
+	}
+	h, l := int(hi.Uint64()), int(lo.Uint64())
+	if l != 0 {
+		return 0, e.errf(pos, "packed ranges must be [N:0], got [%d:%d]", h, l)
+	}
+	if h < l || h > 1<<20 {
+		return 0, e.errf(pos, "invalid range [%d:%d]", h, l)
+	}
+	return h - l + 1, nil
+}
+
+func (e *elaborator) netDecl(d *verilog.NetDecl) error {
+	width := 1
+	if d.Kind == verilog.Integer {
+		width = 32
+	} else if d.Range != nil {
+		w, err := e.rangeWidth(d.Range, d.DeclPos)
+		if err != nil {
+			return err
+		}
+		width = w
+	}
+	isReg := d.Kind != verilog.Wire
+	for _, dn := range d.Names {
+		arrLen, arrLo := 0, 0
+		if dn.Array != nil {
+			hi, err := e.constExpr(dn.Array.Hi)
+			if err != nil {
+				return err
+			}
+			lo, err := e.constExpr(dn.Array.Lo)
+			if err != nil {
+				return err
+			}
+			h, l := int(hi.Uint64()), int(lo.Uint64())
+			if h < l {
+				h, l = l, h
+			}
+			arrLen, arrLo = h-l+1, l
+			if arrLen > 1<<22 {
+				return e.errf(dn.NamePos, "memory %s too large (%d words)", dn.Name, arrLen)
+			}
+		}
+		var init *bits.Vector
+		if dn.Init != nil {
+			if arrLen > 0 {
+				return e.errf(dn.NamePos, "memory %s cannot have an initializer", dn.Name)
+			}
+			if isReg {
+				cv, err := e.constExpr(dn.Init)
+				if err != nil {
+					return err
+				}
+				init = cv.Resize(width)
+			}
+		}
+		if _, err := e.declare(dn.Name, width, isReg, arrLen, arrLo, init, dn.NamePos); err != nil {
+			return err
+		}
+		if dn.Init != nil && !isReg {
+			// A net declaration assignment (wire x = expr) is sugar for
+			// a continuous assignment; queue it for the behaviour pass.
+			e.netInitAssigns = append(e.netInitAssigns, &verilog.ContAssign{
+				AssignPos: dn.NamePos,
+				LHS:       &verilog.Ident{IdentPos: dn.NamePos, Name: dn.Name},
+				RHS:       dn.Init,
+			})
+		}
+	}
+	return nil
+}
+
+func (e *elaborator) contAssign(a *verilog.ContAssign) error {
+	lhs, err := e.lvalue(a.LHS)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, lv := range lhs {
+		if lv.Var.IsReg {
+			return e.errf(a.AssignPos, "continuous assignment to reg %s (use an always block)", lv.Var.Name)
+		}
+		if lv.Var.IsInput {
+			return e.errf(a.AssignPos, "continuous assignment to input port %s", lv.Var.Name)
+		}
+		if err := e.checkAssignOverlap(lv, a.AssignPos); err != nil {
+			return err
+		}
+		total += lv.TargetWidth()
+	}
+	rhs, err := e.expr(a.RHS)
+	if err != nil {
+		return err
+	}
+	widenContext(rhs, total)
+	e.flat.Assigns = append(e.flat.Assigns, &ContAssign{LHS: lhs, RHS: rhs})
+	return nil
+}
+
+// checkAssignOverlap rejects a second continuous driver for a wire.
+// Multiple drivers would race, and the synthesizer requires a single
+// combinational writer per variable, so the rule is enforced here where
+// the REPL's trial build can report it before integration.
+func (e *elaborator) checkAssignOverlap(lv LValue, pos verilog.Pos) error {
+	if _, dup := e.assigned[lv.Var]; dup {
+		return e.errf(pos, "%s is driven by more than one continuous assignment", lv.Var.Name)
+	}
+	e.assigned[lv.Var] = bits.New(1)
+	return nil
+}
+
+func (e *elaborator) always(a *verilog.AlwaysBlock) error {
+	p := &Proc{Star: a.Star}
+	for _, ev := range a.Events {
+		x, err := e.expr(ev.Expr)
+		if err != nil {
+			return err
+		}
+		v := rootVar(x)
+		if v == nil {
+			return e.errf(a.AlwaysPos, "sensitivity-list entries must be simple signals")
+		}
+		kind := Level
+		switch ev.Edge {
+		case verilog.Posedge:
+			kind = Pos
+		case verilog.Negedge:
+			kind = Neg
+		}
+		p.Edges = append(p.Edges, Edge{Kind: kind, Var: v})
+	}
+	body, err := e.stmt(a.Body)
+	if err != nil {
+		return err
+	}
+	p.Body = body
+	p.Reads = readSet(body)
+	// Validate driver classes: edge-triggered procs write regs (checked at
+	// assignment resolution); here only note the proc drives its targets.
+	e.flat.Procs = append(e.flat.Procs, p)
+	return nil
+}
+
+// rootVar extracts the underlying variable of a simple signal expression.
+func rootVar(x Expr) *Var {
+	switch t := x.(type) {
+	case *VarRef:
+		return t.V
+	case *Slice:
+		return rootVar(t.X)
+	case *BitSel:
+		return rootVar(t.X)
+	}
+	return nil
+}
+
+// readSet collects the distinct variables read anywhere in s.
+func readSet(s Stmt) []*Var {
+	seen := map[*Var]bool{}
+	var out []*Var
+	WalkStmt(s, nil, func(x Expr) {
+		var v *Var
+		switch t := x.(type) {
+		case *VarRef:
+			v = t.V
+		case *ArrayRef:
+			v = t.V
+		}
+		if v != nil && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+func (e *elaborator) stmt(s verilog.Stmt) (Stmt, error) {
+	switch x := s.(type) {
+	case *verilog.Block:
+		b := &Block{}
+		for _, st := range x.Stmts {
+			rs, err := e.stmt(st)
+			if err != nil {
+				return nil, err
+			}
+			if rs != nil {
+				b.Stmts = append(b.Stmts, rs)
+			}
+		}
+		if len(b.Stmts) == 0 {
+			return nil, nil
+		}
+		return b, nil
+	case *verilog.If:
+		cond, err := e.expr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		// Statically decided branches are pruned (dead-code elimination
+		// at the statement level; both backends benefit).
+		if c, isConst := cond.(*Const); isConst {
+			if c.V.Bool() {
+				return e.stmt(x.Then)
+			}
+			if x.Else != nil {
+				return e.stmt(x.Else)
+			}
+			return nil, nil
+		}
+		then, err := e.stmt(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if x.Else != nil {
+			els, err = e.stmt(x.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els}, nil
+	case *verilog.Case:
+		return e.caseStmt(x)
+	case *verilog.ProcAssign:
+		return e.procAssign(x)
+	case *verilog.For:
+		return e.unrollFor(x)
+	case *verilog.SysTask:
+		return e.sysTask(x)
+	case *verilog.NullStmt:
+		return nil, nil
+	}
+	return nil, e.errf(s.Pos(), "unsupported statement %T", s)
+}
+
+func (e *elaborator) caseStmt(x *verilog.Case) (Stmt, error) {
+	subj, err := e.expr(x.Subject)
+	if err != nil {
+		return nil, err
+	}
+	// labelMask extracts a casez wildcard mask from a label literal.
+	labelMask := func(le verilog.Expr) (*bits.Vector, error) {
+		n, isNum := le.(*verilog.Number)
+		if !isNum || n.Mask == nil {
+			return nil, nil
+		}
+		if !x.IsCasez {
+			return nil, e.errf(n.NumPos, "wildcard label %s requires casez", n.Literal)
+		}
+		return n.Mask, nil
+	}
+	matches := func(labelVal, mask, subjVal *bits.Vector) bool {
+		if mask == nil {
+			return labelVal.Equal(subjVal)
+		}
+		return subjVal.Xor(labelVal).And(mask).IsZero()
+	}
+	// A constant subject with constant labels selects its arm statically.
+	if cs, isConst := subj.(*Const); isConst {
+		var deflt verilog.Stmt
+		decidable := true
+		var taken verilog.Stmt
+		found := false
+		for _, it := range x.Items {
+			if it.Exprs == nil {
+				deflt = it.Body
+				continue
+			}
+			for _, le := range it.Exprs {
+				l, lerr := e.expr(le)
+				if lerr != nil {
+					return nil, lerr
+				}
+				m, merr := labelMask(le)
+				if merr != nil {
+					return nil, merr
+				}
+				lc, lconst := l.(*Const)
+				if !lconst {
+					decidable = false
+					break
+				}
+				if !found && matches(lc.V, m, cs.V) {
+					taken = it.Body
+					found = true
+				}
+			}
+			if !decidable {
+				break
+			}
+		}
+		if decidable {
+			if found {
+				return e.stmt(taken)
+			}
+			if deflt != nil {
+				return e.stmt(deflt)
+			}
+			return nil, nil
+		}
+	}
+	c := &Case{Subject: subj}
+	maxW := subj.Width()
+	var allLabels []Expr
+	for _, it := range x.Items {
+		ci := &CaseItem{}
+		for _, le := range it.Exprs {
+			l, err := e.expr(le)
+			if err != nil {
+				return nil, err
+			}
+			m, merr := labelMask(le)
+			if merr != nil {
+				return nil, merr
+			}
+			if l.Width() > maxW {
+				maxW = l.Width()
+			}
+			ci.Labels = append(ci.Labels, l)
+			ci.Masks = append(ci.Masks, m)
+			allLabels = append(allLabels, l)
+		}
+		body, err := e.stmt(it.Body)
+		if err != nil {
+			return nil, err
+		}
+		ci.Body = body
+		c.Items = append(c.Items, ci)
+	}
+	widenContext(subj, maxW)
+	for _, l := range allLabels {
+		widenContext(l, maxW)
+	}
+	return c, nil
+}
+
+func (e *elaborator) procAssign(x *verilog.ProcAssign) (Stmt, error) {
+	lhs, err := e.lvalue(x.LHS)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, lv := range lhs {
+		if !lv.Var.IsReg {
+			return nil, e.errf(x.AssignPos, "procedural assignment to wire %s (use assign)", lv.Var.Name)
+		}
+		total += lv.TargetWidth()
+	}
+	rhs, err := e.expr(x.RHS)
+	if err != nil {
+		return nil, err
+	}
+	widenContext(rhs, total)
+	return &Assign{Blocking: x.Blocking, LHS: lhs, RHS: rhs}, nil
+}
+
+func (e *elaborator) unrollFor(x *verilog.For) (Stmt, error) {
+	ident, ok := x.Init.LHS.(*verilog.Ident)
+	if !ok {
+		return nil, e.errf(x.ForPos, "for-loop variable must be a simple identifier")
+	}
+	name := ident.Name
+	lv := e.flat.VarNamed(name)
+	if lv == nil {
+		return nil, e.errf(x.ForPos, "for-loop variable %s is not declared", name)
+	}
+	if _, active := e.loopVars[name]; active {
+		return nil, e.errf(x.ForPos, "nested reuse of loop variable %s", name)
+	}
+	v, err := e.constExpr(x.Init.RHS)
+	if err != nil {
+		return nil, e.errf(x.ForPos, "for-loop bounds must be constant: %v", err)
+	}
+	v = v.Resize(lv.Width)
+	b := &Block{}
+	for iter := 0; ; iter++ {
+		if iter > maxUnroll {
+			return nil, e.errf(x.ForPos, "for loop exceeds %d iterations", maxUnroll)
+		}
+		e.loopVars[name] = v
+		cond, err := e.constExpr(x.Cond)
+		if err != nil {
+			delete(e.loopVars, name)
+			return nil, e.errf(x.ForPos, "for-loop condition must be constant: %v", err)
+		}
+		if !cond.Bool() {
+			break
+		}
+		body, err := e.stmt(x.Body)
+		if err != nil {
+			delete(e.loopVars, name)
+			return nil, err
+		}
+		if body != nil {
+			b.Stmts = append(b.Stmts, body)
+		}
+		next, err := e.constExpr(x.Post.RHS)
+		if err != nil {
+			delete(e.loopVars, name)
+			return nil, e.errf(x.ForPos, "for-loop step must be constant: %v", err)
+		}
+		if postIdent, ok := x.Post.LHS.(*verilog.Ident); !ok || postIdent.Name != name {
+			delete(e.loopVars, name)
+			return nil, e.errf(x.ForPos, "for-loop step must assign to %s", name)
+		}
+		v = next.Resize(lv.Width)
+	}
+	delete(e.loopVars, name)
+	if len(b.Stmts) == 0 {
+		return nil, nil
+	}
+	return b, nil
+}
+
+func (e *elaborator) sysTask(x *verilog.SysTask) (Stmt, error) {
+	st := &SysTask{}
+	switch x.Name {
+	case "$display":
+		st.Kind = TaskDisplay
+	case "$write":
+		st.Kind = TaskWrite
+	case "$monitor":
+		st.Kind = TaskMonitor
+	case "$finish":
+		st.Kind = TaskFinish
+		if len(x.Args) > 1 {
+			return nil, e.errf(x.TaskPos, "$finish takes at most one argument")
+		}
+		return st, nil
+	default:
+		return nil, e.errf(x.TaskPos, "unsupported system task %s", x.Name)
+	}
+	args := x.Args
+	if len(args) > 0 {
+		if s, ok := args[0].(*verilog.StringLit); ok {
+			st.Format = s.Value
+			args = args[1:]
+		}
+	}
+	for _, a := range args {
+		r, err := e.expr(a)
+		if err != nil {
+			return nil, err
+		}
+		st.Args = append(st.Args, r)
+	}
+	return st, nil
+}
+
+// lvalue resolves an assignment target, expanding concatenations.
+func (e *elaborator) lvalue(x verilog.Expr) ([]LValue, error) {
+	switch t := x.(type) {
+	case *verilog.Concat:
+		var out []LValue
+		for _, p := range t.Parts {
+			sub, err := e.lvalue(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	case *verilog.Ident:
+		v := e.flat.VarNamed(t.Name)
+		if v == nil {
+			return nil, e.errf(t.IdentPos, "assignment to undeclared variable %s", t.Name)
+		}
+		if v.IsArray() {
+			return nil, e.errf(t.IdentPos, "memory %s must be assigned one word at a time", t.Name)
+		}
+		return []LValue{{Var: v}}, nil
+	case *verilog.Index:
+		base, ok := t.X.(*verilog.Ident)
+		if !ok {
+			return nil, e.errf(t.LPos, "assignment target must be a simple variable select")
+		}
+		v := e.flat.VarNamed(base.Name)
+		if v == nil {
+			return nil, e.errf(t.LPos, "assignment to undeclared variable %s", base.Name)
+		}
+		idx, err := e.expr(t.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsArray() {
+			return []LValue{{Var: v, ArrIndex: e.adjustArrayIndex(v, idx)}}, nil
+		}
+		if c, ok := idx.(*Const); ok {
+			bit := int(c.V.Uint64())
+			return []LValue{{Var: v, HasRange: true, Hi: bit, Lo: bit}}, nil
+		}
+		return []LValue{{Var: v, DynBit: idx}}, nil
+	case *verilog.RangeSel:
+		base, ok := t.X.(*verilog.Ident)
+		if !ok {
+			return nil, e.errf(t.LPos, "assignment target must be a simple variable select")
+		}
+		v := e.flat.VarNamed(base.Name)
+		if v == nil {
+			return nil, e.errf(t.LPos, "assignment to undeclared variable %s", base.Name)
+		}
+		if v.IsArray() {
+			return nil, e.errf(t.LPos, "part select on memory %s is not supported", v.Name)
+		}
+		hi, err := e.constExpr(t.Hi)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := e.constExpr(t.Lo)
+		if err != nil {
+			return nil, err
+		}
+		h, l := int(hi.Uint64()), int(lo.Uint64())
+		if h < l || h >= v.Width {
+			return nil, e.errf(t.LPos, "part select [%d:%d] out of range for %s[%d:0]", h, l, v.Name, v.Width-1)
+		}
+		return []LValue{{Var: v, HasRange: true, Hi: h, Lo: l}}, nil
+	case *verilog.HierIdent:
+		return nil, e.errf(t.IdentPos, "internal: hierarchical target %v survived IR promotion", t.Parts)
+	}
+	return nil, e.errf(x.Pos(), "invalid assignment target %T", x)
+}
+
+// adjustArrayIndex rebases an index expression by the array's low bound.
+func (e *elaborator) adjustArrayIndex(v *Var, idx Expr) Expr {
+	if v.ArrayLo == 0 {
+		return idx
+	}
+	w := idx.Width()
+	if need := bits.MinWidthFor(uint64(v.ArrayLo + v.ArrayLen)); need > w {
+		w = need
+	}
+	return &Binary{Op: verilog.BSub, X: idx, Y: &Const{V: bits.FromUint64(w, uint64(v.ArrayLo))}, W: w}
+}

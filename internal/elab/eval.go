@@ -1,0 +1,193 @@
+package elab
+
+import (
+	"errors"
+	"fmt"
+
+	"cascade/internal/bits"
+	"cascade/internal/verilog"
+)
+
+// Env supplies runtime values to Eval. The software engine implements it
+// over its variable store; constant folding uses a nil-like env that
+// rejects variable reads.
+type Env interface {
+	// VarValue returns the current value of a scalar variable.
+	VarValue(v *Var) *bits.Vector
+	// ArrayWord returns word i (zero-based) of a memory; out-of-range
+	// reads yield zero.
+	ArrayWord(v *Var, i int) *bits.Vector
+	// Now returns the current virtual time for $time.
+	Now() uint64
+}
+
+// Eval evaluates a resolved expression under env. The result width always
+// equals e.Width(). This function defines the reference semantics that the
+// compiled netlist evaluator must match (tested in internal/netlist).
+func Eval(e Expr, env Env) *bits.Vector {
+	switch x := e.(type) {
+	case *Const:
+		return x.V
+	case *VarRef:
+		return env.VarValue(x.V)
+	case *ArrayRef:
+		idx := Eval(x.Index, env)
+		i := int(idx.Uint64())
+		if !idx.Equal(bits.FromUint64(64, uint64(i))) || i >= x.V.ArrayLen {
+			return bits.New(x.V.Width)
+		}
+		return env.ArrayWord(x.V, i)
+	case *BitSel:
+		v := Eval(x.X, env)
+		idx := Eval(x.Idx, env)
+		i := int(idx.Uint64())
+		if !idx.Equal(bits.FromUint64(64, uint64(i))) || i >= v.Width() {
+			return bits.New(1)
+		}
+		return bits.FromUint64(1, uint64(v.Bit(i)))
+	case *Slice:
+		return Eval(x.X, env).Slice(x.Hi, x.Lo)
+	case *Unary:
+		return evalUnary(x, env)
+	case *Binary:
+		return evalBinary(x, env)
+	case *Ternary:
+		if Eval(x.Cond, env).Bool() {
+			return Eval(x.Then, env).Resize(x.W)
+		}
+		return Eval(x.Else, env).Resize(x.W)
+	case *Concat:
+		out := Eval(x.Parts[0], env)
+		for _, p := range x.Parts[1:] {
+			out = out.Concat(Eval(p, env))
+		}
+		return out
+	case *Repl:
+		return Eval(x.X, env).Repl(x.N)
+	case *TimeRef:
+		return bits.FromUint64(64, env.Now())
+	}
+	panic(fmt.Sprintf("elab: unknown expression %T", e))
+}
+
+func evalUnary(x *Unary, env Env) *bits.Vector {
+	v := Eval(x.X, env)
+	switch x.Op {
+	case verilog.UNot:
+		return bits.FromBool(!v.Bool())
+	case verilog.UBitNot:
+		return v.Resize(x.W).Not()
+	case verilog.UNeg:
+		return v.Resize(x.W).Neg()
+	case verilog.UPlus:
+		return v.Resize(x.W)
+	case verilog.URedAnd:
+		return v.RedAnd()
+	case verilog.URedOr:
+		return v.RedOr()
+	case verilog.URedXor:
+		return v.RedXor()
+	case verilog.URedNand:
+		return bits.FromBool(!v.RedAnd().Bool())
+	case verilog.URedNor:
+		return bits.FromBool(!v.RedOr().Bool())
+	case verilog.URedXnor:
+		return bits.FromBool(!v.RedXor().Bool())
+	}
+	panic(fmt.Sprintf("elab: unknown unary op %d", x.Op))
+}
+
+func evalBinary(x *Binary, env Env) *bits.Vector {
+	// Logical operators short-circuit.
+	switch x.Op {
+	case verilog.BLogAnd:
+		if !Eval(x.X, env).Bool() {
+			return bits.FromBool(false)
+		}
+		return bits.FromBool(Eval(x.Y, env).Bool())
+	case verilog.BLogOr:
+		if Eval(x.X, env).Bool() {
+			return bits.FromBool(true)
+		}
+		return bits.FromBool(Eval(x.Y, env).Bool())
+	}
+	a := Eval(x.X, env)
+	b := Eval(x.Y, env)
+	switch x.Op {
+	case verilog.BAdd:
+		return a.Resize(x.W).Add(b.Resize(x.W))
+	case verilog.BSub:
+		return a.Resize(x.W).Sub(b.Resize(x.W))
+	case verilog.BMul:
+		return a.Resize(x.W).Mul(b.Resize(x.W))
+	case verilog.BDiv:
+		return a.Resize(x.W).Div(b.Resize(x.W))
+	case verilog.BMod:
+		return a.Resize(x.W).Mod(b.Resize(x.W))
+	case verilog.BPow:
+		return a.Resize(x.W).Pow(b)
+	case verilog.BBitAnd:
+		return a.Resize(x.W).And(b.Resize(x.W))
+	case verilog.BBitOr:
+		return a.Resize(x.W).Or(b.Resize(x.W))
+	case verilog.BBitXor:
+		return a.Resize(x.W).Xor(b.Resize(x.W))
+	case verilog.BBitXnor:
+		return a.Resize(x.W).Xnor(b.Resize(x.W))
+	case verilog.BShl, verilog.BAShl:
+		return a.Resize(x.W).Shl(b)
+	case verilog.BShr, verilog.BAShr:
+		// All values are unsigned, so >>> behaves as >> (documented).
+		return a.Resize(x.W).Shr(b)
+	case verilog.BEq, verilog.BCaseEq:
+		return bits.FromBool(a.Equal(b))
+	case verilog.BNeq, verilog.BCaseNeq:
+		return bits.FromBool(!a.Equal(b))
+	case verilog.BLt:
+		return bits.FromBool(a.Cmp(b) < 0)
+	case verilog.BLe:
+		return bits.FromBool(a.Cmp(b) <= 0)
+	case verilog.BGt:
+		return bits.FromBool(a.Cmp(b) > 0)
+	case verilog.BGe:
+		return bits.FromBool(a.Cmp(b) >= 0)
+	}
+	panic(fmt.Sprintf("elab: unknown binary op %d", x.Op))
+}
+
+// errNotConst marks an attempted variable read during constant folding.
+var errNotConst = errors.New("expression is not constant")
+
+type constEnv struct{}
+
+func (constEnv) VarValue(v *Var) *bits.Vector         { panic(errNotConst) }
+func (constEnv) ArrayWord(v *Var, i int) *bits.Vector { panic(errNotConst) }
+func (constEnv) Now() uint64                          { panic(errNotConst) }
+
+// EvalConst evaluates e if it is a compile-time constant.
+func EvalConst(e Expr) (v *bits.Vector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if rerr, ok := r.(error); ok && errors.Is(rerr, errNotConst) {
+				v, err = nil, errNotConst
+				return
+			}
+			panic(r)
+		}
+	}()
+	return Eval(e, constEnv{}), nil
+}
+
+// constExpr resolves an AST expression and requires it to fold to a
+// constant (parameters and loop variables count as constants).
+func (e *elaborator) constExpr(x verilog.Expr) (*bits.Vector, error) {
+	r, err := e.expr(x)
+	if err != nil {
+		return nil, err
+	}
+	v, err := EvalConst(r)
+	if err != nil {
+		return nil, e.errf(x.Pos(), "expected constant expression")
+	}
+	return v, nil
+}

@@ -1,0 +1,66 @@
+package engine_test
+
+import (
+	"testing"
+
+	"cascade/internal/elab"
+	"cascade/internal/engine"
+	"cascade/internal/engine/hweng"
+	"cascade/internal/engine/sweng"
+	"cascade/internal/fpga"
+	"cascade/internal/netlist"
+	"cascade/internal/stdlib"
+	"cascade/internal/verilog"
+)
+
+// Compile-time conformance: every engine implementation satisfies the
+// ABI, and hardware engines provide the optional capabilities.
+var (
+	_ engine.Engine     = (*sweng.Engine)(nil)
+	_ engine.Engine     = (*hweng.Engine)(nil)
+	_ engine.OpenLooper = (*hweng.Engine)(nil)
+	_ engine.Forwarder  = (*hweng.Engine)(nil)
+	_ engine.Engine     = (*stdlib.Clock)(nil)
+	_ engine.Engine     = (*stdlib.Pad)(nil)
+	_ engine.Engine     = (*stdlib.Led)(nil)
+	_ engine.Engine     = (*stdlib.Reset)(nil)
+	_ engine.Engine     = (*stdlib.GPIO)(nil)
+	_ engine.Engine     = (*stdlib.Memory)(nil)
+	_ engine.Engine     = (*stdlib.FIFO)(nil)
+)
+
+// TestLocations checks the location taxonomy the scheduler's billing
+// depends on.
+func TestLocations(t *testing.T) {
+	st, errs := verilog.ParseSourceText(`module M(input wire clk); endmodule`)
+	if errs != nil {
+		t.Fatal(errs)
+	}
+	f, err := elab.Elaborate(st.Modules[0], "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sweng.New(f, nil, nil, false)
+	if sw.Loc() != engine.Software || sw.Loc().String() != "software" {
+		t.Fatal("sweng location")
+	}
+	prog, err := netlist.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := hweng.New("m", prog, fpga.NewCycloneV(), 10, nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Loc() != engine.Hardware || hw.Loc().String() != "hardware" {
+		t.Fatal("hweng location")
+	}
+	w := stdlib.NewWorld()
+	c, err := stdlib.New("p", "Clock", nil, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Loc() != engine.Hardware {
+		t.Fatal("stdlib engines are pre-compiled hardware")
+	}
+}

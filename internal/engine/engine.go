@@ -1,0 +1,98 @@
+// Package engine defines Cascade-Go's target-specific engine ABI
+// (paper §3.5, Figure 7). An engine is the runtime state of one
+// subprogram; the runtime stays agnostic to whether an engine runs in
+// software (internal/engine/sweng) or on the simulated FPGA
+// (internal/engine/hweng) and migrates state between them through this
+// interface. New backends are added by implementing Engine — this is not
+// an interface exposed to Verilog programmers.
+package engine
+
+import (
+	"cascade/internal/bits"
+	"cascade/internal/sim"
+)
+
+// Location says where an engine executes.
+type Location int
+
+// Engine locations.
+const (
+	Software Location = iota
+	Hardware
+)
+
+func (l Location) String() string {
+	if l == Hardware {
+		return "hardware"
+	}
+	return "software"
+}
+
+// Event is a data-plane message: a named subprogram input or output
+// changed value.
+type Event struct {
+	Var string
+	Val *bits.Vector
+}
+
+// IOHandler receives unsynthesizable side effects from an engine
+// ($display text, $finish). The runtime's view implements it.
+type IOHandler interface {
+	Display(text string, newline bool)
+	Finish(code int)
+}
+
+// Engine is the target-specific ABI. Method names follow Figure 7 of the
+// paper, Go-cased.
+type Engine interface {
+	// Name returns the subprogram's instance path (e.g. "main.r").
+	Name() string
+	// Loc reports where the engine executes.
+	Loc() Location
+
+	// GetState snapshots the engine's internal state so the runtime can
+	// migrate it; SetState installs a snapshot. Both are called only in
+	// observable states (between time steps).
+	GetState() *sim.State
+	SetState(st *sim.State)
+
+	// Read delivers an input change discovered on the data plane.
+	Read(ev Event)
+	// DrainWrites returns output changes produced since the previous
+	// drain, for broadcast on the data plane (the ABI's write method).
+	DrainWrites() []Event
+
+	// ThereAreEvals reports pending evaluation events; Evaluate performs
+	// them all (EvalAll in the Cascade scheduler).
+	ThereAreEvals() bool
+	Evaluate()
+
+	// ThereAreUpdates reports queued non-blocking updates; Update
+	// commits them all.
+	ThereAreUpdates() bool
+	Update()
+
+	// EndStep runs between time steps when the interrupt queue is empty;
+	// End runs at shutdown.
+	EndStep()
+	End()
+}
+
+// OpenLooper is the optional open-loop scheduling capability (paper
+// §4.4): the engine simulates many scheduler iterations internally,
+// toggling the named clock variable, until the iteration budget is spent
+// or a system task requires runtime intervention.
+type OpenLooper interface {
+	// OpenLoop runs up to steps full clock ticks; it returns the number
+	// of ticks actually completed.
+	OpenLoop(clk string, steps int) int
+}
+
+// Forwarder is the optional ABI-forwarding capability (paper §4.3): an
+// engine that has absorbed standard-library components answers the
+// runtime's requests on their behalf.
+type Forwarder interface {
+	// Forward attaches a contained component whose requests this engine
+	// now answers; the runtime ceases direct interaction with it.
+	Forward(name string, inner Engine)
+}

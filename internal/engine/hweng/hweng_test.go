@@ -1,0 +1,212 @@
+package hweng
+
+import (
+	"strings"
+	"testing"
+
+	"cascade/internal/bits"
+	"cascade/internal/elab"
+	"cascade/internal/engine"
+	"cascade/internal/fpga"
+	"cascade/internal/netlist"
+	"cascade/internal/stdlib"
+	"cascade/internal/verilog"
+)
+
+type recordIO struct {
+	out      strings.Builder
+	finished bool
+}
+
+func (r *recordIO) Display(text string, newline bool) {
+	r.out.WriteString(text)
+	if newline {
+		r.out.WriteString("\n")
+	}
+}
+func (r *recordIO) Finish(code int) { r.finished = true }
+
+func compile(t *testing.T, src string) *netlist.Program {
+	t.Helper()
+	st, errs := verilog.ParseSourceText(src)
+	if errs != nil {
+		t.Fatal(errs)
+	}
+	f, err := elab.Elaborate(st.Modules[0], "main", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := netlist.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The inlined running-example shape: clock input from a forwarded Clock,
+// counter state, LED output, and a display task.
+const mainSrc = `
+module main(input wire clk__val, input wire [3:0] pad__val, output wire [7:0] led__val);
+  reg [7:0] cnt = 1;
+  always @(posedge clk__val)
+    if (pad__val == 0)
+      cnt <= (cnt == 8'h80) ? 1 : (cnt << 1);
+    else
+      $display("paused %d", cnt);
+  assign led__val = cnt;
+endmodule`
+
+func newHW(t *testing.T, io engine.IOHandler) (*Engine, *fpga.Device) {
+	t.Helper()
+	dev := fpga.NewCycloneV()
+	e, err := New("main", compile(t, mainSrc), dev, 500, io, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, dev
+}
+
+func TestPlacementAndRelease(t *testing.T) {
+	e, dev := newHW(t, nil)
+	if dev.Used() != 500 {
+		t.Fatalf("placement: %d", dev.Used())
+	}
+	e.Release()
+	if dev.Used() != 0 {
+		t.Fatalf("release: %d", dev.Used())
+	}
+}
+
+func TestLockStepTickAndBilling(t *testing.T) {
+	e, dev := newHW(t, nil)
+	e.MsgsDelta()
+	e.CyclesDelta()
+	r0, w0 := dev.BusTransactions()
+	for _, c := range []uint64{1, 0} {
+		e.Read(engine.Event{Var: "clk__val", Val: bits.FromUint64(1, c)})
+		for e.ThereAreEvals() || e.ThereAreUpdates() {
+			e.Evaluate()
+			if e.ThereAreUpdates() {
+				e.Update()
+			}
+		}
+		e.EndStep()
+		e.DrainWrites()
+	}
+	if msgs := e.MsgsDelta(); msgs == 0 {
+		t.Fatal("lock-step interaction should cost bus messages")
+	}
+	if cyc := e.CyclesDelta(); cyc == 0 {
+		t.Fatal("evaluation should cost fabric cycles")
+	}
+	r1, w1 := dev.BusTransactions()
+	if r1 == r0 && w1 == w0 {
+		t.Fatal("device bus counters untouched")
+	}
+	st := e.GetState()
+	if st.Scalars["cnt"].Uint64() != 2 {
+		t.Fatalf("cnt=%d after one tick", st.Scalars["cnt"].Uint64())
+	}
+}
+
+func TestStateAccessBillsPerWord(t *testing.T) {
+	e, _ := newHW(t, nil)
+	e.MsgsDelta()
+	st := e.GetState()
+	if got := e.MsgsDelta(); got == 0 {
+		t.Fatal("get_state should cost bus reads")
+	}
+	e.SetState(st)
+	if got := e.MsgsDelta(); got == 0 {
+		t.Fatal("set_state should cost bus writes")
+	}
+}
+
+func TestForwardedOpenLoop(t *testing.T) {
+	io := &recordIO{}
+	e, _ := newHW(t, io)
+	clock := stdlib.NewClock("main.clk")
+	e.Forward("main.clk", clock)
+	e.ForwardWire("main.clk", "val", "", "clk__val")
+	if e.Inner("main.clk") != clock {
+		t.Fatal("forwarded component not reachable")
+	}
+	done := e.OpenLoop("clk__val", 20)
+	if done != 20 {
+		t.Fatalf("open loop ran %d iterations, want 20", done)
+	}
+	// 20 iterations = 10 ticks: cnt rotated 10 times from 1.
+	st := e.GetState()
+	if got := st.Scalars["cnt"].Uint64(); got != 1<<(10%8) {
+		t.Fatalf("cnt=%#x after 10 open-loop ticks", got)
+	}
+	// Wrapped open loop costs ~3 cycles per tick.
+	cyc := e.CyclesDelta()
+	if cyc < 25 || cyc > 40 {
+		t.Fatalf("open-loop cycles %d, want ~30 for 10 ticks", cyc)
+	}
+}
+
+func TestOpenLoopStopsOnSystemTask(t *testing.T) {
+	io := &recordIO{}
+	e, _ := newHW(t, io)
+	clock := stdlib.NewClock("main.clk")
+	e.Forward("main.clk", clock)
+	e.ForwardWire("main.clk", "val", "", "clk__val")
+	// Press the pad: the display task must pull control back.
+	e.Read(engine.Event{Var: "pad__val", Val: bits.FromUint64(4, 1)})
+	done := e.OpenLoop("clk__val", 1000)
+	if done >= 1000 {
+		t.Fatal("open loop should stop early on a system task")
+	}
+	if !strings.Contains(io.out.String(), "paused") {
+		t.Fatalf("display not forwarded: %q", io.out.String())
+	}
+}
+
+func TestOpenLoopUnknownClockRefuses(t *testing.T) {
+	e, _ := newHW(t, nil)
+	if got := e.OpenLoop("nope", 100); got != 0 {
+		t.Fatalf("unknown clock should run 0 iterations, ran %d", got)
+	}
+}
+
+func TestNativeCyclesPerTick(t *testing.T) {
+	dev := fpga.NewCycloneV()
+	e, err := New("main", compile(t, mainSrc), dev, 300, nil, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := stdlib.NewClock("main.clk")
+	e.Forward("main.clk", clock)
+	e.ForwardWire("main.clk", "val", "", "clk__val")
+	e.CyclesDelta()
+	e.OpenLoop("clk__val", 20)
+	if cyc := e.CyclesDelta(); cyc != 10 {
+		t.Fatalf("native open loop should cost 1 cycle/tick: %d for 10 ticks", cyc)
+	}
+}
+
+func TestFinishFromHardware(t *testing.T) {
+	io := &recordIO{}
+	dev := fpga.NewCycloneV()
+	src := `
+module main(input wire clk__val);
+  reg [3:0] n = 0;
+  always @(posedge clk__val) begin
+    n <= n + 1;
+    if (n == 5) $finish;
+  end
+endmodule`
+	e, err := New("main", compile(t, src), dev, 100, io, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := stdlib.NewClock("main.clk")
+	e.Forward("main.clk", clock)
+	e.ForwardWire("main.clk", "val", "", "clk__val")
+	e.OpenLoop("clk__val", 1000)
+	if !e.Finished() || !io.finished {
+		t.Fatal("$finish not surfaced from hardware")
+	}
+}

@@ -1,0 +1,103 @@
+// Package fpga simulates the reconfigurable device Cascade-Go's hardware
+// engines execute on. The paper's platform is an Intel Cyclone V SoC:
+// 110K logic elements of fabric clocked at 50 MHz, reachable from the
+// host over a memory-mapped Avalon/AXI bus. We reproduce the properties
+// the system design depends on — finite capacity, a fixed fabric clock,
+// per-transaction bus cost, and reprogramming — while the "fabric"
+// executes compiled netlist machines (internal/netlist).
+package fpga
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Device models one FPGA.
+type Device struct {
+	mu sync.Mutex
+
+	capacity int
+	used     int
+	regions  map[string]int // placed region name -> logic elements
+
+	clockHz uint64
+
+	// Bus transaction counters (reads + writes across the MMIO bridge).
+	busReads  uint64
+	busWrites uint64
+}
+
+// NewCycloneV returns a device with the paper's Cyclone V parameters:
+// 110K logic elements at 50 MHz.
+func NewCycloneV() *Device { return NewDevice(110_000, 50_000_000) }
+
+// NewDevice returns a device with the given capacity (logic elements)
+// and fabric clock.
+func NewDevice(capacityLEs int, clockHz uint64) *Device {
+	return &Device{capacity: capacityLEs, clockHz: clockHz, regions: map[string]int{}}
+}
+
+// Capacity returns the device's total logic elements.
+func (d *Device) Capacity() int { return d.capacity }
+
+// ClockHz returns the fabric clock frequency.
+func (d *Device) ClockHz() uint64 { return d.clockHz }
+
+// CyclePs returns the fabric clock period in picoseconds.
+func (d *Device) CyclePs() uint64 { return 1_000_000_000_000 / d.clockHz }
+
+// Used returns the logic elements currently placed.
+func (d *Device) Used() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Place reserves fabric for a named region; it fails when the design
+// does not fit (the place-and-route "no fit" outcome).
+func (d *Device) Place(name string, les int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if old, ok := d.regions[name]; ok {
+		d.used -= old
+		delete(d.regions, name)
+	}
+	if d.used+les > d.capacity {
+		return fmt.Errorf("fpga: design %s (%d LEs) does not fit: %d of %d LEs in use",
+			name, les, d.used, d.capacity)
+	}
+	d.regions[name] = les
+	d.used += les
+	return nil
+}
+
+// Release frees a named region (engine torn down or moved to software).
+func (d *Device) Release(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if les, ok := d.regions[name]; ok {
+		d.used -= les
+		delete(d.regions, name)
+	}
+}
+
+// CountRead records n MMIO read transactions.
+func (d *Device) CountRead(n uint64) {
+	d.mu.Lock()
+	d.busReads += n
+	d.mu.Unlock()
+}
+
+// CountWrite records n MMIO write transactions.
+func (d *Device) CountWrite(n uint64) {
+	d.mu.Lock()
+	d.busWrites += n
+	d.mu.Unlock()
+}
+
+// BusTransactions returns total (reads, writes) across the bridge.
+func (d *Device) BusTransactions() (uint64, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.busReads, d.busWrites
+}

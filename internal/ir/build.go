@@ -1,0 +1,837 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"cascade/internal/bits"
+	"cascade/internal/verilog"
+)
+
+// Build splits a program into the distributed-system IR: one subprogram
+// per module instance, hierarchical references promoted to ports, and a
+// wires table describing the data plane. reg supplies the standard
+// library's module specs. The implicit root module is assembled from
+// p.RootItems and rooted at RootPath.
+func Build(p *Program, reg Registry) (*Design, error) {
+	b := &builder{prog: p, reg: reg, design: &Design{}}
+	root := &verilog.Module{Name: RootPath, Items: p.RootItems}
+	if _, err := b.split(root, RootPath, nil, nil); err != nil {
+		return nil, err
+	}
+	return b.design, nil
+}
+
+type builder struct {
+	prog   *Program
+	reg    Registry
+	design *Design
+}
+
+// childInst is a resolved instantiation inside one module.
+type childInst struct {
+	inst   *verilog.Instance
+	std    *StdSpec                // nil for user modules
+	mod    *verilog.Module         // nil for stdlib
+	params map[string]*bits.Vector // resolved child parameter values
+	header map[string]*bits.Vector // header-only subset (elab overrides)
+	// promotion bookkeeping
+	extraOutputs map[string]bool // child vars to promote to outputs
+}
+
+// split transforms one module instance into a subprogram, recursing into
+// children. It returns the index of the created subprogram.
+func (b *builder) split(mod *verilog.Module, path string, overrides map[string]*bits.Vector, extraOutputs map[string]bool) (int, error) {
+	env, headerEnv, err := b.paramEnv(mod, overrides)
+	if err != nil {
+		return 0, err
+	}
+
+	// Resolve instances.
+	children := map[string]*childInst{}
+	var childOrder []string
+	var bodyItems []verilog.Item
+	for _, it := range mod.Items {
+		inst, ok := it.(*verilog.Instance)
+		if !ok {
+			bodyItems = append(bodyItems, it)
+			continue
+		}
+		ci, err := b.resolveInstance(inst, env)
+		if err != nil {
+			return 0, err
+		}
+		if _, dup := children[inst.Name]; dup {
+			return 0, errf(inst.InstPos, "duplicate instance name %s", inst.Name)
+		}
+		children[inst.Name] = ci
+		childOrder = append(childOrder, inst.Name)
+	}
+
+	// Promotion plan: new ports on this module keyed by mangled name.
+	type promo struct {
+		dir   verilog.PortDir
+		kind  verilog.NetKind
+		width int
+		init  verilog.Expr
+	}
+	promos := map[string]*promo{}
+	var promoOrder []string
+	addPromo := func(pos verilog.Pos, name string, pr *promo) error {
+		if existing, dup := promos[name]; dup {
+			if existing.dir != pr.dir {
+				return errf(pos, "%s is driven from both sides of the module boundary", name)
+			}
+			if pr.kind == verilog.Reg {
+				existing.kind = verilog.Reg
+			}
+			return nil
+		}
+		promos[name] = pr
+		promoOrder = append(promoOrder, name)
+		return nil
+	}
+
+	var addedAssigns []verilog.Item
+
+	// Connections become promoted ports plus assignments (Figure 4).
+	for _, name := range childOrder {
+		ci := children[name]
+		conns, err := b.namedConns(ci)
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range conns {
+			if c.Expr == nil {
+				continue // explicitly unconnected
+			}
+			dir, width, kind, err := b.childPortInfo(ci, c.Name, c.ConnPos)
+			if err != nil {
+				return 0, err
+			}
+			mangled := name + "__" + c.Name
+			switch dir {
+			case verilog.Input:
+				// Parent drives the child input: output port + assign.
+				if err := addPromo(c.ConnPos, mangled, &promo{dir: verilog.Output, kind: verilog.Wire, width: width}); err != nil {
+					return 0, err
+				}
+				addedAssigns = append(addedAssigns, &verilog.ContAssign{
+					AssignPos: c.ConnPos,
+					LHS:       &verilog.Ident{IdentPos: c.ConnPos, Name: mangled},
+					RHS:       c.Expr,
+				})
+				b.design.Wires = append(b.design.Wires, Wire{
+					From: Endpoint{Sub: path, Port: mangled},
+					To:   Endpoint{Sub: path + "." + name, Port: c.Name},
+				})
+			case verilog.Output:
+				// Child drives a parent lvalue: input port + assign.
+				if !isLValueForm(c.Expr) {
+					return 0, errf(c.ConnPos, "connection to output port %s.%s must be an assignable expression", name, c.Name)
+				}
+				if err := addPromo(c.ConnPos, mangled, &promo{dir: verilog.Input, kind: kind, width: width}); err != nil {
+					return 0, err
+				}
+				addedAssigns = append(addedAssigns, &verilog.ContAssign{
+					AssignPos: c.ConnPos,
+					LHS:       c.Expr,
+					RHS:       &verilog.Ident{IdentPos: c.ConnPos, Name: mangled},
+				})
+				b.design.Wires = append(b.design.Wires, Wire{
+					From: Endpoint{Sub: path + "." + name, Port: c.Name},
+					To:   Endpoint{Sub: path, Port: mangled},
+				})
+			default:
+				return 0, errf(c.ConnPos, "inout ports are not supported")
+			}
+		}
+	}
+
+	// Collect hierarchical references over body items plus the assigns
+	// added above (connections may themselves use hierarchical names).
+	scanItems := append(append([]verilog.Item{}, bodyItems...), addedAssigns...)
+	refs, err := collectHierRefs(scanItems)
+	if err != nil {
+		return 0, err
+	}
+	for _, ref := range refs {
+		ci, ok := children[ref.inst]
+		if !ok {
+			return 0, errf(ref.pos, "%s.%s: %s is not an instance in this scope", ref.inst, ref.varName, ref.inst)
+		}
+		mangled := ref.inst + "__" + ref.varName
+		if ref.write {
+			dir, width, _, err := b.childPortInfo(ci, ref.varName, ref.pos)
+			if err != nil {
+				return 0, err
+			}
+			if dir != verilog.Input {
+				return 0, errf(ref.pos, "cannot assign to %s.%s: not an input of %s", ref.inst, ref.varName, ref.inst)
+			}
+			kind := verilog.Wire
+			if ref.procedural {
+				kind = verilog.Reg
+			}
+			if err := addPromo(ref.pos, mangled, &promo{dir: verilog.Output, kind: kind, width: width}); err != nil {
+				return 0, err
+			}
+			b.design.Wires = append(b.design.Wires, Wire{
+				From: Endpoint{Sub: path, Port: mangled},
+				To:   Endpoint{Sub: path + "." + ref.inst, Port: ref.varName},
+			})
+			continue
+		}
+		// Read: promote the child variable to an output if necessary.
+		// (The child keeps any initializer; the parent-side input port
+		// receives the value on the first data-plane broadcast.)
+		width, _, err := b.childVarInfo(ci, ref.varName, ref.pos)
+		if err != nil {
+			return 0, err
+		}
+		if _, dup := promos[mangled]; !dup {
+			if err := addPromo(ref.pos, mangled, &promo{dir: verilog.Input, kind: verilog.Wire, width: width}); err != nil {
+				return 0, err
+			}
+			b.design.Wires = append(b.design.Wires, Wire{
+				From: Endpoint{Sub: path + "." + ref.inst, Port: ref.varName},
+				To:   Endpoint{Sub: path, Port: mangled},
+			})
+			if ci.std == nil {
+				ci.extraOutputs[ref.varName] = true
+			}
+		}
+	}
+
+	// Rewrite hierarchical references to the mangled local names.
+	mangle := func(e verilog.Expr) verilog.Expr {
+		if h, ok := e.(*verilog.HierIdent); ok {
+			return &verilog.Ident{IdentPos: h.IdentPos, Name: strings.Join(h.Parts, "__")}
+		}
+		return e
+	}
+	var newItems []verilog.Item
+	for _, it := range scanItems {
+		newItems = append(newItems, rewriteItem(it, mangle))
+	}
+
+	// Assemble the promoted module.
+	pm := &verilog.Module{NamePos: mod.NamePos, Name: mod.Name, Items: newItems}
+	for _, pd := range mod.Params {
+		pm.Params = append(pm.Params, pd)
+	}
+	declared := map[string]bool{}
+	for _, pt := range mod.Ports {
+		pm.Ports = append(pm.Ports, pt)
+		declared[pt.Name] = true
+	}
+	for _, name := range promoOrder {
+		if declared[name] || declaresVar(newItems, name) {
+			return 0, errf(mod.NamePos, "promoted port %s collides with an existing declaration in %s", name, mod.Name)
+		}
+		pr := promos[name]
+		pm.Ports = append(pm.Ports, &verilog.Port{
+			Dir:   pr.dir,
+			Kind:  pr.kind,
+			Range: widthRange(pr.width),
+			Name:  name,
+			Init:  pr.init,
+		})
+	}
+
+	// Promote extra outputs requested by the parent: move item
+	// declarations into the port list, preserving initializers.
+	if len(extraOutputs) > 0 {
+		pm2, err := promoteVarsToOutputs(pm, extraOutputs, env)
+		if err != nil {
+			return 0, err
+		}
+		pm = pm2
+	}
+
+	idx := len(b.design.Subs)
+	b.design.Subs = append(b.design.Subs, &SubProgram{
+		Path:   path,
+		Params: headerEnv,
+		Module: pm,
+		env:    env,
+	})
+
+	// Recurse into children (stdlib children become leaf subprograms).
+	for _, name := range childOrder {
+		ci := children[name]
+		childPath := path + "." + name
+		if ci.std != nil {
+			b.design.Subs = append(b.design.Subs, &SubProgram{
+				Path:    childPath,
+				IsStd:   true,
+				StdType: ci.std.Name,
+				Params:  ci.params,
+			})
+			continue
+		}
+		if _, err := b.split(ci.mod, childPath, ci.header, ci.extraOutputs); err != nil {
+			return 0, err
+		}
+	}
+	return idx, nil
+}
+
+// paramEnv evaluates a module's parameters (with overrides) and
+// localparams into a constant environment.
+func (b *builder) paramEnv(mod *verilog.Module, overrides map[string]*bits.Vector) (env, header map[string]*bits.Vector, err error) {
+	env = map[string]*bits.Vector{}
+	header = map[string]*bits.Vector{}
+	for _, pd := range mod.Params {
+		var v *bits.Vector
+		if ov, ok := overrides[pd.Name]; ok {
+			v = ov
+		} else {
+			v, err = constEvalAST(pd.Value, env)
+			if err != nil {
+				return nil, nil, errf(pd.DeclPos, "parameter %s: %v", pd.Name, err)
+			}
+		}
+		if pd.Range != nil {
+			w, werr := b.rangeWidth(pd.Range, env, pd.DeclPos)
+			if werr != nil {
+				return nil, nil, werr
+			}
+			v = v.Resize(w)
+		}
+		env[pd.Name] = v
+		header[pd.Name] = v
+	}
+	for _, it := range mod.Items {
+		pd, ok := it.(*verilog.ParamDecl)
+		if !ok {
+			continue
+		}
+		v, perr := constEvalAST(pd.Value, env)
+		if perr != nil {
+			return nil, nil, errf(pd.DeclPos, "parameter %s: %v", pd.Name, perr)
+		}
+		if pd.Range != nil {
+			w, werr := b.rangeWidth(pd.Range, env, pd.DeclPos)
+			if werr != nil {
+				return nil, nil, werr
+			}
+			v = v.Resize(w)
+		}
+		env[pd.Name] = v
+	}
+	return env, header, nil
+}
+
+func (b *builder) rangeWidth(r *verilog.Range, env map[string]*bits.Vector, pos verilog.Pos) (int, error) {
+	hi, err := constEvalAST(r.Hi, env)
+	if err != nil {
+		return 0, errf(pos, "range bound: %v", err)
+	}
+	lo, err := constEvalAST(r.Lo, env)
+	if err != nil {
+		return 0, errf(pos, "range bound: %v", err)
+	}
+	h, l := int(hi.Uint64()), int(lo.Uint64())
+	if l != 0 || h < 0 {
+		return 0, errf(pos, "ranges must be [N:0]")
+	}
+	return h + 1, nil
+}
+
+// resolveInstance binds an instantiation to its module or stdlib spec and
+// evaluates its parameter overrides in the parent environment.
+func (b *builder) resolveInstance(inst *verilog.Instance, parentEnv map[string]*bits.Vector) (*childInst, error) {
+	ci := &childInst{inst: inst, extraOutputs: map[string]bool{}}
+	if spec, ok := b.reg[inst.ModName]; ok {
+		ci.std = spec
+		ci.params = map[string]*bits.Vector{}
+		for _, sp := range spec.Params {
+			ci.params[sp.Name] = sp.Default
+		}
+		for i, pa := range inst.Params {
+			v, err := constEvalAST(pa.Expr, parentEnv)
+			if err != nil {
+				return nil, errf(inst.InstPos, "parameter of %s: %v", inst.Name, err)
+			}
+			name := pa.Name
+			if name == "" {
+				if i >= len(spec.Params) {
+					return nil, errf(inst.InstPos, "too many parameters for %s", inst.ModName)
+				}
+				name = spec.Params[i].Name
+			}
+			if _, known := ci.params[name]; !known {
+				return nil, errf(inst.InstPos, "%s has no parameter %s", inst.ModName, name)
+			}
+			ci.params[name] = v
+		}
+		ci.header = ci.params
+		return ci, nil
+	}
+	mod, ok := b.prog.Modules[inst.ModName]
+	if !ok {
+		return nil, errf(inst.InstPos, "unknown module %s", inst.ModName)
+	}
+	ci.mod = mod
+	ci.header = map[string]*bits.Vector{}
+	for i, pa := range inst.Params {
+		v, err := constEvalAST(pa.Expr, parentEnv)
+		if err != nil {
+			return nil, errf(inst.InstPos, "parameter of %s: %v", inst.Name, err)
+		}
+		name := pa.Name
+		if name == "" {
+			if i >= len(mod.Params) {
+				return nil, errf(inst.InstPos, "too many parameters for %s", inst.ModName)
+			}
+			name = mod.Params[i].Name
+		}
+		found := false
+		for _, pd := range mod.Params {
+			if pd.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, errf(inst.InstPos, "%s has no parameter %s", inst.ModName, name)
+		}
+		ci.header[name] = v
+	}
+	full, _, err := b.paramEnv(mod, ci.header)
+	if err != nil {
+		return nil, err
+	}
+	ci.params = full
+	return ci, nil
+}
+
+// namedConns normalizes an instance's connections to named form.
+func (b *builder) namedConns(ci *childInst) ([]*verilog.PortConn, error) {
+	var portNames []string
+	if ci.std != nil {
+		for _, p := range ci.std.Ports {
+			portNames = append(portNames, p.Name)
+		}
+	} else {
+		for _, p := range ci.mod.Ports {
+			portNames = append(portNames, p.Name)
+		}
+	}
+	out := make([]*verilog.PortConn, 0, len(ci.inst.Conns))
+	seen := map[string]bool{}
+	for i, c := range ci.inst.Conns {
+		name := c.Name
+		if name == "" {
+			if i >= len(portNames) {
+				return nil, errf(c.ConnPos, "too many connections for %s", ci.inst.ModName)
+			}
+			name = portNames[i]
+		}
+		if seen[name] {
+			return nil, errf(c.ConnPos, "port %s connected twice", name)
+		}
+		seen[name] = true
+		out = append(out, &verilog.PortConn{ConnPos: c.ConnPos, Name: name, Expr: c.Expr})
+	}
+	return out, nil
+}
+
+// childPortInfo returns direction, width, and kind of a child's port.
+func (b *builder) childPortInfo(ci *childInst, port string, pos verilog.Pos) (verilog.PortDir, int, verilog.NetKind, error) {
+	if ci.std != nil {
+		sp := ci.std.Port(port)
+		if sp == nil {
+			return 0, 0, 0, errf(pos, "%s has no port %s", ci.std.Name, port)
+		}
+		return sp.Dir, sp.Width(ci.params), verilog.Wire, nil
+	}
+	for _, p := range ci.mod.Ports {
+		if p.Name != port {
+			continue
+		}
+		w := 1
+		if p.Range != nil {
+			var err error
+			w, err = b.rangeWidth(p.Range, ci.params, pos)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		return p.Dir, w, p.Kind, nil
+	}
+	return 0, 0, 0, errf(pos, "%s has no port %s", ci.inst.ModName, port)
+}
+
+// childVarInfo returns the width and initializer of any child variable
+// readable through a hierarchical reference.
+func (b *builder) childVarInfo(ci *childInst, name string, pos verilog.Pos) (int, verilog.Expr, error) {
+	if ci.std != nil {
+		sp := ci.std.Port(name)
+		if sp == nil {
+			return 0, nil, errf(pos, "%s has no variable %s", ci.std.Name, name)
+		}
+		if sp.Dir == verilog.Input {
+			return 0, nil, errf(pos, "cannot read input %s.%s hierarchically", ci.inst.Name, name)
+		}
+		return sp.Width(ci.params), nil, nil
+	}
+	for _, p := range ci.mod.Ports {
+		if p.Name == name {
+			if p.Dir == verilog.Input {
+				return 0, nil, errf(pos, "cannot read input port %s.%s hierarchically", ci.inst.Name, name)
+			}
+			w := 1
+			if p.Range != nil {
+				var err error
+				w, err = b.rangeWidth(p.Range, ci.params, pos)
+				if err != nil {
+					return 0, nil, err
+				}
+			}
+			return w, nil, nil
+		}
+	}
+	for _, it := range ci.mod.Items {
+		nd, ok := it.(*verilog.NetDecl)
+		if !ok {
+			continue
+		}
+		for _, dn := range nd.Names {
+			if dn.Name != name {
+				continue
+			}
+			if dn.Array != nil {
+				return 0, nil, errf(pos, "cannot read memory %s.%s hierarchically", ci.inst.Name, name)
+			}
+			w := 1
+			if nd.Kind == verilog.Integer {
+				w = 32
+			} else if nd.Range != nil {
+				var err error
+				w, err = b.rangeWidth(nd.Range, ci.params, pos)
+				if err != nil {
+					return 0, nil, err
+				}
+			}
+			return w, dn.Init, nil
+		}
+	}
+	return 0, nil, errf(pos, "%s has no variable %s", ci.inst.ModName, name)
+}
+
+// hierRef is one hierarchical reference occurrence.
+type hierRef struct {
+	inst       string
+	varName    string
+	pos        verilog.Pos
+	write      bool
+	procedural bool
+}
+
+// collectHierRefs finds all hierarchical references in items, classifying
+// reads vs writes.
+func collectHierRefs(items []verilog.Item) ([]hierRef, error) {
+	var refs []hierRef
+	var firstErr error
+	record := func(e verilog.Expr, write, procedural bool) {
+		h, ok := lvalueRoot(e).(*verilog.HierIdent)
+		if !ok {
+			return
+		}
+		if len(h.Parts) != 2 {
+			if firstErr == nil {
+				firstErr = errf(h.IdentPos, "only direct-child hierarchical references are supported: %s", strings.Join(h.Parts, "."))
+			}
+			return
+		}
+		refs = append(refs, hierRef{inst: h.Parts[0], varName: h.Parts[1], pos: h.IdentPos, write: write, procedural: procedural})
+	}
+	readsIn := func(e verilog.Expr) {
+		verilog.WalkExprs(e, func(x verilog.Expr) {
+			if h, ok := x.(*verilog.HierIdent); ok {
+				record(h, false, false)
+			}
+		})
+	}
+	var scanStmt func(s verilog.Stmt)
+	scanStmt = func(s verilog.Stmt) {
+		switch x := s.(type) {
+		case nil:
+		case *verilog.Block:
+			for _, st := range x.Stmts {
+				scanStmt(st)
+			}
+		case *verilog.If:
+			readsIn(x.Cond)
+			scanStmt(x.Then)
+			scanStmt(x.Else)
+		case *verilog.Case:
+			readsIn(x.Subject)
+			for _, it := range x.Items {
+				for _, e := range it.Exprs {
+					readsIn(e)
+				}
+				scanStmt(it.Body)
+			}
+		case *verilog.ProcAssign:
+			record(x.LHS, true, true)
+			readsInLValueIndices(x.LHS, readsIn)
+			readsIn(x.RHS)
+		case *verilog.For:
+			scanStmt(x.Init)
+			readsIn(x.Cond)
+			scanStmt(x.Post)
+			scanStmt(x.Body)
+		case *verilog.SysTask:
+			for _, a := range x.Args {
+				readsIn(a)
+			}
+		}
+	}
+	for _, it := range items {
+		switch x := it.(type) {
+		case *verilog.NetDecl:
+			for _, dn := range x.Names {
+				readsIn(dn.Init)
+			}
+		case *verilog.ParamDecl:
+			readsIn(x.Value)
+		case *verilog.ContAssign:
+			record(x.LHS, true, false)
+			readsInLValueIndices(x.LHS, readsIn)
+			readsIn(x.RHS)
+		case *verilog.AlwaysBlock:
+			for _, ev := range x.Events {
+				readsIn(ev.Expr)
+			}
+			scanStmt(x.Body)
+		case *verilog.InitialBlock:
+			scanStmt(x.Body)
+		}
+	}
+	return refs, firstErr
+}
+
+// lvalueRoot returns the base identifier form of an lvalue expression.
+func lvalueRoot(e verilog.Expr) verilog.Expr {
+	for {
+		switch x := e.(type) {
+		case *verilog.Index:
+			e = x.X
+		case *verilog.RangeSel:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// readsInLValueIndices feeds the index sub-expressions of an lvalue to
+// the read scanner (they are reads even though the base is a write).
+func readsInLValueIndices(e verilog.Expr, readsIn func(verilog.Expr)) {
+	switch x := e.(type) {
+	case *verilog.Index:
+		readsIn(x.Idx)
+		readsInLValueIndices(x.X, readsIn)
+	case *verilog.RangeSel:
+		readsIn(x.Hi)
+		readsIn(x.Lo)
+		readsInLValueIndices(x.X, readsIn)
+	case *verilog.Concat:
+		for _, p := range x.Parts {
+			readsInLValueIndices(p, readsIn)
+		}
+	}
+}
+
+func isLValueForm(e verilog.Expr) bool {
+	switch x := e.(type) {
+	case *verilog.Ident, *verilog.HierIdent:
+		return true
+	case *verilog.Index:
+		return isLValueForm(x.X)
+	case *verilog.RangeSel:
+		return isLValueForm(x.X)
+	case *verilog.Concat:
+		for _, p := range x.Parts {
+			if !isLValueForm(p) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// declaresVar reports whether items declare a variable with this name.
+func declaresVar(items []verilog.Item, name string) bool {
+	for _, it := range items {
+		if nd, ok := it.(*verilog.NetDecl); ok {
+			for _, dn := range nd.Names {
+				if dn.Name == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// widthRange builds a [w-1:0] range literal (nil for width 1).
+func widthRange(w int) *verilog.Range {
+	if w <= 1 {
+		return nil
+	}
+	return &verilog.Range{
+		Hi: numberOf(bits.FromUint64(32, uint64(w-1))),
+		Lo: numberOf(bits.New(32)),
+	}
+}
+
+// promoteVarsToOutputs moves item-level variable declarations into the
+// port list as outputs, preserving initializers via Port.Init.
+func promoteVarsToOutputs(m *verilog.Module, names map[string]bool, env map[string]*bits.Vector) (*verilog.Module, error) {
+	out := &verilog.Module{NamePos: m.NamePos, Name: m.Name, Params: m.Params}
+	promoted := map[string]bool{}
+	for _, p := range m.Ports {
+		out.Ports = append(out.Ports, p)
+		if names[p.Name] {
+			promoted[p.Name] = true // already a port
+		}
+	}
+	for _, it := range m.Items {
+		nd, ok := it.(*verilog.NetDecl)
+		if !ok {
+			out.Items = append(out.Items, it)
+			continue
+		}
+		var keep []*verilog.DeclName
+		for _, dn := range nd.Names {
+			if !names[dn.Name] || promoted[dn.Name] {
+				keep = append(keep, dn)
+				continue
+			}
+			if dn.Array != nil {
+				return nil, errf(dn.NamePos, "cannot promote memory %s to a port", dn.Name)
+			}
+			kind := nd.Kind
+			if kind == verilog.Integer {
+				kind = verilog.Reg
+			}
+			rng := nd.Range
+			if nd.Kind == verilog.Integer {
+				rng = widthRange(32)
+			}
+			out.Ports = append(out.Ports, &verilog.Port{
+				PortPos: dn.NamePos,
+				Dir:     verilog.Output,
+				Kind:    kind,
+				Range:   rng,
+				Name:    dn.Name,
+				Init:    dn.Init,
+			})
+			promoted[dn.Name] = true
+		}
+		if len(keep) > 0 {
+			out.Items = append(out.Items, &verilog.NetDecl{DeclPos: nd.DeclPos, Kind: nd.Kind, Range: nd.Range, Names: keep})
+		}
+	}
+	for n := range names {
+		if !promoted[n] {
+			return nil, errf(m.NamePos, "cannot promote %s in %s: no such variable", n, m.Name)
+		}
+	}
+	return out, nil
+}
+
+// constEvalAST evaluates a constant AST expression under a parameter
+// environment (used before elaboration exists for a module).
+func constEvalAST(e verilog.Expr, env map[string]*bits.Vector) (*bits.Vector, error) {
+	switch x := e.(type) {
+	case *verilog.Number:
+		return x.Val, nil
+	case *verilog.Ident:
+		if v, ok := env[x.Name]; ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("%s is not a constant", x.Name)
+	case *verilog.Unary:
+		v, err := constEvalAST(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case verilog.UNeg:
+			return v.Neg(), nil
+		case verilog.UBitNot:
+			return v.Not(), nil
+		case verilog.UNot:
+			return bits.FromBool(v.IsZero()), nil
+		case verilog.UPlus:
+			return v, nil
+		}
+		return nil, fmt.Errorf("operator not allowed in constant expression")
+	case *verilog.Binary:
+		a, err := constEvalAST(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		b, err := constEvalAST(x.Y, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case verilog.BAdd:
+			return a.Add(b), nil
+		case verilog.BSub:
+			return a.Sub(b), nil
+		case verilog.BMul:
+			return a.Mul(b), nil
+		case verilog.BDiv:
+			return a.Div(b), nil
+		case verilog.BMod:
+			return a.Mod(b), nil
+		case verilog.BPow:
+			return a.Pow(b), nil
+		case verilog.BShl, verilog.BAShl:
+			return a.Shl(b), nil
+		case verilog.BShr, verilog.BAShr:
+			return a.Shr(b), nil
+		case verilog.BBitAnd:
+			return a.And(b), nil
+		case verilog.BBitOr:
+			return a.Or(b), nil
+		case verilog.BBitXor:
+			return a.Xor(b), nil
+		case verilog.BEq:
+			return bits.FromBool(a.Equal(b)), nil
+		case verilog.BNeq:
+			return bits.FromBool(!a.Equal(b)), nil
+		case verilog.BLt:
+			return bits.FromBool(a.Cmp(b) < 0), nil
+		case verilog.BLe:
+			return bits.FromBool(a.Cmp(b) <= 0), nil
+		case verilog.BGt:
+			return bits.FromBool(a.Cmp(b) > 0), nil
+		case verilog.BGe:
+			return bits.FromBool(a.Cmp(b) >= 0), nil
+		case verilog.BLogAnd:
+			return bits.FromBool(a.Bool() && b.Bool()), nil
+		case verilog.BLogOr:
+			return bits.FromBool(a.Bool() || b.Bool()), nil
+		}
+		return nil, fmt.Errorf("operator not allowed in constant expression")
+	case *verilog.Ternary:
+		c, err := constEvalAST(x.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if c.Bool() {
+			return constEvalAST(x.Then, env)
+		}
+		return constEvalAST(x.Else, env)
+	}
+	return nil, fmt.Errorf("expression is not constant")
+}

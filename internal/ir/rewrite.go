@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"cascade/internal/bits"
+	"cascade/internal/verilog"
+)
+
+// exprRewriter maps expressions bottom-up; the hook runs on leaf
+// identifier forms (Ident, HierIdent) and may return a replacement.
+type exprRewriter func(e verilog.Expr) verilog.Expr
+
+func rewriteExpr(e verilog.Expr, f exprRewriter) verilog.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *verilog.Ident, *verilog.HierIdent:
+		return f(e)
+	case *verilog.Number, *verilog.StringLit:
+		return e
+	case *verilog.Unary:
+		return &verilog.Unary{OpPos: x.OpPos, Op: x.Op, X: rewriteExpr(x.X, f)}
+	case *verilog.Binary:
+		return &verilog.Binary{OpPos: x.OpPos, Op: x.Op, X: rewriteExpr(x.X, f), Y: rewriteExpr(x.Y, f)}
+	case *verilog.Ternary:
+		return &verilog.Ternary{QPos: x.QPos, Cond: rewriteExpr(x.Cond, f), Then: rewriteExpr(x.Then, f), Else: rewriteExpr(x.Else, f)}
+	case *verilog.Index:
+		return &verilog.Index{LPos: x.LPos, X: rewriteExpr(x.X, f), Idx: rewriteExpr(x.Idx, f)}
+	case *verilog.RangeSel:
+		return &verilog.RangeSel{LPos: x.LPos, X: rewriteExpr(x.X, f), Hi: rewriteExpr(x.Hi, f), Lo: rewriteExpr(x.Lo, f)}
+	case *verilog.Concat:
+		parts := make([]verilog.Expr, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = rewriteExpr(p, f)
+		}
+		return &verilog.Concat{LPos: x.LPos, Parts: parts}
+	case *verilog.Repl:
+		return &verilog.Repl{LPos: x.LPos, Count: rewriteExpr(x.Count, f), X: rewriteExpr(x.X, f)}
+	case *verilog.SysCall:
+		args := make([]verilog.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rewriteExpr(a, f)
+		}
+		return &verilog.SysCall{CallPos: x.CallPos, Name: x.Name, Args: args}
+	}
+	return e
+}
+
+func rewriteRange(r *verilog.Range, f exprRewriter) *verilog.Range {
+	if r == nil {
+		return nil
+	}
+	return &verilog.Range{Hi: rewriteExpr(r.Hi, f), Lo: rewriteExpr(r.Lo, f)}
+}
+
+func rewriteStmt(s verilog.Stmt, f exprRewriter) verilog.Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *verilog.Block:
+		out := &verilog.Block{BeginPos: x.BeginPos}
+		for _, st := range x.Stmts {
+			out.Stmts = append(out.Stmts, rewriteStmt(st, f))
+		}
+		return out
+	case *verilog.If:
+		return &verilog.If{IfPos: x.IfPos, Cond: rewriteExpr(x.Cond, f),
+			Then: rewriteStmt(x.Then, f), Else: rewriteStmt(x.Else, f)}
+	case *verilog.Case:
+		out := &verilog.Case{CasePos: x.CasePos, IsCasez: x.IsCasez, Subject: rewriteExpr(x.Subject, f)}
+		for _, it := range x.Items {
+			ni := &verilog.CaseItem{ItemPos: it.ItemPos, Body: rewriteStmt(it.Body, f)}
+			for _, e := range it.Exprs {
+				ni.Exprs = append(ni.Exprs, rewriteExpr(e, f))
+			}
+			out.Items = append(out.Items, ni)
+		}
+		return out
+	case *verilog.ProcAssign:
+		return &verilog.ProcAssign{AssignPos: x.AssignPos, Blocking: x.Blocking,
+			LHS: rewriteExpr(x.LHS, f), RHS: rewriteExpr(x.RHS, f)}
+	case *verilog.For:
+		return &verilog.For{ForPos: x.ForPos,
+			Init: rewriteStmt(x.Init, f).(*verilog.ProcAssign),
+			Cond: rewriteExpr(x.Cond, f),
+			Post: rewriteStmt(x.Post, f).(*verilog.ProcAssign),
+			Body: rewriteStmt(x.Body, f)}
+	case *verilog.SysTask:
+		out := &verilog.SysTask{TaskPos: x.TaskPos, Name: x.Name}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, rewriteExpr(a, f))
+		}
+		return out
+	case *verilog.NullStmt:
+		return x
+	}
+	return s
+}
+
+func rewriteItem(it verilog.Item, f exprRewriter) verilog.Item {
+	switch x := it.(type) {
+	case *verilog.NetDecl:
+		out := &verilog.NetDecl{DeclPos: x.DeclPos, Kind: x.Kind, Range: rewriteRange(x.Range, f)}
+		for _, dn := range x.Names {
+			out.Names = append(out.Names, &verilog.DeclName{
+				NamePos: dn.NamePos, Name: renameIdent(dn.Name, f),
+				Array: rewriteRange(dn.Array, f), Init: rewriteExpr(dn.Init, f),
+			})
+		}
+		return out
+	case *verilog.ParamDecl:
+		return &verilog.ParamDecl{DeclPos: x.DeclPos, Local: x.Local,
+			Range: rewriteRange(x.Range, f), Name: x.Name, Value: rewriteExpr(x.Value, f)}
+	case *verilog.ContAssign:
+		return &verilog.ContAssign{AssignPos: x.AssignPos,
+			LHS: rewriteExpr(x.LHS, f), RHS: rewriteExpr(x.RHS, f)}
+	case *verilog.AlwaysBlock:
+		out := &verilog.AlwaysBlock{AlwaysPos: x.AlwaysPos, Star: x.Star, Body: rewriteStmt(x.Body, f)}
+		for _, ev := range x.Events {
+			out.Events = append(out.Events, verilog.Event{Edge: ev.Edge, Expr: rewriteExpr(ev.Expr, f)})
+		}
+		return out
+	case *verilog.InitialBlock:
+		return &verilog.InitialBlock{InitialPos: x.InitialPos, Body: rewriteStmt(x.Body, f)}
+	case *verilog.Instance:
+		out := &verilog.Instance{InstPos: x.InstPos, ModName: x.ModName, Name: x.Name}
+		for _, pa := range x.Params {
+			out.Params = append(out.Params, &verilog.ParamAssign{Name: pa.Name, Expr: rewriteExpr(pa.Expr, f)})
+		}
+		for _, c := range x.Conns {
+			out.Conns = append(out.Conns, &verilog.PortConn{ConnPos: c.ConnPos, Name: c.Name, Expr: rewriteExpr(c.Expr, f)})
+		}
+		return out
+	}
+	return it
+}
+
+// renameIdent applies the rewriter to a bare declared name by round-
+// tripping it through an Ident node.
+func renameIdent(name string, f exprRewriter) string {
+	if out, ok := f(&verilog.Ident{Name: name}).(*verilog.Ident); ok {
+		return out.Name
+	}
+	return name
+}
+
+// substParams returns a rewriter that replaces parameter identifiers with
+// literal values; other identifiers pass through a second rewriter.
+func substParams(env map[string]*bits.Vector, then exprRewriter) exprRewriter {
+	return func(e verilog.Expr) verilog.Expr {
+		if id, ok := e.(*verilog.Ident); ok {
+			if v, bound := env[id.Name]; bound {
+				return numberOf(v)
+			}
+		}
+		if then != nil {
+			return then(e)
+		}
+		return e
+	}
+}
+
+// numberOf renders a bit vector as a sized literal AST node.
+func numberOf(v *bits.Vector) *verilog.Number {
+	return &verilog.Number{Literal: v.String(), Val: v, Sized: true}
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeCountsEverything(t *testing.T) {
+	rep, err := Analyze(`
+// comment line (non-empty: counted)
+module M(input wire clk);
+  reg [3:0] a, b;
+  always @(posedge clk) begin
+    a <= a + 1;          // nonblocking
+    b = a;               // blocking
+    $display("%d", a);
+    $write("x");
+  end
+  always @(*) b = a;     // blocking
+  initial $monitor("%d", b);
+endmodule
+wire root_w;
+always @(posedge clk.val) root_w <= 1;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlwaysBlocks != 3 {
+		t.Fatalf("always=%d", rep.AlwaysBlocks)
+	}
+	if rep.BlockingAssigns != 2 || rep.NonblockingAssigns != 2 {
+		t.Fatalf("assigns=%d/%d", rep.BlockingAssigns, rep.NonblockingAssigns)
+	}
+	if rep.DisplayStmts != 3 { // display + write + monitor
+		t.Fatalf("displays=%d", rep.DisplayStmts)
+	}
+	if rep.Lines < 14 {
+		t.Fatalf("lines=%d", rep.Lines)
+	}
+}
+
+func TestAnalyzeRejectsBrokenSource(t *testing.T) {
+	if _, err := Analyze("module M("); err == nil {
+		t.Fatal("broken source should error")
+	}
+}
+
+func TestSummarizeAndRows(t *testing.T) {
+	reps := []Report{
+		{Lines: 100, AlwaysBlocks: 2, BlockingAssigns: 10, NonblockingAssigns: 2, DisplayStmts: 1, Builds: 5},
+		{Lines: 300, AlwaysBlocks: 8, BlockingAssigns: 50, NonblockingAssigns: 10, DisplayStmts: 9},
+	}
+	agg := Summarize(reps)
+	if agg.N != 2 || agg.WithLogs != 1 {
+		t.Fatalf("n=%d logs=%d", agg.N, agg.WithLogs)
+	}
+	if agg.Lines.Mean != 200 || agg.Lines.Min != 100 || agg.Lines.Max != 300 {
+		t.Fatalf("lines stat %+v", agg.Lines)
+	}
+	if agg.Builds.Mean != 5 { // only logged submissions count
+		t.Fatalf("builds stat %+v", agg.Builds)
+	}
+	rows := agg.Rows()
+	if len(rows) != 7 || !strings.Contains(rows[1], "Lines of Verilog code") {
+		t.Fatalf("rows: %v", rows)
+	}
+}

@@ -1,0 +1,595 @@
+package netlist
+
+import (
+	"sort"
+
+	"cascade/internal/elab"
+	"cascade/internal/sim"
+	"cascade/internal/verilog"
+)
+
+// Compile synthesizes f into a netlist program and runs the dead-code
+// cleanup pass (see Optimize). It fails on designs that cannot be lowered
+// to synchronous hardware: combinational cycles, or variables driven by
+// both combinational and sequential logic. Incomplete sensitivity lists
+// are accepted and treated as complete, matching what commercial
+// synthesis tools do.
+func Compile(f *elab.Flat) (*Program, error) {
+	p, err := CompileRaw(f)
+	if err != nil {
+		return nil, err
+	}
+	return Optimize(p), nil
+}
+
+// CompileRaw synthesizes without the cleanup pass (the optimizer ablation
+// and the optimizer's own tests).
+func CompileRaw(f *elab.Flat) (*Program, error) {
+	c := &compiler{
+		prog: &Program{
+			Flat:    f,
+			VarSlot: make([]int, len(f.Vars)),
+			MemOf:   make([]int, len(f.Vars)),
+		},
+	}
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return c.prog, nil
+}
+
+type compiler struct {
+	prog *Program
+}
+
+func (c *compiler) run() error {
+	f := c.prog.Flat
+	// Slot 0..n-1: one slot per scalar variable, then temporaries.
+	for _, v := range f.Vars {
+		if v.IsArray() {
+			c.prog.VarSlot[v.Index] = -1
+			c.prog.MemOf[v.Index] = len(c.prog.Mems)
+			c.prog.Mems = append(c.prog.Mems, MemInfo{
+				Var: v, Words: v.ArrayLen, Width: v.Width, Wide: v.Width > 64,
+			})
+			continue
+		}
+		c.prog.MemOf[v.Index] = -1
+		c.prog.VarSlot[v.Index] = c.newSlot(v.Width, v)
+	}
+
+	// Partition processes.
+	type combSrc struct {
+		assign *elab.ContAssign
+		proc   *elab.Proc
+		order  int
+	}
+	var combs []combSrc
+	for i, a := range f.Assigns {
+		combs = append(combs, combSrc{assign: a, order: i})
+	}
+	var seqs []*elab.Proc
+	for i, p := range f.Procs {
+		if p.Star || hasLevelEdge(p) {
+			if hasTrueEdge(p) {
+				return errf("process mixes edge and level sensitivity (not synthesizable)")
+			}
+			combs = append(combs, combSrc{proc: p, order: len(f.Assigns) + i})
+			continue
+		}
+		if len(p.Edges) == 0 {
+			return errf("always block with empty sensitivity list")
+		}
+		seqs = append(seqs, p)
+	}
+
+	// Driver-class check: no variable may be written by both a
+	// combinational unit and a sequential process.
+	combWrites := map[*elab.Var]int{} // var -> comb unit index
+	for ci, cs := range combs {
+		for _, v := range writeSetOf(cs) {
+			if prev, dup := combWrites[v]; dup && prev != ci {
+				return errf("%s is driven by multiple combinational units", v.Name)
+			}
+			combWrites[v] = ci
+		}
+	}
+	seqWrites := map[*elab.Var]bool{}
+	for _, p := range seqs {
+		for _, v := range writeSetStmt(p.Body) {
+			seqWrites[v] = true
+			if _, both := combWrites[v]; both {
+				return errf("%s is driven by both combinational and sequential logic", v.Name)
+			}
+		}
+	}
+
+	// Topologically order combinational units; a cycle is a synthesis
+	// error (combinational loop).
+	n := len(combs)
+	readsOf := func(cs combSrc) []*elab.Var {
+		if cs.assign != nil {
+			return assignReadVars(cs.assign)
+		}
+		return readSetStmt(cs.proc.Body)
+	}
+	adj := make([][]int, n) // edge u -> v: v reads something u writes
+	indeg := make([]int, n)
+	writerOf := map[*elab.Var]int{}
+	for ci, cs := range combs {
+		for _, v := range writeSetOf(cs) {
+			writerOf[v] = ci
+		}
+	}
+	for vi, cs := range combs {
+		seen := map[int]bool{}
+		for _, v := range readsOf(cs) {
+			if ui, ok := writerOf[v]; ok && ui != vi && !seen[ui] {
+				seen[ui] = true
+				adj[ui] = append(adj[ui], vi)
+				indeg[vi]++
+			}
+		}
+	}
+	var order []int
+	ready := []int{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Ints(ready)
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		next := []int{}
+		for _, v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				next = append(next, v)
+			}
+		}
+		sort.Ints(next)
+		ready = append(ready, next...)
+	}
+	if len(order) != n {
+		return errf("combinational loop detected (not synthesizable)")
+	}
+
+	// Compile combinational units in topological order.
+	for _, ci := range order {
+		cs := combs[ci]
+		entry := len(c.prog.Code)
+		if cs.assign != nil {
+			c.compileContAssign(cs.assign)
+		} else {
+			c.compileStmt(cs.proc.Body)
+		}
+		c.emit(Op{Kind: OpHalt})
+		c.prog.Comb = append(c.prog.Comb, CombUnit{Entry: entry})
+	}
+
+	// Compile sequential processes.
+	for _, p := range seqs {
+		entry := len(c.prog.Code)
+		c.compileStmt(p.Body)
+		c.emit(Op{Kind: OpHalt})
+		c.prog.Seq = append(c.prog.Seq, SeqProc{Edges: p.Edges, Entry: entry})
+	}
+
+	// $monitor registrations from initial blocks become end-of-step
+	// display units evaluated by Machine.EndStep.
+	for _, st := range f.Initials {
+		elab.WalkStmt(st, func(s elab.Stmt) {
+			if t, ok := s.(*elab.SysTask); ok && t.Kind == elab.TaskMonitor {
+				entry := len(c.prog.Code)
+				srcs := make([]int, len(t.Args))
+				for i, a := range t.Args {
+					srcs[i] = c.compileExpr(a)
+				}
+				c.emit(Op{Kind: OpDisplay, Srcs: srcs, Aux: len(c.prog.Tasks)})
+				c.emit(Op{Kind: OpHalt})
+				c.prog.Tasks = append(c.prog.Tasks, Task{Src: t, Monitor: true})
+				c.prog.Monitors = append(c.prog.Monitors, MonitorUnit{Entry: entry})
+			}
+		}, nil)
+	}
+
+	// Reset state: run a reference simulator once (executes initial
+	// blocks) and capture the resulting variable values — the FPGA
+	// bitstream's initial register contents.
+	ref := sim.New(f, sim.Options{})
+	ref.Evaluate()
+	st := ref.GetState()
+	c.prog.ResetState = st.Scalars
+	c.prog.ResetMems = st.Arrays
+
+	c.prog.Stats = computeStats(c.prog)
+	return nil
+}
+
+func hasLevelEdge(p *elab.Proc) bool {
+	for _, e := range p.Edges {
+		if e.Kind == elab.Level {
+			return true
+		}
+	}
+	return false
+}
+
+func hasTrueEdge(p *elab.Proc) bool {
+	for _, e := range p.Edges {
+		if e.Kind != elab.Level {
+			return true
+		}
+	}
+	return false
+}
+
+func writeSetOf(cs struct {
+	assign *elab.ContAssign
+	proc   *elab.Proc
+	order  int
+}) []*elab.Var {
+	if cs.assign != nil {
+		var out []*elab.Var
+		for _, lv := range cs.assign.LHS {
+			out = append(out, lv.Var)
+		}
+		return out
+	}
+	return writeSetStmt(cs.proc.Body)
+}
+
+func writeSetStmt(s elab.Stmt) []*elab.Var {
+	seen := map[*elab.Var]bool{}
+	var out []*elab.Var
+	elab.WalkStmt(s, func(st elab.Stmt) {
+		if a, ok := st.(*elab.Assign); ok {
+			for _, lv := range a.LHS {
+				if !seen[lv.Var] {
+					seen[lv.Var] = true
+					out = append(out, lv.Var)
+				}
+			}
+		}
+	}, nil)
+	return out
+}
+
+func readSetStmt(s elab.Stmt) []*elab.Var {
+	seen := map[*elab.Var]bool{}
+	var out []*elab.Var
+	elab.WalkStmt(s, nil, func(x elab.Expr) {
+		var v *elab.Var
+		switch t := x.(type) {
+		case *elab.VarRef:
+			v = t.V
+		case *elab.ArrayRef:
+			v = t.V
+		}
+		if v != nil && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+func assignReadVars(a *elab.ContAssign) []*elab.Var {
+	seen := map[*elab.Var]bool{}
+	var out []*elab.Var
+	collect := func(e elab.Expr) {
+		elab.WalkExpr(e, func(x elab.Expr) {
+			var v *elab.Var
+			switch t := x.(type) {
+			case *elab.VarRef:
+				v = t.V
+			case *elab.ArrayRef:
+				v = t.V
+			}
+			if v != nil && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		})
+	}
+	collect(a.RHS)
+	for _, lv := range a.LHS {
+		if lv.ArrIndex != nil {
+			collect(lv.ArrIndex)
+		}
+		if lv.DynBit != nil {
+			collect(lv.DynBit)
+		}
+	}
+	return out
+}
+
+func (c *compiler) newSlot(width int, v *elab.Var) int {
+	idx := len(c.prog.Slots)
+	c.prog.Slots = append(c.prog.Slots, SlotInfo{Width: width, Wide: width > 64, Var: v})
+	return idx
+}
+
+func (c *compiler) emit(op Op) int {
+	// An op runs on the wide path if its result or any source is wide.
+	if op.Width > 64 {
+		op.Wide = true
+	}
+	if op.Dst >= 0 && op.Dst < len(c.prog.Slots) && c.prog.Slots[op.Dst].Wide {
+		op.Wide = true
+	}
+	for _, s := range op.Srcs {
+		if s >= 0 && s < len(c.prog.Slots) && c.prog.Slots[s].Wide {
+			op.Wide = true
+		}
+	}
+	c.prog.Code = append(c.prog.Code, op)
+	return len(c.prog.Code) - 1
+}
+
+func (c *compiler) compileContAssign(a *elab.ContAssign) {
+	rhs := c.compileExpr(a.RHS)
+	c.distribute(a.LHS, rhs, a.RHS.Width(), true)
+}
+
+// distribute writes an rhs slot across (possibly concatenated) lvalues.
+func (c *compiler) distribute(lhs []elab.LValue, rhs int, rhsWidth int, blocking bool) {
+	total := 0
+	for _, lv := range lhs {
+		total += lv.TargetWidth()
+	}
+	src := rhs
+	if rhsWidth != total {
+		src = c.newSlot(total, nil)
+		c.emit(Op{Kind: OpMove, Dst: src, Srcs: []int{rhs}, Width: total})
+	}
+	offset := total
+	for _, lv := range lhs {
+		w := lv.TargetWidth()
+		offset -= w
+		part := src
+		if len(lhs) > 1 {
+			part = c.newSlot(w, nil)
+			c.emit(Op{Kind: OpSlice, Dst: part, Srcs: []int{src}, Width: w, Hi: offset + w - 1, Lo: offset})
+		}
+		c.writeLValue(lv, part, blocking)
+	}
+}
+
+func (c *compiler) writeLValue(lv elab.LValue, src int, blocking bool) {
+	if lv.ArrIndex != nil {
+		addr := c.compileExpr(lv.ArrIndex)
+		kind := OpMemWrite
+		if !blocking {
+			kind = OpMemWriteNB
+		}
+		c.emit(Op{Kind: kind, Srcs: []int{src, addr}, Aux: c.prog.MemOf[lv.Var.Index], Width: lv.Var.Width})
+		return
+	}
+	dst := c.prog.VarSlot[lv.Var.Index]
+	switch {
+	case lv.DynBit != nil:
+		idx := c.compileExpr(lv.DynBit)
+		kind := OpWriteBit
+		if !blocking {
+			kind = OpWriteBitNB
+		}
+		c.emit(Op{Kind: kind, Dst: dst, Srcs: []int{src, idx}, Width: 1})
+	case lv.HasRange:
+		kind := OpWriteRng
+		if !blocking {
+			kind = OpWriteRngNB
+		}
+		c.emit(Op{Kind: kind, Dst: dst, Srcs: []int{src}, Hi: lv.Hi, Lo: lv.Lo, Width: lv.Hi - lv.Lo + 1})
+	default:
+		kind := OpWrite
+		if !blocking {
+			kind = OpWriteNB
+		}
+		c.emit(Op{Kind: kind, Dst: dst, Srcs: []int{src}, Width: lv.Var.Width})
+	}
+}
+
+func (c *compiler) compileStmt(s elab.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *elab.Block:
+		for _, st := range x.Stmts {
+			c.compileStmt(st)
+		}
+	case *elab.If:
+		cond := c.compileExpr(x.Cond)
+		jz := c.emit(Op{Kind: OpJz, Srcs: []int{cond}})
+		c.compileStmt(x.Then)
+		if x.Else != nil {
+			jmp := c.emit(Op{Kind: OpJump})
+			c.prog.Code[jz].Target = len(c.prog.Code)
+			c.compileStmt(x.Else)
+			c.prog.Code[jmp].Target = len(c.prog.Code)
+		} else {
+			c.prog.Code[jz].Target = len(c.prog.Code)
+		}
+	case *elab.Case:
+		c.compileCase(x)
+	case *elab.Assign:
+		rhs := c.compileExpr(x.RHS)
+		c.distribute(x.LHS, rhs, x.RHS.Width(), x.Blocking)
+	case *elab.SysTask:
+		c.compileTask(x)
+	default:
+		panic(errf("unknown statement %T", s))
+	}
+}
+
+func (c *compiler) compileCase(x *elab.Case) {
+	subj := c.compileExpr(x.Subject)
+	type arm struct {
+		item *elab.CaseItem
+		jsrc []int // Jnz sites targeting this arm's body
+	}
+	var arms []arm
+	var defaultItem *elab.CaseItem
+	for _, item := range x.Items {
+		if item.Labels == nil {
+			defaultItem = item
+			continue
+		}
+		a := arm{item: item}
+		for li, l := range item.Labels {
+			ls := c.compileExpr(l)
+			if m := item.Masks[li]; m != nil {
+				// casez wildcard: match when (subj ^ label) & mask == 0.
+				w := x.Subject.Width()
+				if l.Width() > w {
+					w = l.Width()
+				}
+				diff := c.newSlot(w, nil)
+				c.emit(Op{Kind: OpXor, Dst: diff, Srcs: []int{subj, ls}, Width: w})
+				mk := c.newSlot(m.Width(), nil)
+				c.emit(Op{Kind: OpConst, Dst: mk, Width: m.Width(), Const: m})
+				masked := c.newSlot(w, nil)
+				c.emit(Op{Kind: OpAnd, Dst: masked, Srcs: []int{diff, mk}, Width: w})
+				a.jsrc = append(a.jsrc, c.emit(Op{Kind: OpJz, Srcs: []int{masked}}))
+				continue
+			}
+			eq := c.newSlot(1, nil)
+			c.emit(Op{Kind: OpEq, Dst: eq, Srcs: []int{subj, ls}, Width: 1})
+			// Jump to the arm body when equal: invert and Jz.
+			inv := c.newSlot(1, nil)
+			c.emit(Op{Kind: OpLogNot, Dst: inv, Srcs: []int{eq}, Width: 1})
+			a.jsrc = append(a.jsrc, c.emit(Op{Kind: OpJz, Srcs: []int{inv}}))
+		}
+		arms = append(arms, a)
+	}
+	jmpDefault := c.emit(Op{Kind: OpJump})
+	var ends []int
+	for _, a := range arms {
+		body := len(c.prog.Code)
+		for _, site := range a.jsrc {
+			c.prog.Code[site].Target = body
+		}
+		c.compileStmt(a.item.Body)
+		ends = append(ends, c.emit(Op{Kind: OpJump}))
+	}
+	c.prog.Code[jmpDefault].Target = len(c.prog.Code)
+	if defaultItem != nil {
+		c.compileStmt(defaultItem.Body)
+	}
+	end := len(c.prog.Code)
+	for _, site := range ends {
+		c.prog.Code[site].Target = end
+	}
+}
+
+func (c *compiler) compileTask(t *elab.SysTask) {
+	switch t.Kind {
+	case elab.TaskFinish:
+		c.emit(Op{Kind: OpFinish})
+	case elab.TaskDisplay, elab.TaskWrite, elab.TaskMonitor:
+		srcs := make([]int, len(t.Args))
+		for i, a := range t.Args {
+			srcs[i] = c.compileExpr(a)
+		}
+		c.emit(Op{Kind: OpDisplay, Srcs: srcs, Aux: len(c.prog.Tasks)})
+		c.prog.Tasks = append(c.prog.Tasks, Task{Src: t})
+	}
+}
+
+// compileExpr lowers an expression and returns the slot holding its value.
+func (c *compiler) compileExpr(e elab.Expr) int {
+	switch x := e.(type) {
+	case *elab.Const:
+		dst := c.newSlot(x.V.Width(), nil)
+		c.emit(Op{Kind: OpConst, Dst: dst, Width: x.V.Width(), Const: x.V})
+		return dst
+	case *elab.VarRef:
+		return c.prog.VarSlot[x.V.Index]
+	case *elab.ArrayRef:
+		addr := c.compileExpr(x.Index)
+		dst := c.newSlot(x.V.Width, nil)
+		c.emit(Op{Kind: OpMemRead, Dst: dst, Srcs: []int{addr}, Aux: c.prog.MemOf[x.V.Index], Width: x.V.Width})
+		return dst
+	case *elab.BitSel:
+		v := c.compileExpr(x.X)
+		idx := c.compileExpr(x.Idx)
+		dst := c.newSlot(1, nil)
+		c.emit(Op{Kind: OpBitSel, Dst: dst, Srcs: []int{v, idx}, Width: 1})
+		return dst
+	case *elab.Slice:
+		v := c.compileExpr(x.X)
+		dst := c.newSlot(x.Width(), nil)
+		c.emit(Op{Kind: OpSlice, Dst: dst, Srcs: []int{v}, Width: x.Width(), Hi: x.Hi, Lo: x.Lo})
+		return dst
+	case *elab.Unary:
+		return c.compileUnary(x)
+	case *elab.Binary:
+		return c.compileBinary(x)
+	case *elab.Ternary:
+		cond := c.compileExpr(x.Cond)
+		a := c.compileExpr(x.Then)
+		b := c.compileExpr(x.Else)
+		dst := c.newSlot(x.W, nil)
+		c.emit(Op{Kind: OpMux, Dst: dst, Srcs: []int{cond, a, b}, Width: x.W})
+		return dst
+	case *elab.Concat:
+		srcs := make([]int, len(x.Parts))
+		for i, p := range x.Parts {
+			srcs[i] = c.compileExpr(p)
+		}
+		dst := c.newSlot(x.W, nil)
+		c.emit(Op{Kind: OpConcat, Dst: dst, Srcs: srcs, Width: x.W})
+		return dst
+	case *elab.Repl:
+		v := c.compileExpr(x.X)
+		dst := c.newSlot(x.W, nil)
+		c.emit(Op{Kind: OpRepl, Dst: dst, Srcs: []int{v}, Width: x.W, N: x.N})
+		return dst
+	case *elab.TimeRef:
+		dst := c.newSlot(64, nil)
+		c.emit(Op{Kind: OpTime, Dst: dst, Width: 64})
+		return dst
+	}
+	panic(errf("unknown expression %T", e))
+}
+
+var unaryKinds = map[verilog.UnaryOp]OpKind{
+	verilog.UNot: OpLogNot, verilog.UBitNot: OpNot, verilog.UNeg: OpNeg,
+	verilog.URedAnd: OpRedAnd, verilog.URedOr: OpRedOr, verilog.URedXor: OpRedXor,
+	verilog.URedNand: OpRedNand, verilog.URedNor: OpRedNor, verilog.URedXnor: OpRedXnor,
+}
+
+func (c *compiler) compileUnary(x *elab.Unary) int {
+	v := c.compileExpr(x.X)
+	if x.Op == verilog.UPlus {
+		if x.W == c.prog.Slots[v].Width {
+			return v
+		}
+		dst := c.newSlot(x.W, nil)
+		c.emit(Op{Kind: OpMove, Dst: dst, Srcs: []int{v}, Width: x.W})
+		return dst
+	}
+	dst := c.newSlot(x.W, nil)
+	c.emit(Op{Kind: unaryKinds[x.Op], Dst: dst, Srcs: []int{v}, Width: x.W})
+	return dst
+}
+
+var binaryKinds = map[verilog.BinaryOp]OpKind{
+	verilog.BAdd: OpAdd, verilog.BSub: OpSub, verilog.BMul: OpMul,
+	verilog.BDiv: OpDiv, verilog.BMod: OpMod, verilog.BPow: OpPow,
+	verilog.BBitAnd: OpAnd, verilog.BBitOr: OpOr, verilog.BBitXor: OpXor, verilog.BBitXnor: OpXnor,
+	verilog.BShl: OpShl, verilog.BAShl: OpShl, verilog.BShr: OpShr, verilog.BAShr: OpShr,
+	verilog.BEq: OpEq, verilog.BCaseEq: OpEq, verilog.BNeq: OpNe, verilog.BCaseNeq: OpNe,
+	verilog.BLt: OpLt, verilog.BLe: OpLe, verilog.BGt: OpGt, verilog.BGe: OpGe,
+	verilog.BLogAnd: OpLogAnd, verilog.BLogOr: OpLogOr,
+}
+
+func (c *compiler) compileBinary(x *elab.Binary) int {
+	a := c.compileExpr(x.X)
+	b := c.compileExpr(x.Y)
+	dst := c.newSlot(x.W, nil)
+	c.emit(Op{Kind: binaryKinds[x.Op], Dst: dst, Srcs: []int{a, b}, Width: x.W})
+	return dst
+}

@@ -1,0 +1,555 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cascade/internal/bits"
+	"cascade/internal/elab"
+	"cascade/internal/sim"
+	"cascade/internal/verilog"
+)
+
+// This file holds the flagship invariant test of the reproduction:
+// observable-state equivalence between the event-driven reference
+// interpreter (internal/sim, the software engine) and the compiled netlist
+// machine (this package, the hardware engine). If this property holds,
+// Cascade can hand execution back and forth between engines without the
+// user being able to tell — the core of the paper's design.
+
+func compileBoth(t *testing.T, src string) (*sim.Simulator, *Machine, *elab.Flat) {
+	t.Helper()
+	st, errs := verilog.ParseSourceText(src)
+	if errs != nil {
+		t.Fatalf("parse: %v", errs)
+	}
+	f, err := elab.Elaborate(st.Modules[0], "dut", nil)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	prog, err := Compile(f)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return sim.New(f, sim.Options{}), NewMachine(prog), f
+}
+
+// dualBench drives a simulator and a machine in lock step.
+type dualBench struct {
+	s    *sim.Simulator
+	m    *Machine
+	f    *elab.Flat
+	sOut strings.Builder
+	mOut strings.Builder
+}
+
+func newDual(t *testing.T, src string) *dualBench {
+	t.Helper()
+	d := &dualBench{}
+	st, errs := verilog.ParseSourceText(src)
+	if errs != nil {
+		t.Fatalf("parse: %v", errs)
+	}
+	f, err := elab.Elaborate(st.Modules[0], "dut", nil)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	prog, err := Compile(f)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	d.f = f
+	d.s = sim.New(f, sim.Options{Display: func(x string) { d.sOut.WriteString(x) }})
+	d.m = NewMachine(prog)
+	d.settle()
+	return d
+}
+
+func (d *dualBench) drainMachine() {
+	for _, ev := range d.m.DrainEvents() {
+		if ev.Finish {
+			continue
+		}
+		d.mOut.WriteString(ev.Text)
+		if ev.Newline {
+			d.mOut.WriteString("\n")
+		}
+	}
+}
+
+func (d *dualBench) settle() {
+	for d.s.HasActive() || d.s.HasUpdates() {
+		d.s.Evaluate()
+		if d.s.HasUpdates() {
+			d.s.Update()
+		}
+	}
+	d.s.EndStep()
+	for d.m.HasActive() || d.m.HasUpdates() {
+		d.m.Evaluate()
+		if d.m.HasUpdates() {
+			d.m.Update()
+		}
+	}
+	d.m.EndStep()
+	d.drainMachine()
+}
+
+func (d *dualBench) setInput(name string, v *bits.Vector) {
+	va := d.f.VarNamed(name)
+	d.s.SetInput(va, v)
+	d.m.SetInput(va, v)
+}
+
+func (d *dualBench) check(t *testing.T, context string) {
+	t.Helper()
+	ss := d.s.GetState().Signature()
+	ms := d.m.GetState().Signature()
+	if ss != ms {
+		t.Fatalf("%s: state divergence\nsim:     %s\nmachine: %s", context, ss, ms)
+	}
+	if d.sOut.String() != d.mOut.String() {
+		t.Fatalf("%s: display divergence\nsim:     %q\nmachine: %q", context, d.sOut.String(), d.mOut.String())
+	}
+}
+
+func (d *dualBench) tick(t *testing.T) {
+	t.Helper()
+	d.setInput("clk", bits.FromUint64(1, 1))
+	d.settle()
+	d.setInput("clk", bits.FromUint64(1, 0))
+	d.settle()
+}
+
+func TestEquivCounter(t *testing.T) {
+	d := newDual(t, `
+module M(input wire clk, output reg [7:0] cnt);
+  always @(posedge clk) cnt <= cnt + 1;
+endmodule`)
+	for i := 0; i < 20; i++ {
+		d.tick(t)
+		d.check(t, fmt.Sprintf("tick %d", i))
+	}
+}
+
+func TestEquivRunningExample(t *testing.T) {
+	d := newDual(t, `
+module M(input wire clk, input wire [3:0] pad, output wire [7:0] led);
+  reg [7:0] cnt = 1;
+  wire [7:0] y;
+  assign y = (cnt == 8'h80) ? 1 : (cnt << 1);
+  always @(posedge clk)
+    if (pad == 0)
+      cnt <= y;
+    else
+      $display("paused at %d", cnt);
+  assign led = cnt;
+endmodule`)
+	for i := 0; i < 10; i++ {
+		d.tick(t)
+	}
+	d.check(t, "animation")
+	d.setInput("pad", bits.FromUint64(4, 2))
+	d.settle()
+	d.tick(t)
+	d.check(t, "paused with display")
+}
+
+func TestEquivWideDatapath(t *testing.T) {
+	d := newDual(t, `
+module M(input wire clk, input wire [7:0] x);
+  reg [127:0] acc = 128'h1;
+  wire [127:0] nxt;
+  assign nxt = (acc << 1) ^ {16{x}} + acc;
+  always @(posedge clk) acc <= nxt;
+endmodule`)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		d.setInput("x", bits.FromUint64(8, r.Uint64()))
+		d.settle()
+		d.tick(t)
+		d.check(t, fmt.Sprintf("wide tick %d", i))
+	}
+}
+
+func TestEquivMemory(t *testing.T) {
+	d := newDual(t, `
+module M(input wire clk, input wire [3:0] addr, input wire [15:0] wdata,
+         input wire we, output wire [15:0] rdata);
+  reg [15:0] mem [0:15];
+  assign rdata = mem[addr];
+  always @(posedge clk) if (we) mem[addr] <= wdata;
+endmodule`)
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		d.setInput("addr", bits.FromUint64(4, r.Uint64()))
+		d.setInput("wdata", bits.FromUint64(16, r.Uint64()))
+		d.setInput("we", bits.FromUint64(1, r.Uint64()))
+		d.settle()
+		d.tick(t)
+		d.check(t, fmt.Sprintf("mem tick %d", i))
+	}
+}
+
+func TestEquivCaseAndDisplay(t *testing.T) {
+	d := newDual(t, `
+module M(input wire clk, input wire [1:0] s);
+  reg [7:0] x = 0;
+  always @(posedge clk) begin
+    case (s)
+      2'd0: x <= x + 1;
+      2'd1: x <= x << 1;
+      2'd2: begin x <= x - 1; $display("dec %d", x); end
+      default: x <= 8'hff;
+    endcase
+    if (x > 100) $display("big: %h at %d", x, $time);
+  end
+endmodule`)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 40; i++ {
+		d.setInput("s", bits.FromUint64(2, r.Uint64()))
+		d.settle()
+		d.tick(t)
+		d.check(t, fmt.Sprintf("case tick %d", i))
+	}
+}
+
+func TestEquivNegedgeAndGatedClock(t *testing.T) {
+	d := newDual(t, `
+module M(input wire clk, input wire en);
+  wire gclk;
+  assign gclk = clk & en;
+  reg [7:0] a = 0, b = 0;
+  always @(negedge clk) a <= a + 1;
+  always @(posedge gclk) b <= b + 3;
+endmodule`)
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 40; i++ {
+		d.setInput("en", bits.FromUint64(1, r.Uint64()))
+		d.settle()
+		d.tick(t)
+		d.check(t, fmt.Sprintf("gated tick %d", i))
+	}
+}
+
+func TestEquivMigrationMidRun(t *testing.T) {
+	src := `
+module M(input wire clk, input wire [3:0] d);
+  reg [15:0] lfsr = 16'hace1;
+  reg [15:0] hist [0:7];
+  reg [2:0] wp = 0;
+  wire fb;
+  assign fb = lfsr[0] ^ lfsr[2] ^ lfsr[3] ^ lfsr[5];
+  always @(posedge clk) begin
+    lfsr <= {fb, lfsr[15:1]} ^ {12'b0, d};
+    hist[wp] <= lfsr;
+    wp <= wp + 1;
+  end
+endmodule`
+	s, m, f := compileBoth(t, src)
+	clk := f.VarNamed("clk")
+	dv := f.VarNamed("d")
+	settleS := func() {
+		for s.HasActive() || s.HasUpdates() {
+			s.Evaluate()
+			if s.HasUpdates() {
+				s.Update()
+			}
+		}
+	}
+	settleM := func() {
+		for m.HasActive() || m.HasUpdates() {
+			m.Evaluate()
+			if m.HasUpdates() {
+				m.Update()
+			}
+		}
+	}
+	r := rand.New(rand.NewSource(11))
+	settleS()
+	// Phase 1: run 10 ticks in "software".
+	for i := 0; i < 10; i++ {
+		s.SetInput(dv, bits.FromUint64(4, r.Uint64()))
+		settleS()
+		s.SetInput(clk, bits.FromUint64(1, 1))
+		settleS()
+		s.SetInput(clk, bits.FromUint64(1, 0))
+		settleS()
+	}
+	// Migrate: hardware engine inherits state (set_state).
+	m.SetState(s.GetState())
+	settleM()
+	if s.GetState().Signature() != m.GetState().Signature() {
+		t.Fatal("state not preserved across software->hardware migration")
+	}
+	// Phase 2: run both 10 more ticks with identical inputs; they must
+	// stay in lock step.
+	for i := 0; i < 10; i++ {
+		in := bits.FromUint64(4, r.Uint64())
+		s.SetInput(dv, in)
+		m.SetInput(dv, in)
+		settleS()
+		settleM()
+		for _, c := range []uint64{1, 0} {
+			s.SetInput(clk, bits.FromUint64(1, c))
+			m.SetInput(clk, bits.FromUint64(1, c))
+			settleS()
+			settleM()
+		}
+		if s.GetState().Signature() != m.GetState().Signature() {
+			t.Fatalf("divergence after migration at tick %d", i)
+		}
+	}
+	// Migrate back: software engine inherits hardware state.
+	s2 := sim.New(f, sim.Options{})
+	s2.SetState(m.GetState())
+	s2.Evaluate()
+	if s2.GetState().Signature() != m.GetState().Signature() {
+		t.Fatal("state not preserved across hardware->software migration")
+	}
+}
+
+// --- Random program equivalence ---------------------------------------
+
+type progGen struct {
+	r    *rand.Rand
+	sb   strings.Builder
+	wire int
+}
+
+// randExpr emits a random expression over the given readable names.
+func (g *progGen) randExpr(depth int, reads []string) string {
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		if g.r.Intn(3) == 0 {
+			return fmt.Sprintf("%d'd%d", 1+g.r.Intn(12), g.r.Intn(1<<10))
+		}
+		return reads[g.r.Intn(len(reads))]
+	}
+	switch g.r.Intn(12) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.randExpr(depth-1, reads), g.randExpr(depth-1, reads))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.randExpr(depth-1, reads), g.randExpr(depth-1, reads))
+	case 2:
+		return fmt.Sprintf("(%s & %s)", g.randExpr(depth-1, reads), g.randExpr(depth-1, reads))
+	case 3:
+		return fmt.Sprintf("(%s | %s)", g.randExpr(depth-1, reads), g.randExpr(depth-1, reads))
+	case 4:
+		return fmt.Sprintf("(%s ^ %s)", g.randExpr(depth-1, reads), g.randExpr(depth-1, reads))
+	case 5:
+		return fmt.Sprintf("(%s * %s)", g.randExpr(depth-1, reads), g.randExpr(depth-1, reads))
+	case 6:
+		return fmt.Sprintf("(%s >> %d)", g.randExpr(depth-1, reads), g.r.Intn(9))
+	case 7:
+		return fmt.Sprintf("(%s << %d)", g.randExpr(depth-1, reads), g.r.Intn(9))
+	case 8:
+		return fmt.Sprintf("(%s ? %s : %s)", g.randExpr(depth-1, reads), g.randExpr(depth-1, reads), g.randExpr(depth-1, reads))
+	case 9:
+		return fmt.Sprintf("{%s, %s}", g.randExpr(depth-1, reads), g.randExpr(depth-1, reads))
+	case 10:
+		return fmt.Sprintf("(%s < %s)", g.randExpr(depth-1, reads), g.randExpr(depth-1, reads))
+	default:
+		return fmt.Sprintf("(~%s)", g.randExpr(depth-1, reads))
+	}
+}
+
+// generate builds a random synchronous module that is legal for both
+// engines: acyclic combinational wires, registers driven by exactly one
+// posedge process.
+func (g *progGen) generate() string {
+	g.sb.Reset()
+	fmt.Fprintf(&g.sb, "module M(input wire clk, input wire [7:0] a, input wire [7:0] b);\n")
+	reads := []string{"a", "b"}
+	nregs := 2 + g.r.Intn(3)
+	for i := 0; i < nregs; i++ {
+		w := []int{1, 4, 8, 16, 33, 80}[g.r.Intn(6)]
+		fmt.Fprintf(&g.sb, "  reg [%d:0] r%d = %d;\n", w-1, i, g.r.Intn(100))
+		reads = append(reads, fmt.Sprintf("r%d", i))
+	}
+	nwires := 1 + g.r.Intn(4)
+	for i := 0; i < nwires; i++ {
+		w := []int{1, 8, 12, 65}[g.r.Intn(4)]
+		fmt.Fprintf(&g.sb, "  wire [%d:0] w%d;\n", w-1, i)
+	}
+	// Wires assigned in order, reading only earlier names: acyclic.
+	for i := 0; i < nwires; i++ {
+		fmt.Fprintf(&g.sb, "  assign w%d = %s;\n", i, g.randExpr(3, reads))
+		reads = append(reads, fmt.Sprintf("w%d", i))
+	}
+	// One posedge process per register.
+	for i := 0; i < nregs; i++ {
+		fmt.Fprintf(&g.sb, "  always @(posedge clk)\n")
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "    if (%s)\n      r%d <= %s;\n    else\n      r%d <= %s;\n",
+				g.randExpr(2, reads), i, g.randExpr(3, reads), i, g.randExpr(3, reads))
+		} else {
+			fmt.Fprintf(&g.sb, "    r%d <= %s;\n", i, g.randExpr(3, reads))
+		}
+	}
+	fmt.Fprintf(&g.sb, "endmodule\n")
+	return g.sb.String()
+}
+
+// Property: for random synchronous programs and random stimulus, the
+// interpreter and the compiled netlist agree on every observable state.
+func TestEquivRandomPrograms(t *testing.T) {
+	g := &progGen{r: rand.New(rand.NewSource(42))}
+	for trial := 0; trial < 60; trial++ {
+		src := g.generate()
+		d := newDual(t, src)
+		for i := 0; i < 12; i++ {
+			d.setInput("a", bits.FromUint64(8, g.r.Uint64()))
+			d.setInput("b", bits.FromUint64(8, g.r.Uint64()))
+			d.settle()
+			d.tick(t)
+		}
+		ss := d.s.GetState().Signature()
+		ms := d.m.GetState().Signature()
+		if ss != ms {
+			t.Fatalf("trial %d: divergence on program:\n%s\nsim:     %s\nmachine: %s", trial, src, ss, ms)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"comb loop": `
+module M(input wire clk);
+  wire a, b;
+  assign a = b;
+  assign b = a;
+endmodule`,
+		"double drive": `
+module M(input wire clk, input wire x);
+  reg r;
+  always @(posedge clk) r <= x;
+  always @(*) r = !x;
+endmodule`,
+		"mixed sensitivity": `
+module M(input wire clk, input wire x);
+  reg r;
+  always @(posedge clk or x) r <= x;
+endmodule`,
+	}
+	for name, src := range cases {
+		st, errs := verilog.ParseSourceText(src)
+		if errs != nil {
+			t.Fatalf("%s: parse: %v", name, errs)
+		}
+		f, err := elab.Elaborate(st.Modules[0], "dut", nil)
+		if err != nil {
+			t.Fatalf("%s: elaborate: %v", name, err)
+		}
+		if _, err := Compile(f); err == nil {
+			t.Fatalf("%s: expected synthesis error", name)
+		}
+	}
+}
+
+func TestStatsReasonable(t *testing.T) {
+	st, errs := verilog.ParseSourceText(`
+module M(input wire clk, input wire [31:0] x, output reg [31:0] acc);
+  wire [31:0] sq;
+  assign sq = x * x;
+  reg [31:0] mem [0:255];
+  always @(posedge clk) acc <= acc + sq;
+endmodule`)
+	if errs != nil {
+		t.Fatal(errs)
+	}
+	f, err := elab.Elaborate(st.Modules[0], "dut", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats
+	if s.FFs < 32 {
+		t.Fatalf("FF count %d too small", s.FFs)
+	}
+	if s.MemBits != 256*32 {
+		t.Fatalf("MemBits = %d, want %d", s.MemBits, 256*32)
+	}
+	if s.Cells < 32 { // multiplier alone should dominate
+		t.Fatalf("cell count %d too small", s.Cells)
+	}
+	if s.CritPath < 2 {
+		t.Fatalf("critical path %d too shallow", s.CritPath)
+	}
+}
+
+func TestResetStateIncludesInitials(t *testing.T) {
+	st, errs := verilog.ParseSourceText(`
+module M(input wire clk);
+  reg [7:0] a = 5;
+  reg [7:0] mem [0:3];
+  integer i;
+  initial for (i = 0; i < 4; i = i + 1) mem[i] = i + 10;
+endmodule`)
+	if errs != nil {
+		t.Fatal(errs)
+	}
+	f, err := elab.Elaborate(st.Modules[0], "dut", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	got := m.GetState()
+	if got.Scalars["a"].Uint64() != 5 {
+		t.Fatal("reg init lost")
+	}
+	if got.Arrays["mem"][2].Uint64() != 12 {
+		t.Fatal("initial-block memory contents lost")
+	}
+}
+
+func BenchmarkMachineCounterTick(b *testing.B) {
+	st, _ := verilog.ParseSourceText(`
+module M(input wire clk, output reg [31:0] cnt);
+  always @(posedge clk) cnt <= cnt + 1;
+endmodule`)
+	f, _ := elab.Elaborate(st.Modules[0], "dut", nil)
+	p, _ := Compile(f)
+	m := NewMachine(p)
+	clk := f.VarNamed("clk")
+	one, zero := bits.FromUint64(1, 1), bits.FromUint64(1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetInput(clk, one)
+		m.Evaluate()
+		m.Update()
+		m.Evaluate()
+		m.SetInput(clk, zero)
+		m.Evaluate()
+	}
+}
+
+func BenchmarkSimCounterTick(b *testing.B) {
+	st, _ := verilog.ParseSourceText(`
+module M(input wire clk, output reg [31:0] cnt);
+  always @(posedge clk) cnt <= cnt + 1;
+endmodule`)
+	f, _ := elab.Elaborate(st.Modules[0], "dut", nil)
+	s := sim.New(f, sim.Options{})
+	clk := f.VarNamed("clk")
+	one, zero := bits.FromUint64(1, 1), bits.FromUint64(1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SetInput(clk, one)
+		s.Evaluate()
+		s.Update()
+		s.Evaluate()
+		s.SetInput(clk, zero)
+		s.Evaluate()
+	}
+}

@@ -1,0 +1,769 @@
+package netlist
+
+import (
+	"math/bits"
+
+	bv "cascade/internal/bits"
+	"cascade/internal/elab"
+	"cascade/internal/sim"
+)
+
+// DisplayEvent is a system-task side effect captured during hardware
+// execution and forwarded to the runtime (printf from hardware, §3.5).
+type DisplayEvent struct {
+	Text    string
+	Newline bool
+	Finish  bool
+}
+
+// Machine executes a compiled netlist program cycle-accurately. It mirrors
+// the evaluate/update interface of the reference simulator so both can sit
+// behind the same engine ABI.
+type Machine struct {
+	prog *Program
+
+	u64   []uint64     // narrow slot values
+	wide  []*bv.Vector // wide slot values (nil for narrow slots)
+	mem64 [][]uint64
+	memW  [][]*bv.Vector
+
+	combDirty  bool
+	seqTrig    []bool
+	seqPending bool
+	edgeWatch  map[int][]edgeHook // slot -> interested seq procs
+
+	pending  []mPending
+	events   []DisplayEvent
+	monLast  []string
+	finished bool
+
+	// NowFn supplies $time.
+	NowFn func() uint64
+
+	// Cycles counts Evaluate calls that did work; Ops counts executed
+	// instructions (the performance model's compute proxy).
+	Cycles uint64
+	Ops    uint64
+}
+
+type edgeHook struct {
+	proc int
+	kind elab.EdgeKind
+}
+
+type mPending struct {
+	slot   int // -1 for memory writes
+	mem    int
+	word   int
+	hasRng bool
+	hi, lo int
+	u      uint64
+	w      *bv.Vector
+	wide   bool
+}
+
+// NewMachine loads a program into a fresh machine and applies the reset
+// state (initial register contents from the bitstream).
+func NewMachine(p *Program) *Machine {
+	m := &Machine{
+		prog:      p,
+		u64:       make([]uint64, len(p.Slots)),
+		wide:      make([]*bv.Vector, len(p.Slots)),
+		seqTrig:   make([]bool, len(p.Seq)),
+		edgeWatch: map[int][]edgeHook{},
+		monLast:   make([]string, len(p.Monitors)),
+	}
+	for i, s := range p.Slots {
+		if s.Wide {
+			m.wide[i] = bv.New(s.Width)
+		}
+	}
+	m.mem64 = make([][]uint64, len(p.Mems))
+	m.memW = make([][]*bv.Vector, len(p.Mems))
+	for i, mi := range p.Mems {
+		if mi.Wide {
+			ws := make([]*bv.Vector, mi.Words)
+			for j := range ws {
+				ws[j] = bv.New(mi.Width)
+			}
+			m.memW[i] = ws
+		} else {
+			m.mem64[i] = make([]uint64, mi.Words)
+		}
+	}
+	for pi, sp := range p.Seq {
+		for _, e := range sp.Edges {
+			slot := p.VarSlot[e.Var.Index]
+			m.edgeWatch[slot] = append(m.edgeWatch[slot], edgeHook{proc: pi, kind: e.Kind})
+		}
+	}
+	m.Reset()
+	return m
+}
+
+// Prog returns the loaded program.
+func (m *Machine) Prog() *Program { return m.prog }
+
+// Reset applies the bitstream's initial state and schedules a full
+// combinational pass.
+func (m *Machine) Reset() {
+	st := &sim.State{Scalars: m.prog.ResetState, Arrays: m.prog.ResetMems}
+	m.SetState(st)
+	m.finished = false
+	m.pending = nil
+}
+
+// Finished reports whether $finish has executed.
+func (m *Machine) Finished() bool { return m.finished }
+
+// DrainEvents returns and clears captured display/finish events.
+func (m *Machine) DrainEvents() []DisplayEvent {
+	ev := m.events
+	m.events = nil
+	return ev
+}
+
+// HasEvents reports whether undrained events exist.
+func (m *Machine) HasEvents() bool { return len(m.events) > 0 }
+
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// slotVec materializes a slot as a bit vector.
+func (m *Machine) slotVec(i int) *bv.Vector {
+	if m.wide[i] != nil {
+		return m.wide[i]
+	}
+	return bv.FromUint64(m.prog.Slots[i].Width, m.u64[i])
+}
+
+// setSlotRaw stores a value without change detection (temporaries).
+func (m *Machine) setSlotRaw(i int, v *bv.Vector) {
+	if m.wide[i] != nil {
+		m.wide[i].CopyFrom(v)
+		return
+	}
+	m.u64[i] = v.Uint64() & mask(m.prog.Slots[i].Width)
+}
+
+// writeVarSlot stores into a variable-backed slot with change detection,
+// marking combinational logic dirty and firing edge triggers.
+func (m *Machine) writeVarSlot(i int, newU uint64, newW *bv.Vector, isWide bool) bool {
+	if isWide || m.wide[i] != nil {
+		v := newW
+		if v == nil {
+			v = bv.FromUint64(m.prog.Slots[i].Width, newU)
+		}
+		if m.wide[i] != nil {
+			oldLSB := m.wide[i].Bit(0)
+			if !m.wide[i].CopyFrom(v) {
+				return false
+			}
+			m.onVarChange(i, oldLSB, m.wide[i].Bit(0))
+			return true
+		}
+		newU = v.Uint64()
+	}
+	newU &= mask(m.prog.Slots[i].Width)
+	old := m.u64[i]
+	if old == newU {
+		return false
+	}
+	m.u64[i] = newU
+	m.onVarChange(i, uint(old&1), uint(newU&1))
+	return true
+}
+
+func (m *Machine) onVarChange(slot int, oldLSB, newLSB uint) {
+	m.combDirty = true
+	for _, h := range m.edgeWatch[slot] {
+		if (h.kind == elab.Pos && oldLSB == 0 && newLSB == 1) ||
+			(h.kind == elab.Neg && oldLSB == 1 && newLSB == 0) {
+			m.seqTrig[h.proc] = true
+			m.seqPending = true
+		}
+	}
+}
+
+// SetInput drives an input variable (engine ABI read).
+func (m *Machine) SetInput(v *elab.Var, val *bv.Vector) {
+	slot := m.prog.VarSlot[v.Index]
+	m.writeVarSlot(slot, val.Uint64(), val, m.prog.Slots[slot].Wide)
+}
+
+// ReadVar returns the current value of a scalar variable.
+func (m *Machine) ReadVar(v *elab.Var) *bv.Vector {
+	return m.slotVec(m.prog.VarSlot[v.Index]).Clone()
+}
+
+// HasActive reports pending evaluation work (there_are_evals).
+func (m *Machine) HasActive() bool { return m.combDirty || m.seqPending }
+
+// HasUpdates reports queued non-blocking writes (there_are_updates).
+func (m *Machine) HasUpdates() bool { return len(m.pending) > 0 }
+
+// Evaluate runs triggered sequential processes and then settles
+// combinational logic (one EvalAll batch).
+func (m *Machine) Evaluate() {
+	worked := false
+	for m.seqPending || m.combDirty {
+		worked = true
+		if m.seqPending {
+			m.seqPending = false
+			for i := range m.seqTrig {
+				if m.seqTrig[i] {
+					m.seqTrig[i] = false
+					m.exec(m.prog.Seq[i].Entry)
+				}
+			}
+		}
+		if m.combDirty {
+			m.combDirty = false
+			for _, u := range m.prog.Comb {
+				m.exec(u.Entry)
+			}
+		}
+	}
+	if worked {
+		m.Cycles++
+	}
+}
+
+// Update commits queued non-blocking writes (the update batch).
+func (m *Machine) Update() {
+	pend := m.pending
+	m.pending = nil
+	for _, p := range pend {
+		if p.slot < 0 {
+			m.commitMem(p)
+			continue
+		}
+		if p.hasRng {
+			cur := m.slotVec(p.slot).Clone()
+			var val *bv.Vector
+			if p.wide {
+				val = p.w
+			} else {
+				val = bv.FromUint64(p.hi-p.lo+1, p.u)
+			}
+			if cur.SetSlice(p.hi, p.lo, val) {
+				m.writeVarSlot(p.slot, cur.Uint64(), cur, true)
+			}
+			continue
+		}
+		m.writeVarSlot(p.slot, p.u, p.w, p.wide)
+	}
+}
+
+func (m *Machine) commitMem(p mPending) {
+	mi := m.prog.Mems[p.mem]
+	if p.word < 0 || p.word >= mi.Words {
+		return
+	}
+	if mi.Wide {
+		m.memW[p.mem][p.word].CopyFrom(p.w)
+	} else {
+		m.mem64[p.mem][p.word] = p.u & mask(mi.Width)
+	}
+	m.combDirty = true
+}
+
+// EndStep re-evaluates $monitor units and emits changed lines.
+func (m *Machine) EndStep() {
+	for i, mon := range m.prog.Monitors {
+		m.exec(mon.Entry)
+		// The unit's OpDisplay appended an event; convert the trailing
+		// event into a monitor line only when it changed.
+		if len(m.events) == 0 {
+			continue
+		}
+		ev := m.events[len(m.events)-1]
+		m.events = m.events[:len(m.events)-1]
+		if m.monLast[i] != ev.Text || m.monLast[i] == "" {
+			m.monLast[i] = ev.Text
+			m.events = append(m.events, ev)
+		}
+	}
+}
+
+// GetState snapshots all variables into a sim.State (shared snapshot
+// format across engine kinds).
+func (m *Machine) GetState() *sim.State {
+	st := &sim.State{Scalars: map[string]*bv.Vector{}, Arrays: map[string][]*bv.Vector{}}
+	for _, v := range m.prog.Flat.Vars {
+		if v.IsArray() {
+			idx := m.prog.MemOf[v.Index]
+			words := make([]*bv.Vector, v.ArrayLen)
+			for j := 0; j < v.ArrayLen; j++ {
+				if m.prog.Mems[idx].Wide {
+					words[j] = m.memW[idx][j].Clone()
+				} else {
+					words[j] = bv.FromUint64(v.Width, m.mem64[idx][j])
+				}
+			}
+			st.Arrays[v.Name] = words
+			continue
+		}
+		st.Scalars[v.Name] = m.slotVec(m.prog.VarSlot[v.Index]).Clone()
+	}
+	return st
+}
+
+// SetState installs a snapshot without fabricating edges, then schedules
+// a combinational settle.
+func (m *Machine) SetState(st *sim.State) {
+	for _, v := range m.prog.Flat.Vars {
+		if v.IsArray() {
+			words, ok := st.Arrays[v.Name]
+			if !ok {
+				continue
+			}
+			idx := m.prog.MemOf[v.Index]
+			for j := 0; j < len(words) && j < v.ArrayLen; j++ {
+				if m.prog.Mems[idx].Wide {
+					m.memW[idx][j].CopyFrom(words[j])
+				} else {
+					m.mem64[idx][j] = words[j].Uint64() & mask(v.Width)
+				}
+			}
+			continue
+		}
+		val, ok := st.Scalars[v.Name]
+		if !ok {
+			continue
+		}
+		slot := m.prog.VarSlot[v.Index]
+		if m.wide[slot] != nil {
+			m.wide[slot].CopyFrom(val)
+		} else {
+			m.u64[slot] = val.Uint64() & mask(v.Width)
+		}
+	}
+	// State loads happen only between time steps: no sequential process
+	// may be left triggered by the raw slot writes above.
+	for i := range m.seqTrig {
+		m.seqTrig[i] = false
+	}
+	m.seqPending = false
+	m.combDirty = true
+}
+
+// exec runs compiled code starting at pc until OpHalt.
+func (m *Machine) exec(pc int) {
+	code := m.prog.Code
+	for {
+		op := &code[pc]
+		m.Ops++
+		if op.Wide {
+			if m.execWide(op) {
+				pc = op.Target
+				continue
+			}
+			if op.Kind == OpHalt {
+				return
+			}
+			pc++
+			continue
+		}
+		switch op.Kind {
+		case OpHalt:
+			return
+		case OpJump:
+			pc = op.Target
+			continue
+		case OpJz:
+			if m.u64[op.Srcs[0]] == 0 {
+				pc = op.Target
+				continue
+			}
+		case OpConst:
+			m.u64[op.Dst] = op.Const.Uint64() & mask(op.Width)
+		case OpMove:
+			m.u64[op.Dst] = m.u64[op.Srcs[0]] & mask(op.Width)
+		case OpAdd:
+			m.u64[op.Dst] = (m.u64[op.Srcs[0]] + m.u64[op.Srcs[1]]) & mask(op.Width)
+		case OpSub:
+			m.u64[op.Dst] = (m.u64[op.Srcs[0]] - m.u64[op.Srcs[1]]) & mask(op.Width)
+		case OpMul:
+			m.u64[op.Dst] = (m.u64[op.Srcs[0]] * m.u64[op.Srcs[1]]) & mask(op.Width)
+		case OpDiv:
+			d := m.u64[op.Srcs[1]]
+			if d == 0 {
+				m.u64[op.Dst] = 0
+			} else {
+				m.u64[op.Dst] = (m.u64[op.Srcs[0]] / d) & mask(op.Width)
+			}
+		case OpMod:
+			d := m.u64[op.Srcs[1]]
+			if d == 0 {
+				m.u64[op.Dst] = 0
+			} else {
+				m.u64[op.Dst] = (m.u64[op.Srcs[0]] % d) & mask(op.Width)
+			}
+		case OpPow:
+			m.u64[op.Dst] = powMod(m.u64[op.Srcs[0]], m.u64[op.Srcs[1]]) & mask(op.Width)
+		case OpAnd:
+			m.u64[op.Dst] = m.u64[op.Srcs[0]] & m.u64[op.Srcs[1]]
+		case OpOr:
+			m.u64[op.Dst] = m.u64[op.Srcs[0]] | m.u64[op.Srcs[1]]
+		case OpXor:
+			m.u64[op.Dst] = m.u64[op.Srcs[0]] ^ m.u64[op.Srcs[1]]
+		case OpXnor:
+			m.u64[op.Dst] = ^(m.u64[op.Srcs[0]] ^ m.u64[op.Srcs[1]]) & mask(op.Width)
+		case OpNot:
+			m.u64[op.Dst] = ^m.u64[op.Srcs[0]] & mask(op.Width)
+		case OpNeg:
+			m.u64[op.Dst] = (-m.u64[op.Srcs[0]]) & mask(op.Width)
+		case OpLogNot:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] == 0)
+		case OpRedAnd:
+			w := m.prog.Slots[op.Srcs[0]].Width
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] == mask(w))
+		case OpRedOr:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] != 0)
+		case OpRedXor:
+			m.u64[op.Dst] = uint64(bits.OnesCount64(m.u64[op.Srcs[0]]) & 1)
+		case OpRedNand:
+			w := m.prog.Slots[op.Srcs[0]].Width
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] != mask(w))
+		case OpRedNor:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] == 0)
+		case OpRedXnor:
+			m.u64[op.Dst] = uint64(^bits.OnesCount64(m.u64[op.Srcs[0]]) & 1)
+		case OpEq:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] == m.u64[op.Srcs[1]])
+		case OpNe:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] != m.u64[op.Srcs[1]])
+		case OpLt:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] < m.u64[op.Srcs[1]])
+		case OpLe:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] <= m.u64[op.Srcs[1]])
+		case OpGt:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] > m.u64[op.Srcs[1]])
+		case OpGe:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] >= m.u64[op.Srcs[1]])
+		case OpLogAnd:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] != 0 && m.u64[op.Srcs[1]] != 0)
+		case OpLogOr:
+			m.u64[op.Dst] = b2u(m.u64[op.Srcs[0]] != 0 || m.u64[op.Srcs[1]] != 0)
+		case OpShl:
+			sh := m.u64[op.Srcs[1]]
+			if sh >= 64 {
+				m.u64[op.Dst] = 0
+			} else {
+				m.u64[op.Dst] = (m.u64[op.Srcs[0]] << sh) & mask(op.Width)
+			}
+		case OpShr:
+			sh := m.u64[op.Srcs[1]]
+			if sh >= 64 {
+				m.u64[op.Dst] = 0
+			} else {
+				m.u64[op.Dst] = (m.u64[op.Srcs[0]] & mask(op.Width)) >> sh
+			}
+		case OpSlice:
+			m.u64[op.Dst] = (m.u64[op.Srcs[0]] >> op.Lo) & mask(op.Width)
+		case OpBitSel:
+			idx := m.u64[op.Srcs[1]]
+			if idx >= uint64(m.prog.Slots[op.Srcs[0]].Width) {
+				m.u64[op.Dst] = 0
+			} else {
+				m.u64[op.Dst] = (m.u64[op.Srcs[0]] >> idx) & 1
+			}
+		case OpConcat:
+			var acc uint64
+			for _, s := range op.Srcs {
+				w := m.prog.Slots[s].Width
+				acc = acc<<w | (m.u64[s] & mask(w))
+			}
+			m.u64[op.Dst] = acc & mask(op.Width)
+		case OpRepl:
+			w := m.prog.Slots[op.Srcs[0]].Width
+			v := m.u64[op.Srcs[0]] & mask(w)
+			var acc uint64
+			for i := 0; i < op.N; i++ {
+				acc = acc<<w | v
+			}
+			m.u64[op.Dst] = acc & mask(op.Width)
+		case OpMux:
+			if m.u64[op.Srcs[0]] != 0 {
+				m.u64[op.Dst] = m.u64[op.Srcs[1]] & mask(op.Width)
+			} else {
+				m.u64[op.Dst] = m.u64[op.Srcs[2]] & mask(op.Width)
+			}
+		case OpTime:
+			if m.NowFn != nil {
+				m.u64[op.Dst] = m.NowFn()
+			} else {
+				m.u64[op.Dst] = 0
+			}
+		case OpMemRead:
+			addr := m.u64[op.Srcs[0]]
+			mi := m.prog.Mems[op.Aux]
+			if addr >= uint64(mi.Words) {
+				m.u64[op.Dst] = 0
+			} else {
+				m.u64[op.Dst] = m.mem64[op.Aux][addr]
+			}
+		case OpWrite:
+			m.writeVarSlot(op.Dst, m.u64[op.Srcs[0]], nil, false)
+		case OpWriteRng:
+			cur := m.slotVec(op.Dst).Clone()
+			if cur.SetSlice(op.Hi, op.Lo, bv.FromUint64(op.Width, m.u64[op.Srcs[0]])) {
+				m.writeVarSlot(op.Dst, cur.Uint64(), cur, false)
+			}
+		case OpWriteBit:
+			idx := m.u64[op.Srcs[1]]
+			if idx < uint64(m.prog.Slots[op.Dst].Width) {
+				cur := m.u64[op.Dst]
+				nv := cur&^(1<<idx) | (m.u64[op.Srcs[0]] & 1 << idx)
+				m.writeVarSlot(op.Dst, nv, nil, false)
+			}
+		case OpMemWrite:
+			mi := m.prog.Mems[op.Aux]
+			addr := m.u64[op.Srcs[1]]
+			if addr < uint64(mi.Words) {
+				if m.mem64[op.Aux][addr] != m.u64[op.Srcs[0]]&mask(mi.Width) {
+					m.mem64[op.Aux][addr] = m.u64[op.Srcs[0]] & mask(mi.Width)
+					m.combDirty = true
+				}
+			}
+		case OpWriteNB:
+			m.pending = append(m.pending, mPending{slot: op.Dst, u: m.u64[op.Srcs[0]]})
+		case OpWriteRngNB:
+			m.pending = append(m.pending, mPending{slot: op.Dst, hasRng: true, hi: op.Hi, lo: op.Lo, u: m.u64[op.Srcs[0]]})
+		case OpWriteBitNB:
+			idx := m.u64[op.Srcs[1]]
+			if idx < uint64(m.prog.Slots[op.Dst].Width) {
+				m.pending = append(m.pending, mPending{slot: op.Dst, hasRng: true, hi: int(idx), lo: int(idx), u: m.u64[op.Srcs[0]]})
+			}
+		case OpMemWriteNB:
+			addr := m.u64[op.Srcs[1]]
+			m.pending = append(m.pending, mPending{slot: -1, mem: op.Aux, word: int(addr), u: m.u64[op.Srcs[0]]})
+		case OpDisplay:
+			m.display(op)
+		case OpFinish:
+			m.finished = true
+			m.events = append(m.events, DisplayEvent{Finish: true})
+		}
+		pc++
+	}
+}
+
+// execWide handles instructions touching wide values using bit-vector
+// arithmetic. It returns true if the op was a taken jump.
+func (m *Machine) execWide(op *Op) bool {
+	get := func(i int) *bv.Vector { return m.slotVec(op.Srcs[i]) }
+	switch op.Kind {
+	case OpHalt:
+		return false
+	case OpJump:
+		return true
+	case OpJz:
+		return get(0).IsZero()
+	case OpConst:
+		m.setSlotRaw(op.Dst, op.Const)
+	case OpMove:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width))
+	case OpAdd:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Add(get(1).Resize(op.Width)))
+	case OpSub:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Sub(get(1).Resize(op.Width)))
+	case OpMul:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Mul(get(1).Resize(op.Width)))
+	case OpDiv:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Div(get(1).Resize(op.Width)))
+	case OpMod:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Mod(get(1).Resize(op.Width)))
+	case OpPow:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Pow(get(1)))
+	case OpAnd:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).And(get(1).Resize(op.Width)))
+	case OpOr:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Or(get(1).Resize(op.Width)))
+	case OpXor:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Xor(get(1).Resize(op.Width)))
+	case OpXnor:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Xnor(get(1).Resize(op.Width)))
+	case OpNot:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Not())
+	case OpNeg:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Neg())
+	case OpLogNot:
+		m.setSlotRaw(op.Dst, bv.FromBool(get(0).IsZero()))
+	case OpRedAnd:
+		m.setSlotRaw(op.Dst, get(0).RedAnd())
+	case OpRedOr:
+		m.setSlotRaw(op.Dst, get(0).RedOr())
+	case OpRedXor:
+		m.setSlotRaw(op.Dst, get(0).RedXor())
+	case OpRedNand:
+		m.setSlotRaw(op.Dst, bv.FromBool(!get(0).RedAnd().Bool()))
+	case OpRedNor:
+		m.setSlotRaw(op.Dst, bv.FromBool(get(0).IsZero()))
+	case OpRedXnor:
+		m.setSlotRaw(op.Dst, bv.FromBool(!get(0).RedXor().Bool()))
+	case OpEq:
+		m.setSlotRaw(op.Dst, bv.FromBool(get(0).Equal(get(1))))
+	case OpNe:
+		m.setSlotRaw(op.Dst, bv.FromBool(!get(0).Equal(get(1))))
+	case OpLt:
+		m.setSlotRaw(op.Dst, bv.FromBool(get(0).Cmp(get(1)) < 0))
+	case OpLe:
+		m.setSlotRaw(op.Dst, bv.FromBool(get(0).Cmp(get(1)) <= 0))
+	case OpGt:
+		m.setSlotRaw(op.Dst, bv.FromBool(get(0).Cmp(get(1)) > 0))
+	case OpGe:
+		m.setSlotRaw(op.Dst, bv.FromBool(get(0).Cmp(get(1)) >= 0))
+	case OpLogAnd:
+		m.setSlotRaw(op.Dst, bv.FromBool(get(0).Bool() && get(1).Bool()))
+	case OpLogOr:
+		m.setSlotRaw(op.Dst, bv.FromBool(get(0).Bool() || get(1).Bool()))
+	case OpShl:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Shl(get(1)))
+	case OpShr:
+		m.setSlotRaw(op.Dst, get(0).Resize(op.Width).Shr(get(1)))
+	case OpSlice:
+		m.setSlotRaw(op.Dst, get(0).Slice(op.Hi, op.Lo))
+	case OpBitSel:
+		v := get(0)
+		idx := get(1)
+		i := int(idx.Uint64())
+		if !idx.Equal(bv.FromUint64(64, uint64(i))) || i >= v.Width() {
+			m.setSlotRaw(op.Dst, bv.New(1))
+		} else {
+			m.setSlotRaw(op.Dst, bv.FromUint64(1, uint64(v.Bit(i))))
+		}
+	case OpConcat:
+		acc := get(0).Clone()
+		for i := 1; i < len(op.Srcs); i++ {
+			acc = acc.Concat(get(i))
+		}
+		m.setSlotRaw(op.Dst, acc)
+	case OpRepl:
+		m.setSlotRaw(op.Dst, get(0).Repl(op.N))
+	case OpMux:
+		if get(0).Bool() {
+			m.setSlotRaw(op.Dst, get(1).Resize(op.Width))
+		} else {
+			m.setSlotRaw(op.Dst, get(2).Resize(op.Width))
+		}
+	case OpTime:
+		if m.NowFn != nil {
+			m.setSlotRaw(op.Dst, bv.FromUint64(64, m.NowFn()))
+		} else {
+			m.setSlotRaw(op.Dst, bv.New(64))
+		}
+	case OpMemRead:
+		mi := m.prog.Mems[op.Aux]
+		idx := get(0)
+		addr := int(idx.Uint64())
+		if !idx.Equal(bv.FromUint64(64, uint64(addr))) || addr >= mi.Words {
+			m.setSlotRaw(op.Dst, bv.New(mi.Width))
+		} else if mi.Wide {
+			m.setSlotRaw(op.Dst, m.memW[op.Aux][addr])
+		} else {
+			m.setSlotRaw(op.Dst, bv.FromUint64(mi.Width, m.mem64[op.Aux][addr]))
+		}
+	case OpWrite:
+		m.writeVarSlot(op.Dst, 0, get(0).Resize(m.prog.Slots[op.Dst].Width), true)
+	case OpWriteRng:
+		cur := m.slotVec(op.Dst).Clone()
+		if cur.SetSlice(op.Hi, op.Lo, get(0)) {
+			m.writeVarSlot(op.Dst, 0, cur, true)
+		}
+	case OpWriteBit:
+		idx := get(1)
+		i := int(idx.Uint64())
+		if idx.Equal(bv.FromUint64(64, uint64(i))) && i < m.prog.Slots[op.Dst].Width {
+			cur := m.slotVec(op.Dst).Clone()
+			if cur.SetSlice(i, i, get(0)) {
+				m.writeVarSlot(op.Dst, 0, cur, true)
+			}
+		}
+	case OpMemWrite:
+		mi := m.prog.Mems[op.Aux]
+		idx := get(1)
+		addr := int(idx.Uint64())
+		if idx.Equal(bv.FromUint64(64, uint64(addr))) && addr < mi.Words {
+			val := get(0).Resize(mi.Width)
+			if mi.Wide {
+				if m.memW[op.Aux][addr].CopyFrom(val) {
+					m.combDirty = true
+				}
+			} else if m.mem64[op.Aux][addr] != val.Uint64() {
+				m.mem64[op.Aux][addr] = val.Uint64()
+				m.combDirty = true
+			}
+		}
+	case OpWriteNB:
+		m.pending = append(m.pending, mPending{slot: op.Dst, w: get(0).Resize(m.prog.Slots[op.Dst].Width), wide: true})
+	case OpWriteRngNB:
+		m.pending = append(m.pending, mPending{slot: op.Dst, hasRng: true, hi: op.Hi, lo: op.Lo, w: get(0).Clone(), wide: true})
+	case OpWriteBitNB:
+		idx := get(1)
+		i := int(idx.Uint64())
+		if idx.Equal(bv.FromUint64(64, uint64(i))) && i < m.prog.Slots[op.Dst].Width {
+			m.pending = append(m.pending, mPending{slot: op.Dst, hasRng: true, hi: i, lo: i, w: get(0).Clone(), wide: true})
+		}
+	case OpMemWriteNB:
+		idx := get(1)
+		addr := int(idx.Uint64())
+		if !idx.Equal(bv.FromUint64(64, uint64(addr))) {
+			addr = -1
+		}
+		m.pending = append(m.pending, mPending{slot: -1, mem: op.Aux, word: addr, w: get(0).Resize(m.prog.Mems[op.Aux].Width), wide: true})
+	case OpDisplay:
+		m.display(op)
+	case OpFinish:
+		m.finished = true
+		m.events = append(m.events, DisplayEvent{Finish: true})
+	}
+	return false
+}
+
+func (m *Machine) display(op *Op) {
+	task := m.prog.Tasks[op.Aux]
+	vals := make([]*bv.Vector, len(op.Srcs))
+	for i, s := range op.Srcs {
+		vals[i] = m.slotVec(s).Clone()
+	}
+	var text string
+	if task.Src.Format == "" {
+		for i, v := range vals {
+			if i > 0 {
+				text += " "
+			}
+			text += v.Dec()
+		}
+	} else {
+		text = sim.FormatDisplay(task.Src.Format, vals, m.prog.Flat.Name)
+	}
+	m.events = append(m.events, DisplayEvent{
+		Text:    text,
+		Newline: task.Src.Kind != elab.TaskWrite,
+	})
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// powMod computes x**y mod 2^64 by binary exponentiation.
+func powMod(x, y uint64) uint64 {
+	var r uint64 = 1
+	for y > 0 {
+		if y&1 != 0 {
+			r *= x
+		}
+		x *= x
+		y >>= 1
+	}
+	return r
+}

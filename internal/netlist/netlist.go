@@ -1,0 +1,168 @@
+// Package netlist synthesizes an elaborated subprogram into a word-level
+// RTL netlist and provides a compiled cycle evaluator for it — the
+// "bitstream" executed by Cascade-Go's simulated FPGA.
+//
+// Compilation levelizes combinational logic (continuous assignments, @*
+// and level-sensitive processes) into a feed-forward instruction schedule
+// and lowers every process body to a small register machine with jump
+// instructions. Values at or below 64 bits execute on a fast uint64 path;
+// wider values fall back to bits.Vector arithmetic. The package also
+// derives the area and critical-path statistics that the blackbox
+// toolchain model (internal/toolchain) uses for compile-latency, fit, and
+// timing-closure decisions.
+//
+// Observable-state equivalence between this evaluator and the reference
+// event-driven interpreter (internal/sim) is the load-bearing invariant of
+// the whole system; it is property-tested in equiv_test.go.
+package netlist
+
+import (
+	"fmt"
+
+	"cascade/internal/bits"
+	"cascade/internal/elab"
+)
+
+// OpKind enumerates netlist instructions.
+type OpKind int
+
+// Instruction kinds.
+const (
+	OpConst OpKind = iota // dst = const
+	OpMove                // dst = resize(src0, width)
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpPow
+	OpAnd
+	OpOr
+	OpXor
+	OpXnor
+	OpNot    // bitwise complement
+	OpNeg    // two's complement negate
+	OpLogNot // dst = (src0 == 0)
+	OpRedAnd
+	OpRedOr
+	OpRedXor
+	OpRedNand
+	OpRedNor
+	OpRedXnor
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLogAnd
+	OpLogOr
+	OpShl // dynamic shift amount in src1
+	OpShr
+	OpSlice    // dst = src0[hi:lo]
+	OpBitSel   // dst = src0[src1], 0 if out of range
+	OpConcat   // dst = {srcs...}, MSB first
+	OpRepl     // dst = {n{src0}}
+	OpMux      // dst = src0 ? src1 : src2
+	OpTime     // dst = virtual time
+	OpMemRead  // dst = mem[src0]
+	OpJump     // pc = Target
+	OpJz       // if src0 == 0 then pc = Target
+	OpWrite    // write full var slot Dst from src0 (blocking)
+	OpWriteRng // write var slot bits [hi:lo] from src0 (blocking)
+	OpWriteBit // write var slot bit [src1] from src0 (blocking)
+	OpMemWrite // mem[src1] = src0 (blocking)
+	OpWriteNB  // non-blocking variants: queue for Update
+	OpWriteRngNB
+	OpWriteBitNB
+	OpMemWriteNB
+	OpDisplay // emit task Aux with captured args
+	OpFinish
+	OpHalt // end of a compiled body
+)
+
+// Op is one netlist instruction. Fields are interpreted per kind.
+type Op struct {
+	Kind   OpKind
+	Dst    int   // destination slot (or variable slot for writes)
+	Srcs   []int // source slots
+	Width  int   // result width
+	Hi, Lo int   // slice / ranged write bounds
+	N      int   // replication count
+	Target int   // jump target pc
+	Aux    int   // task index (display), mem index (mem ops)
+	Const  *bits.Vector
+	Wide   bool // any operand or result wider than 64 bits
+}
+
+// Task is a system task compiled into the netlist.
+type Task struct {
+	Src     *elab.SysTask
+	Monitor bool
+}
+
+// MemInfo describes one synthesized memory block.
+type MemInfo struct {
+	Var   *elab.Var
+	Words int
+	Width int
+	Wide  bool
+}
+
+// SeqProc is a compiled edge-triggered process.
+type SeqProc struct {
+	Edges []elab.Edge
+	Entry int // pc into Code
+}
+
+// CombUnit is one levelized combinational unit.
+type CombUnit struct {
+	Entry int // pc into Code
+}
+
+// MonitorUnit is a compiled $monitor: a code unit that captures the
+// monitored values, run at the end of each time step.
+type MonitorUnit struct {
+	Entry int // pc into Code
+}
+
+// Program is a synthesized netlist: shared code array, slot metadata, and
+// the schedule.
+type Program struct {
+	Flat *elab.Flat
+
+	Code  []Op
+	Slots []SlotInfo
+
+	VarSlot []int // Var.Index -> slot (scalars; -1 for memories)
+	Mems    []MemInfo
+	MemOf   []int // Var.Index -> mem index or -1
+
+	Comb     []CombUnit // in topological order
+	Seq      []SeqProc
+	Monitors []MonitorUnit
+	Tasks    []Task
+
+	// ResetState is the post-initial-block state captured at synthesis
+	// time (FPGA bitstreams carry initial register contents).
+	ResetState map[string]*bits.Vector
+	ResetMems  map[string][]*bits.Vector
+
+	Stats Stats
+}
+
+// SlotInfo describes one value slot.
+type SlotInfo struct {
+	Width int
+	Wide  bool
+	Var   *elab.Var // non-nil if this slot backs a named variable
+}
+
+// Error is a synthesis error.
+type Error struct{ Msg string }
+
+func (e *Error) Error() string { return "netlist: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,276 @@
+// Package repl implements Cascade-Go's user interface (paper §3.1,
+// Figure 3): a read-eval-print loop in the style of a Python interpreter.
+// Verilog is lexed, parsed, and type-checked one input at a time; module
+// declarations join the outer scope, statements append to the implicit
+// root module, and code begins executing the moment it is accepted — IO
+// side effects are visible immediately, while the JIT compiles hardware
+// in the background. Batch mode feeds a file through the same path.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"cascade/internal/runtime"
+	"cascade/internal/vclock"
+	"cascade/internal/verilog"
+)
+
+// REPL couples a runtime to an input/output stream.
+type REPL struct {
+	rt  *runtime.Runtime
+	out io.Writer
+
+	mu   sync.Mutex // guards rt
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// view adapts the REPL's writer to the runtime's view interface.
+type view struct {
+	out io.Writer
+}
+
+func (v *view) Display(text string)        { fmt.Fprint(v.out, text) }
+func (v *view) Info(f string, args ...any) { fmt.Fprintf(v.out, "[cascade] "+f+"\n", args...) }
+func (v *view) Error(err error)            { fmt.Fprintf(v.out, "[cascade] error: %v\n", err) }
+
+// New builds a REPL over a runtime configured with opts; the runtime's
+// view is pointed at out. The standard prelude is evaluated.
+func New(opts runtime.Options, out io.Writer) (*REPL, error) {
+	opts.View = &view{out: out}
+	rt := runtime.New(opts)
+	if err := rt.Eval(runtime.DefaultPrelude); err != nil {
+		return nil, err
+	}
+	return &REPL{rt: rt, out: out, stop: make(chan struct{})}, nil
+}
+
+// NewRestored builds a REPL around a restored snapshot instead of the
+// standard prelude: the migrated program continues under interactive
+// control (the -restore flag of cmd/cascade).
+func NewRestored(opts runtime.Options, snap *runtime.Snapshot, out io.Writer) (*REPL, error) {
+	opts.View = &view{out: out}
+	rt := runtime.New(opts)
+	if err := rt.Restore(snap); err != nil {
+		return nil, err
+	}
+	return &REPL{rt: rt, out: out, stop: make(chan struct{})}, nil
+}
+
+// Runtime exposes the underlying runtime (tests, commands).
+func (r *REPL) Runtime() *runtime.Runtime { return r.rt }
+
+// start launches the background scheduler: the program keeps running
+// while the user types.
+func (r *REPL) start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			select {
+			case <-r.stop:
+				return
+			default:
+			}
+			r.mu.Lock()
+			if !r.rt.Finished() {
+				r.rt.RunTicks(1)
+			}
+			fin := r.rt.Finished()
+			r.mu.Unlock()
+			if fin {
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+}
+
+// Close stops the background scheduler.
+func (r *REPL) Close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.wg.Wait()
+}
+
+// InputComplete reports whether src forms a complete eval unit: balanced
+// module/begin/case nesting and brackets, ending at a statement boundary.
+func InputComplete(src string) bool {
+	toks, _ := verilog.LexAll(src)
+	depth, paren := 0, 0
+	last := verilog.EOF
+	for _, t := range toks {
+		switch t.Kind {
+		case verilog.KwModule, verilog.KwBegin, verilog.KwCase, verilog.KwCasez:
+			depth++
+		case verilog.KwEndmodule, verilog.KwEnd, verilog.KwEndcase:
+			depth--
+		case verilog.LParen, verilog.LBrack, verilog.LBrace:
+			paren++
+		case verilog.RParen, verilog.RBrack, verilog.RBrace:
+			paren--
+		}
+		if t.Kind != verilog.EOF {
+			last = t.Kind
+		}
+	}
+	if depth > 0 || paren > 0 {
+		return false
+	}
+	switch last {
+	case verilog.Semi, verilog.KwEndmodule, verilog.KwEnd, verilog.KwEndcase, verilog.EOF:
+		return true
+	}
+	return false
+}
+
+// Interact runs the interactive loop until EOF or :quit.
+func (r *REPL) Interact(in io.Reader) error {
+	fmt.Fprintln(r.out, "Cascade-Go — a JIT compiler for Verilog. Type :help for commands.")
+	r.start()
+	defer r.Close()
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Fprint(r.out, "CASCADE >>> ")
+		} else {
+			fmt.Fprint(r.out, "        ... ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, ":") {
+			if quit := r.command(trimmed); quit {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if InputComplete(pending.String()) && strings.TrimSpace(pending.String()) != "" {
+			src := pending.String()
+			pending.Reset()
+			r.mu.Lock()
+			err := r.rt.Eval(src)
+			r.mu.Unlock()
+			if err != nil {
+				fmt.Fprintf(r.out, "error: %v\n", err)
+			}
+		}
+		prompt()
+	}
+	return scanner.Err()
+}
+
+// command handles a :directive; it reports whether the REPL should exit.
+func (r *REPL) command(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":quit", ":q", ":exit":
+		return true
+	case ":help", ":h":
+		fmt.Fprint(r.out, `commands:
+  :help            this text
+  :quit            exit
+  :phase           current JIT phase and virtual time
+  :stats           scheduler and device statistics
+  :pad <value>     press/release buttons (bit i = button i)
+  :leds            show the LED bank
+  :run <ticks>     run N clock ticks synchronously
+  :program         echo the program eval'd so far
+  :save <path>     write a migratable snapshot of the running program
+`)
+	case ":phase":
+		r.mu.Lock()
+		fmt.Fprintf(r.out, "phase=%v vtime=%.3fs ticks=%d area=%d LEs\n",
+			r.rt.Phase(), float64(r.rt.VirtualNow())/float64(vclock.S), r.rt.Ticks(), r.rt.AreaLEs())
+		r.mu.Unlock()
+	case ":stats":
+		r.mu.Lock()
+		c := r.rt.Clock()
+		fmt.Fprintf(r.out, "steps=%d ticks=%d compute=%.3fs comm=%.3fs overhead=%.3fs messages=%d\n",
+			r.rt.Steps(), r.rt.Ticks(),
+			float64(c.ComputePs)/float64(vclock.S),
+			float64(c.CommPs)/float64(vclock.S),
+			float64(c.OverheadPs)/float64(vclock.S),
+			c.Messages)
+		r.mu.Unlock()
+	case ":pad":
+		if len(fields) < 2 {
+			fmt.Fprintln(r.out, "usage: :pad <value>")
+			break
+		}
+		var v uint64
+		fmt.Sscanf(fields[1], "%v", &v)
+		r.rt.World().PressPad("main.pad", v)
+		fmt.Fprintf(r.out, "pad=%d\n", v)
+	case ":leds":
+		v := r.rt.World().Led("main.led")
+		var lights strings.Builder
+		for i := 7; i >= 0; i-- {
+			if v>>uint(i)&1 == 1 {
+				lights.WriteString("●")
+			} else {
+				lights.WriteString("○")
+			}
+		}
+		fmt.Fprintf(r.out, "led=%08b %s\n", v, lights.String())
+	case ":save":
+		if len(fields) < 2 {
+			fmt.Fprintln(r.out, "usage: :save <path>")
+			break
+		}
+		r.mu.Lock()
+		blob := runtime.EncodeSnapshot(r.rt.Snapshot())
+		r.mu.Unlock()
+		if err := os.WriteFile(fields[1], []byte(blob), 0o644); err != nil {
+			fmt.Fprintf(r.out, "save failed: %v\n", err)
+			break
+		}
+		fmt.Fprintf(r.out, "snapshot written to %s (%d bytes)\n", fields[1], len(blob))
+	case ":program":
+		r.mu.Lock()
+		fmt.Fprint(r.out, r.rt.ProgramSource())
+		r.mu.Unlock()
+	case ":run":
+		n := uint64(1)
+		if len(fields) > 1 {
+			fmt.Sscanf(fields[1], "%d", &n)
+		}
+		r.mu.Lock()
+		r.rt.RunTicks(n)
+		r.mu.Unlock()
+		fmt.Fprintf(r.out, "ticks=%d\n", r.rt.Ticks())
+	default:
+		fmt.Fprintf(r.out, "unknown command %s (:help)\n", fields[0])
+	}
+	return false
+}
+
+// Batch evaluates a whole source file and runs until $finish or the tick
+// budget is exhausted (paper: "Cascade can also be run in batch mode with
+// input provided through a file. The process is the same.").
+func (r *REPL) Batch(src string, maxTicks uint64) error {
+	if err := r.rt.Eval(src); err != nil {
+		return err
+	}
+	start := r.rt.Ticks()
+	for !r.rt.Finished() && r.rt.Ticks()-start < maxTicks {
+		r.rt.RunTicks(1)
+	}
+	return nil
+}

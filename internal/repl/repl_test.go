@@ -1,0 +1,149 @@
+package repl
+
+import (
+	"strings"
+	"testing"
+
+	"cascade/internal/fpga"
+	"cascade/internal/runtime"
+	"cascade/internal/toolchain"
+	"cascade/internal/workloads/ledswitch"
+)
+
+func newTestREPL(t *testing.T, opts runtime.Options) (*REPL, *strings.Builder) {
+	t.Helper()
+	var out strings.Builder
+	if opts.Device == nil {
+		opts.Device = fpga.NewCycloneV()
+	}
+	if opts.Toolchain == nil {
+		o := toolchain.DefaultOptions()
+		o.Scale = 1e9
+		o.BasePs = 1
+		opts.Toolchain = toolchain.New(opts.Device, o)
+	}
+	r, err := New(opts, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, &out
+}
+
+func TestInputComplete(t *testing.T) {
+	complete := []string{
+		"wire x;",
+		"assign led.val = cnt;",
+		"module M(); endmodule",
+		"always @(posedge clk.val) begin cnt <= cnt + 1; end",
+		"reg [7:0] a = 1;",
+	}
+	incomplete := []string{
+		"module M(",
+		"module M();",
+		"always @(posedge clk.val) begin",
+		"assign x = (a +",
+		"case (s)",
+		"wire x", // no semicolon
+	}
+	for _, s := range complete {
+		if !InputComplete(s) {
+			t.Errorf("should be complete: %q", s)
+		}
+	}
+	for _, s := range incomplete {
+		if InputComplete(s) {
+			t.Errorf("should be incomplete: %q", s)
+		}
+	}
+}
+
+func TestBatchRunsFigure1Style(t *testing.T) {
+	r, out := newTestREPL(t, runtime.Options{})
+	err := r.Batch(ledswitch.Figure3WithTasks, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run some ticks, press a button, expect the display + finish.
+	r.Runtime().World().PressPad("main.pad", 1)
+	for i := 0; i < 10 && !r.Runtime().Finished(); i++ {
+		r.Runtime().RunTicks(1)
+	}
+	if !r.Runtime().Finished() {
+		t.Fatal("button press should have triggered $finish")
+	}
+	if !strings.Contains(out.String(), "\n") {
+		t.Fatalf("no display output: %q", out.String())
+	}
+}
+
+func TestInteractSession(t *testing.T) {
+	r, out := newTestREPL(t, runtime.Options{})
+	session := strings.NewReader(`
+module Rol(input wire [7:0] x, output wire [7:0] y);
+  assign y = (x == 8'h80) ? 1 : (x << 1);
+endmodule
+reg [7:0] cnt = 1;
+Rol r(.x(cnt));
+always @(posedge clk.val)
+  if (pad.val == 0)
+    cnt <= r.y;
+assign led.val = cnt;
+:run 16
+:leds
+:phase
+:stats
+:pad 1
+:quit
+`)
+	if err := r.Interact(session); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "CASCADE >>>") {
+		t.Fatal("no prompt")
+	}
+	if !strings.Contains(text, "led=") {
+		t.Fatalf(":leds output missing:\n%s", text)
+	}
+	if !strings.Contains(text, "phase=") {
+		t.Fatalf(":phase output missing:\n%s", text)
+	}
+	if !strings.Contains(text, "pad=1") {
+		t.Fatalf(":pad output missing:\n%s", text)
+	}
+}
+
+func TestInteractReportsErrors(t *testing.T) {
+	r, out := newTestREPL(t, runtime.Options{DisableJIT: true})
+	session := strings.NewReader("assign q = nothing;\n:quit\n")
+	if err := r.Interact(session); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatalf("expected an error report:\n%s", out.String())
+	}
+}
+
+func TestMultiLineInput(t *testing.T) {
+	r, out := newTestREPL(t, runtime.Options{DisableJIT: true})
+	session := strings.NewReader(`
+reg [3:0] n = 0;
+always @(posedge clk.val) begin
+  n <= n + 1;
+  if (n == 3)
+    $display("three");
+end
+:run 12
+:quit
+`)
+	if err := r.Interact(session); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "three") {
+		t.Fatalf("multi-line always block did not execute:\n%s", out.String())
+	}
+	// The continuation prompt must have been shown.
+	if !strings.Contains(out.String(), "... ") {
+		t.Fatalf("no continuation prompt:\n%s", out.String())
+	}
+}

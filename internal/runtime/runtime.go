@@ -1,0 +1,534 @@
+// Package runtime implements the Cascade runtime (paper §3.4, Figure 5):
+// the controller/view pair, the ordered interrupt queue, the batched
+// scheduler of Figure 6, and the JIT state machine of Figure 9 that
+// carries a program from software engines through inlining, background
+// hardware compilation, ABI forwarding, and open-loop scheduling.
+//
+// The runtime is single-threaded and driven by Step/Run calls; work is
+// billed on a virtual clock (internal/vclock) so JIT behaviour over time
+// is deterministic and the evaluation's figures are reproducible.
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"cascade/internal/bits"
+	"cascade/internal/elab"
+	"cascade/internal/engine"
+	"cascade/internal/engine/hweng"
+	"cascade/internal/engine/sweng"
+	"cascade/internal/fpga"
+	"cascade/internal/ir"
+	"cascade/internal/sim"
+	"cascade/internal/stdlib"
+	"cascade/internal/toolchain"
+	"cascade/internal/vclock"
+	"cascade/internal/verilog"
+)
+
+// Phase is the JIT state of the user's program (Figure 9).
+type Phase int
+
+// JIT phases.
+const (
+	PhaseEmpty     Phase = iota
+	PhaseSoftware        // user logic in per-module software engines (9.1)
+	PhaseInlined         // user logic inlined into one software engine (9.2)
+	PhaseHardware        // user logic on the fabric, stdlib separate (9.3)
+	PhaseForwarded       // stdlib absorbed via ABI forwarding (9.4)
+	PhaseOpenLoop        // open-loop bursts (9.5)
+	PhaseNative          // native mode (§4.5)
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseSoftware:
+		return "software"
+	case PhaseInlined:
+		return "software(inlined)"
+	case PhaseHardware:
+		return "hardware"
+	case PhaseForwarded:
+		return "hardware(forwarded)"
+	case PhaseOpenLoop:
+		return "hardware(open-loop)"
+	case PhaseNative:
+		return "native"
+	}
+	return "empty"
+}
+
+// View receives program output and runtime status (the V of Figure 5).
+type View interface {
+	Display(text string)
+	Info(format string, args ...any)
+	Error(err error)
+}
+
+// BufView is a View that records everything (tests and benches).
+type BufView struct {
+	Out    strings.Builder
+	Infos  []string
+	Errors []error
+	// Quiet drops Info traffic.
+	Quiet bool
+}
+
+// Display implements View.
+func (v *BufView) Display(text string) { v.Out.WriteString(text) }
+
+// Info implements View.
+func (v *BufView) Info(format string, args ...any) {
+	if !v.Quiet {
+		v.Infos = append(v.Infos, fmt.Sprintf(format, args...))
+	}
+}
+
+// Error implements View.
+func (v *BufView) Error(err error) { v.Errors = append(v.Errors, err) }
+
+// DefaultPrelude declares the IO environment of the paper's testbed: a
+// global clock, four buttons, and a bank of eight LEDs, implicitly
+// instantiated when Cascade begins execution (paper §3.2, Figure 3).
+const DefaultPrelude = "Clock clk(); Pad#(4) pad(); Led#(8) led();"
+
+// Options configures a runtime.
+type Options struct {
+	World     *stdlib.World
+	Device    *fpga.Device
+	Toolchain *toolchain.Toolchain
+	Model     vclock.Model
+	View      View
+
+	// Ablation and mode switches.
+	DisableJIT        bool // never leave software
+	EagerSim          bool // naive eager re-evaluation (iVerilog baseline, §5.1)
+	DisableInline     bool // compile subprograms separately (§4.2 ablation)
+	DisableForwarding bool // keep stdlib engines scheduled (§4.3 ablation)
+	DisableOpenLoop   bool // stay in lock-step hardware (§4.4 ablation)
+	Native            bool // §4.5: compile exactly as written, no ABI
+
+	// OpenLoopTargetPs is the adaptive profiling target: each open-loop
+	// burst should stall the runtime for about this much virtual time.
+	OpenLoopTargetPs uint64
+}
+
+// Runtime executes one Cascade program.
+type Runtime struct {
+	opts Options
+	vclk vclock.Clock
+
+	prog       *ir.Program
+	flatDesign *ir.Design // non-inlined design (state-mapping reference)
+	design     *ir.Design // currently executing design
+	inlined    bool
+
+	engines    map[string]engine.Engine
+	elabs      map[string]*elab.Flat // flatDesign elaborations
+	execElabs  map[string]*elab.Flat // executing-design elaborations
+	stdEngines map[string]engine.Engine
+	sched      []string             // scheduled engine paths, in order
+	routesFrom map[string][]ir.Wire // producer "path\x00var" -> wires
+	groupOf    map[string]string    // forwarded engine -> owner path
+
+	jobs      map[string]*toolchain.Job
+	phase     Phase
+	clockPath string // stdlib Clock subprogram path ("" if none)
+	clockVar  string // user engine input carrying the clock
+
+	steps     uint64
+	ticks     uint64
+	finished  bool
+	displayQ  []string
+	olIters   int
+	olWallCap int // wall-clock-adaptive burst bound (paper §4.4)
+	areaLEs   int
+	startupPs uint64 // virtual time at which execution first began
+	everBuilt bool
+	// constructDisplays counts the display lines the previous build's
+	// initial blocks emitted during engine construction: the program is
+	// append-only, so on re-integration the same lines re-appear as a
+	// prefix and are suppressed (the user already saw them), while
+	// freshly eval'd initial blocks still print.
+	constructDisplays int
+}
+
+// New creates a runtime. Missing options get paper-calibrated defaults.
+func New(opts Options) *Runtime {
+	if opts.World == nil {
+		opts.World = stdlib.NewWorld()
+	}
+	if opts.Device == nil {
+		opts.Device = fpga.NewCycloneV()
+	}
+	if opts.Toolchain == nil {
+		opts.Toolchain = toolchain.New(opts.Device, toolchain.DefaultOptions())
+	}
+	if opts.Model == (vclock.Model{}) {
+		opts.Model = vclock.DefaultModel()
+	}
+	if opts.View == nil {
+		opts.View = &BufView{Quiet: true}
+	}
+	if opts.OpenLoopTargetPs == 0 {
+		opts.OpenLoopTargetPs = 100 * vclock.Ms
+	}
+	return &Runtime{
+		opts:       opts,
+		prog:       ir.NewProgram(),
+		engines:    map[string]engine.Engine{},
+		elabs:      map[string]*elab.Flat{},
+		stdEngines: map[string]engine.Engine{},
+		routesFrom: map[string][]ir.Wire{},
+		groupOf:    map[string]string{},
+		jobs:       map[string]*toolchain.Job{},
+		olIters:    64,
+		olWallCap:  1 << 14, // ramps up while bursts stay cheap
+	}
+}
+
+// World returns the virtual peripheral board.
+func (r *Runtime) World() *stdlib.World { return r.opts.World }
+
+// Phase returns the current JIT phase.
+func (r *Runtime) Phase() Phase { return r.phase }
+
+// Ticks returns completed virtual clock ticks.
+func (r *Runtime) Ticks() uint64 { return r.ticks }
+
+// Steps returns completed scheduler time steps (two per tick); this is
+// also the value of $time.
+func (r *Runtime) Steps() uint64 { return r.steps }
+
+// VirtualNow returns the virtual time in picoseconds.
+func (r *Runtime) VirtualNow() uint64 { return r.vclk.Now() }
+
+// Clock returns the virtual clock (cost breakdown for benches).
+func (r *Runtime) Clock() *vclock.Clock { return &r.vclk }
+
+// Finished reports whether the program executed $finish.
+func (r *Runtime) Finished() bool { return r.finished }
+
+// AreaLEs returns the fabric area of the current hardware engine(s).
+func (r *Runtime) AreaLEs() int { return r.areaLEs }
+
+// StartupPs returns the virtual time between the first Eval and the
+// first executed step (the "time to first instruction" the paper reports
+// as under one second).
+func (r *Runtime) StartupPs() uint64 { return r.startupPs }
+
+// view helpers -----------------------------------------------------------
+
+// Display implements engine.IOHandler: system-task output is buffered on
+// the interrupt queue and flushed to the view in observable states.
+func (r *Runtime) Display(text string, newline bool) {
+	if newline {
+		text += "\n"
+	}
+	r.displayQ = append(r.displayQ, text)
+}
+
+// Finish implements engine.IOHandler.
+func (r *Runtime) Finish(code int) { r.finished = true }
+
+func (r *Runtime) flushDisplays() {
+	for _, t := range r.displayQ {
+		r.opts.View.Display(t)
+	}
+	r.displayQ = nil
+}
+
+// Eval integrates new source into the running program: module
+// declarations enter the outer scope; items are appended to the implicit
+// root module. The extended program is trial-built first, so errors leave
+// the running program untouched (paper §3.1). On success all user logic
+// returns to software engines and JIT compilation restarts (§4.4).
+func (r *Runtime) Eval(src string) error {
+	mods, items, errs := verilog.ParseProgramFragment(src)
+	if len(errs) > 0 {
+		return fmt.Errorf("parse: %v", errs[0])
+	}
+	for _, w := range verilog.Lint(mods, items) {
+		r.opts.View.Info("%s", w)
+	}
+	trial := r.prog.Clone()
+	for _, m := range mods {
+		if err := trial.DeclareModule(m); err != nil {
+			return err
+		}
+	}
+	trial.AddRootItems(items...)
+	design, err := ir.Build(trial, stdlib.Registry())
+	if err != nil {
+		return err
+	}
+	// Every user subprogram must elaborate (type checking).
+	newElabs := map[string]*elab.Flat{}
+	for _, s := range design.UserSubs() {
+		f, err := elab.Elaborate(s.Module, s.Path, s.Params)
+		if err != nil {
+			return err
+		}
+		newElabs[s.Path] = f
+	}
+	// Commit.
+	saved := r.captureStates()
+	r.prog = trial
+	r.flatDesign = design
+	r.elabs = newElabs
+	return r.restart(saved)
+}
+
+// MustEval is Eval for known-good source; it panics on error.
+func (r *Runtime) MustEval(src string) {
+	if err := r.Eval(src); err != nil {
+		panic(err)
+	}
+}
+
+// captureStates snapshots per-subprogram state from the current engines,
+// keyed by subprogram path (un-inlining names when necessary).
+func (r *Runtime) captureStates() map[string]*sim.State {
+	out := map[string]*sim.State{}
+	if r.flatDesign == nil {
+		return out
+	}
+	if !r.inlined {
+		for _, s := range r.flatDesign.UserSubs() {
+			if e, ok := r.engines[s.Path]; ok {
+				out[s.Path] = e.GetState()
+			}
+		}
+		return out
+	}
+	main, ok := r.engines[ir.RootPath]
+	if !ok {
+		return out
+	}
+	merged := main.GetState()
+	for _, s := range r.flatDesign.UserSubs() {
+		prefix := ir.PrefixOf(s.Path)
+		f := r.elabs[s.Path]
+		if f == nil {
+			continue
+		}
+		st := &sim.State{Scalars: map[string]*bits.Vector{}, Arrays: map[string][]*bits.Vector{}}
+		for _, v := range f.Vars {
+			if v.IsArray() {
+				if ws, ok := merged.Arrays[prefix+v.Name]; ok {
+					st.Arrays[v.Name] = ws
+				}
+				continue
+			}
+			if val, ok := merged.Scalars[prefix+v.Name]; ok {
+				st.Scalars[v.Name] = val
+			}
+		}
+		out[s.Path] = st
+	}
+	return out
+}
+
+// mergeStates builds the inlined engine's state from per-sub snapshots.
+func mergeStates(saved map[string]*sim.State) *sim.State {
+	merged := &sim.State{Scalars: map[string]*bits.Vector{}, Arrays: map[string][]*bits.Vector{}}
+	for path, st := range saved {
+		prefix := ir.PrefixOf(path)
+		for name, v := range st.Scalars {
+			merged.Scalars[prefix+name] = v
+		}
+		for name, ws := range st.Arrays {
+			merged.Arrays[prefix+name] = ws
+		}
+	}
+	return merged
+}
+
+// restart rebuilds engines for the current program: Figure 9 phase 1 (or
+// 2 when inlining is enabled), releasing any hardware and resubmitting
+// background compilations.
+func (r *Runtime) restart(saved map[string]*sim.State) error {
+	// Tear down hardware engines.
+	for path, e := range r.engines {
+		if hw, ok := e.(*hweng.Engine); ok {
+			hw.Release()
+		}
+		if _, std := r.stdEngines[path]; !std {
+			e.End()
+		}
+	}
+	r.jobs = map[string]*toolchain.Job{}
+	r.engines = map[string]engine.Engine{}
+	r.execElabs = map[string]*elab.Flat{}
+	r.sched = nil
+	r.groupOf = map[string]string{}
+	r.areaLEs = 0
+	evalStart := r.vclk.Now()
+
+	// Choose the executing design: inlined unless disabled.
+	r.design = r.flatDesign
+	r.inlined = false
+	execElabs := r.elabs
+	if !r.opts.DisableInline {
+		inl, err := ir.Inline(r.flatDesign)
+		if err != nil {
+			return err
+		}
+		f, err := elab.Elaborate(inl.Sub(ir.RootPath).Module, ir.RootPath, nil)
+		if err != nil {
+			return fmt.Errorf("inline elaboration: %w\n%s", err, verilog.Print(inl.Sub(ir.RootPath).Module))
+		}
+		r.design = inl
+		r.inlined = true
+		execElabs = map[string]*elab.Flat{ir.RootPath: f}
+		// Inlining costs a pass over the program.
+		r.vclk.AdvanceOverhead(uint64(len(f.Vars)) * r.opts.Model.DispatchPs / 8)
+	}
+
+	// Stdlib engines persist across restarts; create missing ones.
+	r.clockPath = ""
+	for _, s := range r.design.StdSubs() {
+		e, ok := r.stdEngines[s.Path]
+		if !ok {
+			var err error
+			e, err = stdlib.New(s.Path, s.StdType, s.Params, r.opts.World)
+			if err != nil {
+				return err
+			}
+			r.stdEngines[s.Path] = e
+		}
+		if s.StdType == "Clock" && r.clockPath == "" {
+			r.clockPath = s.Path
+		}
+		r.engines[s.Path] = e
+		r.sched = append(r.sched, s.Path)
+	}
+
+	// User engines start in software with preserved state. On
+	// re-integration, initial blocks re-execute inside the fresh
+	// engines; their variable effects are overwritten by the restored
+	// state and the display side effects the user has already seen — a
+	// deterministic prefix, because the program is append-only — are
+	// suppressed. Initial blocks in freshly eval'd code still print.
+	qMark := len(r.displayQ)
+	for _, s := range r.design.UserSubs() {
+		f := execElabs[s.Path]
+		if f == nil {
+			var err error
+			f, err = elab.Elaborate(s.Module, s.Path, s.Params)
+			if err != nil {
+				return err
+			}
+		}
+		e := sweng.New(f, r, r.now, r.opts.EagerSim)
+		if r.inlined {
+			e.SetState(mergeStates(saved))
+		} else if st, ok := saved[s.Path]; ok {
+			e.SetState(st)
+		}
+		r.engines[s.Path] = e
+		r.elabsExec()[s.Path] = f
+		r.sched = append(r.sched, s.Path)
+		// Creating a software engine is fast but not free.
+		r.vclk.AdvanceOverhead(uint64(len(f.Vars)+1) * r.opts.Model.DispatchPs / 4)
+
+		// Kick off background hardware compilation (Figure 9.2 -> 9.3).
+		if !r.opts.DisableJIT {
+			r.jobs[s.Path] = r.opts.Toolchain.Submit(f, !r.opts.Native, r.vclk.Now())
+		}
+	}
+	constructed := len(r.displayQ) - qMark
+	if r.everBuilt && r.constructDisplays > 0 {
+		drop := r.constructDisplays
+		if drop > constructed {
+			drop = constructed
+		}
+		r.displayQ = append(r.displayQ[:qMark], r.displayQ[qMark+drop:]...)
+	}
+	r.constructDisplays = constructed
+	r.everBuilt = true
+	r.rebuildRoutes()
+	r.resolveClockVar()
+	// Initial data-plane broadcast: every engine announces its output
+	// values before the first scheduler iteration, so no engine acts on
+	// a zero-valued input that the producer never actually drove.
+	for _, path := range r.sched {
+		r.route(path, r.engines[path])
+	}
+	if r.phase == PhaseEmpty {
+		r.startupPs = r.vclk.Now() - evalStart
+	}
+	if r.inlined {
+		r.phase = PhaseInlined
+	} else {
+		r.phase = PhaseSoftware
+	}
+	return nil
+}
+
+// ProgramSource renders the current program as Verilog: module
+// declarations in the outer scope followed by the root module's items
+// (the source a user has eval'd so far, echoed back by the REPL's
+// :program command).
+func (r *Runtime) ProgramSource() string {
+	var sb strings.Builder
+	for _, name := range r.prog.ModuleNames() {
+		sb.WriteString(verilog.Print(r.prog.Modules[name]))
+		sb.WriteString("\n")
+	}
+	if len(r.prog.RootItems) > 0 {
+		sb.WriteString("// root module items\n")
+		for _, it := range r.prog.RootItems {
+			sb.WriteString(verilog.Print(it))
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// CompileReadyAt returns the virtual time at which the latest pending
+// background compilation finishes, and whether one is pending.
+func (r *Runtime) CompileReadyAt() (uint64, bool) {
+	var latest uint64
+	found := false
+	for _, j := range r.jobs {
+		if j.ReadyAtPs > latest {
+			latest = j.ReadyAtPs
+		}
+		found = true
+	}
+	return latest, found
+}
+
+// elabsExec returns the elaboration table for the executing design.
+func (r *Runtime) elabsExec() map[string]*elab.Flat {
+	if r.execElabs == nil {
+		r.execElabs = map[string]*elab.Flat{}
+	}
+	return r.execElabs
+}
+
+func (r *Runtime) rebuildRoutes() {
+	r.routesFrom = map[string][]ir.Wire{}
+	for _, w := range r.design.Wires {
+		key := w.From.Sub + "\x00" + w.From.Port
+		r.routesFrom[key] = append(r.routesFrom[key], w)
+	}
+}
+
+// resolveClockVar finds the user-engine input fed by the stdlib clock.
+func (r *Runtime) resolveClockVar() {
+	r.clockVar = ""
+	if r.clockPath == "" {
+		return
+	}
+	for _, w := range r.design.Wires {
+		if w.From.Sub == r.clockPath && w.From.Port == "val" && w.To.Sub == ir.RootPath {
+			r.clockVar = w.To.Port
+			return
+		}
+	}
+}
+
+func (r *Runtime) now() uint64 { return r.steps }

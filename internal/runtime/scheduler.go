@@ -1,0 +1,352 @@
+package runtime
+
+import (
+	"time"
+
+	"cascade/internal/engine"
+	"cascade/internal/engine/hweng"
+	"cascade/internal/engine/sweng"
+	"cascade/internal/ir"
+	"cascade/internal/stdlib"
+)
+
+// Step executes one scheduler time step (Figure 6): evaluate batches to a
+// fixed point, commit update batches, then — in the observable state —
+// flush interrupts, run end-of-step work, advance time, and service the
+// JIT state machine (hot swaps happen only here, where semantics cannot
+// be disturbed). In the open-loop phase a Step instead runs a burst of
+// iterations inside the hardware engine.
+func (r *Runtime) Step() {
+	if r.finished || r.design == nil {
+		return
+	}
+	if r.phase == PhaseOpenLoop {
+		r.openLoopBurst()
+		return
+	}
+
+	model := &r.opts.Model
+	for {
+		// EvalAll over engines with evaluation events.
+		ran := false
+		for _, path := range r.sched {
+			e := r.engines[path]
+			r.billCtrl(e) // there_are_evals poll
+			if !e.ThereAreEvals() {
+				continue
+			}
+			r.billCtrl(e)
+			e.Evaluate()
+			ran = true
+			r.route(path, e)
+		}
+		if ran {
+			r.settleCosts()
+			continue
+		}
+		// Update batch.
+		any := false
+		for _, path := range r.sched {
+			e := r.engines[path]
+			r.billCtrl(e)
+			if e.ThereAreUpdates() {
+				any = true
+				r.billCtrl(e)
+				e.Update()
+				r.route(path, e)
+			}
+		}
+		r.settleCosts()
+		if !any {
+			break
+		}
+	}
+
+	// Observable state: flush the interrupt queue, end the step.
+	r.flushDisplays()
+	for _, path := range r.sched {
+		e := r.engines[path]
+		e.EndStep()
+		r.route(path, e)
+	}
+	r.steps++
+	r.ticks = r.steps / 2
+	r.vclk.AdvanceOverhead(model.DispatchPs)
+	r.settleCosts()
+	r.serviceJIT()
+}
+
+// billCtrl charges one control-plane message for talking to a
+// hardware-located engine (software engines share the heap).
+func (r *Runtime) billCtrl(e engine.Engine) {
+	if e.Loc() == engine.Hardware {
+		r.vclk.AdvanceComm(1, &r.opts.Model)
+	}
+}
+
+// route broadcasts an engine's pending output writes along the wires
+// table, billing boundary crossings.
+func (r *Runtime) route(fromPath string, e engine.Engine) {
+	evs := e.DrainWrites()
+	if len(evs) == 0 {
+		return
+	}
+	model := &r.opts.Model
+	fromHW := e.Loc() == engine.Hardware
+	for _, ev := range evs {
+		if fromHW {
+			r.vclk.AdvanceComm(1, model) // bus read of the changed output
+		}
+		for _, w := range r.routesFrom[fromPath+"\x00"+ev.Var] {
+			target, ok := r.engines[w.To.Sub]
+			if !ok {
+				continue // consumer was forwarded or removed
+			}
+			if target.Loc() == engine.Hardware {
+				r.vclk.AdvanceComm(1, model) // bus write of the input
+			}
+			target.Read(engine.Event{Var: w.To.Port, Val: ev.Val})
+		}
+	}
+}
+
+// settleCosts converts engine work counters into virtual time.
+func (r *Runtime) settleCosts() {
+	model := &r.opts.Model
+	for _, path := range r.sched {
+		switch e := r.engines[path].(type) {
+		case *sweng.Engine:
+			r.vclk.AdvanceCompute(e.OpsDelta() * model.SWEvalOpPs)
+		case *hweng.Engine:
+			r.vclk.AdvanceCompute(e.CyclesDelta() * model.HWCyclePs)
+			r.vclk.AdvanceComm(e.MsgsDelta(), model)
+		}
+	}
+	// FIFO host transfers cross the memory-mapped bridge regardless of
+	// which side the engine lives on (the Figure 12 bottleneck).
+	for _, e := range r.stdEngines {
+		if f, ok := e.(*stdlib.FIFO); ok {
+			r.vclk.AdvanceComm(f.TransfersDelta(), model)
+		}
+	}
+}
+
+// serviceJIT runs the Figure 9 state machine between time steps.
+func (r *Runtime) serviceJIT() {
+	if r.opts.DisableJIT {
+		return
+	}
+	// Hot swap any finished compilations.
+	for path, job := range r.jobs {
+		if !job.Ready(r.vclk.Now()) {
+			continue
+		}
+		delete(r.jobs, path)
+		res := job.Res
+		if res.Err != nil {
+			r.opts.View.Error(res.Err)
+			continue
+		}
+		old, ok := r.engines[path].(*sweng.Engine)
+		if !ok {
+			continue
+		}
+		hw, err := hweng.New(path, res.Prog, r.opts.Device, res.AreaLEs, r, r.opts.Native, r.now)
+		if err != nil {
+			r.opts.View.Error(err)
+			continue
+		}
+		// Inherit state and control (between steps: always safe).
+		hw.SetState(old.GetState())
+		r.vclk.AdvanceComm(hw.MsgsDelta(), &r.opts.Model)
+		old.End()
+		r.engines[path] = hw
+		r.areaLEs += res.AreaLEs
+		r.opts.View.Info("engine %s moved to hardware (%d LEs, crit path %d levels)",
+			path, res.AreaLEs, res.Stats.CritPath)
+	}
+
+	// Phase transitions once every user engine is in hardware.
+	if len(r.jobs) != 0 {
+		return
+	}
+	allHW := true
+	var userHW *hweng.Engine
+	users := 0
+	for _, s := range r.design.UserSubs() {
+		users++
+		hw, ok := r.engines[s.Path].(*hweng.Engine)
+		if !ok {
+			allHW = false
+			break
+		}
+		userHW = hw
+	}
+	if !allHW || users == 0 {
+		return
+	}
+	if r.phase == PhaseInlined || r.phase == PhaseSoftware {
+		if r.opts.Native {
+			r.phase = PhaseNative
+		} else {
+			r.phase = PhaseHardware
+		}
+	}
+	// ABI forwarding needs a single user engine (inlined designs).
+	if (r.phase == PhaseHardware || r.phase == PhaseNative) && users == 1 &&
+		!r.opts.DisableForwarding {
+		r.forwardStdlib(userHW)
+	}
+	// Open loop needs everything in one engine plus a known clock.
+	if r.phase == PhaseForwarded && !r.opts.DisableOpenLoop &&
+		len(r.sched) == 1 && r.clockVar != "" {
+		r.phase = PhaseOpenLoop
+		r.opts.View.Info("entering open-loop scheduling on %s", r.clockVar)
+	}
+}
+
+// forwardStdlib absorbs stdlib engines into the user hardware engine
+// (Figure 9.4): the runtime ceases direct interaction with them and
+// group-internal wires leave the runtime's routing table.
+func (r *Runtime) forwardStdlib(hw *hweng.Engine) {
+	group := map[string]bool{hw.Name(): true}
+	for _, s := range r.design.StdSubs() {
+		inner := r.engines[s.Path]
+		hw.Forward(s.Path, inner)
+		group[s.Path] = true
+		r.groupOf[s.Path] = hw.Name()
+		delete(r.engines, s.Path)
+	}
+	// Rebuild the schedule: only the user engine remains.
+	r.sched = []string{hw.Name()}
+	// Hand group-internal wires to the forwarder; keep the rest.
+	kept := map[string][]ir.Wire{}
+	for key, ws := range r.routesFrom {
+		for _, w := range ws {
+			if group[w.From.Sub] && group[w.To.Sub] {
+				fromName, toName := w.From.Sub, w.To.Sub
+				if fromName == hw.Name() {
+					fromName = ""
+				}
+				if toName == hw.Name() {
+					toName = ""
+				}
+				hw.ForwardWire(fromName, w.From.Port, toName, w.To.Port)
+				continue
+			}
+			kept[key] = append(kept[key], w)
+		}
+	}
+	r.routesFrom = kept
+	r.phase = PhaseForwarded
+	r.opts.View.Info("stdlib components forwarded into %s", hw.Name())
+}
+
+// openLoopBurst runs one adaptively-sized burst of scheduler iterations
+// inside the hardware engine (Figure 9.5).
+func (r *Runtime) openLoopBurst() {
+	hw, ok := r.engines[ir.RootPath].(*hweng.Engine)
+	if !ok {
+		r.phase = PhaseForwarded
+		return
+	}
+	model := &r.opts.Model
+	r.vclk.AdvanceComm(1, model) // the open_loop request
+	iters := r.olIters
+	if iters > r.olWallCap {
+		iters = r.olWallCap
+	}
+	wallStart := time.Now()
+	done := hw.OpenLoop(r.clockVar, iters)
+	wall := time.Since(wallStart)
+	r.steps += uint64(done)
+	r.ticks = r.steps / 2
+	r.vclk.AdvanceCompute(hw.CyclesDelta() * model.HWCyclePs)
+	r.vclk.AdvanceComm(hw.MsgsDelta(), model)
+	for _, e := range r.stdEngines {
+		if f, ok := e.(*stdlib.FIFO); ok {
+			r.vclk.AdvanceComm(f.TransfersDelta(), model)
+		}
+	}
+	r.vclk.AdvanceOverhead(model.DispatchPs)
+	r.flushDisplays()
+	if hw.Finished() {
+		r.finished = true
+	}
+	if done == 0 {
+		// No forward progress (e.g. missing clock): fall back.
+		r.phase = PhaseForwarded
+		return
+	}
+	// Adaptive profiling: size the next burst so control returns to the
+	// runtime after roughly OpenLoopTargetPs of virtual time.
+	perIter := model.HWCyclesPerIter * model.HWCyclePs / 2
+	if perIter == 0 {
+		perIter = 1
+	}
+	target := int(r.opts.OpenLoopTargetPs / perIter)
+	if target < 2 {
+		target = 2
+	}
+	if target > 1<<22 {
+		target = 1 << 22
+	}
+	target &^= 1 // whole clock ticks per burst
+	r.olIters = target
+	// Adaptive profiling also bounds real time so the runtime (and the
+	// user's REPL) regains control regularly (paper: "a small number of
+	// seconds"; we target tens of milliseconds for interactivity).
+	switch {
+	case wall > 120*time.Millisecond:
+		r.olWallCap = done / 2
+		if r.olWallCap < 64 {
+			r.olWallCap = 64
+		}
+	case wall < 20*time.Millisecond && r.olWallCap < 1<<22:
+		r.olWallCap *= 2
+	}
+}
+
+// RunTicks advances until n more virtual clock ticks have elapsed.
+func (r *Runtime) RunTicks(n uint64) {
+	goal := r.ticks + n
+	for r.ticks < goal && !r.finished {
+		r.Step()
+	}
+}
+
+// RunVirtual advances until the virtual clock passes ps picoseconds.
+func (r *Runtime) RunVirtual(ps uint64) {
+	goal := r.vclk.Now() + ps
+	for r.vclk.Now() < goal && !r.finished {
+		r.Step()
+	}
+}
+
+// RunUntilFinish steps until $finish or the step budget is exhausted; it
+// reports whether the program finished.
+func (r *Runtime) RunUntilFinish(maxSteps uint64) bool {
+	start := r.steps
+	for !r.finished && r.steps-start < maxSteps {
+		r.Step()
+	}
+	r.flushDisplays()
+	return r.finished
+}
+
+// WaitForPhase steps until the runtime reaches the phase (or a step
+// budget runs out); it reports success.
+func (r *Runtime) WaitForPhase(p Phase, maxSteps uint64) bool {
+	start := r.steps
+	for r.phase != p && !r.finished && r.steps-start < maxSteps {
+		r.Step()
+	}
+	return r.phase == p
+}
+
+// Idle advances virtual time without executing (used by benches to model
+// a user thinking, or a program waiting out a compile).
+func (r *Runtime) Idle(ps uint64) {
+	r.vclk.AdvanceRaw(ps)
+	r.serviceJIT()
+}

@@ -1,0 +1,155 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"cascade/internal/elab"
+	"cascade/internal/ir"
+	"cascade/internal/sim"
+	"cascade/internal/stdlib"
+	"cascade/internal/verilog"
+)
+
+// Snapshot is a portable capture of a running program: its source and
+// the state of every subprogram, including standard-library components.
+// The paper's future-work section (§9) proposes using Cascade's ability
+// to move programs between hardware and software to bootstrap virtual
+// machine migration; a Snapshot taken on one runtime Restores onto
+// another — a different device, a different toolchain, mid-computation —
+// and execution continues exactly where it left off (in software first,
+// with the new target's JIT climbing back to hardware).
+type Snapshot struct {
+	Source string                // the eval'd program (reparseable)
+	States map[string]*sim.State // per-subprogram state, by instance path
+	Steps  uint64                // scheduler time ($time continuity)
+}
+
+// Snapshot captures the runtime's program and state. Like every state
+// operation it happens between time steps.
+func (r *Runtime) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Source: r.ProgramSource(),
+		States: r.captureStates(),
+		Steps:  r.steps,
+	}
+	// Standard-library components carry state too (FIFO contents, LED
+	// values, the clock phase).
+	for path, e := range r.stdEngines {
+		snap.States[path] = e.GetState()
+	}
+	return snap
+}
+
+// Restore installs a snapshot onto this runtime, which must be fresh (no
+// program eval'd yet). The program source is re-integrated, every
+// subprogram's state is injected, and the JIT starts over on the new
+// target's engines.
+func (r *Runtime) Restore(snap *Snapshot) error {
+	if r.everBuilt {
+		return fmt.Errorf("runtime: Restore requires a fresh runtime")
+	}
+	mods, items, errs := verilog.ParseProgramFragment(snap.Source)
+	if len(errs) > 0 {
+		return fmt.Errorf("runtime: snapshot source: %v", errs[0])
+	}
+	prog := ir.NewProgram()
+	for _, m := range mods {
+		if err := prog.DeclareModule(m); err != nil {
+			return err
+		}
+	}
+	prog.AddRootItems(items...)
+	design, err := ir.Build(prog, stdlib.Registry())
+	if err != nil {
+		return err
+	}
+	elabs := map[string]*elab.Flat{}
+	for _, s := range design.UserSubs() {
+		f, err := elab.Elaborate(s.Module, s.Path, s.Params)
+		if err != nil {
+			return err
+		}
+		elabs[s.Path] = f
+	}
+	r.prog = prog
+	r.flatDesign = design
+	r.elabs = elabs
+	r.steps = snap.Steps
+	r.ticks = snap.Steps / 2
+	// Pre-create the standard-library engines with their restored state,
+	// so restart's initial data-plane broadcast carries the snapshot's
+	// values: user engines (whose restored inputs already match) see no
+	// change and no clock edge is fabricated.
+	for _, sub := range design.StdSubs() {
+		e, err := stdlib.New(sub.Path, sub.StdType, sub.Params, r.opts.World)
+		if err != nil {
+			return err
+		}
+		if st, ok := snap.States[sub.Path]; ok {
+			e.SetState(st)
+		}
+		r.stdEngines[sub.Path] = e
+	}
+	return r.restart(snap.States)
+}
+
+// EncodeSnapshot renders a snapshot as a self-contained text blob.
+func EncodeSnapshot(snap *Snapshot) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "#cascade-snapshot steps=%d\n", snap.Steps)
+	var paths []string
+	for p := range snap.States {
+		paths = append(paths, p)
+	}
+	// Deterministic order.
+	for i := 0; i < len(paths); i++ {
+		for j := i + 1; j < len(paths); j++ {
+			if paths[j] < paths[i] {
+				paths[i], paths[j] = paths[j], paths[i]
+			}
+		}
+	}
+	for _, p := range paths {
+		fmt.Fprintf(&sb, "#state %s\n%s", p, snap.States[p].EncodeText())
+	}
+	fmt.Fprintf(&sb, "#source\n%s", snap.Source)
+	return sb.String()
+}
+
+// DecodeSnapshot parses EncodeSnapshot's format.
+func DecodeSnapshot(text string) (*Snapshot, error) {
+	snap := &Snapshot{States: map[string]*sim.State{}}
+	head, rest, found := strings.Cut(text, "\n")
+	if !found || !strings.HasPrefix(head, "#cascade-snapshot") {
+		return nil, fmt.Errorf("runtime: not a snapshot")
+	}
+	if _, err := fmt.Sscanf(head, "#cascade-snapshot steps=%d", &snap.Steps); err != nil {
+		return nil, fmt.Errorf("runtime: snapshot header: %w", err)
+	}
+	for {
+		if strings.HasPrefix(rest, "#source\n") {
+			snap.Source = strings.TrimPrefix(rest, "#source\n")
+			return snap, nil
+		}
+		if !strings.HasPrefix(rest, "#state ") {
+			return nil, fmt.Errorf("runtime: malformed snapshot section near %.40q", rest)
+		}
+		var path string
+		head, rest, _ = strings.Cut(rest, "\n")
+		path = strings.TrimPrefix(head, "#state ")
+		// The state body runs until the next # directive.
+		end := strings.Index(rest, "\n#")
+		var body string
+		if end < 0 {
+			body, rest = rest, ""
+		} else {
+			body, rest = rest[:end+1], rest[end+1:]
+		}
+		st, err := sim.DecodeStateText(body)
+		if err != nil {
+			return nil, err
+		}
+		snap.States[path] = st
+	}
+}

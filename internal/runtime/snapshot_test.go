@@ -1,0 +1,142 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"cascade/internal/fpga"
+	"cascade/internal/vclock"
+	"cascade/internal/workloads/pow"
+)
+
+func TestSnapshotRestoreContinuesExactly(t *testing.T) {
+	src := `
+reg [15:0] n = 0;
+always @(posedge clk.val) n <= n + 3;
+assign led.val = n[7:0];`
+	a := newTestRuntime(t, Options{OpenLoopTargetPs: 10 * vclock.Us})
+	a.MustEval(src)
+	a.RunTicks(40)
+	ledA := a.World().Led("main.led")
+	snap := a.Snapshot()
+
+	// Restore onto a different "machine": a bigger device, slower
+	// toolchain.
+	dev := fpga.NewDevice(200_000, 50_000_000)
+	b := New(Options{Device: dev, Toolchain: fastToolchain(dev), OpenLoopTargetPs: 10 * vclock.Us})
+	if err := b.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := b.World().Led("main.led"); got != ledA {
+		t.Fatalf("led not restored: %d vs %d", got, ledA)
+	}
+	if b.Steps() != a.Steps() {
+		t.Fatalf("$time discontinuity: %d vs %d", b.Steps(), a.Steps())
+	}
+	// Both continue obeying the program's invariant n = 3*posedges
+	// (open-loop bursts advance the two runtimes by different tick
+	// counts, so compare each against the invariant, not each other).
+	a.RunTicks(10)
+	b.RunTicks(10)
+	for _, rt := range []*Runtime{a, b} {
+		want := (3 * ((rt.Steps() + 1) / 2)) & 0xff
+		if got := rt.World().Led("main.led"); got != want {
+			t.Fatalf("invariant broken after migration: led=%d, want %d at step %d", got, want, rt.Steps())
+		}
+	}
+	// The restored runtime's JIT climbs to hardware on the new device.
+	if !b.WaitForPhase(PhaseOpenLoop, 20000) {
+		t.Fatalf("restored runtime stuck in %v", b.Phase())
+	}
+}
+
+func TestSnapshotRoundTripsThroughText(t *testing.T) {
+	a := newTestRuntime(t, Options{DisableJIT: true})
+	a.MustEval(`
+FIFO#(8, 16) fifo();
+reg [7:0] sum = 0;
+assign fifo.rreq = !fifo.empty;
+always @(posedge clk.val) if (!fifo.empty) sum <= sum + fifo.rdata;`)
+	a.World().Stream("main.fifo").Push(1, 2, 3, 4, 5, 6)
+	a.RunTicks(6) // consume some, leave some queued in the FIFO
+
+	blob := EncodeSnapshot(a.Snapshot())
+	if !strings.HasPrefix(blob, "#cascade-snapshot") {
+		t.Fatal("bad header")
+	}
+	snap, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	b := newTestRuntime(t, Options{DisableJIT: true})
+	// newTestRuntime evals the prelude; Restore needs a truly fresh one.
+	dev := fpga.NewCycloneV()
+	b = New(Options{Device: dev, Toolchain: fastToolchain(dev), DisableJIT: true})
+	if err := b.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// The FIFO's queued words traveled inside the snapshot: finish the
+	// sum on the new runtime.
+	a.RunTicks(20)
+	b.RunTicks(20)
+	wantSum := uint64(1 + 2 + 3 + 4 + 5 + 6)
+	stA := a.engines["main"].GetState().Scalars["sum"].Uint64()
+	stB := b.engines["main"].GetState().Scalars["sum"].Uint64()
+	if stA != wantSum || stB != wantSum {
+		t.Fatalf("sums diverged: a=%d b=%d want %d", stA, stB, wantSum)
+	}
+}
+
+func TestSnapshotPoWMigrationMidSearch(t *testing.T) {
+	cfg := pow.DefaultConfig()
+	cfg.Target = 0x10000000
+	cfg.FinishOnFind = true
+	wantNonce, ok := cfg.FindNonce(1000)
+	if !ok {
+		t.Fatal("no reference solution")
+	}
+	prog := pow.Generate(cfg) + `
+wire [31:0] hashes, nonce, hash0, sol;
+wire found;
+Pow miner(.clk(clk.val), .hashes(hashes), .nonce(nonce),
+          .found(found), .hash0(hash0), .solution(sol));
+assign led.val = sol[7:0];
+`
+	a := newTestRuntime(t, Options{OpenLoopTargetPs: 10 * vclock.Us})
+	a.MustEval(prog)
+	// Run partway through the search, then migrate.
+	a.RunTicks(uint64(wantNonce) * pow.CyclesPerHash / 2)
+	snap := a.Snapshot()
+
+	dev := fpga.NewCycloneV()
+	b := New(Options{Device: dev, Toolchain: fastToolchain(dev), OpenLoopTargetPs: 10 * vclock.Us})
+	if err := b.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !b.RunUntilFinish(uint64(wantNonce+4) * pow.CyclesPerHash * 4) {
+		t.Fatal("migrated miner never finished")
+	}
+	if got := b.World().Led("main.led"); got != uint64(wantNonce&0xff) {
+		t.Fatalf("migrated miner found nonce %#x, want low byte of %#x", got, wantNonce)
+	}
+}
+
+func TestRestoreRefusesUsedRuntime(t *testing.T) {
+	a := newTestRuntime(t, Options{})
+	if err := a.Restore(&Snapshot{Source: "wire x;"}); err == nil {
+		t.Fatal("restore onto a used runtime should fail")
+	}
+}
+
+func TestDecodeSnapshotErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not a snapshot",
+		"#cascade-snapshot steps=zero\nrest",
+		"#cascade-snapshot steps=1\n#bogus\n",
+	} {
+		if _, err := DecodeSnapshot(bad); err == nil {
+			t.Fatalf("DecodeSnapshot(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package stdlib implements Cascade-Go's standard library (paper §3.2):
+// Clock, Pad, Led, Reset, Memory, and FIFO. These modules are implicitly
+// available to every program, instantiated like user modules
+// (Pad#(4) pad()), and backed by pre-compiled engines that live in
+// "hardware" from the moment they are instantiated — IO side effects are
+// visible immediately, in any JIT compilation state.
+//
+// The physical buttons, LEDs, and host streams of the paper's testbed
+// are replaced by a World: a thread-safe virtual peripheral board that
+// tests, examples, and the REPL poke and observe.
+package stdlib
+
+import (
+	"sync"
+
+	"cascade/internal/bits"
+)
+
+// World is the virtual peripheral board: the state outside the FPGA.
+// Keys are subprogram instance paths (e.g. "main.pad").
+type World struct {
+	mu      sync.Mutex
+	pads    map[string]uint64
+	leds    map[string]*bits.Vector
+	resets  map[string]bool
+	gpioIn  map[string]uint64       // host-driven GPIO input pins
+	gpioOut map[string]*bits.Vector // device-driven GPIO output pins
+	streams map[string]*Stream
+
+	// LedTrace records every LED value change when enabled (used by the
+	// user-study harness to check expected behaviour).
+	TraceLeds bool
+	LedTrace  []uint64
+}
+
+// NewWorld returns an empty peripheral board.
+func NewWorld() *World {
+	return &World{
+		pads:    map[string]uint64{},
+		leds:    map[string]*bits.Vector{},
+		resets:  map[string]bool{},
+		gpioIn:  map[string]uint64{},
+		gpioOut: map[string]*bits.Vector{},
+		streams: map[string]*Stream{},
+	}
+}
+
+// PressPad sets the buttons of the pad at path (bit i = button i down).
+func (w *World) PressPad(path string, value uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pads[path] = value
+}
+
+// Pad returns the current button state at path.
+func (w *World) Pad(path string) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pads[path]
+}
+
+// SetReset asserts or deasserts the reset line at path.
+func (w *World) SetReset(path string, asserted bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.resets[path] = asserted
+}
+
+func (w *World) reset(path string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.resets[path]
+}
+
+// Led returns the value currently driven onto the LED bank at path.
+func (w *World) Led(path string) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if v, ok := w.leds[path]; ok {
+		return v.Uint64()
+	}
+	return 0
+}
+
+// LedVector returns a copy of the full LED value (wide banks).
+func (w *World) LedVector(path string) *bits.Vector {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if v, ok := w.leds[path]; ok {
+		return v.Clone()
+	}
+	return bits.New(1)
+}
+
+func (w *World) setLed(path string, v *bits.Vector) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.leds[path] = v.Clone()
+	if w.TraceLeds {
+		w.LedTrace = append(w.LedTrace, v.Uint64())
+	}
+}
+
+// DriveGPIO sets the host-driven input pins of the GPIO bank at path.
+func (w *World) DriveGPIO(path string, value uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.gpioIn[path] = value
+}
+
+func (w *World) gpioInVal(path string) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gpioIn[path]
+}
+
+// GPIO returns the device-driven output pins of the GPIO bank at path.
+func (w *World) GPIO(path string) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if v, ok := w.gpioOut[path]; ok {
+		return v.Uint64()
+	}
+	return 0
+}
+
+func (w *World) setGPIO(path string, v *bits.Vector) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.gpioOut[path] = v.Clone()
+}
+
+// Stream returns the host-side endpoint of the FIFO at path, creating it
+// on first use.
+func (w *World) Stream(path string) *Stream {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.streams[path]
+	if !ok {
+		s = &Stream{}
+		w.streams[path] = s
+	}
+	return s
+}
+
+// Stream is the host side of a FIFO: an unbounded buffer in each
+// direction. The device-side FIFO engine drains In (respecting its
+// depth, which provides back pressure) and fills Out.
+type Stream struct {
+	mu  sync.Mutex
+	in  []uint64
+	out []uint64
+
+	// Consumed counts words delivered into the device-side FIFO.
+	Consumed uint64
+}
+
+// Push queues host-to-device words.
+func (s *Stream) Push(words ...uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.in = append(s.in, words...)
+}
+
+// PushBytes queues host-to-device bytes.
+func (s *Stream) PushBytes(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, x := range b {
+		s.in = append(s.in, uint64(x))
+	}
+}
+
+// PendingIn returns how many words remain queued toward the device.
+func (s *Stream) PendingIn() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.in)
+}
+
+// take removes up to n words from the host-to-device queue.
+func (s *Stream) take(n int) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > len(s.in) {
+		n = len(s.in)
+	}
+	out := append([]uint64{}, s.in[:n]...)
+	s.in = s.in[n:]
+	s.Consumed += uint64(n)
+	return out
+}
+
+// put appends device-to-host words.
+func (s *Stream) put(words ...uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.out = append(s.out, words...)
+}
+
+// TakeOutput drains the device-to-host buffer.
+func (s *Stream) TakeOutput() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.out
+	s.out = nil
+	return out
+}

@@ -1,0 +1,165 @@
+package toolchain
+
+import (
+	"strings"
+	"testing"
+
+	"cascade/internal/elab"
+	"cascade/internal/fpga"
+	"cascade/internal/vclock"
+	"cascade/internal/verilog"
+)
+
+func flatFor(t *testing.T, src string) *elab.Flat {
+	t.Helper()
+	st, errs := verilog.ParseSourceText(src)
+	if errs != nil {
+		t.Fatal(errs)
+	}
+	f, err := elab.Elaborate(st.Modules[0], "dut", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+const smallCounter = `
+module M(input wire clk, output reg [7:0] q);
+  always @(posedge clk) q <= q + 1;
+endmodule`
+
+const bigDatapath = `
+module M(input wire clk, input wire [31:0] x);
+  reg [31:0] a, b, c, d;
+  always @(posedge clk) begin
+    a <= x * x + a;
+    b <= a * x + b;
+    c <= b * a + c;
+    d <= c * b + d;
+  end
+endmodule`
+
+func TestLatencyGrowsSuperlinearly(t *testing.T) {
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	small := tc.CompileSync(flatFor(t, smallCounter), false)
+	big := tc.CompileSync(flatFor(t, bigDatapath), false)
+	if small.Err != nil || big.Err != nil {
+		t.Fatalf("errs: %v %v", small.Err, big.Err)
+	}
+	if big.RawAreaLEs <= small.RawAreaLEs {
+		t.Fatalf("area ordering wrong: %d <= %d", big.RawAreaLEs, small.RawAreaLEs)
+	}
+	if big.DurationPs <= small.DurationPs {
+		t.Fatalf("latency ordering wrong: %d <= %d", big.DurationPs, small.DurationPs)
+	}
+	// Superlinearity: latency ratio exceeds area ratio.
+	areaRatio := float64(big.RawAreaLEs) / float64(small.RawAreaLEs)
+	durRatio := float64(big.DurationPs-DefaultOptions().BasePs) / float64(small.DurationPs-DefaultOptions().BasePs)
+	if durRatio <= areaRatio {
+		t.Fatalf("latency should grow superlinearly: dur %.2fx vs area %.2fx", durRatio, areaRatio)
+	}
+}
+
+func TestWrappedCostsAreaAndLittleLatency(t *testing.T) {
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	f := flatFor(t, smallCounter)
+	native := tc.CompileSync(f, false)
+	wrapped := tc.CompileSync(f, true)
+	if wrapped.AreaLEs <= native.RawAreaLEs {
+		t.Fatal("wrapper should cost area")
+	}
+	if wrapped.DurationPs < native.DurationPs || wrapped.DurationPs > native.DurationPs*13/10 {
+		t.Fatalf("wrapped latency should be a small constant over native: %d vs %d",
+			wrapped.DurationPs, native.DurationPs)
+	}
+	if tc.Compiles() != 2 {
+		t.Fatalf("compile count %d", tc.Compiles())
+	}
+}
+
+func TestFitFailure(t *testing.T) {
+	dev := fpga.NewDevice(10, 50_000_000)
+	tc := New(dev, DefaultOptions())
+	res := tc.CompileSync(flatFor(t, smallCounter), true)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "does not fit") &&
+		!strings.Contains(res.Err.Error(), "device has") {
+		t.Fatalf("expected fit failure, got %v", res.Err)
+	}
+}
+
+func TestTimingClosureFailure(t *testing.T) {
+	// A long combinational divide chain cannot close 50 MHz timing.
+	src := `
+module M(input wire clk, input wire [31:0] x, output wire [31:0] y);
+  wire [31:0] a, b;
+  assign a = x / 7;
+  assign b = a / 5;
+  assign y = b / 3;
+endmodule`
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	res := tc.CompileSync(flatFor(t, src), false)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "timing closure") {
+		t.Fatalf("expected timing failure, got %v", res.Err)
+	}
+	// A faster device closes it.
+	slow := fpga.NewDevice(110_000, 5_000_000) // 5 MHz
+	res2 := New(slow, DefaultOptions()).CompileSync(flatFor(t, src), false)
+	if res2.Err != nil {
+		t.Fatalf("5 MHz device should close timing: %v", res2.Err)
+	}
+}
+
+func TestSynthesisErrorSurfacesQuickly(t *testing.T) {
+	src := `
+module M(input wire clk);
+  wire a, b;
+  assign a = b;
+  assign b = a | clk;
+endmodule`
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	res := tc.CompileSync(flatFor(t, src), true)
+	if res.Err == nil {
+		t.Fatal("combinational loop should fail synthesis")
+	}
+	if res.DurationPs >= DefaultOptions().BasePs {
+		t.Fatal("front-end rejections should be fast")
+	}
+}
+
+func TestJobReadiness(t *testing.T) {
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	now := uint64(1000)
+	job := tc.Submit(flatFor(t, smallCounter), true, now)
+	if job.Ready(now) {
+		t.Fatal("job ready immediately")
+	}
+	if !job.Ready(job.ReadyAtPs) {
+		t.Fatal("job not ready at its deadline")
+	}
+	if job.ReadyAtPs-now != job.Res.DurationPs {
+		t.Fatal("deadline arithmetic wrong")
+	}
+}
+
+func TestScaleDividesLatency(t *testing.T) {
+	dev := fpga.NewCycloneV()
+	o := DefaultOptions()
+	base := New(dev, o).CompileSync(flatFor(t, smallCounter), false)
+	o.Scale = 100
+	fast := New(dev, o).CompileSync(flatFor(t, smallCounter), false)
+	ratio := float64(base.DurationPs) / float64(fast.DurationPs)
+	if ratio < 80 || ratio > 120 {
+		t.Fatalf("scale=100 should divide latency ~100x, got %.1fx", ratio)
+	}
+}
+
+func TestPaperCalibration(t *testing.T) {
+	// The calibration targets of DefaultOptions: a trivial design in
+	// roughly a minute, documented in EXPERIMENTS.md.
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	res := tc.CompileSync(flatFor(t, smallCounter), false)
+	sec := float64(res.DurationPs) / float64(vclock.S)
+	if sec < 30 || sec > 300 {
+		t.Fatalf("trivial-design latency %.0fs out of calibration band", sec)
+	}
+}

@@ -1,0 +1,158 @@
+package userstudy
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ClassConfig parameterizes the Table 1 class-study corpus.
+type ClassConfig struct {
+	Students int
+	WithLogs int // students who submitted build logs (23 of 31)
+	Seed     int64
+}
+
+// DefaultClassConfig mirrors §6.4.
+func DefaultClassConfig() ClassConfig {
+	return ClassConfig{Students: 31, WithLogs: 23, Seed: 4421}
+}
+
+// Submission is one generated student solution.
+type Submission struct {
+	ID     int
+	Source string
+	Builds int // 0 when the student did not submit a log
+}
+
+// GenerateClass produces the synthetic class corpus: parameterized
+// Needleman-Wunsch solutions with the stylistic variation the paper
+// observed — students leaned on combinational always blocks full of
+// blocking assignments (8x more than non-blocking in aggregate), used
+// printf heavily for debugging and final verification, and only ~29%
+// arrived at pipelined (register-heavy) designs.
+func GenerateClass(cfg ClassConfig) []Submission {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	subs := make([]Submission, cfg.Students)
+	for i := range subs {
+		subs[i] = Submission{ID: i, Source: studentSolution(r, i)}
+	}
+	// Build counts: log-normal-ish distribution with a long tail (the
+	// paper saw 1..123 builds, mean 27).
+	perm := r.Perm(cfg.Students)
+	for k := 0; k < cfg.WithLogs && k < len(perm); k++ {
+		b := int(exp(r, 24)) + 1
+		if r.Intn(6) == 0 {
+			b += 40 + r.Intn(70) // the struggling tail
+		}
+		if b > 130 {
+			b = 130
+		}
+		subs[perm[k]].Builds = b
+	}
+	return subs
+}
+
+// studentSolution emits one parse-clean solution with seeded stylistic
+// variation.
+func studentSolution(r *rand.Rand, id int) string {
+	var sb strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) }
+
+	// Header boilerplate.
+	p("// CS378H assignment 3: Needleman-Wunsch on Cascade\n")
+	p("// student %d\n", id)
+	for i, n := 0, 5+r.Intn(35); i < n; i++ {
+		p("// note %d: remember to check the %s case\n", i, []string{"gap", "match", "edge", "wrap"}[r.Intn(4)])
+	}
+
+	seqLen := 4 + r.Intn(12)
+	pipelined := r.Float64() < 0.29 // ~29% pipelined solutions (§6.4)
+
+	// Scoring helper modules: combinational blocks stuffed with blocking
+	// assignments (the style the paper calls out).
+	// A "scoring table" of constants (boilerplate every solution had).
+	for k := 0; k < 16; k++ {
+		p("localparam [15:0] SCORE_T%d = 16'd%d;\n", k, k*3)
+	}
+	helpers := 1 + r.Intn(6)
+	for h := 0; h < helpers; h++ {
+		steps := 6 + r.Intn(14)
+		p("module Score%d_%d(input wire [7:0] a, input wire [7:0] b, output reg [15:0] s);\n", id, h)
+		p("  reg [15:0] t0;\n")
+		p("  always @(*) begin\n")
+		p("    t0 = (a == b) ? 16'd%d : 16'h%04x;\n", 1+r.Intn(3), uint16(-1-r.Intn(3)))
+		for k := 0; k < steps; k++ {
+			p("    t0 = t0 + %d - %d;\n", k%3, k%3)
+		}
+		p("    s = t0;\n")
+		p("  end\n")
+		p("endmodule\n\n")
+	}
+
+	// The DP core.
+	p("module NWCore%d(input wire clk, output reg [15:0] score, output reg done);\n", id)
+	p("  localparam N = %d;\n", seqLen)
+	p("  reg [15:0] row [0:N];\n")
+	p("  reg [15:0] left, diag;\n")
+	p("  reg [7:0] i, j;\n")
+	p("  reg [1:0] st;\n")
+	if pipelined {
+		p("  reg [15:0] stage1, stage2; // pipelined candidates\n")
+	}
+	p("  wire [15:0] up = row[j];\n")
+	p("  always @(posedge clk)\n")
+	p("    case (st)\n")
+	p("      2'd0: begin\n")
+	p("        row[j] <= j * 16'hffff;\n")
+	p("        if (j == N) st <= 2'd1;\n")
+	p("        j <= j + 1;\n")
+	p("      end\n")
+	p("      2'd1: begin\n")
+	if pipelined {
+		p("        stage1 <= diag + 1;\n")
+		p("        stage2 <= up + 16'hffff;\n")
+		p("        row[j] <= ((stage1 ^ 16'h8000) > (stage2 ^ 16'h8000)) ? stage1 : stage2;\n")
+	} else {
+		p("        row[j] <= ((diag + 1) ^ 16'h8000) > ((up + 16'hffff) ^ 16'h8000) ? diag + 1 : up + 16'hffff;\n")
+	}
+	p("        diag <= up;\n")
+	p("        left <= row[j];\n")
+	p("        if (j == N) begin\n")
+	p("          if (i == N) begin score <= left; done <= 1; st <= 2'd2; end\n")
+	p("          else begin i <= i + 1; j <= 1; end\n")
+	p("        end else j <= j + 1;\n")
+	p("      end\n")
+	p("      default: ;\n")
+	p("    endcase\n")
+	p("endmodule\n\n")
+
+	// Root items: instantiation plus the debug harness. Students relied
+	// overwhelmingly on printf (§6.4).
+	p("wire core_done;\nwire [15:0] core_score;\n")
+	p("NWCore%d core(.clk(clk.val), .done(core_done), .score(core_score));\n", id)
+	displays := 1 + r.Intn(10)
+	p("reg [15:0] dbg_tick;\n")
+	p("always @(posedge clk.val) begin\n")
+	p("  dbg_tick <= dbg_tick + 1;\n")
+	for d := 0; d < displays; d++ {
+		p("  if (dbg_tick == %d) $display(\"dbg%d t=%%d score=%%d\", $time, core_score);\n", (d+1)*17, d)
+	}
+	p("end\n")
+	if r.Intn(3) > 0 {
+		p("always @(posedge clk.val) if (core_done) begin $display(\"final score %%d\", core_score); $finish; end\n")
+	}
+	// Some students left an experiment scratchpad behind.
+	if r.Intn(2) == 0 {
+		p("\n// scratch experiments kept for posterity\n")
+		p("reg [7:0] scratch%d;\n", id)
+		p("integer k%d;\n", id)
+		p("initial begin\n")
+		for k := 0; k < 2+r.Intn(6); k++ {
+			p("  scratch%d = %d;\n", id, r.Intn(200))
+		}
+		p("  for (k%d = 0; k%d < 4; k%d = k%d + 1)\n    scratch%d = scratch%d + 1;\n", id, id, id, id, id, id)
+		p("end\n")
+	}
+	return sb.String()
+}

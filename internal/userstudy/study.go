@@ -1,0 +1,242 @@
+// Package userstudy reproduces the paper's two human-subject experiments
+// with a seeded stochastic developer-behaviour model (the substitution is
+// documented in DESIGN.md: we reproduce the tooling pipeline and the
+// causal mechanism — compile latency shapes the edit-compile-test loop —
+// not the human population).
+//
+// Figure 13 (§6.3): n=20 subjects debug a 50-line LED program on either
+// the Quartus-IDE flow (full compile per iteration) or Cascade (code runs
+// in under a second). The model's compile latencies are taken from the
+// real toolchain model on the real starter program.
+//
+// Table 1 (§6.4): 31 generated student solutions to Needleman-Wunsch,
+// analysed with internal/metrics.
+package userstudy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Env is the development environment a subject uses.
+type Env int
+
+// Environments.
+const (
+	EnvQuartus Env = iota // control group: vendor IDE, full compiles
+	EnvCascade            // experiment group: JIT, sub-second starts
+)
+
+func (e Env) String() string {
+	if e == EnvCascade {
+		return "cascade"
+	}
+	return "quartus"
+}
+
+// Config parameterizes the Figure 13 study.
+type Config struct {
+	N    int   // subjects (half per environment)
+	Seed int64 // model seed
+	// Compile latencies in minutes, measured on the starter program by
+	// the caller (bench harness) with the real toolchain model.
+	QuartusCompileMin float64
+	CascadeCompileMin float64
+	// TimeCapMin aborts a subject who never completes.
+	TimeCapMin float64
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		N:                 20,
+		Seed:              1839,
+		QuartusCompileMin: 1.25, // ~75 s full flow for the 50-line starter
+		CascadeCompileMin: 0.013,
+		TimeCapMin:        90,
+	}
+}
+
+// Result records one subject's session (one point in Figure 13).
+type Result struct {
+	ID         int
+	Env        Env
+	Skill      float64
+	Bugs       int
+	Builds     int
+	TotalMin   float64
+	CompileMin float64 // total time spent waiting on compiles
+	DebugMin   float64 // total time spent testing/debugging
+	Succeeded  bool
+}
+
+// AvgCompileMin returns the subject's mean per-build compile wait.
+func (r Result) AvgCompileMin() float64 {
+	if r.Builds == 0 {
+		return 0
+	}
+	return r.CompileMin / float64(r.Builds)
+}
+
+// AvgDebugMin returns the subject's mean per-build test/debug time.
+func (r Result) AvgDebugMin() float64 {
+	if r.Builds == 0 {
+		return 0
+	}
+	return r.DebugMin / float64(r.Builds)
+}
+
+// exp draws an exponential variate with the given mean.
+func exp(r *rand.Rand, mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Run simulates the study. The behavioural constants encode the paper's
+// qualitative findings: expensive compiles push developers toward larger,
+// less frequent edits ("wasting time" anxiety), while cheap compiles
+// invite smaller iterations; printf debugging trims test time slightly
+// but, as the paper notes, Cascade "did not encourage sloppy thought" —
+// per-iteration fix probability scales with thinking time either way.
+// Run uses a matched-pairs design to keep the ten-subject arms
+// comparable: consecutive subjects share ability and bug draws but work
+// in different environments, so the arm difference reflects the tooling
+// rather than sampling noise.
+func Run(cfg Config) []Result {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var out []Result
+	for i := 0; i < cfg.N; i += 2 {
+		skill := 0.35 + 0.55*r.Float64()
+		bugs := 1 + r.Intn(3)
+		for k, env := range []Env{EnvQuartus, EnvCascade} {
+			if i+k >= cfg.N {
+				break
+			}
+			subject := Result{ID: i + k, Env: env, Skill: skill, Bugs: bugs}
+			simulate(&subject, cfg, rand.New(rand.NewSource(cfg.Seed^int64(1000*i+7*k))))
+			out = append(out, subject)
+		}
+	}
+	return out
+}
+
+func simulate(s *Result, cfg Config, r *rand.Rand) {
+	compileMin := cfg.QuartusCompileMin
+	editMean, editFloor := 1.5, 0.7 // batch big edits between slow builds
+	testMean, testFloor := 1.05, 0.35
+	thoroughness := 0.85 // big batched edits fix bugs more often per try
+	if s.Env == EnvCascade {
+		compileMin = cfg.CascadeCompileMin
+		editMean, editFloor = 0.45, 0.2 // small quick iterations
+		testMean, testFloor = 1.0, 0.55 // printf helps a little (§6.3)
+		thoroughness = 0.62             // less ground covered per iteration
+	}
+	bugs := s.Bugs
+	for s.TotalMin < cfg.TimeCapMin {
+		edit := exp(r, editMean) + editFloor
+		compile := compileMin * (0.9 + 0.2*r.Float64())
+		test := exp(r, testMean) + testFloor
+		s.Builds++
+		s.TotalMin += edit + compile + test
+		s.CompileMin += compile
+		s.DebugMin += test
+		// Per-iteration fix probability scales with how much ground the
+		// edit covered; skill dominates either way (no "sloppy thought").
+		p := s.Skill * thoroughness * math.Min(edit/(editMean+editFloor), 1.5)
+		if p < 0.05 {
+			p = 0.05
+		}
+		if p > 0.95 {
+			p = 0.95
+		}
+		if r.Float64() < p {
+			bugs--
+			if bugs == 0 {
+				s.Succeeded = true
+				return
+			}
+		}
+	}
+}
+
+// Summary aggregates per-environment means (the comparisons quoted in
+// §6.3).
+type Summary struct {
+	N            map[Env]int
+	MeanBuilds   map[Env]float64
+	MeanTotalMin map[Env]float64
+	MeanCompile  map[Env]float64 // total compile minutes per subject
+	MeanDebug    map[Env]float64
+	Succeeded    map[Env]int
+}
+
+// Summarize computes the study's aggregate comparisons.
+func Summarize(results []Result) Summary {
+	s := Summary{
+		N:            map[Env]int{},
+		MeanBuilds:   map[Env]float64{},
+		MeanTotalMin: map[Env]float64{},
+		MeanCompile:  map[Env]float64{},
+		MeanDebug:    map[Env]float64{},
+		Succeeded:    map[Env]int{},
+	}
+	for _, r := range results {
+		s.N[r.Env]++
+		s.MeanBuilds[r.Env] += float64(r.Builds)
+		s.MeanTotalMin[r.Env] += r.TotalMin
+		s.MeanCompile[r.Env] += r.CompileMin
+		s.MeanDebug[r.Env] += r.DebugMin
+		if r.Succeeded {
+			s.Succeeded[r.Env]++
+		}
+	}
+	for env, n := range s.N {
+		if n == 0 {
+			continue
+		}
+		f := float64(n)
+		s.MeanBuilds[env] /= f
+		s.MeanTotalMin[env] /= f
+		s.MeanCompile[env] /= f
+		s.MeanDebug[env] /= f
+	}
+	return s
+}
+
+// MoreBuildsPct returns how many percent more compilations Cascade
+// subjects performed (the paper reports 43%).
+func (s Summary) MoreBuildsPct() float64 {
+	if s.MeanBuilds[EnvQuartus] == 0 {
+		return 0
+	}
+	return 100 * (s.MeanBuilds[EnvCascade]/s.MeanBuilds[EnvQuartus] - 1)
+}
+
+// FasterCompletionPct returns how many percent faster Cascade subjects
+// completed the task (the paper reports 21%).
+func (s Summary) FasterCompletionPct() float64 {
+	if s.MeanTotalMin[EnvQuartus] == 0 {
+		return 0
+	}
+	return 100 * (1 - s.MeanTotalMin[EnvCascade]/s.MeanTotalMin[EnvQuartus])
+}
+
+// CompileTimeRatio returns how many times less time Cascade subjects
+// spent compiling (the paper reports 67x).
+func (s Summary) CompileTimeRatio() float64 {
+	if s.MeanCompile[EnvCascade] == 0 {
+		return 0
+	}
+	return s.MeanCompile[EnvQuartus] / s.MeanCompile[EnvCascade]
+}
+
+// Rows renders the per-subject scatter data (Figure 13's two panels).
+func Rows(results []Result) []string {
+	out := []string{fmt.Sprintf("%-4s %-8s %7s %9s %12s %12s %9s",
+		"id", "env", "builds", "total(m)", "avgCompile", "avgDebug", "done")}
+	for _, r := range results {
+		out = append(out, fmt.Sprintf("%-4d %-8s %7d %9.1f %12.2f %12.2f %9v",
+			r.ID, r.Env, r.Builds, r.TotalMin, r.AvgCompileMin(), r.AvgDebugMin(), r.Succeeded))
+	}
+	return out
+}

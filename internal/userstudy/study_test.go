@@ -1,0 +1,124 @@
+package userstudy
+
+import (
+	"testing"
+
+	"cascade/internal/metrics"
+)
+
+func TestStudyIsDeterministic(t *testing.T) {
+	a := Run(DefaultConfig())
+	b := Run(DefaultConfig())
+	if len(a) != len(b) || len(a) != 20 {
+		t.Fatalf("n=%d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStudyReproducesPaperDirections(t *testing.T) {
+	s := Summarize(Run(DefaultConfig()))
+	// Paper §6.3: Cascade users performed 43% more compilations,
+	// completed 21% faster, and spent 67x less time compiling. The model
+	// must land in the right direction with comparable magnitude.
+	if more := s.MoreBuildsPct(); more < 15 || more > 90 {
+		t.Fatalf("more-builds%% = %.1f, want in [15,90] (paper: 43)", more)
+	}
+	if faster := s.FasterCompletionPct(); faster < 5 || faster > 45 {
+		t.Fatalf("faster-completion%% = %.1f, want in [5,45] (paper: 21)", faster)
+	}
+	if ratio := s.CompileTimeRatio(); ratio < 25 || ratio > 250 {
+		t.Fatalf("compile ratio = %.0f, want in [25,250] (paper: 67)", ratio)
+	}
+	// Per-build test/debug time should be only slightly lower for
+	// Cascade (Figure 13's right panel).
+	qPer := s.MeanDebug[EnvQuartus] / s.MeanBuilds[EnvQuartus]
+	cPer := s.MeanDebug[EnvCascade] / s.MeanBuilds[EnvCascade]
+	if cPer > qPer*1.1 || cPer < qPer*0.5 {
+		t.Fatalf("per-build debug time should be slightly lower for cascade: q=%.2f c=%.2f", qPer, cPer)
+	}
+	for _, env := range []Env{EnvQuartus, EnvCascade} {
+		if s.Succeeded[env] < s.N[env]-2 {
+			t.Fatalf("%v: too many failed subjects (%d/%d)", env, s.Succeeded[env], s.N[env])
+		}
+	}
+}
+
+func TestRowsRender(t *testing.T) {
+	rows := Rows(Run(DefaultConfig()))
+	if len(rows) != 21 {
+		t.Fatalf("rows=%d, want 21", len(rows))
+	}
+}
+
+func TestClassCorpusParsesAndLandsInTable1Ranges(t *testing.T) {
+	subs := GenerateClass(DefaultClassConfig())
+	if len(subs) != 31 {
+		t.Fatalf("students=%d", len(subs))
+	}
+	var reports []metrics.Report
+	logs := 0
+	for _, s := range subs {
+		rep, err := metrics.Analyze(s.Source)
+		if err != nil {
+			t.Fatalf("student %d does not parse: %v\n%s", s.ID, err, s.Source)
+		}
+		rep.Builds = s.Builds
+		if s.Builds > 0 {
+			logs++
+		}
+		reports = append(reports, rep)
+	}
+	if logs != 23 {
+		t.Fatalf("logs=%d, want 23", logs)
+	}
+	agg := metrics.Summarize(reports)
+
+	// The paper's Table 1 (mean/min/max): lines 287/113/709, always
+	// 5/2/12, blocking 57/28/132, nonblocking 7/2/33, display 11/1/32,
+	// builds 27/1/123. The synthetic corpus must land in comparable
+	// territory (within ~2x on the means).
+	within := func(name string, got, wantMean float64) {
+		if got < wantMean/2 || got > wantMean*2 {
+			t.Errorf("%s mean=%.1f, want within 2x of %.1f", name, got, wantMean)
+		}
+	}
+	within("lines", agg.Lines.Mean, 287)
+	within("always", agg.Always.Mean, 5)
+	within("blocking", agg.Blocking.Mean, 57)
+	within("nonblocking", agg.Nonblock.Mean, 7)
+	within("display", agg.Display.Mean, 11)
+	within("builds", agg.Builds.Mean, 27)
+
+	// Blocking assignments dominate non-blocking in aggregate (the
+	// paper reports 8x).
+	if agg.Blocking.Mean < 3*agg.Nonblock.Mean {
+		t.Errorf("blocking (%.1f) should dominate nonblocking (%.1f)", agg.Blocking.Mean, agg.Nonblock.Mean)
+	}
+	t.Logf("table1 rows:\n%s", agg.Rows())
+}
+
+func TestMetricsOnKnownProgram(t *testing.T) {
+	src := `
+module M(input wire clk);
+  reg [3:0] a, b;
+  always @(posedge clk) begin
+    a <= a + 1;
+    b = a;
+    $display("%d", a);
+  end
+  always @(*) b = a;
+endmodule
+wire x;
+`
+	rep, err := metrics.Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlwaysBlocks != 2 || rep.BlockingAssigns != 2 || rep.NonblockingAssigns != 1 || rep.DisplayStmts != 1 {
+		t.Fatalf("report wrong: %+v", rep)
+	}
+}

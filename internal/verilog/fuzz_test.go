@@ -1,0 +1,169 @@
+package verilog
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// srcGen emits random well-formed source text covering the whole grammar,
+// for parse/print round-trip fuzzing.
+type srcGen struct {
+	r *rand.Rand
+}
+
+func (g *srcGen) ident(prefix string) string {
+	return fmt.Sprintf("%s%d", prefix, g.r.Intn(6))
+}
+
+func (g *srcGen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d'h%x", 1+g.r.Intn(16), g.r.Intn(1<<12))
+		case 1:
+			return fmt.Sprintf("%d", g.r.Intn(100))
+		default:
+			return g.ident("v")
+		}
+	}
+	switch g.r.Intn(10) {
+	case 0:
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1),
+			[]string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "==", "!=", "<", ">", "&&", "||", "**", "~^", "<<<", ">>>"}[g.r.Intn(20)],
+			g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("%s%s", []string{"!", "~", "-", "&", "|", "^", "~&", "~|", "~^"}[g.r.Intn(9)], g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s ? %s : %s)", g.expr(depth-1), g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("{%s, %s}", g.expr(depth-1), g.expr(depth-1))
+	case 4:
+		return fmt.Sprintf("{%d{%s}}", 1+g.r.Intn(4), g.expr(depth-1))
+	case 5:
+		return fmt.Sprintf("%s[%d]", g.ident("v"), g.r.Intn(8))
+	case 6:
+		return fmt.Sprintf("%s[%d:%d]", g.ident("v"), 4+g.r.Intn(4), g.r.Intn(4))
+	case 7:
+		return g.ident("v") + "." + g.ident("p")
+	default:
+		return fmt.Sprintf("(%s)", g.expr(depth-1))
+	}
+}
+
+func (g *srcGen) stmt(depth int) string {
+	if depth <= 0 {
+		return fmt.Sprintf("%s <= %s;", g.ident("v"), g.expr(1))
+	}
+	switch g.r.Intn(7) {
+	case 0:
+		return fmt.Sprintf("begin %s %s end", g.stmt(depth-1), g.stmt(depth-1))
+	case 1:
+		return fmt.Sprintf("if (%s) %s else %s", g.expr(1), g.stmt(depth-1), g.stmt(depth-1))
+	case 2:
+		return fmt.Sprintf("case (%s) %d: %s %d, %d: %s default: %s endcase",
+			g.expr(1), g.r.Intn(4), g.stmt(depth-1), 4+g.r.Intn(4), 8+g.r.Intn(4), g.stmt(depth-1), g.stmt(depth-1))
+	case 3:
+		return fmt.Sprintf("for (%s = 0; %s < %d; %s = %s + 1) %s",
+			g.ident("v"), g.ident("v"), g.r.Intn(8), g.ident("v"), g.ident("v"), g.stmt(depth-1))
+	case 4:
+		return fmt.Sprintf("$display(\"x=%%d y=%%h\", %s, %s);", g.expr(1), g.expr(1))
+	case 5:
+		return fmt.Sprintf("%s = %s;", g.ident("v"), g.expr(depth-1))
+	default:
+		return fmt.Sprintf("%s[%d] <= %s;", g.ident("v"), g.r.Intn(8), g.expr(depth-1))
+	}
+}
+
+func (g *srcGen) module(i int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module Fz%d", i)
+	if g.r.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "#(parameter N = %d, parameter [7:0] K = 8'h%x)", 1+g.r.Intn(8), g.r.Intn(256))
+	}
+	fmt.Fprintf(&sb, "(input wire clk, input wire [7:0] v0, output reg [7:0] v1, output wire [3:0] v2);\n")
+	fmt.Fprintf(&sb, "  localparam L = %d;\n", g.r.Intn(50))
+	fmt.Fprintf(&sb, "  reg [15:0] v3 = %d;\n", g.r.Intn(100))
+	fmt.Fprintf(&sb, "  wire [7:0] v4, v5;\n")
+	fmt.Fprintf(&sb, "  integer v6;\n")
+	fmt.Fprintf(&sb, "  reg [7:0] v7 [0:15];\n")
+	fmt.Fprintf(&sb, "  assign v4 = %s;\n", g.expr(2))
+	fmt.Fprintf(&sb, "  always @(posedge clk) %s\n", g.stmt(2))
+	fmt.Fprintf(&sb, "  always @(*) %s\n", g.stmt(1))
+	fmt.Fprintf(&sb, "  always @(v4 or v5) %s\n", g.stmt(1))
+	fmt.Fprintf(&sb, "  initial %s\n", g.stmt(1))
+	if g.r.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "  Fz%d#(.N(2)) sub(.clk(clk), .v0(v4));\n", i+1)
+	}
+	fmt.Fprintf(&sb, "endmodule\n")
+	return sb.String()
+}
+
+// TestPrintParseRoundTripFuzz: parse(print(parse(x))) equals parse(x)
+// structurally for randomly generated source across the grammar.
+func TestPrintParseRoundTripFuzz(t *testing.T) {
+	g := &srcGen{r: rand.New(rand.NewSource(2024))}
+	for trial := 0; trial < 200; trial++ {
+		src := g.module(trial)
+		st1, errs := ParseSourceText(src)
+		if errs != nil {
+			t.Fatalf("trial %d: generated source does not parse: %v\n%s", trial, errs, src)
+		}
+		printed := Print(st1.Modules[0])
+		st2, errs := ParseSourceText(printed)
+		if errs != nil {
+			t.Fatalf("trial %d: printed source does not reparse: %v\noriginal:\n%s\nprinted:\n%s", trial, errs, src, printed)
+		}
+		a, b := st1.Modules[0], st2.Modules[0]
+		stripPos(reflect.ValueOf(a))
+		stripPos(reflect.ValueOf(b))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: round trip changed AST\noriginal:\n%s\nprinted:\n%s", trial, src, printed)
+		}
+		// Idempotence: printing the reparsed AST yields identical text.
+		if again := Print(st2.Modules[0]); again != printed {
+			t.Fatalf("trial %d: printer not idempotent", trial)
+		}
+	}
+}
+
+// TestLexerNeverPanics feeds mangled source to the lexer.
+func TestLexerNeverPanics(t *testing.T) {
+	g := &srcGen{r: rand.New(rand.NewSource(7))}
+	junk := []byte(`~!@#$%^&*()_+{}[]|\:";'<>?,./` + "`")
+	for trial := 0; trial < 300; trial++ {
+		src := []byte(g.module(trial))
+		// Mutate a few bytes.
+		for k := 0; k < 5; k++ {
+			src[g.r.Intn(len(src))] = junk[g.r.Intn(len(junk))]
+		}
+		LexAll(string(src)) // must not panic
+	}
+}
+
+// TestParserNeverPanicsOnMangledInput feeds mangled source to the parser.
+func TestParserNeverPanicsOnMangledInput(t *testing.T) {
+	g := &srcGen{r: rand.New(rand.NewSource(8))}
+	for trial := 0; trial < 300; trial++ {
+		src := []byte(g.module(trial))
+		// Delete a random span: unbalanced constructs, truncations.
+		if len(src) > 20 {
+			a := g.r.Intn(len(src) - 10)
+			b := a + g.r.Intn(len(src)-a)
+			src = append(src[:a], src[b:]...)
+		}
+		ParseSourceText(string(src))                      // must not panic
+		ParseProgramFragment(string(src))                 // must not panic
+		ParseItems(string(src))                           // must not panic
+		_, _ = ParseExpr(string(src[:min(len(src), 40)])) // must not panic
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

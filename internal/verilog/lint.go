@@ -1,0 +1,216 @@
+package verilog
+
+import "fmt"
+
+// Warning is a non-fatal style or correctness diagnostic.
+type Warning struct {
+	Pos Pos
+	Msg string
+}
+
+func (w Warning) String() string { return fmt.Sprintf("%s: warning: %s", w.Pos, w.Msg) }
+
+// Lint reports the mistakes the paper's class study surfaced as common
+// (§6.4): incomplete sensitivity lists (which synthesis silently
+// "fixes", diverging from simulation), blocking assignments inside
+// clocked blocks, non-blocking assignments inside combinational blocks,
+// and declared-but-never-used variables. The REPL surfaces these when
+// code is eval'd; none of them block integration.
+func Lint(mods []*Module, items []Item) []Warning {
+	var out []Warning
+	for _, m := range mods {
+		out = append(out, lintItems(m.Items, m.Name)...)
+	}
+	out = append(out, lintItems(items, "the root module")...)
+	return out
+}
+
+func lintItems(items []Item, scope string) []Warning {
+	var out []Warning
+
+	declared := map[string]Pos{}
+	used := map[string]bool{}
+	noteUse := func(e Expr) {
+		WalkExprs(e, func(x Expr) {
+			switch t := x.(type) {
+			case *Ident:
+				used[t.Name] = true
+			case *HierIdent:
+				used[t.Parts[0]] = true
+			}
+		})
+	}
+	var noteStmtUses func(s Stmt)
+	noteStmtUses = func(s Stmt) {
+		switch x := s.(type) {
+		case nil:
+		case *Block:
+			for _, st := range x.Stmts {
+				noteStmtUses(st)
+			}
+		case *If:
+			noteUse(x.Cond)
+			noteStmtUses(x.Then)
+			noteStmtUses(x.Else)
+		case *Case:
+			noteUse(x.Subject)
+			for _, it := range x.Items {
+				for _, e := range it.Exprs {
+					noteUse(e)
+				}
+				noteStmtUses(it.Body)
+			}
+		case *ProcAssign:
+			noteUse(x.LHS)
+			noteUse(x.RHS)
+		case *For:
+			noteStmtUses(x.Init)
+			noteUse(x.Cond)
+			noteStmtUses(x.Post)
+			noteStmtUses(x.Body)
+		case *SysTask:
+			for _, a := range x.Args {
+				noteUse(a)
+			}
+		}
+	}
+
+	for _, it := range items {
+		switch x := it.(type) {
+		case *NetDecl:
+			for _, dn := range x.Names {
+				declared[dn.Name] = dn.NamePos
+				noteUse(dn.Init)
+			}
+		case *ContAssign:
+			noteUse(x.LHS)
+			noteUse(x.RHS)
+		case *Instance:
+			used[x.Name] = true
+			for _, c := range x.Conns {
+				noteUse(c.Expr)
+			}
+			for _, p := range x.Params {
+				noteUse(p.Expr)
+			}
+		case *AlwaysBlock:
+			noteStmtUses(x.Body)
+			for _, ev := range x.Events {
+				noteUse(ev.Expr)
+			}
+			out = append(out, lintAlways(x, scope)...)
+		case *InitialBlock:
+			noteStmtUses(x.Body)
+		}
+	}
+
+	for name, pos := range declared {
+		if !used[name] {
+			out = append(out, Warning{Pos: pos, Msg: fmt.Sprintf("%s is declared but never used in %s", name, scope)})
+		}
+	}
+	return out
+}
+
+func lintAlways(a *AlwaysBlock, scope string) []Warning {
+	var out []Warning
+
+	edgeTriggered := false
+	levelList := map[string]bool{}
+	pureLevel := len(a.Events) > 0
+	for _, ev := range a.Events {
+		if ev.Edge != AnyEdge {
+			edgeTriggered = true
+			pureLevel = false
+		} else if id, ok := rootIdentOf(ev.Expr); ok {
+			levelList[id] = true
+		}
+	}
+
+	// Classify assignments and collect reads in the body.
+	reads := map[string]Pos{}
+	writes := map[string]bool{}
+	var blockingPos, nonblockingPos []Pos
+	var scan func(s Stmt)
+	noteReads := func(e Expr) {
+		WalkExprs(e, func(x Expr) {
+			if id, ok := x.(*Ident); ok {
+				if _, seen := reads[id.Name]; !seen {
+					reads[id.Name] = id.IdentPos
+				}
+			}
+		})
+	}
+	scan = func(s Stmt) {
+		switch x := s.(type) {
+		case nil:
+		case *Block:
+			for _, st := range x.Stmts {
+				scan(st)
+			}
+		case *If:
+			noteReads(x.Cond)
+			scan(x.Then)
+			scan(x.Else)
+		case *Case:
+			noteReads(x.Subject)
+			for _, it := range x.Items {
+				for _, e := range it.Exprs {
+					noteReads(e)
+				}
+				scan(it.Body)
+			}
+		case *ProcAssign:
+			noteReads(x.RHS)
+			if id, ok := rootIdentOf(x.LHS); ok {
+				writes[id] = true
+			}
+			if x.Blocking {
+				blockingPos = append(blockingPos, x.AssignPos)
+			} else {
+				nonblockingPos = append(nonblockingPos, x.AssignPos)
+			}
+		case *For:
+			noteReads(x.Cond)
+			scan(x.Body)
+		case *SysTask:
+			for _, e := range x.Args {
+				noteReads(e)
+			}
+		}
+	}
+	scan(a.Body)
+
+	if edgeTriggered && len(blockingPos) > 0 {
+		out = append(out, Warning{Pos: blockingPos[0], Msg: fmt.Sprintf(
+			"blocking assignment in a clocked always block in %s (use <= for registers)", scope)})
+	}
+	if (a.Star || pureLevel) && len(nonblockingPos) > 0 {
+		out = append(out, Warning{Pos: nonblockingPos[0], Msg: fmt.Sprintf(
+			"non-blocking assignment in a combinational always block in %s (use =)", scope)})
+	}
+	if pureLevel {
+		for name, pos := range reads {
+			if !levelList[name] && !writes[name] {
+				out = append(out, Warning{Pos: pos, Msg: fmt.Sprintf(
+					"%s is read but missing from the sensitivity list in %s (simulation and hardware may diverge; use @*)", name, scope)})
+			}
+		}
+	}
+	return out
+}
+
+// rootIdentOf returns the base identifier name of an expression.
+func rootIdentOf(e Expr) (string, bool) {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name, true
+	case *HierIdent:
+		return x.Parts[0], true
+	case *Index:
+		return rootIdentOf(x.X)
+	case *RangeSel:
+		return rootIdentOf(x.X)
+	}
+	return "", false
+}

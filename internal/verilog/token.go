@@ -1,0 +1,170 @@
+// Package verilog implements the Verilog frontend used by Cascade-Go: a
+// lexer, recursive-descent parser, abstract syntax tree, pretty-printer,
+// and structural checker for the synthesizable core of Verilog-2005 plus
+// the unsynthesizable system tasks the paper relies on ($display, $write,
+// $finish, $monitor, $time).
+package verilog
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	EOF TokenKind = iota
+	ILLEGAL
+	IDENT    // foo, \escaped
+	SYSIDENT // $display
+	NUMBER   // 8'h80, 42
+	STRING   // "..."
+
+	// Keywords.
+	KwModule
+	KwEndmodule
+	KwInput
+	KwOutput
+	KwInout
+	KwWire
+	KwReg
+	KwInteger
+	KwParameter
+	KwLocalparam
+	KwAssign
+	KwAlways
+	KwInitial
+	KwBegin
+	KwEnd
+	KwIf
+	KwElse
+	KwCase
+	KwCasez
+	KwEndcase
+	KwDefault
+	KwFor
+	KwPosedge
+	KwNegedge
+	KwOr
+
+	// Operators and punctuation.
+	LParen    // (
+	RParen    // )
+	LBrack    // [
+	RBrack    // ]
+	LBrace    // {
+	RBrace    // }
+	Semi      // ;
+	Colon     // :
+	Comma     // ,
+	Dot       // .
+	At        // @
+	Hash      // #
+	Question  // ?
+	Eq        // =
+	PlusOp    // +
+	MinusOp   // -
+	StarOp    // *
+	SlashOp   // /
+	PercentOp // %
+	PowerOp   // **
+	EqEq      // ==
+	NotEq     // !=
+	CaseEq    // ===
+	CaseNotEq // !==
+	Lt        // <
+	LtEq      // <=  (also non-blocking assign)
+	Gt        // >
+	GtEq      // >=
+	AndAnd    // &&
+	OrOr      // ||
+	Bang      // !
+	Amp       // &
+	Pipe      // |
+	Caret     // ^
+	Tilde     // ~
+	TildeAmp  // ~&
+	TildePipe // ~|
+	TildeXor  // ~^ or ^~
+	Shl       // <<
+	Shr       // >>
+	AShl      // <<<
+	AShr      // >>>
+)
+
+var keywords = map[string]TokenKind{
+	"module":     KwModule,
+	"endmodule":  KwEndmodule,
+	"input":      KwInput,
+	"output":     KwOutput,
+	"inout":      KwInout,
+	"wire":       KwWire,
+	"reg":        KwReg,
+	"integer":    KwInteger,
+	"parameter":  KwParameter,
+	"localparam": KwLocalparam,
+	"assign":     KwAssign,
+	"always":     KwAlways,
+	"initial":    KwInitial,
+	"begin":      KwBegin,
+	"end":        KwEnd,
+	"if":         KwIf,
+	"else":       KwElse,
+	"case":       KwCase,
+	"casez":      KwCasez,
+	"endcase":    KwEndcase,
+	"default":    KwDefault,
+	"for":        KwFor,
+	"posedge":    KwPosedge,
+	"negedge":    KwNegedge,
+	"or":         KwOr,
+}
+
+var tokenNames = map[TokenKind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL", IDENT: "identifier", SYSIDENT: "system identifier",
+	NUMBER: "number", STRING: "string",
+	KwModule: "module", KwEndmodule: "endmodule", KwInput: "input", KwOutput: "output",
+	KwInout: "inout", KwWire: "wire", KwReg: "reg", KwInteger: "integer",
+	KwParameter: "parameter", KwLocalparam: "localparam", KwAssign: "assign",
+	KwAlways: "always", KwInitial: "initial", KwBegin: "begin", KwEnd: "end",
+	KwIf: "if", KwElse: "else", KwCase: "case", KwCasez: "casez", KwEndcase: "endcase",
+	KwDefault: "default", KwFor: "for", KwPosedge: "posedge", KwNegedge: "negedge", KwOr: "or",
+	LParen: "(", RParen: ")", LBrack: "[", RBrack: "]", LBrace: "{", RBrace: "}",
+	Semi: ";", Colon: ":", Comma: ",", Dot: ".", At: "@", Hash: "#", Question: "?",
+	Eq: "=", PlusOp: "+", MinusOp: "-", StarOp: "*", SlashOp: "/", PercentOp: "%",
+	PowerOp: "**", EqEq: "==", NotEq: "!=", CaseEq: "===", CaseNotEq: "!==",
+	Lt: "<", LtEq: "<=", Gt: ">", GtEq: ">=", AndAnd: "&&", OrOr: "||", Bang: "!",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", TildeAmp: "~&", TildePipe: "~|",
+	TildeXor: "~^", Shl: "<<", Shr: ">>", AShl: "<<<", AShr: ">>>",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source text and position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, SYSIDENT, NUMBER, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,82 @@
+// Package ledswitch holds the paper's running example (§2.1, Figures 1
+// and 3): eight LEDs animated one at a time in sequence, pausing while
+// any of four buttons is held. It is the program used throughout the
+// paper's exposition and in the user study's starter code.
+package ledswitch
+
+// Figure1 is the stand-alone Verilog of Figure 1: a Main module with
+// explicit clk/pad/led ports plus the Rol rotator. It is the batch-mode
+// form of the program (unsynthesizable tasks included).
+const Figure1 = `
+module Rol(
+  input wire [7:0] x,
+  output wire [7:0] y
+);
+  assign y = (x == 8'h80) ? 1 : (x << 1);
+endmodule
+
+module Main(
+  input wire clk,
+  input wire [3:0] pad,  // dn/up = 1/0
+  output wire [7:0] led  // on/off = 1/0
+);
+  reg [7:0] cnt = 1;
+  Rol r(.x(cnt));
+  always @(posedge clk)
+    if (pad == 0)
+      cnt <= r.y;
+    else begin
+      $display(cnt);  // unsynthesizable!
+      $finish;        // unsynthesizable!
+    end
+  assign led = cnt;
+endmodule
+`
+
+// Figure3 is the REPL form of the same program (Figure 3): the prelude's
+// implicit Clock/Pad/Led instances replace Main's ports, and the
+// debugging tasks are omitted so the animation pauses rather than
+// terminating.
+const Figure3 = `
+module Rol(
+  input wire [7:0] x,
+  output wire [7:0] y
+);
+  assign y = (x == 8'h80) ? 1 : (x << 1);
+endmodule
+
+reg [7:0] cnt = 1;
+Rol r(.x(cnt));
+always @(posedge clk.val)
+  if (pad.val == 0)
+    cnt <= r.y;
+assign led.val = cnt;
+`
+
+// Figure3WithTasks is Figure 3 with the Figure 1 debugging behaviour:
+// pressing a button prints the counter and terminates.
+const Figure3WithTasks = `
+module Rol(
+  input wire [7:0] x,
+  output wire [7:0] y
+);
+  assign y = (x == 8'h80) ? 1 : (x << 1);
+endmodule
+
+reg [7:0] cnt = 1;
+Rol r(.x(cnt));
+always @(posedge clk.val)
+  if (pad.val == 0)
+    cnt <= r.y;
+  else begin
+    $display(cnt);
+    $finish;
+  end
+assign led.val = cnt;
+`
+
+// ExpectedLed returns the LED pattern after n completed clock ticks with
+// no buttons pressed.
+func ExpectedLed(n uint64) uint64 {
+	return 1 << (n % 8)
+}

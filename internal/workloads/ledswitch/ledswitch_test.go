@@ -1,0 +1,30 @@
+package ledswitch
+
+import (
+	"testing"
+
+	"cascade/internal/verilog"
+)
+
+func TestSourcesParse(t *testing.T) {
+	for name, src := range map[string]string{
+		"Figure1": Figure1, "Figure3": Figure3, "Figure3WithTasks": Figure3WithTasks,
+	} {
+		mods, items, errs := verilog.ParseProgramFragment(src)
+		if errs != nil {
+			t.Fatalf("%s: %v", name, errs)
+		}
+		if len(mods) == 0 {
+			t.Fatalf("%s: no modules", name)
+		}
+		if name != "Figure1" && len(items) == 0 {
+			t.Fatalf("%s: no root items", name)
+		}
+	}
+}
+
+func TestExpectedLed(t *testing.T) {
+	if ExpectedLed(0) != 1 || ExpectedLed(7) != 0x80 || ExpectedLed(8) != 1 {
+		t.Fatal("rotation oracle wrong")
+	}
+}

@@ -1,0 +1,191 @@
+// Package nw generates Verilog implementations of the Needleman-Wunsch
+// global sequence-alignment algorithm, the assignment of the paper's UT
+// Austin concurrency-class study (§6.4, Table 1). The generated design
+// computes one dynamic-programming cell per clock cycle with a row-buffer
+// memory — the archetypal "student solution" shape — and is verified
+// against a plain Go implementation.
+//
+// Scores are two's-complement 16-bit values; Cascade-Go's unsigned
+// arithmetic computes them exactly (mod 2^16) and signed comparisons are
+// emitted with the sign-bit-flip idiom (x ^ 0x8000).
+package nw
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config parameterizes one alignment instance.
+type Config struct {
+	SeqA, SeqB []byte
+	Match      int // score for equal characters (e.g. +1)
+	Mismatch   int // score for differing characters (e.g. -1)
+	Gap        int // gap penalty per skipped character (e.g. -1)
+	// Display controls end-of-alignment $display output.
+	Display bool
+	// Finish issues $finish when the score is ready.
+	Finish bool
+}
+
+// DefaultConfig aligns two short DNA fragments with the classic +1/-1/-1
+// scoring.
+func DefaultConfig() Config {
+	return Config{
+		SeqA:     []byte("GATTACA"),
+		SeqB:     []byte("GCATGCU"),
+		Match:    1,
+		Mismatch: -1,
+		Gap:      -1,
+	}
+}
+
+// Score computes the reference alignment score.
+func (c Config) Score() int {
+	m, n := len(c.SeqA), len(c.SeqB)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j * c.Gap
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = i * c.Gap
+		for j := 1; j <= n; j++ {
+			s := c.Mismatch
+			if c.SeqA[i-1] == c.SeqB[j-1] {
+				s = c.Match
+			}
+			best := prev[j-1] + s
+			if v := prev[j] + c.Gap; v > best {
+				best = v
+			}
+			if v := cur[j-1] + c.Gap; v > best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// Cycles returns how many clock ticks the generated design needs to
+// produce its score (init row + one cell per DP entry + drain).
+func (c Config) Cycles() int {
+	return (len(c.SeqB) + 2) + len(c.SeqA)*len(c.SeqB) + 4
+}
+
+func tc16(v int) uint16 { return uint16(int16(v)) }
+
+// Generate emits the alignment module:
+//
+//	module NW(input wire clk,
+//	          output wire signed_done,          // score is valid
+//	          output wire [15:0] score,         // two's complement
+//	          output wire [31:0] cells);        // DP cells computed
+func Generate(c Config) string {
+	m, n := len(c.SeqA), len(c.SeqB)
+	var sb strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) }
+
+	p("// Needleman-Wunsch: |A|=%d |B|=%d match=%d mismatch=%d gap=%d\n", m, n, c.Match, c.Mismatch, c.Gap)
+	p("module NW(\n  input wire clk,\n  output wire done,\n  output wire [15:0] score,\n  output wire [31:0] cells\n);\n")
+
+	// Sequences packed as byte vectors, element i at bits [8i+7:8i].
+	packed := func(s []byte) string {
+		var hex strings.Builder
+		for i := len(s) - 1; i >= 0; i-- {
+			fmt.Fprintf(&hex, "%02x", s[i])
+		}
+		return fmt.Sprintf("%d'h%s", 8*len(s), hex.String())
+	}
+	p("  localparam [%d:0] SEQA = %s;\n", 8*m-1, packed(c.SeqA))
+	p("  localparam [%d:0] SEQB = %s;\n", 8*n-1, packed(c.SeqB))
+	p("  localparam [15:0] MATCH = 16'h%04x;\n", tc16(c.Match))
+	p("  localparam [15:0] MISMATCH = 16'h%04x;\n", tc16(c.Mismatch))
+	p("  localparam [15:0] GAP = 16'h%04x;\n", tc16(c.Gap))
+
+	p(`
+  // row holds the previous row for columns >= j and the current row for
+  // columns < j (the classic single-buffer sweep).
+  reg [15:0] row [0:%d];
+  reg [15:0] left, diag, score_r;
+  reg [7:0] i, j;       // 1-based indices
+  reg [1:0] state = 0;  // 0 init, 1 sweep, 2 done
+  reg [31:0] cell_cnt = 0;
+  reg done_r = 0;
+
+  wire [7:0] a_ch = (SEQA >> ({8'b0, i - 8'd1} << 3)) & 8'hff;
+  wire [7:0] b_ch = (SEQB >> ({8'b0, j - 8'd1} << 3)) & 8'hff;
+  wire [15:0] sub = (a_ch == b_ch) ? MATCH : MISMATCH;
+
+  wire [15:0] up = row[j];
+  wire [15:0] cand_d = diag + sub;
+  wire [15:0] cand_u = up + GAP;
+  wire [15:0] cand_l = left + GAP;
+  // Signed max via the sign-flip comparison idiom.
+  wire [15:0] max_du = ((cand_d ^ 16'h8000) > (cand_u ^ 16'h8000)) ? cand_d : cand_u;
+  wire [15:0] best = ((max_du ^ 16'h8000) > (cand_l ^ 16'h8000)) ? max_du : cand_l;
+
+  always @(posedge clk)
+    case (state)
+      2'd0: begin // fill row[j] with j*GAP
+        row[j] <= j * GAP;
+        if (j == 8'd%d) begin
+          state <= 2'd1;
+          i <= 1;
+          j <= 1;
+          left <= GAP;   // H[1][0]
+          diag <= 0;     // H[0][0]
+        end else
+          j <= j + 1;
+      end
+      2'd1: begin // one DP cell per cycle
+        row[j] <= best;
+        diag <= up;
+        left <= best;
+        cell_cnt <= cell_cnt + 1;
+        if (j == 8'd%d) begin
+          if (i == 8'd%d) begin
+            score_r <= best;
+            done_r <= 1;
+            state <= 2'd2;
+`, n, n, n, m)
+	if c.Display {
+		p("            $display(\"NW score=%%d cells=%%d\", best, cell_cnt + 1);\n")
+	}
+	if c.Finish {
+		p("            $finish;\n")
+	}
+	p(`          end else begin
+            i <= i + 1;
+            j <= 1;
+            // Row restart: H[i+1][0] = (i+1)*GAP, diag = H[i][0].
+            left <= (i + 8'd1) * GAP;
+            diag <= i * GAP;
+          end
+        end else
+          j <= j + 1;
+      end
+      default: ; // hold
+    endcase
+
+  assign done = done_r;
+  assign score = score_r;
+  assign cells = cell_cnt;
+endmodule
+`)
+	return sb.String()
+}
+
+// GenerateProgram wraps the module in a root-level program for the
+// Cascade runtime: the module driven by the global clock, with the score
+// mirrored onto the LEDs.
+func GenerateProgram(c Config) string {
+	return Generate(c) + `
+wire nw_done;
+wire [15:0] nw_score;
+wire [31:0] nw_cells;
+NW nw(.clk(clk.val), .done(nw_done), .score(nw_score), .cells(nw_cells));
+assign led.val = nw_score[7:0];
+`
+}

@@ -1,0 +1,550 @@
+// Package regexgen compiles regular expressions into streaming Verilog
+// matchers, reproducing the generator behind the paper's second benchmark
+// (§6.2, Figure 12): a Snort/SQL-accelerator-style packet scanner that
+// consumes one byte per cycle from a FIFO and counts pattern matches.
+//
+// The pipeline is the textbook one: a recursive-descent regex parser
+// (literals, '.', character classes, grouping, alternation, *, +, ?),
+// Thompson NFA construction, subset construction to a DFA with an
+// implicit ".*" prefix (unanchored search), and Verilog emission as a
+// one-hot-free binary state register with per-state transition logic.
+// Matchers are verified against Go's regexp package.
+package regexgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MaxDFAStates bounds subset construction.
+const MaxDFAStates = 256
+
+// --- regex AST ----------------------------------------------------------
+
+type node interface{ isNode() }
+
+type litClass struct { // set of accepted bytes
+	set [256]bool
+}
+type concat struct{ parts []node }
+type alt struct{ a, b node }
+type star struct{ x node }
+type plus struct{ x node }
+type quest struct{ x node }
+
+func (*litClass) isNode() {}
+func (*concat) isNode()   {}
+func (*alt) isNode()      {}
+func (*star) isNode()     {}
+func (*plus) isNode()     {}
+func (*quest) isNode()    {}
+
+// --- parser -------------------------------------------------------------
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("regex %q at %d: %s", p.src, p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseAlt() (node, error) {
+	a, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		b, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		a = &alt{a: a, b: b}
+	}
+	return a, nil
+}
+
+func (p *parser) parseConcat() (node, error) {
+	var parts []node
+	for p.pos < len(p.src) && p.peek() != '|' && p.peek() != ')' {
+		n, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	return &concat{parts: parts}, nil
+}
+
+func (p *parser) parseRepeat() (node, error) {
+	x, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			x = &star{x: x}
+		case '+':
+			p.pos++
+			x = &plus{x: x}
+		case '?':
+			p.pos++
+			x = &quest{x: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (node, error) {
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, p.errf("missing )")
+		}
+		p.pos++
+		return inner, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		lc := &litClass{}
+		for i := 0; i < 256; i++ {
+			lc.set[i] = true
+		}
+		return lc, nil
+	case '\\':
+		p.pos++
+		if p.pos >= len(p.src) {
+			return nil, p.errf("trailing backslash")
+		}
+		b := p.escape(p.src[p.pos])
+		p.pos++
+		lc := &litClass{}
+		lc.set[b] = true
+		return lc, nil
+	case ')', '|', '*', '+', '?', 0:
+		return nil, p.errf("unexpected %q", string(c))
+	default:
+		p.pos++
+		lc := &litClass{}
+		lc.set[c] = true
+		return lc, nil
+	}
+}
+
+func (p *parser) escape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	default:
+		return c
+	}
+}
+
+func (p *parser) parseClass() (node, error) {
+	p.pos++ // '['
+	lc := &litClass{}
+	negate := false
+	if p.peek() == '^' {
+		negate = true
+		p.pos++
+	}
+	first := true
+	for {
+		c := p.peek()
+		if c == 0 {
+			return nil, p.errf("missing ]")
+		}
+		if c == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		if c == '\\' {
+			p.pos++
+			c = p.escape(p.peek())
+		}
+		p.pos++
+		if p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++
+			hi := p.peek()
+			if hi == '\\' {
+				p.pos++
+				hi = p.escape(p.peek())
+			}
+			p.pos++
+			if hi < c {
+				return nil, p.errf("inverted range %c-%c", c, hi)
+			}
+			for b := int(c); b <= int(hi); b++ {
+				lc.set[b] = true
+			}
+			continue
+		}
+		lc.set[c] = true
+	}
+	if negate {
+		for i := range lc.set {
+			lc.set[i] = !lc.set[i]
+		}
+	}
+	return lc, nil
+}
+
+// --- NFA (Thompson) ------------------------------------------------------
+
+type nfaState struct {
+	// byte transitions: class -> target; eps transitions.
+	class  *litClass
+	out    int
+	eps    []int
+	accept bool
+}
+
+type nfa struct {
+	states []nfaState
+	start  int
+}
+
+func (n *nfa) newState() int {
+	n.states = append(n.states, nfaState{out: -1})
+	return len(n.states) - 1
+}
+
+// build returns (start, end); end has no outgoing edges yet.
+func (n *nfa) build(x node) (int, int) {
+	switch t := x.(type) {
+	case *litClass:
+		s, e := n.newState(), n.newState()
+		n.states[s].class = t
+		n.states[s].out = e
+		return s, e
+	case *concat:
+		if len(t.parts) == 0 {
+			s := n.newState()
+			return s, s
+		}
+		s, e := n.build(t.parts[0])
+		for _, part := range t.parts[1:] {
+			s2, e2 := n.build(part)
+			n.states[e].eps = append(n.states[e].eps, s2)
+			e = e2
+		}
+		return s, e
+	case *alt:
+		s, e := n.newState(), n.newState()
+		sa, ea := n.build(t.a)
+		sb, eb := n.build(t.b)
+		n.states[s].eps = append(n.states[s].eps, sa, sb)
+		n.states[ea].eps = append(n.states[ea].eps, e)
+		n.states[eb].eps = append(n.states[eb].eps, e)
+		return s, e
+	case *star:
+		s, e := n.newState(), n.newState()
+		sx, ex := n.build(t.x)
+		n.states[s].eps = append(n.states[s].eps, sx, e)
+		n.states[ex].eps = append(n.states[ex].eps, sx, e)
+		return s, e
+	case *plus:
+		sx, ex := n.build(t.x)
+		e := n.newState()
+		n.states[ex].eps = append(n.states[ex].eps, sx, e)
+		return sx, e
+	case *quest:
+		s, e := n.newState(), n.newState()
+		sx, ex := n.build(t.x)
+		n.states[s].eps = append(n.states[s].eps, sx, e)
+		n.states[ex].eps = append(n.states[ex].eps, e)
+		return s, e
+	}
+	panic("regexgen: unknown node")
+}
+
+// --- DFA -----------------------------------------------------------------
+
+// DFA is a deterministic byte automaton for unanchored search: state 0 is
+// the start; Accept[s] marks states reached right after a match ends.
+type DFA struct {
+	Next   [][256]int
+	Accept []bool
+}
+
+// CompileDFA builds the search DFA for pattern.
+func CompileDFA(pattern string) (*DFA, error) {
+	p := &parser{src: pattern}
+	ast, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	m := &nfa{}
+	s, e := m.build(ast)
+	m.start = s
+	m.states[e].accept = true
+
+	closure := func(set map[int]bool) {
+		var stack []int
+		for q := range set {
+			stack = append(stack, q)
+		}
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range m.states[q].eps {
+				if !set[t] {
+					set[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+	key := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for q := range set {
+			ids = append(ids, q)
+		}
+		sort.Ints(ids)
+		var sb strings.Builder
+		for _, q := range ids {
+			fmt.Fprintf(&sb, "%d,", q)
+		}
+		return sb.String()
+	}
+
+	d := &DFA{}
+	index := map[string]int{}
+	var sets []map[int]bool
+	start := map[int]bool{m.start: true}
+	closure(start)
+	index[key(start)] = 0
+	sets = append(sets, start)
+	d.Next = append(d.Next, [256]int{})
+	d.Accept = append(d.Accept, anyAccept(m, start))
+
+	for si := 0; si < len(sets); si++ {
+		for b := 0; b < 256; b++ {
+			to := map[int]bool{m.start: true} // unanchored: restart always live
+			for q := range sets[si] {
+				st := &m.states[q]
+				if st.class != nil && st.class.set[b] {
+					to[st.out] = true
+				}
+			}
+			closure(to)
+			k := key(to)
+			ti, ok := index[k]
+			if !ok {
+				ti = len(sets)
+				if ti >= MaxDFAStates {
+					return nil, fmt.Errorf("regexgen: pattern %q exceeds %d DFA states", pattern, MaxDFAStates)
+				}
+				index[k] = ti
+				sets = append(sets, to)
+				d.Next = append(d.Next, [256]int{})
+				d.Accept = append(d.Accept, anyAccept(m, to))
+			}
+			d.Next[si][b] = ti
+		}
+	}
+	return d, nil
+}
+
+func anyAccept(m *nfa, set map[int]bool) bool {
+	for q := range set {
+		if m.states[q].accept {
+			return true
+		}
+	}
+	return false
+}
+
+// Run feeds input through the DFA and returns the number of positions at
+// which a match ends (the matcher's reference semantics).
+func (d *DFA) Run(input []byte) int {
+	s, count := 0, 0
+	for _, b := range input {
+		s = d.Next[s][b]
+		if d.Accept[s] {
+			count++
+		}
+	}
+	return count
+}
+
+// States returns the DFA state count.
+func (d *DFA) States() int { return len(d.Next) }
+
+// --- Verilog emission ----------------------------------------------------
+
+func log2ceil(n int) int {
+	w := 1
+	for (1 << w) < n {
+		w++
+	}
+	return w
+}
+
+// Generate emits a streaming matcher module for pattern:
+//
+//	module Regex(input wire clk, input wire [7:0] byte_in,
+//	             input wire valid,
+//	             output wire match, output wire [31:0] matches,
+//	             output wire [31:0] consumed);
+//
+// One byte is consumed per rising clock edge while valid is high; match
+// pulses when the byte just consumed ends a pattern occurrence.
+func Generate(pattern string) (string, *DFA, error) {
+	d, err := CompileDFA(pattern)
+	if err != nil {
+		return "", nil, err
+	}
+	sw := log2ceil(d.States())
+	var sb strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) }
+
+	p("// Streaming matcher for pattern %q (%d DFA states)\n", pattern, d.States())
+	p("module Regex(\n")
+	p("  input wire clk,\n")
+	p("  input wire [7:0] byte_in,\n")
+	p("  input wire valid,\n")
+	p("  output wire match,\n")
+	p("  output wire [31:0] matches,\n")
+	p("  output wire [31:0] consumed\n")
+	p(");\n")
+	p("  reg [%d:0] state = 0;\n", sw-1)
+	p("  reg [31:0] match_cnt = 0;\n")
+	p("  reg [31:0] consumed_cnt = 0;\n")
+	p("  reg match_r = 0;\n")
+	p("  reg [%d:0] nxt;\n", sw-1)
+
+	// Transition logic: per state, ranges of bytes sharing a target.
+	p("  always @(*)\n")
+	p("    case (state)\n")
+	for s := 0; s < d.States(); s++ {
+		p("      %d'd%d:\n", sw, s)
+		// Build maximal ranges with equal targets.
+		type span struct{ lo, hi, to int }
+		var spans []span
+		b := 0
+		for b < 256 {
+			to := d.Next[s][b]
+			hi := b
+			for hi+1 < 256 && d.Next[s][hi+1] == to {
+				hi++
+			}
+			spans = append(spans, span{lo: b, hi: hi, to: to})
+			b = hi + 1
+		}
+		// The most common target becomes the default.
+		counts := map[int]int{}
+		for _, sp := range spans {
+			counts[sp.to] += sp.hi - sp.lo + 1
+		}
+		deflt, best := 0, -1
+		for to, n := range counts {
+			if n > best {
+				deflt, best = to, n
+			}
+		}
+		first := true
+		for _, sp := range spans {
+			if sp.to == deflt {
+				continue
+			}
+			kw := "else if"
+			if first {
+				kw = "if"
+				first = false
+			}
+			if sp.lo == sp.hi {
+				p("        %s (byte_in == 8'd%d) nxt = %d'd%d;\n", kw, sp.lo, sw, sp.to)
+			} else {
+				p("        %s (byte_in >= 8'd%d && byte_in <= 8'd%d) nxt = %d'd%d;\n", kw, sp.lo, sp.hi, sw, sp.to)
+			}
+		}
+		if first {
+			p("        nxt = %d'd%d;\n", sw, deflt)
+		} else {
+			p("        else nxt = %d'd%d;\n", sw, deflt)
+		}
+	}
+	p("      default: nxt = 0;\n")
+	p("    endcase\n")
+
+	// Accept detection on the next state.
+	var accepts []int
+	for s, a := range d.Accept {
+		if a {
+			accepts = append(accepts, s)
+		}
+	}
+	p("  wire accept_next = 1'b0")
+	for _, s := range accepts {
+		p(" | (nxt == %d'd%d)", sw, s)
+	}
+	p(";\n")
+
+	p(`
+  always @(posedge clk)
+    if (valid) begin
+      state <= nxt;
+      consumed_cnt <= consumed_cnt + 1;
+      match_r <= accept_next;
+      if (accept_next)
+        match_cnt <= match_cnt + 1;
+    end else
+      match_r <= 0;
+
+  assign match = match_r;
+  assign matches = match_cnt;
+  assign consumed = consumed_cnt;
+endmodule
+`)
+	return sb.String(), d, nil
+}
+
+// GenerateStreaming emits the full Figure 12 benchmark program: a matcher
+// fed one byte per tick from the standard-library FIFO (paths are
+// relative to the implicit root module; the prelude must have declared
+// the FIFO instance name used here).
+func GenerateStreaming(pattern string) (string, *DFA, error) {
+	mod, d, err := Generate(pattern)
+	if err != nil {
+		return "", nil, err
+	}
+	prog := mod + `
+FIFO#(8, 64) fifo();
+wire [31:0] matches, consumed;
+wire mtch;
+assign fifo.rreq = !fifo.empty;
+Regex rx(.clk(clk.val), .byte_in(fifo.rdata), .valid(!fifo.empty),
+         .match(mtch), .matches(matches), .consumed(consumed));
+`
+	return prog, d, nil
+}

@@ -9,6 +9,8 @@ package cascade
 // infrastructure itself.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"cascade/internal/bench"
@@ -83,12 +85,12 @@ Pow miner(.clk(clk.val), .hashes(hashes), .nonce(nonce),
 // --- Figure 11: proof of work -------------------------------------------
 
 func BenchmarkFig11_IVerilogBaseline(b *testing.B) {
-	rt := newRT(b, runtime.Options{DisableJIT: true, EagerSim: true}, powProg())
+	rt := newRT(b, runtime.Options{Features: runtime.Features{DisableJIT: true, EagerSim: true}}, powProg())
 	reportVirtualRate(b, rt)
 }
 
 func BenchmarkFig11_CascadeSoftware(b *testing.B) {
-	rt := newRT(b, runtime.Options{DisableJIT: true}, powProg())
+	rt := newRT(b, runtime.Options{Features: runtime.Features{DisableJIT: true}}, powProg())
 	reportVirtualRate(b, rt)
 }
 
@@ -102,7 +104,7 @@ func BenchmarkFig11_CascadeOpenLoop(b *testing.B) {
 }
 
 func BenchmarkFig11_Native(b *testing.B) {
-	rt := newRT(b, runtime.Options{Native: true}, powProg())
+	rt := newRT(b, runtime.Options{Features: runtime.Features{Native: true}}, powProg())
 	rt.RunTicks(4_000) // climb to open loop
 	reportVirtualRate(b, rt)
 }
@@ -130,7 +132,7 @@ func regexProg(b *testing.B) string {
 }
 
 func BenchmarkFig12_StreamingSoftware(b *testing.B) {
-	rt := newRT(b, runtime.Options{DisableJIT: true}, regexProg(b))
+	rt := newRT(b, runtime.Options{Features: runtime.Features{DisableJIT: true}}, regexProg(b))
 	rt.World().Stream("main.fifo").PushBytes(make([]byte, 1<<20))
 	reportVirtualRate(b, rt)
 }
@@ -182,7 +184,7 @@ func BenchmarkTable1_ClassStudy(b *testing.B) {
 
 // Inlining (§4.2): multi-engine lock-step hardware vs inlined hardware.
 func BenchmarkAblation_InlineOff(b *testing.B) {
-	rt := newRT(b, runtime.Options{DisableInline: true}, ledswitch.Figure3)
+	rt := newRT(b, runtime.Options{Features: runtime.Features{DisableInline: true}}, ledswitch.Figure3)
 	rt.RunTicks(2_000)
 	reportVirtualRate(b, rt)
 }
@@ -190,14 +192,14 @@ func BenchmarkAblation_InlineOff(b *testing.B) {
 func BenchmarkAblation_InlineOn_ForwardingOff(b *testing.B) {
 	// Forwarding disabled isolates the §4.3 effect: stdlib engines keep
 	// costing per-iteration messages.
-	rt := newRT(b, runtime.Options{DisableForwarding: true}, ledswitch.Figure3)
+	rt := newRT(b, runtime.Options{Features: runtime.Features{DisableForwarding: true}}, ledswitch.Figure3)
 	rt.RunTicks(2_000)
 	reportVirtualRate(b, rt)
 }
 
 // Open loop (§4.4): forwarded lock-step vs open-loop bursts.
 func BenchmarkAblation_OpenLoopOff(b *testing.B) {
-	rt := newRT(b, runtime.Options{DisableOpenLoop: true}, ledswitch.Figure3)
+	rt := newRT(b, runtime.Options{Features: runtime.Features{DisableOpenLoop: true}}, ledswitch.Figure3)
 	rt.RunTicks(2_000)
 	reportVirtualRate(b, rt)
 }
@@ -214,12 +216,12 @@ func BenchmarkAblation_OpenLoopOn(b *testing.B) {
 // Lazy evaluation (§5.1): the software engine's dependency-driven
 // activation vs naive re-evaluation.
 func BenchmarkAblation_LazyEval(b *testing.B) {
-	rt := newRT(b, runtime.Options{DisableJIT: true}, powProg())
+	rt := newRT(b, runtime.Options{Features: runtime.Features{DisableJIT: true}}, powProg())
 	reportVirtualRate(b, rt)
 }
 
 func BenchmarkAblation_EagerEval(b *testing.B) {
-	rt := newRT(b, runtime.Options{DisableJIT: true, EagerSim: true}, powProg())
+	rt := newRT(b, runtime.Options{Features: runtime.Features{DisableJIT: true, EagerSim: true}}, powProg())
 	reportVirtualRate(b, rt)
 }
 
@@ -277,4 +279,75 @@ func compileBothPaths(b *testing.B, src string) (*netlist.Program, *netlist.Prog
 		b.Fatal(err)
 	}
 	return raw, netlist.Optimize(raw)
+}
+
+// --- Parallel scheduler and compile cache (PR 1) ---------------------------
+
+// multiMinerProg instantiates k independent proof-of-work miners; with
+// inlining disabled each is its own engine, so a step dispatches k+1
+// heavy EvalAll batches that the parallel scheduler can overlap.
+func multiMinerProg(k int) string {
+	cfg := pow.DefaultConfig()
+	cfg.Target = 0
+	src := pow.Generate(cfg)
+	for i := 0; i < k; i++ {
+		src += fmt.Sprintf(`
+wire [31:0] h%[1]d, n%[1]d, s%[1]d, x%[1]d; wire f%[1]d;
+Pow m%[1]d(.clk(clk.val), .hashes(h%[1]d), .nonce(n%[1]d),
+           .found(f%[1]d), .hash0(x%[1]d), .solution(s%[1]d));
+`, i)
+	}
+	return src
+}
+
+// benchSchedulerLanes measures a multi-subprogram workload at a given
+// dispatch width. Compare Scheduler_Serial against Scheduler_Parallel:
+// the parallel scheduler bills compute as max-over-lanes, so virtualHz
+// rises with lanes on any host, and ns/op drops wherever the host has
+// real cores to back the worker pool.
+func benchSchedulerLanes(b *testing.B, par int) {
+	rt := newRT(b, runtime.Options{
+		Features:    runtime.Features{DisableJIT: true, DisableInline: true},
+		Parallelism: par,
+	}, multiMinerProg(6))
+	reportVirtualRate(b, rt)
+}
+
+func BenchmarkScheduler_Serial(b *testing.B)   { benchSchedulerLanes(b, 1) }
+func BenchmarkScheduler_Parallel(b *testing.B) { benchSchedulerLanes(b, 8) }
+
+// BenchmarkToolchainCache measures the compile service's bitstream
+// cache: every iteration resubmits the same netlist, so after the first
+// place-and-route all requests are content-addressed cache hits with
+// near-zero virtual latency.
+func BenchmarkToolchainCache(b *testing.B) {
+	st, errs := verilog.ParseSourceText(`
+module M(input wire clk, output reg [31:0] q);
+  always @(posedge clk) q <= q * 3 + 1;
+endmodule`)
+	if errs != nil {
+		b.Fatal(errs)
+	}
+	f, err := elab.Elaborate(st.Modules[0], "dut", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := toolchain.New(fpga.NewCycloneV(), toolchain.DefaultOptions())
+	ctx := context.Background()
+	j := tc.Submit(ctx, f, true, 0)
+	first, ok := j.ReadyAt()
+	if !ok {
+		b.Fatal("seed compile cancelled")
+	}
+	j.Ready(first) // publish the cache entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := tc.Submit(ctx, f, true, first)
+		if res := j.Result(); res == nil || !res.CacheHit {
+			b.Fatalf("iteration %d missed the cache: %+v", i, res)
+		}
+	}
+	b.StopTimer()
+	s := tc.Stats()
+	b.ReportMetric(float64(s.CacheHits)/float64(s.Submitted), "hitRatio")
 }

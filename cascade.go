@@ -12,7 +12,7 @@
 //
 // Quick start:
 //
-//	rt := cascade.New(cascade.Options{})
+//	rt := cascade.New() // paper-calibrated defaults; see Option for knobs
 //	rt.MustEval(cascade.DefaultPrelude) // Clock clk; Pad#(4) pad; Led#(8) led
 //	rt.MustEval(`
 //	    reg [7:0] cnt = 1;
@@ -21,6 +21,13 @@
 //	`)
 //	rt.RunTicks(1000)
 //	fmt.Printf("leds: %08b, engine: %v\n", rt.World().Led("main.led"), rt.Phase())
+//
+// Runtimes are configured with functional options (cascade.WithDevice,
+// cascade.WithParallelism, cascade.DisableOpenLoop, …); an Options
+// struct literal works too, via NewWithOptions. Stats returns a stable
+// snapshot of the runtime's status, and EvalCtx/RunTicksCtx accept a
+// context for cancellation — cancelling aborts in-flight background
+// compilations.
 //
 // The package is a thin facade over the implementation in internal/:
 // see internal/runtime (scheduler and JIT state machine), internal/sim
@@ -45,8 +52,19 @@ import (
 type (
 	// Runtime executes one Cascade program (paper §3.4).
 	Runtime = runtime.Runtime
-	// Options configures a Runtime, including the ablation switches.
+	// Options configures a Runtime; construct one directly for
+	// NewWithOptions or let the functional options fill one in.
 	Options = runtime.Options
+	// Features holds the ablation and mode switches (zero value = full JIT).
+	Features = runtime.Features
+	// Stats is a stable status snapshot (phase, engine locations,
+	// virtual-time breakdown, compile-cache counters).
+	Stats = runtime.Stats
+	// EngineStat describes one scheduled engine inside Stats.
+	EngineStat = runtime.EngineStat
+	// CompileStats counts the toolchain job service's work (cache
+	// hits/misses, joins, cancellations).
+	CompileStats = toolchain.Stats
 	// Phase is the JIT state of the program (paper Figure 9).
 	Phase = runtime.Phase
 	// View receives program output and runtime status.
@@ -80,6 +98,7 @@ func DecodeSnapshot(text string) (*Snapshot, error) { return runtime.DecodeSnaps
 
 // JIT phases (paper Figure 9).
 const (
+	PhaseEmpty     = runtime.PhaseEmpty
 	PhaseSoftware  = runtime.PhaseSoftware
 	PhaseInlined   = runtime.PhaseInlined
 	PhaseHardware  = runtime.PhaseHardware
@@ -91,10 +110,15 @@ const (
 // DefaultPrelude declares the standard IO environment (paper §3.2).
 const DefaultPrelude = runtime.DefaultPrelude
 
-// New creates a runtime with paper-calibrated defaults for any option
-// left zero: a Cyclone V-sized device, the default toolchain model, and
-// the default time model.
-func New(opts Options) *Runtime { return runtime.New(opts) }
+// New creates a runtime configured by functional options, with
+// paper-calibrated defaults for everything left unset: a Cyclone V-sized
+// device, the default toolchain model, the default time model, and one
+// scheduler lane per CPU.
+func New(opts ...Option) *Runtime { return runtime.New(buildOptions(opts)) }
+
+// NewWithOptions creates a runtime from an Options struct literal; it is
+// exactly New(WithOptions(o)).
+func NewWithOptions(o Options) *Runtime { return runtime.New(o) }
 
 // NewWorld creates an empty virtual peripheral board.
 func NewWorld() *World { return stdlib.NewWorld() }
@@ -115,6 +139,8 @@ func NewToolchain(dev *Device, opts ToolchainOptions) *Toolchain {
 // DefaultToolchainOptions returns the paper-calibrated latency model.
 func DefaultToolchainOptions() ToolchainOptions { return toolchain.DefaultOptions() }
 
-// NewREPL builds an interactive session over a fresh runtime; program
-// output and status go to out.
-func NewREPL(opts Options, out io.Writer) (*REPL, error) { return repl.New(opts, out) }
+// NewREPL builds an interactive session over a fresh runtime configured
+// by opts; program output and status go to out.
+func NewREPL(out io.Writer, opts ...Option) (*REPL, error) {
+	return repl.New(buildOptions(opts), out)
+}

@@ -1,23 +1,29 @@
 package cascade
 
 import (
+	"context"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
 
 // fastOptions returns options whose virtual toolchain compiles almost
 // instantly, so facade tests exercise the full JIT quickly.
-func fastOptions() Options {
+func fastOptions() []Option {
 	dev := NewCycloneV()
 	tco := DefaultToolchainOptions()
 	tco.Scale = 1e9
 	tco.BasePs = 1
-	return Options{Device: dev, Toolchain: NewToolchain(dev, tco), OpenLoopTargetPs: 10_000_000}
+	return []Option{
+		WithDevice(dev),
+		WithToolchain(NewToolchain(dev, tco)),
+		WithOpenLoopTarget(10_000_000),
+	}
 }
 
 func TestFacadeEndToEnd(t *testing.T) {
-	rt := New(fastOptions())
+	rt := New(fastOptions()...)
 	if err := rt.Eval(DefaultPrelude); err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +44,79 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if !strings.Contains(rt.ProgramSource(), "cnt") {
 		t.Fatal("program source introspection broken")
 	}
+	st := rt.Stats()
+	if st.Phase != PhaseOpenLoop || st.Ticks == 0 || st.Time.NowPs == 0 {
+		t.Fatalf("stats snapshot inconsistent: %+v", st)
+	}
+	if st.Compile.CacheMisses == 0 {
+		t.Fatalf("JIT ran but compile stats empty: %+v", st.Compile)
+	}
+}
+
+// TestOptionConformance checks that every functional option writes the
+// same Options an equivalent struct literal would carry, so both
+// construction paths yield identical runtimes.
+func TestOptionConformance(t *testing.T) {
+	world := NewWorld()
+	dev := NewDevice(5000, 25_000_000)
+	tc := NewToolchain(dev, DefaultToolchainOptions())
+	model := TimeModel{SWEvalOpPs: 1, HWCyclePs: 2, HWCyclesPerIter: 3, MsgPs: 4, DispatchPs: 5}
+	view := &BufView{Quiet: true}
+
+	want := Options{
+		World:     world,
+		Device:    dev,
+		Toolchain: tc,
+		Model:     model,
+		View:      view,
+		Features: Features{
+			DisableJIT:        true,
+			EagerSim:          true,
+			DisableInline:     true,
+			DisableForwarding: true,
+			DisableOpenLoop:   true,
+			Native:            true,
+		},
+		Parallelism:      7,
+		OpenLoopTargetPs: 123,
+	}
+	got := buildOptions([]Option{
+		WithWorld(world),
+		WithDevice(dev),
+		WithToolchain(tc),
+		WithTimeModel(model),
+		WithView(view),
+		DisableJIT(),
+		EagerSim(),
+		DisableInline(),
+		DisableForwarding(),
+		DisableOpenLoop(),
+		Native(),
+		WithParallelism(7),
+		WithOpenLoopTarget(123),
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("functional options diverge from struct literal:\n got %+v\nwant %+v", got, want)
+	}
+	// WithFeatures and WithOptions overlay wholesale.
+	if got := buildOptions([]Option{WithFeatures(want.Features)}); got.Features != want.Features {
+		t.Fatalf("WithFeatures: %+v", got.Features)
+	}
+	if got := buildOptions([]Option{WithOptions(want)}); !reflect.DeepEqual(got, want) {
+		t.Fatalf("WithOptions: %+v", got)
+	}
+
+	// And the two construction paths behave identically.
+	a := New(WithOptions(want))
+	b := NewWithOptions(want)
+	if a.Parallelism() != b.Parallelism() || a.Phase() != b.Phase() {
+		t.Fatal("construction paths diverge")
+	}
 }
 
 func TestFacadeREPL(t *testing.T) {
 	var out strings.Builder
-	r, err := NewREPL(fastOptions(), &out)
+	r, err := NewREPL(&out, fastOptions()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +138,7 @@ func TestFacadeREPL(t *testing.T) {
 }
 
 func TestFacadeGPIO(t *testing.T) {
-	rt := New(fastOptions())
+	rt := New(fastOptions()...)
 	if err := rt.Eval(`Clock clk(); GPIO#(8) gpio();`); err != nil {
 		t.Fatal(err)
 	}
@@ -78,9 +152,27 @@ func TestFacadeGPIO(t *testing.T) {
 	}
 }
 
+func TestFacadeContextCancel(t *testing.T) {
+	rt := New(fastOptions()...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := rt.EvalCtx(ctx, DefaultPrelude); err == nil {
+		t.Fatal("EvalCtx should refuse a cancelled context")
+	}
+	if err := rt.Eval(DefaultPrelude); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunTicksCtx(ctx, 10); err == nil {
+		t.Fatal("RunTicksCtx should stop on a cancelled context")
+	}
+	if rt.Ticks() != 0 {
+		t.Fatalf("cancelled run still advanced: %d ticks", rt.Ticks())
+	}
+}
+
 // Example demonstrates the package-level quick start.
 func Example() {
-	rt := New(Options{DisableJIT: true})
+	rt := New(DisableJIT())
 	rt.MustEval(DefaultPrelude)
 	rt.MustEval(`
         reg [7:0] cnt = 1;

@@ -53,6 +53,7 @@ func main() {
 		fmt.Printf("open-loop rate      %8.2f MHz (paper: within 2.9x of 50 MHz)\n", f.CascadeOpenLoopHz/1e6)
 		fmt.Printf("open-loop gap       %8.2f x   (paper: 2.9x)\n", f.OpenLoopGap)
 		fmt.Printf("spatial overhead    %8.2f x   (paper: 2.9x)\n", f.SpatialOverhead)
+		fmt.Printf("runtime stats       %s\n", f.Stats.Summary())
 		return nil
 	})
 

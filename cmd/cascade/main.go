@@ -31,16 +31,20 @@ func main() {
 	noJIT := flag.Bool("no-jit", false, "disable the JIT (software simulation only)")
 	native := flag.Bool("native", false, "native mode: compile exactly as written (§4.5)")
 	scale := flag.Float64("compile-scale", 600, "divide virtual compile latency (1 = paper-faithful)")
+	lanes := flag.Int("parallelism", 0, "scheduler dispatch lanes (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	dev := fpga.NewCycloneV()
 	tco := toolchain.DefaultOptions()
 	tco.Scale = *scale
 	opts := runtime.Options{
-		Device:     dev,
-		Toolchain:  toolchain.New(dev, tco),
-		DisableJIT: *noJIT,
-		Native:     *native,
+		Device:    dev,
+		Toolchain: toolchain.New(dev, tco),
+		Features: runtime.Features{
+			DisableJIT: *noJIT,
+			Native:     *native,
+		},
+		Parallelism: *lanes,
 	}
 	var r *repl.REPL
 	var err error

@@ -13,10 +13,7 @@ import (
 	"fmt"
 	"strings"
 
-	"cascade/internal/fpga"
-	"cascade/internal/runtime"
-	"cascade/internal/toolchain"
-	"cascade/internal/vclock"
+	"cascade"
 	"cascade/internal/workloads/ledswitch"
 )
 
@@ -35,17 +32,17 @@ func ledBar(v uint64) string {
 func main() {
 	// Speed the virtual vendor toolchain up 600x so the demo's JIT
 	// transition happens within the first screenful.
-	dev := fpga.NewCycloneV()
-	tco := toolchain.DefaultOptions()
+	dev := cascade.NewCycloneV()
+	tco := cascade.DefaultToolchainOptions()
 	tco.Scale = 600
-	rt := runtime.New(runtime.Options{
-		Device:           dev,
-		Toolchain:        toolchain.New(dev, tco),
-		OpenLoopTargetPs: 50 * vclock.Us,
-	})
+	rt := cascade.New(
+		cascade.WithDevice(dev),
+		cascade.WithToolchain(cascade.NewToolchain(dev, tco)),
+		cascade.WithOpenLoopTarget(50_000_000), // 50 virtual µs per burst
+	)
 
 	fmt.Println("eval: standard prelude (Clock clk; Pad#(4) pad; Led#(8) led)")
-	if err := rt.Eval(runtime.DefaultPrelude); err != nil {
+	if err := rt.Eval(cascade.DefaultPrelude); err != nil {
 		panic(err)
 	}
 	fmt.Println("eval: the running example (Rol + counter)")
@@ -54,7 +51,7 @@ func main() {
 	}
 	fmt.Printf("code is running %.3f virtual seconds after eval\n\n", float64(rt.StartupPs())/1e12)
 
-	lastPhase := runtime.PhaseEmpty
+	lastPhase := cascade.PhaseEmpty
 	for i := 0; i < 40; i++ {
 		rt.RunTicks(1)
 		if p := rt.Phase(); p != lastPhase {

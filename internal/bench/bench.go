@@ -76,6 +76,11 @@ type Fig11 struct {
 	SimSpeedup        float64 // CascadeSimHz / IVerilogHz (paper: 2.4x)
 	OpenLoopGap       float64 // NativeHz / CascadeOpenLoopHz (paper: 2.9x)
 	SpatialOverhead   float64 // wrapped/native area (paper: 2.9x)
+
+	// Stats is the Cascade runtime's final status snapshot (phase,
+	// virtual-time breakdown, compile-cache counters) — the same struct
+	// the REPL's :stats line prints.
+	Stats runtime.Stats
 }
 
 // RunFig11 regenerates Figure 11.
@@ -84,7 +89,7 @@ func RunFig11() (*Fig11, error) {
 	out := &Fig11{}
 
 	// iVerilog baseline: eager interpretation, no JIT.
-	iv := runtime.New(runtime.Options{DisableJIT: true, EagerSim: true})
+	iv := runtime.New(runtime.Options{Features: runtime.Features{DisableJIT: true, EagerSim: true}})
 	if err := iv.Eval(runtime.DefaultPrelude); err != nil {
 		return nil, err
 	}
@@ -117,6 +122,7 @@ func RunFig11() (*Fig11, error) {
 	}
 	cas.Step() // stabilize the adaptive burst size
 	out.CascadeOpenLoopHz = measureRate(cas, 40_000)
+	out.Stats = cas.Stats()
 
 	// Quartus baseline: native compile latency of the exact source,
 	// then full fabric speed.

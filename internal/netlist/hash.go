@@ -1,0 +1,138 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"sort"
+
+	bv "cascade/internal/bits"
+)
+
+// Fingerprint returns a canonical content hash of the synthesized
+// netlist: two programs with the same fingerprint execute identically —
+// same code, same slot layout, same schedule, same reset state, and the
+// same system-task side effects (including the instance path reported by
+// %m). The toolchain's bitstream cache is keyed on this hash, so
+// re-synthesizing an unchanged design (an edit that undoes a change, a
+// snapshot restored onto a same-shape device) can skip place-and-route
+// entirely.
+func (p *Program) Fingerprint() string {
+	h := sha256.New()
+	ws := func(s string) {
+		binary.Write(h, binary.LittleEndian, uint32(len(s)))
+		h.Write([]byte(s))
+	}
+	wi := func(vs ...int) {
+		for _, v := range vs {
+			binary.Write(h, binary.LittleEndian, int64(v))
+		}
+	}
+	wvec := func(v *bv.Vector) {
+		if v == nil {
+			ws("<nil>")
+			return
+		}
+		ws(v.String())
+	}
+
+	ws(p.Flat.Name) // %m output is part of observable behaviour
+
+	wi(len(p.Code))
+	for i := range p.Code {
+		op := &p.Code[i]
+		wi(int(op.Kind), op.Dst, op.Width, op.Hi, op.Lo, op.N, op.Target, op.Aux)
+		wi(len(op.Srcs))
+		wi(op.Srcs...)
+		if op.Wide {
+			wi(1)
+		} else {
+			wi(0)
+		}
+		wvec(op.Const)
+	}
+
+	wi(len(p.Slots))
+	for _, s := range p.Slots {
+		wi(s.Width)
+		if s.Wide {
+			wi(1)
+		} else {
+			wi(0)
+		}
+		if s.Var != nil {
+			ws(s.Var.Name)
+		} else {
+			ws("")
+		}
+	}
+
+	wi(len(p.VarSlot))
+	wi(p.VarSlot...)
+	wi(len(p.MemOf))
+	wi(p.MemOf...)
+	wi(len(p.Mems))
+	for _, m := range p.Mems {
+		ws(m.Var.Name)
+		wi(m.Words, m.Width)
+	}
+
+	wi(len(p.Comb))
+	for _, c := range p.Comb {
+		wi(c.Entry)
+	}
+	wi(len(p.Seq))
+	for _, sp := range p.Seq {
+		wi(sp.Entry, len(sp.Edges))
+		for _, e := range sp.Edges {
+			wi(int(e.Kind), e.Var.Index)
+		}
+	}
+	wi(len(p.Monitors))
+	for _, m := range p.Monitors {
+		wi(m.Entry)
+	}
+	wi(len(p.Tasks))
+	for _, t := range p.Tasks {
+		wi(int(t.Src.Kind))
+		ws(t.Src.Format)
+		if t.Monitor {
+			wi(1)
+		} else {
+			wi(0)
+		}
+	}
+
+	hashStateMap(h, ws, p.ResetState)
+	// Reset memories, in sorted order for determinism.
+	names := make([]string, 0, len(p.ResetMems))
+	for n := range p.ResetMems {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	wi(len(names))
+	for _, n := range names {
+		ws(n)
+		words := p.ResetMems[n]
+		wi(len(words))
+		for _, w := range words {
+			wvec(w)
+		}
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashStateMap(h hash.Hash, ws func(string), m map[string]*bv.Vector) {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	binary.Write(h, binary.LittleEndian, uint32(len(names)))
+	for _, n := range names {
+		ws(n)
+		ws(m[n].String())
+	}
+}

@@ -9,6 +9,7 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -201,14 +202,12 @@ func (r *REPL) command(line string) bool {
 		r.mu.Unlock()
 	case ":stats":
 		r.mu.Lock()
-		c := r.rt.Clock()
-		fmt.Fprintf(r.out, "steps=%d ticks=%d compute=%.3fs comm=%.3fs overhead=%.3fs messages=%d\n",
-			r.rt.Steps(), r.rt.Ticks(),
-			float64(c.ComputePs)/float64(vclock.S),
-			float64(c.CommPs)/float64(vclock.S),
-			float64(c.OverheadPs)/float64(vclock.S),
-			c.Messages)
+		st := r.rt.Stats()
 		r.mu.Unlock()
+		fmt.Fprintln(r.out, st.Summary())
+		for _, e := range st.Engines {
+			fmt.Fprintf(r.out, "  engine %-12s %s\n", e.Path, e.Location)
+		}
 	case ":pad":
 		if len(fields) < 2 {
 			fmt.Fprintln(r.out, "usage: :pad <value>")
@@ -265,12 +264,20 @@ func (r *REPL) command(line string) bool {
 // budget is exhausted (paper: "Cascade can also be run in batch mode with
 // input provided through a file. The process is the same.").
 func (r *REPL) Batch(src string, maxTicks uint64) error {
-	if err := r.rt.Eval(src); err != nil {
+	return r.BatchCtx(context.Background(), src, maxTicks)
+}
+
+// BatchCtx is Batch with cancellation: a cancelled context stops the run
+// between ticks and aborts any in-flight background compilations.
+func (r *REPL) BatchCtx(ctx context.Context, src string, maxTicks uint64) error {
+	if err := r.rt.EvalCtx(ctx, src); err != nil {
 		return err
 	}
 	start := r.rt.Ticks()
 	for !r.rt.Finished() && r.rt.Ticks()-start < maxTicks {
-		r.rt.RunTicks(1)
+		if err := r.rt.RunTicksCtx(ctx, 1); err != nil {
+			return err
+		}
 	}
 	return nil
 }

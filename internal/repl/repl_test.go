@@ -114,7 +114,7 @@ assign led.val = cnt;
 }
 
 func TestInteractReportsErrors(t *testing.T) {
-	r, out := newTestREPL(t, runtime.Options{DisableJIT: true})
+	r, out := newTestREPL(t, runtime.Options{Features: runtime.Features{DisableJIT: true}})
 	session := strings.NewReader("assign q = nothing;\n:quit\n")
 	if err := r.Interact(session); err != nil {
 		t.Fatal(err)
@@ -125,7 +125,7 @@ func TestInteractReportsErrors(t *testing.T) {
 }
 
 func TestMultiLineInput(t *testing.T) {
-	r, out := newTestREPL(t, runtime.Options{DisableJIT: true})
+	r, out := newTestREPL(t, runtime.Options{Features: runtime.Features{DisableJIT: true}})
 	session := strings.NewReader(`
 reg [3:0] n = 0;
 always @(posedge clk.val) begin

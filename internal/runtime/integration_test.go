@@ -23,7 +23,7 @@ func TestNWThroughFullJIT(t *testing.T) {
 	r.MustEval(nw.GenerateProgram(cfg))
 	r.RunTicks(uint64(cfg.Cycles()) + 16)
 	want := cfg.Score()
-	out := view.Out.String()
+	out := view.Output()
 	if !strings.Contains(out, "NW score=") {
 		t.Fatalf("no score display: %q", out)
 	}
@@ -59,12 +59,12 @@ Pow miner(.clk(clk.val), .hashes(hashes), .nonce(nonce),
 	if !r.RunUntilFinish(budget * 2) {
 		t.Fatalf("miner never finished (budget %d steps)", budget*2)
 	}
-	if !strings.Contains(view.Out.String(), "FOUND nonce=") {
-		t.Fatalf("no FOUND display: %q", view.Out.String())
+	if !strings.Contains(view.Output(), "FOUND nonce=") {
+		t.Fatalf("no FOUND display: %q", view.Output())
 	}
 	// The displayed nonce is hex.
-	if want := "FOUND nonce=" + hex8(wantNonce); !strings.Contains(view.Out.String(), want) {
-		t.Fatalf("wrong nonce: want %q in %q", want, view.Out.String())
+	if want := "FOUND nonce=" + hex8(wantNonce); !strings.Contains(view.Output(), want) {
+		t.Fatalf("wrong nonce: want %q in %q", want, view.Output())
 	}
 }
 
@@ -81,7 +81,7 @@ func hex8(v uint32) string {
 // TestMemoryComponentThroughRuntime exercises the stdlib Memory with a
 // program that writes then reads back.
 func TestMemoryComponentThroughRuntime(t *testing.T) {
-	r := newTestRuntime(t, Options{DisableJIT: true})
+	r := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
 	r.MustEval(`
 Memory#(4, 8) mem();
 reg [3:0] st = 0;
@@ -104,7 +104,7 @@ assign led.val = got;
 
 // TestGPIOThroughRuntime drives GPIO inputs and observes outputs.
 func TestGPIOThroughRuntime(t *testing.T) {
-	r := newTestRuntime(t, Options{DisableJIT: true})
+	r := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
 	r.MustEval(`GPIO#(8) gp(); assign gp.out = {gp.in[3:0], gp.in[7:4]};`)
 	r.World().DriveGPIO("main.gp", 0xa5)
 	r.RunTicks(2)
@@ -115,7 +115,7 @@ func TestGPIOThroughRuntime(t *testing.T) {
 
 // TestResetComponentThroughRuntime uses Reset to clear a counter.
 func TestResetComponentThroughRuntime(t *testing.T) {
-	r := newTestRuntime(t, Options{DisableJIT: true})
+	r := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
 	r.MustEval(`
 Reset rst();
 reg [7:0] n = 0;
@@ -143,14 +143,14 @@ assign led.val = n;
 // TestMonitorThroughRuntime checks $monitor re-display semantics.
 func TestMonitorThroughRuntime(t *testing.T) {
 	view := &BufView{Quiet: true}
-	r := newTestRuntime(t, Options{View: view, DisableJIT: true})
+	r := newTestRuntime(t, Options{View: view, Features: Features{DisableJIT: true}})
 	r.MustEval(`
 reg [3:0] x = 0;
 initial $monitor("x=%d", x);
 always @(posedge clk.val) if (x < 3) x <= x + 1;
 `)
 	r.RunTicks(8)
-	out := view.Out.String()
+	out := view.Output()
 	for _, want := range []string{"x=0\n", "x=1\n", "x=2\n", "x=3\n"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("monitor missing %q in %q", want, out)
@@ -165,7 +165,7 @@ always @(posedge clk.val) if (x < 3) x <= x + 1;
 // TestWriteTask checks $write concatenation (no newline).
 func TestWriteTask(t *testing.T) {
 	view := &BufView{Quiet: true}
-	r := newTestRuntime(t, Options{View: view, DisableJIT: true})
+	r := newTestRuntime(t, Options{View: view, Features: Features{DisableJIT: true}})
 	r.MustEval(`
 reg once = 0;
 always @(posedge clk.val) if (!once) begin
@@ -176,8 +176,8 @@ always @(posedge clk.val) if (!once) begin
 end
 `)
 	r.RunTicks(3)
-	if !strings.Contains(view.Out.String(), "abc\n") {
-		t.Fatalf("write/display composition wrong: %q", view.Out.String())
+	if !strings.Contains(view.Output(), "abc\n") {
+		t.Fatalf("write/display composition wrong: %q", view.Output())
 	}
 }
 
@@ -218,7 +218,7 @@ func TestIncrementalEvalSequence(t *testing.T) {
 
 // TestProgramSourceEchoesEvals verifies :program's data source.
 func TestProgramSourceEchoesEvals(t *testing.T) {
-	r := newTestRuntime(t, Options{DisableJIT: true})
+	r := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
 	r.MustEval(`module Helper(input wire x, output wire y); assign y = !x; endmodule`)
 	r.MustEval(`wire p, q; Helper h(.x(p), .y(q));`)
 	src := r.ProgramSource()

@@ -4,14 +4,22 @@
 // carries a program from software engines through inlining, background
 // hardware compilation, ABI forwarding, and open-loop scheduling.
 //
-// The runtime is single-threaded and driven by Step/Run calls; work is
-// billed on a virtual clock (internal/vclock) so JIT behaviour over time
-// is deterministic and the evaluation's figures are reproducible.
+// The runtime is driven by Step/Run calls from a single controller
+// goroutine; within a Step the evaluate and update batches of Figure 6
+// are dispatched to the scheduled engines in parallel (the batching
+// exists precisely so requests can be issued asynchronously), while
+// interrupt flushes, routing, and hot swaps stay on the controller.
+// Work is billed on a virtual clock (internal/vclock) so JIT behaviour
+// over time is deterministic and the evaluation's figures are
+// reproducible.
 package runtime
 
 import (
+	"context"
 	"fmt"
+	goruntime "runtime"
 	"strings"
+	"sync"
 
 	"cascade/internal/bits"
 	"cascade/internal/elab"
@@ -60,38 +68,96 @@ func (p Phase) String() string {
 }
 
 // View receives program output and runtime status (the V of Figure 5).
+//
+// Concurrency contract: the runtime invokes View methods only from the
+// controller goroutine (the one calling Eval/Step/Run), never from the
+// worker goroutines that execute engine batches — system-task output
+// produced inside a batch is buffered per engine and flushed in
+// deterministic schedule order once the batch has joined. A View
+// therefore does not need to be safe against concurrent calls from the
+// runtime; it only needs internal locking if the application itself
+// reads it from other goroutines while the runtime runs (BufView locks
+// for exactly that reason).
 type View interface {
 	Display(text string)
 	Info(format string, args ...any)
 	Error(err error)
 }
 
-// BufView is a View that records everything (tests and benches).
+// BufView is a View that records everything (tests and benches). It is
+// safe for concurrent use: monitoring goroutines may read Output/Infos/
+// Errors while the controller goroutine appends.
 type BufView struct {
-	Out    strings.Builder
-	Infos  []string
-	Errors []error
 	// Quiet drops Info traffic.
 	Quiet bool
+
+	mu    sync.Mutex
+	out   strings.Builder
+	infos []string
+	errs  []error
 }
 
 // Display implements View.
-func (v *BufView) Display(text string) { v.Out.WriteString(text) }
+func (v *BufView) Display(text string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.out.WriteString(text)
+}
 
 // Info implements View.
 func (v *BufView) Info(format string, args ...any) {
-	if !v.Quiet {
-		v.Infos = append(v.Infos, fmt.Sprintf(format, args...))
+	if v.Quiet {
+		return
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.infos = append(v.infos, fmt.Sprintf(format, args...))
 }
 
 // Error implements View.
-func (v *BufView) Error(err error) { v.Errors = append(v.Errors, err) }
+func (v *BufView) Error(err error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.errs = append(v.errs, err)
+}
+
+// Output returns everything Display has written.
+func (v *BufView) Output() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.out.String()
+}
+
+// Infos returns a copy of the Info lines seen so far.
+func (v *BufView) Infos() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]string(nil), v.infos...)
+}
+
+// Errors returns a copy of the errors seen so far.
+func (v *BufView) Errors() []error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]error(nil), v.errs...)
+}
 
 // DefaultPrelude declares the IO environment of the paper's testbed: a
 // global clock, four buttons, and a bank of eight LEDs, implicitly
 // instantiated when Cascade begins execution (paper §3.2, Figure 3).
 const DefaultPrelude = "Clock clk(); Pad#(4) pad(); Led#(8) led();"
+
+// Features selects the runtime's execution strategies. The zero value
+// enables everything (the full JIT of Figure 9); each field disables one
+// stage, matching the paper's ablations.
+type Features struct {
+	DisableJIT        bool // never leave software
+	EagerSim          bool // naive eager re-evaluation (iVerilog baseline, §5.1)
+	DisableInline     bool // compile subprograms separately (§4.2 ablation)
+	DisableForwarding bool // keep stdlib engines scheduled (§4.3 ablation)
+	DisableOpenLoop   bool // stay in lock-step hardware (§4.4 ablation)
+	Native            bool // §4.5: compile exactly as written, no ABI
+}
 
 // Options configures a runtime.
 type Options struct {
@@ -101,13 +167,14 @@ type Options struct {
 	Model     vclock.Model
 	View      View
 
-	// Ablation and mode switches.
-	DisableJIT        bool // never leave software
-	EagerSim          bool // naive eager re-evaluation (iVerilog baseline, §5.1)
-	DisableInline     bool // compile subprograms separately (§4.2 ablation)
-	DisableForwarding bool // keep stdlib engines scheduled (§4.3 ablation)
-	DisableOpenLoop   bool // stay in lock-step hardware (§4.4 ablation)
-	Native            bool // §4.5: compile exactly as written, no ABI
+	// Features holds the ablation and mode switches; the zero value is
+	// the full JIT.
+	Features Features
+
+	// Parallelism bounds how many engines an evaluate/update batch is
+	// dispatched to concurrently within a Step. 0 means one lane per
+	// CPU; 1 runs batches serially on the controller goroutine.
+	Parallelism int
 
 	// OpenLoopTargetPs is the adaptive profiling target: each open-loop
 	// burst should stall the runtime for about this much virtual time.
@@ -117,6 +184,7 @@ type Options struct {
 // Runtime executes one Cascade program.
 type Runtime struct {
 	opts Options
+	par  int // resolved Parallelism
 	vclk vclock.Clock
 
 	prog       *ir.Program
@@ -125,6 +193,7 @@ type Runtime struct {
 	inlined    bool
 
 	engines    map[string]engine.Engine
+	lanes      map[string]*laneIO    // per-engine buffered IO handlers
 	elabs      map[string]*elab.Flat // flatDesign elaborations
 	execElabs  map[string]*elab.Flat // executing-design elaborations
 	stdEngines map[string]engine.Engine
@@ -174,10 +243,19 @@ func New(opts Options) *Runtime {
 	if opts.OpenLoopTargetPs == 0 {
 		opts.OpenLoopTargetPs = 100 * vclock.Ms
 	}
+	par := opts.Parallelism
+	if par == 0 {
+		par = goruntime.NumCPU()
+	}
+	if par < 1 {
+		par = 1
+	}
 	return &Runtime{
 		opts:       opts,
+		par:        par,
 		prog:       ir.NewProgram(),
 		engines:    map[string]engine.Engine{},
+		lanes:      map[string]*laneIO{},
 		elabs:      map[string]*elab.Flat{},
 		stdEngines: map[string]engine.Engine{},
 		routesFrom: map[string][]ir.Wire{},
@@ -213,24 +291,75 @@ func (r *Runtime) Finished() bool { return r.finished }
 // AreaLEs returns the fabric area of the current hardware engine(s).
 func (r *Runtime) AreaLEs() int { return r.areaLEs }
 
+// Parallelism returns the resolved engine-dispatch width.
+func (r *Runtime) Parallelism() int { return r.par }
+
 // StartupPs returns the virtual time between the first Eval and the
 // first executed step (the "time to first instruction" the paper reports
 // as under one second).
 func (r *Runtime) StartupPs() uint64 { return r.startupPs }
 
-// view helpers -----------------------------------------------------------
+// engine IO lanes --------------------------------------------------------
 
-// Display implements engine.IOHandler: system-task output is buffered on
-// the interrupt queue and flushed to the view in observable states.
-func (r *Runtime) Display(text string, newline bool) {
+// laneIO is the engine.IOHandler handed to each engine. System-task side
+// effects land in the engine's own lane — possibly from a worker
+// goroutine while a batch executes in parallel — and the controller
+// drains lanes in schedule order once the batch has joined, which keeps
+// the interrupt queue's ordering deterministic and identical to a serial
+// schedule. The mutex is uncontended in practice (each engine is touched
+// by exactly one goroutine at a time); it exists so the ordering logic
+// never depends on that invariant.
+type laneIO struct {
+	mu       sync.Mutex
+	displays []string
+	finished bool
+}
+
+// Display implements engine.IOHandler.
+func (l *laneIO) Display(text string, newline bool) {
 	if newline {
 		text += "\n"
 	}
-	r.displayQ = append(r.displayQ, text)
+	l.mu.Lock()
+	l.displays = append(l.displays, text)
+	l.mu.Unlock()
 }
 
 // Finish implements engine.IOHandler.
-func (r *Runtime) Finish(code int) { r.finished = true }
+func (l *laneIO) Finish(code int) {
+	l.mu.Lock()
+	l.finished = true
+	l.mu.Unlock()
+}
+
+// lane returns (creating if needed) the IO lane for an engine path.
+func (r *Runtime) lane(path string) *laneIO {
+	l, ok := r.lanes[path]
+	if !ok {
+		l = &laneIO{}
+		r.lanes[path] = l
+	}
+	return l
+}
+
+// drainLane moves an engine's buffered system-task output onto the
+// runtime's interrupt queue. Controller goroutine only.
+func (r *Runtime) drainLane(path string) {
+	l, ok := r.lanes[path]
+	if !ok {
+		return
+	}
+	l.mu.Lock()
+	displays := l.displays
+	l.displays = nil
+	fin := l.finished
+	l.finished = false
+	l.mu.Unlock()
+	r.displayQ = append(r.displayQ, displays...)
+	if fin {
+		r.finished = true
+	}
+}
 
 func (r *Runtime) flushDisplays() {
 	for _, t := range r.displayQ {
@@ -245,6 +374,16 @@ func (r *Runtime) flushDisplays() {
 // the running program untouched (paper §3.1). On success all user logic
 // returns to software engines and JIT compilation restarts (§4.4).
 func (r *Runtime) Eval(src string) error {
+	return r.EvalCtx(context.Background(), src)
+}
+
+// EvalCtx is Eval with a context: background compilations kicked off for
+// this program version are bound to ctx, so cancelling it aborts any
+// still-queued compile jobs instead of leaking them.
+func (r *Runtime) EvalCtx(ctx context.Context, src string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	mods, items, errs := verilog.ParseProgramFragment(src)
 	if len(errs) > 0 {
 		return fmt.Errorf("parse: %v", errs[0])
@@ -277,7 +416,7 @@ func (r *Runtime) Eval(src string) error {
 	r.prog = trial
 	r.flatDesign = design
 	r.elabs = newElabs
-	return r.restart(saved)
+	return r.restart(ctx, saved)
 }
 
 // MustEval is Eval for known-good source; it panics on error.
@@ -346,9 +485,10 @@ func mergeStates(saved map[string]*sim.State) *sim.State {
 }
 
 // restart rebuilds engines for the current program: Figure 9 phase 1 (or
-// 2 when inlining is enabled), releasing any hardware and resubmitting
-// background compilations.
-func (r *Runtime) restart(saved map[string]*sim.State) error {
+// 2 when inlining is enabled), releasing any hardware, cancelling
+// now-obsolete background compilations, and resubmitting fresh ones
+// bound to ctx.
+func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) error {
 	// Tear down hardware engines.
 	for path, e := range r.engines {
 		if hw, ok := e.(*hweng.Engine); ok {
@@ -358,8 +498,14 @@ func (r *Runtime) restart(saved map[string]*sim.State) error {
 			e.End()
 		}
 	}
+	// Compilations for the superseded program version are obsolete: the
+	// toolchain drops them (finished flows stay in its bitstream cache).
+	for _, j := range r.jobs {
+		j.Cancel()
+	}
 	r.jobs = map[string]*toolchain.Job{}
 	r.engines = map[string]engine.Engine{}
+	r.lanes = map[string]*laneIO{}
 	r.execElabs = map[string]*elab.Flat{}
 	r.sched = nil
 	r.groupOf = map[string]string{}
@@ -370,7 +516,7 @@ func (r *Runtime) restart(saved map[string]*sim.State) error {
 	r.design = r.flatDesign
 	r.inlined = false
 	execElabs := r.elabs
-	if !r.opts.DisableInline {
+	if !r.opts.Features.DisableInline {
 		inl, err := ir.Inline(r.flatDesign)
 		if err != nil {
 			return err
@@ -421,12 +567,13 @@ func (r *Runtime) restart(saved map[string]*sim.State) error {
 				return err
 			}
 		}
-		e := sweng.New(f, r, r.now, r.opts.EagerSim)
+		e := sweng.New(f, r.lane(s.Path), r.now, r.opts.Features.EagerSim)
 		if r.inlined {
 			e.SetState(mergeStates(saved))
 		} else if st, ok := saved[s.Path]; ok {
 			e.SetState(st)
 		}
+		r.drainLane(s.Path) // initial-block output emitted at construction
 		r.engines[s.Path] = e
 		r.elabsExec()[s.Path] = f
 		r.sched = append(r.sched, s.Path)
@@ -434,8 +581,8 @@ func (r *Runtime) restart(saved map[string]*sim.State) error {
 		r.vclk.AdvanceOverhead(uint64(len(f.Vars)+1) * r.opts.Model.DispatchPs / 4)
 
 		// Kick off background hardware compilation (Figure 9.2 -> 9.3).
-		if !r.opts.DisableJIT {
-			r.jobs[s.Path] = r.opts.Toolchain.Submit(f, !r.opts.Native, r.vclk.Now())
+		if !r.opts.Features.DisableJIT {
+			r.jobs[s.Path] = r.opts.Toolchain.Submit(ctx, f, !r.opts.Features.Native, r.vclk.Now())
 		}
 	}
 	constructed := len(r.displayQ) - qMark
@@ -493,8 +640,12 @@ func (r *Runtime) CompileReadyAt() (uint64, bool) {
 	var latest uint64
 	found := false
 	for _, j := range r.jobs {
-		if j.ReadyAtPs > latest {
-			latest = j.ReadyAtPs
+		at, ok := j.ReadyAt()
+		if !ok {
+			continue
+		}
+		if at > latest {
+			latest = at
 		}
 		found = true
 	}

@@ -73,7 +73,7 @@ func expectAnimation(t *testing.T, seq []uint64, startVal uint64) {
 }
 
 func TestRunningExampleSoftwareOnly(t *testing.T) {
-	r := newTestRuntime(t, Options{DisableJIT: true})
+	r := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
 	r.MustEval(figure3)
 	seq := ledSequence(r, 10)
 	expectAnimation(t, seq, 2)
@@ -104,10 +104,10 @@ func TestJITLifecycleReachesOpenLoop(t *testing.T) {
 	r := newTestRuntime(t, Options{View: view})
 	r.MustEval(figure3)
 	if !r.WaitForPhase(PhaseOpenLoop, 10000) {
-		t.Fatalf("never reached open loop; phase=%v errors=%v infos=%v", r.Phase(), view.Errors, view.Infos)
+		t.Fatalf("never reached open loop; phase=%v errors=%v infos=%v", r.Phase(), view.Errors(), view.Infos())
 	}
-	if len(view.Errors) > 0 {
-		t.Fatalf("runtime errors: %v", view.Errors)
+	if len(view.Errors()) > 0 {
+		t.Fatalf("runtime errors: %v", view.Errors())
 	}
 	if r.AreaLEs() <= 0 {
 		t.Fatal("hardware engine should occupy fabric")
@@ -200,10 +200,10 @@ always @(posedge clk.val) begin
   if (n[5:0] == 0) $display("beat %d", n);
 end`)
 	if !r.WaitForPhase(PhaseOpenLoop, 20000) {
-		t.Fatalf("no open loop: %v (%v)", r.Phase(), view.Errors)
+		t.Fatalf("no open loop: %v (%v)", r.Phase(), view.Errors())
 	}
 	r.RunTicks(500)
-	out := view.Out.String()
+	out := view.Output()
 	if !strings.Contains(out, "beat 0\n") || !strings.Contains(out, "beat 64\n") {
 		t.Fatalf("missing early beats:\n%s", out)
 	}
@@ -316,7 +316,7 @@ func TestEvalErrorLeavesProgramIntact(t *testing.T) {
 }
 
 func TestFIFOEchoThroughRuntime(t *testing.T) {
-	r := newTestRuntime(t, Options{DisableJIT: true})
+	r := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
 	r.MustEval(`
 FIFO#(8, 16) fifo();
 reg [7:0] acc = 0;
@@ -340,7 +340,7 @@ always @(posedge clk.val)
 }
 
 func TestFIFOBackpressure(t *testing.T) {
-	r := newTestRuntime(t, Options{DisableJIT: true})
+	r := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
 	r.MustEval(`FIFO#(8, 4) fifo();`) // nothing pops
 	stream := r.World().Stream("main.fifo")
 	stream.PushBytes(make([]byte, 100))
@@ -353,7 +353,7 @@ func TestFIFOBackpressure(t *testing.T) {
 func TestVirtualRates(t *testing.T) {
 	// Software rate must be orders of magnitude below the open-loop
 	// rate, which must be within ~3x of the 50 MHz fabric clock.
-	swr := newTestRuntime(t, Options{DisableJIT: true})
+	swr := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
 	swr.MustEval(figure3)
 	t0, n0 := swr.VirtualNow(), swr.Ticks()
 	swr.RunTicks(200)
@@ -385,21 +385,21 @@ func TestVirtualRates(t *testing.T) {
 
 func TestAblationFlags(t *testing.T) {
 	// No forwarding: stuck at PhaseHardware.
-	r := newTestRuntime(t, Options{DisableForwarding: true})
+	r := newTestRuntime(t, Options{Features: Features{DisableForwarding: true}})
 	r.MustEval(figure3)
 	r.RunTicks(200)
 	if r.Phase() != PhaseHardware {
 		t.Fatalf("forwarding disabled: got %v", r.Phase())
 	}
 	// No open loop: stuck at PhaseForwarded.
-	r = newTestRuntime(t, Options{DisableOpenLoop: true})
+	r = newTestRuntime(t, Options{Features: Features{DisableOpenLoop: true}})
 	r.MustEval(figure3)
 	r.RunTicks(200)
 	if r.Phase() != PhaseForwarded {
 		t.Fatalf("open loop disabled: got %v", r.Phase())
 	}
 	// No inline: multiple engines, no forwarding possible.
-	r = newTestRuntime(t, Options{DisableInline: true})
+	r = newTestRuntime(t, Options{Features: Features{DisableInline: true}})
 	r.MustEval(figure3)
 	r.RunTicks(200)
 	if r.Phase() != PhaseHardware {
@@ -417,7 +417,7 @@ func TestNativeModeAreaMatchesRaw(t *testing.T) {
 	wrapped := ra.AreaLEs()
 
 	devB := fpga.NewCycloneV()
-	rb := newTestRuntime(t, Options{Device: devB, Toolchain: fastToolchain(devB), Native: true, OpenLoopTargetPs: 10 * vclock.Us})
+	rb := newTestRuntime(t, Options{Device: devB, Toolchain: fastToolchain(devB), Features: Features{Native: true}, OpenLoopTargetPs: 10 * vclock.Us})
 	rb.MustEval(figure3)
 	rb.RunTicks(500)
 	native := rb.AreaLEs()
@@ -437,7 +437,7 @@ func TestStartupLatencyUnderOneSecond(t *testing.T) {
 
 func TestTimeSystemFunction(t *testing.T) {
 	view := &BufView{Quiet: true}
-	r := newTestRuntime(t, Options{View: view, DisableJIT: true})
+	r := newTestRuntime(t, Options{View: view, Features: Features{DisableJIT: true}})
 	r.MustEval(`
 reg once = 0;
 always @(posedge clk.val)
@@ -446,8 +446,8 @@ always @(posedge clk.val)
     $display("t=%d", $time);
   end`)
 	r.RunTicks(3)
-	if !strings.Contains(view.Out.String(), "t=") {
-		t.Fatalf("no $time output: %q", view.Out.String())
+	if !strings.Contains(view.Output(), "t=") {
+		t.Fatalf("no $time output: %q", view.Output())
 	}
 }
 
@@ -460,7 +460,7 @@ func TestDeviceCapacityExceeded(t *testing.T) {
 	if r.Phase() != PhaseInlined {
 		t.Fatalf("oversized design should stay in software, got %v", r.Phase())
 	}
-	if len(view.Errors) == 0 {
+	if len(view.Errors()) == 0 {
 		t.Fatal("fit failure should be reported to the view")
 	}
 }

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"context"
+	"sync"
 	"time"
 
 	"cascade/internal/engine"
@@ -16,6 +18,17 @@ import (
 // JIT state machine (hot swaps happen only here, where semantics cannot
 // be disturbed). In the open-loop phase a Step instead runs a burst of
 // iterations inside the hardware engine.
+//
+// Batches are the unit of parallelism (the paper batches requests
+// precisely so they can be issued asynchronously): within a round the
+// controller polls engines serially in schedule order, dispatches every
+// engine with pending work concurrently across up to Parallelism worker
+// lanes, and then — back on the controller — drains buffered IO and
+// routes outputs, again in schedule order. Because engines only exchange
+// values through the controller's routing, a round is a Jacobi iteration
+// of the same monotone fixpoint the serial Gauss-Seidel schedule
+// computes, and by the event-order-independence invariant the observable
+// states that result are identical.
 func (r *Runtime) Step() {
 	if r.finished || r.design == nil {
 		return
@@ -28,38 +41,17 @@ func (r *Runtime) Step() {
 	model := &r.opts.Model
 	for {
 		// EvalAll over engines with evaluation events.
-		ran := false
-		for _, path := range r.sched {
-			e := r.engines[path]
-			r.billCtrl(e) // there_are_evals poll
-			if !e.ThereAreEvals() {
-				continue
-			}
-			r.billCtrl(e)
-			e.Evaluate()
-			ran = true
-			r.route(path, e)
-		}
-		if ran {
-			r.settleCosts()
+		batch := r.poll(engine.Engine.ThereAreEvals)
+		if len(batch) > 0 {
+			r.runBatch(batch, false)
 			continue
 		}
 		// Update batch.
-		any := false
-		for _, path := range r.sched {
-			e := r.engines[path]
-			r.billCtrl(e)
-			if e.ThereAreUpdates() {
-				any = true
-				r.billCtrl(e)
-				e.Update()
-				r.route(path, e)
-			}
-		}
-		r.settleCosts()
-		if !any {
+		batch = r.poll(engine.Engine.ThereAreUpdates)
+		if len(batch) == 0 {
 			break
 		}
+		r.runBatch(batch, true)
 	}
 
 	// Observable state: flush the interrupt queue, end the step.
@@ -67,6 +59,7 @@ func (r *Runtime) Step() {
 	for _, path := range r.sched {
 		e := r.engines[path]
 		e.EndStep()
+		r.drainLane(path)
 		r.route(path, e)
 	}
 	r.steps++
@@ -74,6 +67,59 @@ func (r *Runtime) Step() {
 	r.vclk.AdvanceOverhead(model.DispatchPs)
 	r.settleCosts()
 	r.serviceJIT()
+}
+
+// poll collects the schedule-ordered batch of engines with pending work,
+// billing the control-plane traffic of asking.
+func (r *Runtime) poll(pending func(engine.Engine) bool) []string {
+	var batch []string
+	for _, path := range r.sched {
+		e := r.engines[path]
+		r.billCtrl(e) // there_are_* poll
+		if !pending(e) {
+			continue
+		}
+		r.billCtrl(e) // the evaluate/update request itself
+		batch = append(batch, path)
+	}
+	return batch
+}
+
+// runBatch dispatches one evaluate or update batch across the worker
+// lanes, then drains IO, routes outputs, and settles costs serially in
+// schedule order on the controller goroutine.
+func (r *Runtime) runBatch(batch []string, update bool) {
+	work := func(e engine.Engine) {
+		if update {
+			e.Update()
+		} else {
+			e.Evaluate()
+		}
+	}
+	if r.par > 1 && len(batch) > 1 {
+		sem := make(chan struct{}, r.par)
+		var wg sync.WaitGroup
+		for _, path := range batch {
+			e := r.engines[path]
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(e engine.Engine) {
+				defer wg.Done()
+				work(e)
+				<-sem
+			}(e)
+		}
+		wg.Wait()
+	} else {
+		for _, path := range batch {
+			work(r.engines[path])
+		}
+	}
+	for _, path := range batch {
+		r.drainLane(path)
+		r.route(path, r.engines[path])
+	}
+	r.settleBatch(batch)
 }
 
 // billCtrl charges one control-plane message for talking to a
@@ -110,7 +156,45 @@ func (r *Runtime) route(fromPath string, e engine.Engine) {
 	}
 }
 
-// settleCosts converts engine work counters into virtual time.
+// settleBatch converts the batch's engine work counters into virtual
+// time. Compute is billed as the maximum over the engines that ran —
+// the lanes genuinely overlap, so a batch costs its slowest member, not
+// the sum — except in serial mode (Parallelism 1), where the engines run
+// back-to-back and the sum is the honest cost. Communication is always
+// summed: the memory-mapped bus serializes transfers.
+func (r *Runtime) settleBatch(batch []string) {
+	model := &r.opts.Model
+	var maxCompute, sumCompute uint64
+	for _, path := range batch {
+		var c uint64
+		switch e := r.engines[path].(type) {
+		case *sweng.Engine:
+			c = e.OpsDelta() * model.SWEvalOpPs
+		case *hweng.Engine:
+			c = e.CyclesDelta() * model.HWCyclePs
+			r.vclk.AdvanceComm(e.MsgsDelta(), model)
+		}
+		sumCompute += c
+		if c > maxCompute {
+			maxCompute = c
+		}
+	}
+	if r.par > 1 {
+		r.vclk.AdvanceCompute(maxCompute)
+	} else {
+		r.vclk.AdvanceCompute(sumCompute)
+	}
+	// FIFO host transfers cross the memory-mapped bridge regardless of
+	// which side the engine lives on (the Figure 12 bottleneck).
+	for _, e := range r.stdEngines {
+		if f, ok := e.(*stdlib.FIFO); ok {
+			r.vclk.AdvanceComm(f.TransfersDelta(), model)
+		}
+	}
+}
+
+// settleCosts converts all engine work counters into virtual time (the
+// end-of-step sweep; EndStep work is serial on the controller).
 func (r *Runtime) settleCosts() {
 	model := &r.opts.Model
 	for _, path := range r.sched {
@@ -122,8 +206,6 @@ func (r *Runtime) settleCosts() {
 			r.vclk.AdvanceComm(e.MsgsDelta(), model)
 		}
 	}
-	// FIFO host transfers cross the memory-mapped bridge regardless of
-	// which side the engine lives on (the Figure 12 bottleneck).
 	for _, e := range r.stdEngines {
 		if f, ok := e.(*stdlib.FIFO); ok {
 			r.vclk.AdvanceComm(f.TransfersDelta(), model)
@@ -133,16 +215,22 @@ func (r *Runtime) settleCosts() {
 
 // serviceJIT runs the Figure 9 state machine between time steps.
 func (r *Runtime) serviceJIT() {
-	if r.opts.DisableJIT {
+	if r.opts.Features.DisableJIT {
 		return
 	}
 	// Hot swap any finished compilations.
 	for path, job := range r.jobs {
+		if job.Canceled() {
+			// Aborted (context cancelled): the program stays where it
+			// is; drop the job so phase accounting doesn't wait on it.
+			delete(r.jobs, path)
+			continue
+		}
 		if !job.Ready(r.vclk.Now()) {
 			continue
 		}
 		delete(r.jobs, path)
-		res := job.Res
+		res := job.Result()
 		if res.Err != nil {
 			r.opts.View.Error(res.Err)
 			continue
@@ -151,7 +239,7 @@ func (r *Runtime) serviceJIT() {
 		if !ok {
 			continue
 		}
-		hw, err := hweng.New(path, res.Prog, r.opts.Device, res.AreaLEs, r, r.opts.Native, r.now)
+		hw, err := hweng.New(path, res.Prog, r.opts.Device, res.AreaLEs, r.lane(path), r.opts.Features.Native, r.now)
 		if err != nil {
 			r.opts.View.Error(err)
 			continue
@@ -162,8 +250,13 @@ func (r *Runtime) serviceJIT() {
 		old.End()
 		r.engines[path] = hw
 		r.areaLEs += res.AreaLEs
-		r.opts.View.Info("engine %s moved to hardware (%d LEs, crit path %d levels)",
-			path, res.AreaLEs, res.Stats.CritPath)
+		if res.CacheHit {
+			r.opts.View.Info("engine %s moved to hardware (%d LEs, bitstream cache hit)",
+				path, res.AreaLEs)
+		} else {
+			r.opts.View.Info("engine %s moved to hardware (%d LEs, crit path %d levels)",
+				path, res.AreaLEs, res.Stats.CritPath)
+		}
 	}
 
 	// Phase transitions once every user engine is in hardware.
@@ -186,7 +279,7 @@ func (r *Runtime) serviceJIT() {
 		return
 	}
 	if r.phase == PhaseInlined || r.phase == PhaseSoftware {
-		if r.opts.Native {
+		if r.opts.Features.Native {
 			r.phase = PhaseNative
 		} else {
 			r.phase = PhaseHardware
@@ -194,11 +287,11 @@ func (r *Runtime) serviceJIT() {
 	}
 	// ABI forwarding needs a single user engine (inlined designs).
 	if (r.phase == PhaseHardware || r.phase == PhaseNative) && users == 1 &&
-		!r.opts.DisableForwarding {
+		!r.opts.Features.DisableForwarding {
 		r.forwardStdlib(userHW)
 	}
 	// Open loop needs everything in one engine plus a known clock.
-	if r.phase == PhaseForwarded && !r.opts.DisableOpenLoop &&
+	if r.phase == PhaseForwarded && !r.opts.Features.DisableOpenLoop &&
 		len(r.sched) == 1 && r.clockVar != "" {
 		r.phase = PhaseOpenLoop
 		r.opts.View.Info("entering open-loop scheduling on %s", r.clockVar)
@@ -269,6 +362,7 @@ func (r *Runtime) openLoopBurst() {
 		}
 	}
 	r.vclk.AdvanceOverhead(model.DispatchPs)
+	r.drainLane(hw.Name())
 	r.flushDisplays()
 	if hw.Finished() {
 		r.finished = true
@@ -315,6 +409,19 @@ func (r *Runtime) RunTicks(n uint64) {
 	}
 }
 
+// RunTicksCtx is RunTicks with cancellation: it returns early (with
+// ctx's error) if the context is cancelled between steps.
+func (r *Runtime) RunTicksCtx(ctx context.Context, n uint64) error {
+	goal := r.ticks + n
+	for r.ticks < goal && !r.finished {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r.Step()
+	}
+	return nil
+}
+
 // RunVirtual advances until the virtual clock passes ps picoseconds.
 func (r *Runtime) RunVirtual(ps uint64) {
 	goal := r.vclk.Now() + ps
@@ -332,6 +439,19 @@ func (r *Runtime) RunUntilFinish(maxSteps uint64) bool {
 	}
 	r.flushDisplays()
 	return r.finished
+}
+
+// RunUntilFinishCtx is RunUntilFinish with cancellation between steps.
+func (r *Runtime) RunUntilFinishCtx(ctx context.Context, maxSteps uint64) (bool, error) {
+	start := r.steps
+	for !r.finished && r.steps-start < maxSteps {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		r.Step()
+	}
+	r.flushDisplays()
+	return r.finished, nil
 }
 
 // WaitForPhase steps until the runtime reaches the phase (or a step

@@ -1,0 +1,198 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cascade/internal/sim"
+)
+
+// genEquivProgram emits a random multi-module program: K independent
+// counter modules, each its own engine under DisableInline, some of
+// which $display on every posedge, plus a root-level display and an LED
+// driven by the xor of every counter. The generator only uses constructs
+// whose semantics are deterministic for a race-free synchronous program,
+// so serial and parallel schedules must agree on every observable.
+func genEquivProgram(rng *rand.Rand) string {
+	var sb strings.Builder
+	k := 2 + rng.Intn(3)
+	displays := 0
+	for i := 0; i < k; i++ {
+		w := 4 + rng.Intn(5) // 4..8 bits
+		init := rng.Intn(1 << w)
+		inc := 1 + rng.Intn(7)
+		fmt.Fprintf(&sb, "module Gen%d(input wire c, output wire [%d:0] out);\n", i, w-1)
+		fmt.Fprintf(&sb, "  reg [%d:0] acc = %d;\n", w-1, init)
+		fmt.Fprintf(&sb, "  always @(posedge c) begin\n")
+		fmt.Fprintf(&sb, "    acc <= acc + %d;\n", inc)
+		// At least two modules must print so that lane-drain ordering
+		// across engines is actually exercised.
+		if rng.Intn(2) == 0 || (displays < 2 && i >= k-2) {
+			fmt.Fprintf(&sb, "    $display(\"m%d=%%d\", acc);\n", i)
+			displays++
+		}
+		fmt.Fprintf(&sb, "  end\n")
+		fmt.Fprintf(&sb, "  assign out = acc;\n")
+		fmt.Fprintf(&sb, "endmodule\n")
+		fmt.Fprintf(&sb, "Gen%d g%d(.c(clk.val));\n", i, i)
+	}
+	sb.WriteString("always @(posedge clk.val) $display(\"root=%d\", g0.out);\n")
+	sb.WriteString("assign led.val = g0.out")
+	for i := 1; i < k; i++ {
+		fmt.Fprintf(&sb, " ^ g%d.out", i)
+	}
+	sb.WriteString(";\n")
+	return sb.String()
+}
+
+// runEquiv executes prog for n ticks at the given parallelism and
+// returns every observable: program output, the per-tick LED trace, and
+// the final per-subprogram state.
+func runEquiv(t *testing.T, prog string, feats Features, par, n int) (string, []uint64, map[string]*sim.State) {
+	t.Helper()
+	view := &BufView{Quiet: true}
+	r := newTestRuntime(t, Options{View: view, Features: feats, Parallelism: par})
+	r.MustEval(prog)
+	leds := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		r.RunTicks(1)
+		leds = append(leds, r.World().Led("main.led"))
+	}
+	return view.Output(), leds, r.captureStates()
+}
+
+// TestSerialParallelEquivalence is the scheduler-equivalence property
+// test (DESIGN.md invariants): for random multi-engine programs, a
+// parallel runtime must be observationally indistinguishable from a
+// serial one — identical display output in identical order, identical
+// LED trace at every tick, identical final engine state. Odd seeds run
+// the full JIT (engines migrate to hardware mid-trace; virtual-time
+// billing differs between the two runtimes, but observables may not).
+func TestSerialParallelEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		feats := Features{DisableInline: true}
+		if seed%2 == 0 {
+			feats.DisableJIT = true
+		}
+		t.Run(fmt.Sprintf("seed%d_jit%v", seed, !feats.DisableJIT), func(t *testing.T) {
+			prog := genEquivProgram(rand.New(rand.NewSource(seed)))
+			outS, ledS, stS := runEquiv(t, prog, feats, 1, 48)
+			outP, ledP, stP := runEquiv(t, prog, feats, 8, 48)
+			if outS != outP {
+				t.Errorf("display output diverged:\nserial:   %q\nparallel: %q\nprogram:\n%s", outS, outP, prog)
+			}
+			if !reflect.DeepEqual(ledS, ledP) {
+				t.Errorf("LED trace diverged:\nserial:   %v\nparallel: %v\nprogram:\n%s", ledS, ledP, prog)
+			}
+			if !reflect.DeepEqual(stS, stP) {
+				t.Errorf("final states diverged:\nserial:   %v\nparallel: %v\nprogram:\n%s", stS, stP, prog)
+			}
+		})
+	}
+}
+
+// TestServiceJITDropsCanceledJobs checks the runtime side of compile
+// cancellation: a job cancelled after submission (re-eval, context
+// cancellation) must be removed from the pending set and the program
+// must keep running in software rather than wait on it forever.
+func TestServiceJITDropsCanceledJobs(t *testing.T) {
+	r := newTestRuntime(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := r.EvalCtx(ctx, figure3); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	cancel()
+	// Cancel is unconditional (a context abort only wins the race when
+	// the worker has not started), so cancel the jobs directly too:
+	// deterministic regardless of goroutine scheduling.
+	for _, j := range r.jobs {
+		j.Cancel()
+	}
+	r.RunTicks(500)
+	if r.Phase() != PhaseInlined {
+		t.Fatalf("cancelled compile must pin the program in software, got %v", r.Phase())
+	}
+	if len(r.jobs) != 0 {
+		t.Fatalf("serviceJIT left %d cancelled jobs pending", len(r.jobs))
+	}
+	if _, pending := r.CompileReadyAt(); pending {
+		t.Fatal("CompileReadyAt still reports a pending compile")
+	}
+	// A fresh eval resubmits and the JIT proceeds normally.
+	r.MustEval(`wire unused_resub;`)
+	if !r.WaitForPhase(PhaseOpenLoop, 20000) {
+		t.Fatalf("JIT stuck after resubmit: %v", r.Phase())
+	}
+}
+
+// TestBufViewConcurrentReads drives the runtime while another goroutine
+// hammers the BufView accessors; the race detector enforces the View
+// concurrency contract documented in runtime.go.
+func TestBufViewConcurrentReads(t *testing.T) {
+	view := &BufView{Quiet: true}
+	r := newTestRuntime(t, Options{View: view, Features: Features{DisableJIT: true, DisableInline: true}})
+	r.MustEval(genEquivProgram(rand.New(rand.NewSource(99))))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10_000; i++ {
+			_ = view.Output()
+			_ = view.Infos()
+			_ = view.Errors()
+		}
+	}()
+	r.RunTicks(300)
+	<-done
+	if !strings.Contains(view.Output(), "root=") {
+		t.Fatalf("program produced no output: %q", view.Output())
+	}
+}
+
+// TestStatsSnapshot checks the stable status snapshot satellites hang
+// off of: engine inventory, parallelism, vclock breakdown, and the
+// compile-service counters (including a bitstream-cache hit after a
+// state-preserving re-eval of an unchanged netlist... which a new eval
+// is not, so here: miss counts at least).
+func TestStatsSnapshot(t *testing.T) {
+	r := newTestRuntime(t, Options{Parallelism: 3})
+	r.MustEval(figure3)
+	if !r.WaitForPhase(PhaseOpenLoop, 20000) {
+		t.Fatalf("no open loop: %v", r.Phase())
+	}
+	r.RunTicks(20)
+	st := r.Stats()
+	if st.Phase != PhaseOpenLoop {
+		t.Fatalf("phase: %v", st.Phase)
+	}
+	if st.Parallelism != 3 {
+		t.Fatalf("parallelism: %d", st.Parallelism)
+	}
+	if st.Ticks == 0 || st.Steps == 0 {
+		t.Fatalf("no progress recorded: %+v", st)
+	}
+	if st.Time.NowPs == 0 || st.Time.NowPs != r.VirtualNow() {
+		t.Fatalf("vclock snapshot wrong: %d vs %d", st.Time.NowPs, r.VirtualNow())
+	}
+	if st.Compile.Submitted == 0 || st.Compile.CacheMisses == 0 {
+		t.Fatalf("compile stats empty: %+v", st.Compile)
+	}
+	if len(st.Engines) == 0 {
+		t.Fatal("no engines in snapshot")
+	}
+	hw := false
+	for _, e := range st.Engines {
+		if strings.Contains(e.Location, "hardware") {
+			hw = true
+		}
+	}
+	if !hw {
+		t.Fatalf("open-loop runtime reports no hardware engine: %+v", st.Engines)
+	}
+	if !strings.Contains(st.Summary(), "phase=") {
+		t.Fatalf("summary malformed: %q", st.Summary())
+	}
+}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -91,7 +92,7 @@ func (r *Runtime) Restore(snap *Snapshot) error {
 		}
 		r.stdEngines[sub.Path] = e
 	}
-	return r.restart(snap.States)
+	return r.restart(context.Background(), snap.States)
 }
 
 // EncodeSnapshot renders a snapshot as a self-contained text blob.

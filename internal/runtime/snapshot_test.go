@@ -51,7 +51,7 @@ assign led.val = n[7:0];`
 }
 
 func TestSnapshotRoundTripsThroughText(t *testing.T) {
-	a := newTestRuntime(t, Options{DisableJIT: true})
+	a := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
 	a.MustEval(`
 FIFO#(8, 16) fifo();
 reg [7:0] sum = 0;
@@ -68,10 +68,10 @@ always @(posedge clk.val) if (!fifo.empty) sum <= sum + fifo.rdata;`)
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	b := newTestRuntime(t, Options{DisableJIT: true})
+	b := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
 	// newTestRuntime evals the prelude; Restore needs a truly fresh one.
 	dev := fpga.NewCycloneV()
-	b = New(Options{Device: dev, Toolchain: fastToolchain(dev), DisableJIT: true})
+	b = New(Options{Device: dev, Toolchain: fastToolchain(dev), Features: Features{DisableJIT: true}})
 	if err := b.Restore(snap); err != nil {
 		t.Fatalf("restore: %v", err)
 	}

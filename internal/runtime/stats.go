@@ -1,0 +1,76 @@
+package runtime
+
+import (
+	"fmt"
+
+	"cascade/internal/toolchain"
+	"cascade/internal/vclock"
+)
+
+// EngineStat describes one scheduled engine.
+type EngineStat struct {
+	Path     string
+	Location string // "software" or "hardware"
+}
+
+// Stats is a stable snapshot of the runtime's externally observable
+// status: the JIT phase, where each engine lives, the virtual-time
+// breakdown, and the compile service's counters. It is the single
+// struct tooling (cmd/cascade-bench, the REPL status line) consumes
+// instead of reaching into internals.
+type Stats struct {
+	Phase       Phase
+	Steps       uint64
+	Ticks       uint64
+	Time        vclock.Breakdown
+	AreaLEs     int
+	Parallelism int
+	Finished    bool
+
+	// Engines lists the scheduled engines in schedule order (forwarded
+	// stdlib components are absorbed and no longer listed).
+	Engines []EngineStat
+
+	// Compile snapshots the toolchain job service (cache hits/misses,
+	// joins, cancellations); PendingCompiles counts this runtime's
+	// in-flight background jobs.
+	Compile         toolchain.Stats
+	PendingCompiles int
+}
+
+// Stats snapshots the runtime. Like every state operation it reads
+// between time steps, on the controller goroutine.
+func (r *Runtime) Stats() Stats {
+	st := Stats{
+		Phase:           r.phase,
+		Steps:           r.steps,
+		Ticks:           r.ticks,
+		Time:            r.vclk.Breakdown(),
+		AreaLEs:         r.areaLEs,
+		Parallelism:     r.par,
+		Finished:        r.finished,
+		Compile:         r.opts.Toolchain.Stats(),
+		PendingCompiles: len(r.jobs),
+	}
+	for _, path := range r.sched {
+		e, ok := r.engines[path]
+		if !ok {
+			continue
+		}
+		st.Engines = append(st.Engines, EngineStat{Path: path, Location: e.Loc().String()})
+	}
+	return st
+}
+
+// Summary renders the snapshot as one status line (the REPL's :stats).
+func (s Stats) Summary() string {
+	sec := func(ps uint64) float64 { return float64(ps) / float64(vclock.S) }
+	return fmt.Sprintf(
+		"phase=%v steps=%d ticks=%d vtime=%.3fs compute=%.3fs comm=%.3fs overhead=%.3fs idle=%.3fs messages=%d area=%d LEs lanes=%d compiles[pending=%d hits=%d misses=%d joined=%d canceled=%d]",
+		s.Phase, s.Steps, s.Ticks,
+		sec(s.Time.NowPs), sec(s.Time.ComputePs), sec(s.Time.CommPs),
+		sec(s.Time.OverheadPs), sec(s.Time.IdlePs), s.Time.Messages,
+		s.AreaLEs, s.Parallelism,
+		s.PendingCompiles, s.Compile.CacheHits, s.Compile.CacheMisses,
+		s.Compile.Joined, s.Compile.Canceled)
+}

@@ -12,14 +12,26 @@
 //     clock period fail late, after placement (§6.4's student
 //     frustration).
 //
-// Compilations run as background jobs whose completion is expressed in
-// virtual time, so the runtime's JIT state machine can overlap them with
-// software execution deterministically.
+// Compilations run as a background job service: Submit enqueues work on
+// a bounded worker pool and returns immediately; completion is expressed
+// in virtual time so the runtime's JIT state machine can overlap
+// compilation with software execution deterministically. The service
+// keeps a content-addressed bitstream cache keyed by a canonical hash of
+// the synthesized netlist (netlist.Program.Fingerprint): resubmitting an
+// unchanged design — an edit that undoes a change, or a Snapshot
+// restored onto a same-shape device — skips the place-and-route model
+// entirely, and a resubmission that lands while the original flow is
+// still in (virtual) flight joins it instead of starting over. Obsolete
+// jobs are cancelled with Job.Cancel (their results are discarded, but a
+// flow that already reached the cache stays cached); a cancelled
+// context aborts jobs that have not yet reached a worker.
 package toolchain
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"cascade/internal/elab"
@@ -28,7 +40,7 @@ import (
 	"cascade/internal/vclock"
 )
 
-// Options tunes the compile-latency model.
+// Options tunes the compile-latency model and the job service.
 type Options struct {
 	// SynthPsPerCell and PlacePs control the latency model:
 	// synth = SynthPsPerCell * cells * log2(cells)
@@ -42,6 +54,14 @@ type Options struct {
 	LevelPs uint64
 	// Scale divides all latencies (interactive demos); 0 means 1.
 	Scale float64
+	// Workers bounds the job service's concurrent compilations; 0 means
+	// one worker per CPU.
+	Workers int
+	// CacheHitPs is the virtual latency of serving a compilation from
+	// the bitstream cache (the flow re-checks the netlist hash and
+	// reloads the placed design; no place-and-route). 0 means the
+	// default of 2 virtual milliseconds.
+	CacheHitPs uint64
 }
 
 // DefaultOptions calibrates the model so the paper's proof-of-work miner
@@ -55,6 +75,7 @@ func DefaultOptions() Options {
 		BasePs:         45 * vclock.S,
 		LevelPs:        450, // ps per level: ~44 levels close timing at 50 MHz
 		Scale:          1,
+		CacheHitPs:     2 * vclock.Ms,
 	}
 }
 
@@ -63,13 +84,40 @@ func DefaultOptions() Options {
 // Avalon bus and Quartus FIFO IP on the native side).
 const InfraLEs = 900
 
-// Toolchain is a blackbox compiler bound to a device.
+// Stats is a snapshot of the job service's counters.
+type Stats struct {
+	Submitted   int // jobs handed to Submit
+	Synthesized int // flows that ran synthesis (includes CompileSync)
+	CacheHits   int // submissions served from the bitstream cache
+	CacheMisses int // submissions that paid for place-and-route
+	Joined      int // submissions that joined an in-flight identical flow
+	Canceled    int // jobs aborted before completing
+}
+
+// cacheEntry is one content-addressed bitstream.
+type cacheEntry struct {
+	res *Result
+	// availAtPs is the virtual time the originating flow completes on
+	// its submitter's clock; a resubmission landing earlier joins that
+	// flow instead of restarting it.
+	availAtPs uint64
+	// published is set once an owning job was observed complete in
+	// virtual time (the bitstream was actually delivered); published
+	// entries hit regardless of the submitter's clock.
+	published bool
+}
+
+// Toolchain is a blackbox compiler bound to a device, fronted by a
+// background job service with a bitstream cache.
 type Toolchain struct {
 	dev  *fpga.Device
 	opts Options
 
 	mu       sync.Mutex
 	compiles int
+	cache    map[string]*cacheEntry
+	stats    Stats
+	sem      chan struct{}
 }
 
 // New returns a toolchain targeting dev.
@@ -77,17 +125,35 @@ func New(dev *fpga.Device, opts Options) *Toolchain {
 	if opts.Scale == 0 {
 		opts.Scale = 1
 	}
-	return &Toolchain{dev: dev, opts: opts}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.CacheHitPs == 0 {
+		opts.CacheHitPs = 2 * vclock.Ms
+	}
+	return &Toolchain{
+		dev:   dev,
+		opts:  opts,
+		cache: map[string]*cacheEntry{},
+		sem:   make(chan struct{}, opts.Workers),
+	}
 }
 
 // Device returns the targeted device.
 func (t *Toolchain) Device() *fpga.Device { return t.dev }
 
-// Compiles returns how many compilations have been submitted.
+// Compiles returns how many compilations have run synthesis.
 func (t *Toolchain) Compiles() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.compiles
+}
+
+// Stats returns a snapshot of the job-service counters.
+func (t *Toolchain) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
 }
 
 // Result is the outcome of one compilation.
@@ -101,7 +167,10 @@ type Result struct {
 	RawAreaLEs int // area without the ABI wrapper (native mode)
 	Wrapped    bool
 	DurationPs uint64
-	Err        error
+	// CacheHit reports that the flow was served from the bitstream
+	// cache (no place-and-route ran).
+	CacheHit bool
+	Err      error
 }
 
 // wrapperLEs models the Figure 10 ABI support logic plus the engine
@@ -125,20 +194,27 @@ func (t *Toolchain) latency(cells int) uint64 {
 	return uint64(total)
 }
 
-// CompileSync synthesizes f and applies the fit and timing models.
-// wrapped selects the ABI-wrapped flow (JIT engines) versus the native
-// flow (§4.5). The returned result carries the virtual duration; callers
-// decide when it "finishes" on their timeline.
-func (t *Toolchain) CompileSync(f *elab.Flat, wrapped bool) *Result {
+// hitLatency is the virtual duration of a cache-served flow.
+func (t *Toolchain) hitLatency() uint64 {
+	ps := uint64(float64(t.opts.CacheHitPs) / t.opts.Scale)
+	if ps == 0 {
+		ps = 1
+	}
+	return ps
+}
+
+// synth runs real synthesis (the front half of the flow).
+func (t *Toolchain) synth(f *elab.Flat) (*netlist.Program, error) {
 	t.mu.Lock()
 	t.compiles++
+	t.stats.Synthesized++
 	t.mu.Unlock()
+	return netlist.Compile(f)
+}
 
-	prog, err := netlist.Compile(f)
-	if err != nil {
-		// Synthesis errors surface quickly (front-end rejects).
-		return &Result{Err: err, DurationPs: t.opts.BasePs / 4}
-	}
+// finish applies the area, fit, and timing models to a synthesized
+// netlist (the place-and-route half of the flow).
+func (t *Toolchain) finish(prog *netlist.Program, wrapped bool) *Result {
 	st := prog.Stats
 	raw := st.LogicElements()
 	area := raw + InfraLEs
@@ -170,20 +246,194 @@ func (t *Toolchain) CompileSync(f *elab.Flat, wrapped bool) *Result {
 	return res
 }
 
+// CompileSync synthesizes f and applies the fit and timing models,
+// bypassing the job service and the cache (benches measure the raw
+// flow). wrapped selects the ABI-wrapped flow (JIT engines) versus the
+// native flow (§4.5). The returned result carries the virtual duration;
+// callers decide when it "finishes" on their timeline.
+func (t *Toolchain) CompileSync(f *elab.Flat, wrapped bool) *Result {
+	prog, err := t.synth(f)
+	if err != nil {
+		// Synthesis errors surface quickly (front-end rejects).
+		return &Result{Err: err, DurationPs: t.opts.BasePs / 4}
+	}
+	return t.finish(prog, wrapped)
+}
+
 // Job is a background compilation tracked in virtual time.
 type Job struct {
-	ReadyAtPs uint64
-	Res       *Result
+	t        *Toolchain
+	submitPs uint64
+	done     chan struct{}
+
+	mu        sync.Mutex
+	canceled  bool
+	res       *Result
+	readyAtPs uint64
+	entry     *cacheEntry
+	abort     context.CancelFunc
 }
 
-// Submit starts a background compilation at virtual time nowPs; the
-// result becomes visible once the runtime's virtual clock passes
-// ReadyAtPs. Synthesis itself runs inline (it is fast); the vendor
-// flow's latency is what the JIT hides.
-func (t *Toolchain) Submit(f *elab.Flat, wrapped bool, nowPs uint64) *Job {
-	res := t.CompileSync(f, wrapped)
-	return &Job{ReadyAtPs: nowPs + res.DurationPs, Res: res}
+// Submit starts a background compilation at virtual time nowPs. The
+// call returns immediately; the job runs on the service's worker pool
+// and its result becomes visible once it has compiled and the caller's
+// virtual clock passes its ready time. Cancelling ctx aborts the job if
+// it has not yet reached a worker; Job.Cancel discards the result of an
+// obsolete job at any point.
+func (t *Toolchain) Submit(ctx context.Context, f *elab.Flat, wrapped bool, nowPs uint64) *Job {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jctx, abort := context.WithCancel(ctx)
+	j := &Job{t: t, submitPs: nowPs, done: make(chan struct{}), abort: abort}
+	t.mu.Lock()
+	t.stats.Submitted++
+	t.mu.Unlock()
+	go j.run(jctx, f, wrapped)
+	return j
 }
 
-// Ready reports whether the job has finished by virtual time nowPs.
-func (j *Job) Ready(nowPs uint64) bool { return nowPs >= j.ReadyAtPs }
+// run executes the flow on a worker slot.
+func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
+	defer close(j.done)
+	t := j.t
+	// Wait for a worker; a context cancelled while queued aborts the
+	// job before any work is done.
+	select {
+	case <-ctx.Done():
+		j.markCanceled()
+		return
+	case t.sem <- struct{}{}:
+	}
+	defer func() { <-t.sem }()
+	if ctx.Err() != nil {
+		j.markCanceled()
+		return
+	}
+
+	prog, err := t.synth(f)
+	if err != nil {
+		j.complete(&Result{Err: err, DurationPs: t.opts.BasePs / 4}, nil)
+		return
+	}
+	key := fmt.Sprintf("%s|wrapped=%v", prog.Fingerprint(), wrapped)
+
+	t.mu.Lock()
+	entry, hit := t.cache[key]
+	if hit {
+		res := *entry.res // shallow copy; Prog and Stats are immutable
+		switch {
+		case entry.published || j.submitPs >= entry.availAtPs:
+			// The bitstream exists: serve it in near-zero virtual time.
+			res.DurationPs = t.hitLatency()
+			res.CacheHit = true
+			t.stats.CacheHits++
+		default:
+			// The original flow is still in (virtual) flight: join it
+			// and finish when it does, rather than starting over.
+			res.DurationPs = entry.availAtPs - j.submitPs
+			res.CacheHit = true
+			t.stats.Joined++
+		}
+		t.mu.Unlock()
+		j.complete(&res, entry)
+		return
+	}
+	t.stats.CacheMisses++
+	t.mu.Unlock()
+
+	res := t.finish(prog, wrapped)
+	t.mu.Lock()
+	entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs}
+	t.cache[key] = entry
+	t.mu.Unlock()
+	j.complete(res, entry)
+}
+
+func (j *Job) markCanceled() {
+	j.mu.Lock()
+	j.canceled = true
+	j.mu.Unlock()
+	j.t.mu.Lock()
+	j.t.stats.Canceled++
+	j.t.mu.Unlock()
+}
+
+func (j *Job) complete(res *Result, entry *cacheEntry) {
+	j.mu.Lock()
+	j.res = res
+	j.readyAtPs = j.submitPs + res.DurationPs
+	j.entry = entry
+	j.mu.Unlock()
+}
+
+// Cancel marks the job obsolete: its result will never be reported
+// ready. A flow that already reached the bitstream cache stays cached —
+// cancellation drops the subscription, not the artifact.
+func (j *Job) Cancel() {
+	j.abort()
+	j.mu.Lock()
+	j.canceled = true
+	j.mu.Unlock()
+}
+
+// Wait blocks until the job has left the worker pool (compiled,
+// cancelled, or failed).
+func (j *Job) Wait() { <-j.done }
+
+// Canceled reports whether the job was cancelled.
+func (j *Job) Canceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// ReadyAt blocks until the flow's duration is known and returns the
+// virtual time at which the job finishes; ok is false for cancelled
+// jobs.
+func (j *Job) ReadyAt() (ps uint64, ok bool) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.canceled || j.res == nil {
+		return 0, false
+	}
+	return j.readyAtPs, true
+}
+
+// Result blocks until the job completes and returns its result (nil for
+// cancelled jobs).
+func (j *Job) Result() *Result {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.canceled {
+		return nil
+	}
+	return j.res
+}
+
+// Ready reports whether the job has finished by virtual time nowPs. It
+// blocks until the flow's virtual duration is known (synthesis is fast
+// in wall-clock terms) so that readiness depends only on virtual time —
+// the JIT timeline stays deterministic no matter how fast the host
+// steps. The first time a job is observed ready its bitstream is
+// published: from then on identical submissions hit the cache outright,
+// on any clock (the mechanism behind restoring a Snapshot onto a
+// same-shape device without re-running place-and-route).
+func (j *Job) Ready(nowPs uint64) bool {
+	<-j.done
+	j.mu.Lock()
+	if j.canceled || j.res == nil || nowPs < j.readyAtPs {
+		j.mu.Unlock()
+		return false
+	}
+	entry := j.entry
+	j.mu.Unlock()
+	if entry != nil {
+		j.t.mu.Lock()
+		entry.published = true
+		j.t.mu.Unlock()
+	}
+	return true
+}

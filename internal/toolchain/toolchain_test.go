@@ -1,6 +1,7 @@
 package toolchain
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -129,15 +130,102 @@ endmodule`
 func TestJobReadiness(t *testing.T) {
 	tc := New(fpga.NewCycloneV(), DefaultOptions())
 	now := uint64(1000)
-	job := tc.Submit(flatFor(t, smallCounter), true, now)
+	job := tc.Submit(context.Background(), flatFor(t, smallCounter), true, now)
+	job.Wait()
 	if job.Ready(now) {
 		t.Fatal("job ready immediately")
 	}
-	if !job.Ready(job.ReadyAtPs) {
+	readyAt, ok := job.ReadyAt()
+	if !ok {
+		t.Fatal("job reported cancelled")
+	}
+	if !job.Ready(readyAt) {
 		t.Fatal("job not ready at its deadline")
 	}
-	if job.ReadyAtPs-now != job.Res.DurationPs {
+	if readyAt-now != job.Result().DurationPs {
 		t.Fatal("deadline arithmetic wrong")
+	}
+}
+
+func TestBitstreamCacheHit(t *testing.T) {
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	first := tc.Submit(context.Background(), flatFor(t, smallCounter), true, 0)
+	readyAt, ok := first.ReadyAt()
+	if !ok || !first.Ready(readyAt) {
+		t.Fatal("first compile did not complete")
+	}
+	// The bitstream is published: an identical netlist submitted later is
+	// served from the cache in near-zero virtual time.
+	second := tc.Submit(context.Background(), flatFor(t, smallCounter), true, readyAt)
+	res := second.Result()
+	if res == nil || res.Err != nil {
+		t.Fatalf("cached compile failed: %+v", res)
+	}
+	if !res.CacheHit {
+		t.Fatal("second compile of identical netlist should hit the cache")
+	}
+	if res.DurationPs >= first.Result().DurationPs/1000 {
+		t.Fatalf("cache hit should take ~zero virtual time: %d ps vs %d ps",
+			res.DurationPs, first.Result().DurationPs)
+	}
+	st := tc.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// A different netlist misses.
+	third := tc.Submit(context.Background(), flatFor(t, bigDatapath), true, readyAt)
+	if third.Result().CacheHit {
+		t.Fatal("different netlist must not hit the cache")
+	}
+}
+
+func TestInFlightJoin(t *testing.T) {
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	first := tc.Submit(context.Background(), flatFor(t, smallCounter), true, 0)
+	firstReady, _ := first.ReadyAt()
+	// Resubmitted mid-flight (virtual time before the original flow
+	// completes, and never observed ready): the new job joins the
+	// original flow and finishes exactly when it does.
+	second := tc.Submit(context.Background(), flatFor(t, smallCounter), true, firstReady/2)
+	secondReady, ok := second.ReadyAt()
+	if !ok {
+		t.Fatal("joined job reported cancelled")
+	}
+	if secondReady != firstReady {
+		t.Fatalf("joined job should finish with the original flow: %d != %d", secondReady, firstReady)
+	}
+	if st := tc.Stats(); st.Joined != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCancelDiscardsJob(t *testing.T) {
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	job := tc.Submit(context.Background(), flatFor(t, smallCounter), true, 0)
+	job.Cancel()
+	job.Wait()
+	if job.Ready(^uint64(0)) {
+		t.Fatal("cancelled job must never report ready")
+	}
+	if job.Result() != nil {
+		t.Fatal("cancelled job must not report a result")
+	}
+	if !job.Canceled() {
+		t.Fatal("job should know it was cancelled")
+	}
+}
+
+func TestContextCancelAbortsJob(t *testing.T) {
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	job := tc.Submit(ctx, flatFor(t, smallCounter), true, 0)
+	job.Wait()
+	if !job.Canceled() {
+		t.Fatal("job with cancelled context should abort")
+	}
+	if tc.Stats().Canceled != 1 {
+		t.Fatalf("stats: %+v", tc.Stats())
 	}
 }
 

@@ -95,3 +95,33 @@ func (c *Clock) AdvanceOverhead(ps uint64) {
 // AdvanceRaw advances the timeline without attribution (used for
 // idle waits, e.g. waiting out a background compilation).
 func (c *Clock) AdvanceRaw(ps uint64) { c.nowPs += ps }
+
+// Breakdown is a stable snapshot of a clock's virtual-time accounting,
+// partitioned by cause (Figure 8's compute / communication / overhead
+// split). IdlePs is time that elapsed without attribution — waits on
+// background compilations.
+type Breakdown struct {
+	NowPs      uint64
+	ComputePs  uint64
+	CommPs     uint64
+	OverheadPs uint64
+	IdlePs     uint64
+	Messages   uint64
+}
+
+// Breakdown snapshots the clock.
+func (c *Clock) Breakdown() Breakdown {
+	attributed := c.ComputePs + c.CommPs + c.OverheadPs
+	idle := uint64(0)
+	if c.nowPs > attributed {
+		idle = c.nowPs - attributed
+	}
+	return Breakdown{
+		NowPs:      c.nowPs,
+		ComputePs:  c.ComputePs,
+		CommPs:     c.CommPs,
+		OverheadPs: c.OverheadPs,
+		IdlePs:     idle,
+		Messages:   c.Messages,
+	}
+}

@@ -1,0 +1,102 @@
+package cascade
+
+// Option configures a Runtime at construction (cascade.New). Options
+// compose left to right; everything left unset gets a paper-calibrated
+// default. The same knobs remain reachable through an Options struct
+// literal and NewWithOptions — the two construction paths yield
+// identical runtimes.
+type Option func(*Options)
+
+// buildOptions folds a list of functional options into an Options value.
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithOptions overlays a whole Options struct (escape hatch for callers
+// that already hold one); later options still apply on top.
+func WithOptions(o Options) Option {
+	return func(dst *Options) { *dst = o }
+}
+
+// WithWorld supplies the virtual peripheral board the program's stdlib
+// components (LEDs, pads, streams) attach to.
+func WithWorld(w *World) Option {
+	return func(o *Options) { o.World = w }
+}
+
+// WithDevice targets a specific simulated FPGA.
+func WithDevice(d *Device) Option {
+	return func(o *Options) { o.Device = d }
+}
+
+// WithToolchain supplies the vendor-flow model (and its bitstream
+// cache); sharing one Toolchain across runtimes shares the cache.
+func WithToolchain(tc *Toolchain) Option {
+	return func(o *Options) { o.Toolchain = tc }
+}
+
+// WithTimeModel overrides the virtual-time cost model.
+func WithTimeModel(m TimeModel) Option {
+	return func(o *Options) { o.Model = m }
+}
+
+// WithView directs program output and runtime status to v.
+func WithView(v View) Option {
+	return func(o *Options) { o.View = v }
+}
+
+// WithFeatures overlays the whole feature/ablation switch block.
+func WithFeatures(f Features) Option {
+	return func(o *Options) { o.Features = f }
+}
+
+// WithParallelism bounds how many engines a scheduler batch dispatches
+// to concurrently. 0 means one lane per CPU; 1 runs batches serially.
+func WithParallelism(n int) Option {
+	return func(o *Options) { o.Parallelism = n }
+}
+
+// WithOpenLoopTarget sets the adaptive open-loop profiling target: each
+// burst should stall the runtime for about this much virtual time.
+func WithOpenLoopTarget(ps uint64) Option {
+	return func(o *Options) { o.OpenLoopTargetPs = ps }
+}
+
+// DisableJIT keeps the program in software engines forever (the paper's
+// simulation-only baseline).
+func DisableJIT() Option {
+	return func(o *Options) { o.Features.DisableJIT = true }
+}
+
+// EagerSim switches the software engines to naive eager re-evaluation
+// (the iVerilog-style baseline of §5.1).
+func EagerSim() Option {
+	return func(o *Options) { o.Features.EagerSim = true }
+}
+
+// DisableInline compiles subprograms separately instead of inlining them
+// into one engine (§4.2 ablation).
+func DisableInline() Option {
+	return func(o *Options) { o.Features.DisableInline = true }
+}
+
+// DisableForwarding keeps stdlib engines directly scheduled instead of
+// absorbing them into the user hardware engine (§4.3 ablation).
+func DisableForwarding() Option {
+	return func(o *Options) { o.Features.DisableForwarding = true }
+}
+
+// DisableOpenLoop stays in lock-step hardware scheduling (§4.4 ablation).
+func DisableOpenLoop() Option {
+	return func(o *Options) { o.Features.DisableOpenLoop = true }
+}
+
+// Native compiles the program exactly as written, with no ABI wrapper
+// (§4.5): full fabric speed, no mid-run Eval, no state migration.
+func Native() Option {
+	return func(o *Options) { o.Features.Native = true }
+}

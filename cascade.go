@@ -40,6 +40,7 @@ package cascade
 import (
 	"io"
 
+	"cascade/internal/fault"
 	"cascade/internal/fpga"
 	"cascade/internal/repl"
 	"cascade/internal/runtime"
@@ -88,6 +89,18 @@ type (
 	// Runtime.Snapshot, ship it (EncodeSnapshot/DecodeSnapshot), and
 	// Restore it onto a fresh runtime on another device.
 	Snapshot = runtime.Snapshot
+	// FaultInjector deterministically injects compile, bus, and region
+	// faults (internal/fault); wire one in with WithFaultInjector to
+	// exercise the runtime's degradation paths: transient compile
+	// failures retry with virtual-time backoff, and a faulted hardware
+	// engine is evicted back to software between steps.
+	FaultInjector = fault.Injector
+	// FaultConfig selects a fault schedule: a seed plus per-surface
+	// probabilities and caps (probability 1 with a cap scripts exact
+	// fault counts).
+	FaultConfig = fault.Config
+	// FaultStats counts the injector's decisions.
+	FaultStats = fault.Stats
 )
 
 // EncodeSnapshot renders a snapshot as a self-contained text blob.
@@ -138,6 +151,16 @@ func NewToolchain(dev *Device, opts ToolchainOptions) *Toolchain {
 
 // DefaultToolchainOptions returns the paper-calibrated latency model.
 func DefaultToolchainOptions() ToolchainOptions { return toolchain.DefaultOptions() }
+
+// NewFaultInjector builds a deterministic fault injector: the same
+// config replays the same fault schedule, so failing sessions reproduce
+// byte for byte.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
+
+// IsFaultTransient reports whether err is an injected fault the system
+// may recover from by retrying (transient compile failures, bus errors,
+// region faults); permanent faults report false.
+func IsFaultTransient(err error) bool { return fault.IsTransient(err) }
 
 // NewREPL builds an interactive session over a fresh runtime configured
 // by opts; program output and status go to out.

@@ -62,6 +62,7 @@ func TestOptionConformance(t *testing.T) {
 	tc := NewToolchain(dev, DefaultToolchainOptions())
 	model := TimeModel{SWEvalOpPs: 1, HWCyclePs: 2, HWCyclesPerIter: 3, MsgPs: 4, DispatchPs: 5}
 	view := &BufView{Quiet: true}
+	inj := NewFaultInjector(FaultConfig{Seed: 3})
 
 	want := Options{
 		World:     world,
@@ -69,6 +70,7 @@ func TestOptionConformance(t *testing.T) {
 		Toolchain: tc,
 		Model:     model,
 		View:      view,
+		Injector:  inj,
 		Features: Features{
 			DisableJIT:        true,
 			EagerSim:          true,
@@ -94,6 +96,7 @@ func TestOptionConformance(t *testing.T) {
 		Native(),
 		WithParallelism(7),
 		WithOpenLoopTarget(123),
+		WithFaultInjector(inj),
 	})
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("functional options diverge from struct literal:\n got %+v\nwant %+v", got, want)
@@ -111,6 +114,47 @@ func TestOptionConformance(t *testing.T) {
 	b := NewWithOptions(want)
 	if a.Parallelism() != b.Parallelism() || a.Phase() != b.Phase() {
 		t.Fatal("construction paths diverge")
+	}
+}
+
+// TestFacadeFaultDegradation drives the fault injector through the
+// public API: a scripted transient compile failure plus one bus error.
+// The program must keep producing correct output through the retry, the
+// hardware eviction, and the re-promotion.
+func TestFacadeFaultDegradation(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{
+		Seed:             5,
+		CompileTransient: 1, MaxCompileFaults: 1,
+		BusError: 1, MaxBusFaults: 1,
+	})
+	rt := New(append(fastOptions(), WithFaultInjector(inj), DisableOpenLoop())...)
+	rt.MustEval(DefaultPrelude)
+	rt.MustEval(`
+        reg [7:0] cnt = 1;
+        always @(posedge clk.val) cnt <= cnt + 1;
+        assign led.val = cnt;
+    `)
+	rt.RunTicks(400)
+	st := rt.Stats()
+	if st.Compile.Retried == 0 {
+		t.Fatalf("scripted transient compile fault never retried: %+v", st.Compile)
+	}
+	if st.HWFaults == 0 || st.Evictions == 0 {
+		t.Fatalf("scripted bus fault never evicted: %+v", st)
+	}
+	if st.Faults.Injected < 2 {
+		t.Fatalf("injector idle: %+v", st.Faults)
+	}
+	// Recovered: back in hardware (forwarded; open loop disabled), with
+	// the counter still correct — 400 ticks from 1, mod 256.
+	if st.Phase != PhaseForwarded {
+		t.Fatalf("did not re-promote after eviction: %v", st.Phase)
+	}
+	if led := rt.World().Led("main.led"); led != (1+400)%256 {
+		t.Fatalf("led=%d after 400 ticks, want %d", led, (1+400)%256)
+	}
+	if !strings.Contains(st.Summary(), "evictions=1") {
+		t.Fatalf("summary missing fault counters: %s", st.Summary())
 	}
 }
 

@@ -16,6 +16,7 @@ package hweng
 import (
 	"cascade/internal/elab"
 	"cascade/internal/engine"
+	"cascade/internal/fault"
 	"cascade/internal/fpga"
 	"cascade/internal/netlist"
 	"cascade/internal/sim"
@@ -51,6 +52,17 @@ type Engine struct {
 	lastInt  map[string]uint64SliceKey
 	finished bool
 
+	// Fault handling: the engine consults the device's injector on
+	// control-plane transactions (bus faults) and at step boundaries
+	// (region faults), and latches the first hit. A latched fault does
+	// not corrupt execution — detection happens on the MMIO handshake,
+	// and the ABI wrapper's shadow registers (Figure 10) keep the
+	// engine's state readable — it signals the runtime to evict this
+	// engine back to software between steps.
+	flt     *fault.Injector
+	fault   error
+	areaLEs int
+
 	// Perf counters, drained by the runtime's virtual clock.
 	cycles uint64 // fabric cycles consumed
 	msgs   uint64 // MMIO transactions
@@ -73,6 +85,8 @@ func New(name string, prog *netlist.Program, dev *fpga.Device, areaLEs int, io e
 		dev:     dev,
 		io:      io,
 		native:  native,
+		flt:     dev.Faults(),
+		areaLEs: areaLEs,
 		inner:   map[string]engine.Engine{},
 		lastOut: map[string]uint64SliceKey{},
 		lastInt: map[string]uint64SliceKey{},
@@ -83,6 +97,34 @@ func New(name string, prog *netlist.Program, dev *fpga.Device, areaLEs int, io e
 
 // Release frees the engine's fabric region.
 func (e *Engine) Release() { e.dev.Release(e.name) }
+
+// AreaLEs returns the fabric area this engine's region reserves.
+func (e *Engine) AreaLEs() int { return e.areaLEs }
+
+// Fault returns the first injected hardware fault observed by this
+// engine (nil while healthy). The runtime polls it between time steps
+// and responds with a hardware→software eviction.
+func (e *Engine) Fault() error { return e.fault }
+
+// checkBus runs one bus-fault trial, latching the first hit.
+func (e *Engine) checkBus() {
+	if e.fault != nil {
+		return
+	}
+	if err := e.flt.Bus(e.name); err != nil {
+		e.fault = err
+	}
+}
+
+// checkRegion runs one region-integrity trial, latching the first hit.
+func (e *Engine) checkRegion() {
+	if e.fault != nil {
+		return
+	}
+	if err := e.flt.Region(e.name); err != nil {
+		e.fault = err
+	}
+}
 
 // Flat exposes the engine's elaborated subprogram.
 func (e *Engine) Flat() *elab.Flat { return e.flat }
@@ -110,10 +152,12 @@ func (e *Engine) MsgsDelta() uint64 {
 	return d
 }
 
-// bill records one MMIO control transaction.
+// bill records one MMIO control transaction (and gives the fault
+// schedule one shot at it).
 func (e *Engine) bill() {
 	e.msgs++
 	e.dev.CountWrite(1)
+	e.checkBus()
 }
 
 // GetState implements engine.Engine. Reading state out of the fabric
@@ -243,13 +287,15 @@ func (e *Engine) Update() {
 	e.drainGroup()
 }
 
-// EndStep implements engine.Engine.
+// EndStep implements engine.Engine. The step boundary is also where the
+// region's integrity is checked (a lost bitstream surfaces here).
 func (e *Engine) EndStep() {
 	e.m.EndStep()
 	e.drainMachineEvents()
 	for _, name := range e.order {
 		e.inner[name].EndStep()
 	}
+	e.checkRegion()
 }
 
 // End implements engine.Engine.
@@ -346,6 +392,7 @@ func (e *Engine) drainGroup() {
 // fabric speed. clk names the engine's clock input and must exist.
 func (e *Engine) OpenLoop(clk string, steps int) int {
 	e.bill()
+	e.checkRegion() // one integrity trial per burst
 	if e.flat.VarNamed(clk) == nil {
 		return 0
 	}

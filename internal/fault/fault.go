@@ -1,0 +1,271 @@
+// Package fault is Cascade-Go's deterministic fault injector. The
+// paper's value proposition — execution "simply gets faster" while
+// compilation proceeds in the background — only holds if the runtime
+// survives the failure modes a real vendor flow and a shared device
+// exhibit: flaky compiles (license servers, filesystem hiccups,
+// non-deterministic placement failures), MMIO bus errors, and fabric
+// region faults that corrupt a loaded bitstream. SYNERGY (Landgraf et
+// al.) shows the runtime/engine split supports movement in *both*
+// directions; injecting faults is how we test the downward direction.
+//
+// The injector is deterministic by construction so that fault runs are
+// replayable: whether operation number n at a named site faults is a
+// pure function of (seed, op, site, n), computed with a splitmix64-style
+// hash — never of goroutine interleaving or wall-clock time. Sites keep
+// independent trial counters, and each site's operations occur in a
+// deterministic order on its own timeline (compile attempts are
+// sequential per job; a hardware engine is driven by one goroutine at a
+// time in schedule order), so two runs with the same seed inject the
+// same faults at the same points no matter how the host schedules
+// threads.
+//
+// A nil *Injector is valid everywhere and injects nothing, so callers
+// (the toolchain, the device, hardware engines) never need a nil check
+// at the call site.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Op is the class of operation a fault can be injected into.
+type Op uint8
+
+// Operation classes.
+const (
+	// OpCompile is one vendor-flow compile attempt.
+	OpCompile Op = iota
+	// OpBus is an MMIO transaction between the runtime and a placed
+	// hardware engine.
+	OpBus
+	// OpRegion is the integrity of a placed fabric region (a lost or
+	// corrupted bitstream; checked at placement and per time step).
+	OpRegion
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCompile:
+		return "compile"
+	case OpBus:
+		return "bus"
+	case OpRegion:
+		return "region"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Error is one injected fault. Transient faults are expected to succeed
+// on retry (the toolchain backs off and re-attempts; the runtime evicts
+// the engine and re-places it); permanent faults are reported once and
+// never re-queued.
+type Error struct {
+	Op        Op
+	Site      string // engine path or compile-unit instance path
+	Attempt   uint64 // 1-based ordinal of the faulted trial at this site
+	Transient bool
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	class := "permanent"
+	if e.Transient {
+		class = "transient"
+	}
+	return fmt.Sprintf("fault: %s %s fault at %s (trial %d)", class, e.Op, e.Site, e.Attempt)
+}
+
+// IsFault reports whether err is (or wraps) an injected fault.
+func IsFault(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// IsTransient reports whether err is (or wraps) an injected fault that
+// is expected to succeed on retry.
+func IsTransient(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Transient
+}
+
+// Config sets the per-trial fault probabilities and per-site caps. A
+// probability of 1 with a cap of n makes exactly the first n trials at
+// every site fault — the fully scripted mode tests use. A cap of 0
+// means uncapped.
+type Config struct {
+	// Seed selects the deterministic fault schedule. Two injectors with
+	// the same Config inject identical faults at identical points.
+	Seed uint64
+
+	// CompileTransient and CompilePermanent are per-attempt
+	// probabilities for the two compile fault classes; their sum must
+	// not exceed 1. MaxCompileFaults caps faults per compile site so
+	// retry loops provably converge.
+	CompileTransient float64
+	CompilePermanent float64
+	MaxCompileFaults int
+
+	// BusError is the per-check probability of an MMIO fault on a
+	// hardware engine, capped per engine by MaxBusFaults.
+	BusError     float64
+	MaxBusFaults int
+
+	// RegionFault is the per-check probability that a placed fabric
+	// region has lost its bitstream, capped per region by
+	// MaxRegionFaults.
+	RegionFault     float64
+	MaxRegionFaults int
+}
+
+// Stats counts the injector's activity.
+type Stats struct {
+	Checks    uint64 // trials consulted
+	Injected  uint64 // faults injected (all classes)
+	Transient uint64 // injected faults retryable by backoff or re-place
+	Permanent uint64 // injected faults that are final
+	Compile   uint64 // injected compile faults
+	Bus       uint64 // injected bus faults
+	Region    uint64 // injected region faults
+}
+
+// site tracks one (op, site) timeline.
+type site struct {
+	trials   uint64 // operations consulted so far
+	injected int    // faults injected so far (cap accounting)
+}
+
+// Injector decides deterministically whether operations fault. Safe for
+// concurrent use; a nil Injector injects nothing.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	sites map[string]*site
+	stats Stats
+}
+
+// New returns an injector for the given config.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, sites: map[string]*site{}}
+}
+
+// Seed returns the injector's seed (for replay diagnostics).
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.cfg.Seed
+}
+
+// Stats returns a snapshot of the injector's counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Compile consults the fault schedule for one compile attempt at the
+// given site (an instance path). It returns nil or an *Error whose
+// Transient field classifies the failure.
+func (in *Injector) Compile(siteName string) error {
+	if in == nil || (in.cfg.CompileTransient <= 0 && in.cfg.CompilePermanent <= 0) {
+		return nil
+	}
+	return in.check(OpCompile, siteName, in.cfg.CompileTransient, in.cfg.CompilePermanent, in.cfg.MaxCompileFaults)
+}
+
+// Bus consults the fault schedule for one MMIO check at the given
+// hardware engine. Bus faults are transient: the transfer is detected
+// and the engine can be evicted with its state intact (the ABI
+// wrapper's shadow registers remain readable).
+func (in *Injector) Bus(siteName string) error {
+	if in == nil || in.cfg.BusError <= 0 {
+		return nil
+	}
+	return in.check(OpBus, siteName, in.cfg.BusError, 0, in.cfg.MaxBusFaults)
+}
+
+// Region consults the fault schedule for one region-integrity check.
+// Region faults are transient: reprogramming the region (a resubmitted
+// compile, served from the bitstream cache) clears them.
+func (in *Injector) Region(siteName string) error {
+	if in == nil || in.cfg.RegionFault <= 0 {
+		return nil
+	}
+	return in.check(OpRegion, siteName, in.cfg.RegionFault, 0, in.cfg.MaxRegionFaults)
+}
+
+// check runs one trial on the (op, site) timeline.
+func (in *Injector) check(op Op, siteName string, pTransient, pPermanent float64, cap int) error {
+	key := fmt.Sprintf("%d\x00%s", op, siteName)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.sites[key]
+	if s == nil {
+		s = &site{}
+		in.sites[key] = s
+	}
+	s.trials++
+	in.stats.Checks++
+	if cap > 0 && s.injected >= cap {
+		return nil
+	}
+	p := in.roll(op, siteName, s.trials)
+	var transient bool
+	switch {
+	case p < pTransient:
+		transient = true
+	case p < pTransient+pPermanent:
+		transient = false
+	default:
+		return nil
+	}
+	s.injected++
+	in.stats.Injected++
+	if transient {
+		in.stats.Transient++
+	} else {
+		in.stats.Permanent++
+	}
+	switch op {
+	case OpCompile:
+		in.stats.Compile++
+	case OpBus:
+		in.stats.Bus++
+	case OpRegion:
+		in.stats.Region++
+	}
+	return &Error{Op: op, Site: siteName, Attempt: s.trials, Transient: transient}
+}
+
+// roll maps (seed, op, site, trial) to a uniform value in [0, 1).
+func (in *Injector) roll(op Op, siteName string, trial uint64) float64 {
+	h := in.cfg.Seed
+	h = mix(h ^ (uint64(op) + 1))
+	h = mix(h ^ hashString(siteName))
+	h = mix(h ^ trial)
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// mix is the splitmix64 finalizer.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashString is FNV-1a.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

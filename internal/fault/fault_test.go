@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDeterministicSchedule: two injectors with the same config agree on
+// every decision, regardless of how sites interleave between them.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, CompileTransient: 0.3, CompilePermanent: 0.1, BusError: 0.2, RegionFault: 0.15}
+	a, b := New(cfg), New(cfg)
+	sites := []string{"main", "main.r", "main.g1"}
+	var seqA, seqB []string
+	record := func(seq *[]string, err error) {
+		if err == nil {
+			*seq = append(*seq, "ok")
+		} else {
+			*seq = append(*seq, err.Error())
+		}
+	}
+	for i := 0; i < 200; i++ {
+		s := sites[i%len(sites)]
+		record(&seqA, a.Compile(s))
+		record(&seqA, a.Bus(s))
+		record(&seqA, a.Region(s))
+	}
+	for i := 0; i < 200; i++ {
+		s := sites[i%len(sites)]
+		record(&seqB, b.Compile(s))
+		record(&seqB, b.Bus(s))
+		record(&seqB, b.Region(s))
+	}
+	if len(seqA) != len(seqB) {
+		t.Fatalf("sequence lengths diverged: %d vs %d", len(seqA), len(seqB))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("decision %d diverged: %q vs %q", i, seqA[i], seqB[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Injected == 0 {
+		t.Fatal("no faults injected at these probabilities; schedule is vacuous")
+	}
+}
+
+// TestSiteIndependence: the timeline of one site is unaffected by how
+// many operations other sites perform (global interleaving must not
+// matter — that is what makes concurrent runs replayable).
+func TestSiteIndependence(t *testing.T) {
+	cfg := Config{Seed: 7, BusError: 0.25}
+	a, b := New(cfg), New(cfg)
+	var seqA, seqB []bool
+	for i := 0; i < 100; i++ {
+		seqA = append(seqA, a.Bus("main") != nil)
+	}
+	for i := 0; i < 100; i++ {
+		_ = b.Bus("other") // noise on another site
+		seqB = append(seqB, b.Bus("main") != nil)
+		_ = b.Compile("main") // different op, same site: separate timeline
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("site timeline perturbed by unrelated traffic at trial %d", i)
+		}
+	}
+}
+
+// TestScriptedMode: probability 1 with a cap injects exactly the first
+// n trials per site, then none — the contract retry loops depend on.
+func TestScriptedMode(t *testing.T) {
+	in := New(Config{Seed: 1, CompileTransient: 1, MaxCompileFaults: 2, BusError: 1, MaxBusFaults: 1})
+	for trial := 1; trial <= 5; trial++ {
+		err := in.Compile("main")
+		if trial <= 2 && err == nil {
+			t.Fatalf("compile trial %d: expected fault", trial)
+		}
+		if trial > 2 && err != nil {
+			t.Fatalf("compile trial %d: cap not honored: %v", trial, err)
+		}
+		if err != nil && !IsTransient(err) {
+			t.Fatalf("compile trial %d: expected transient, got %v", trial, err)
+		}
+	}
+	if err := in.Bus("main"); err == nil {
+		t.Fatal("first bus trial must fault")
+	}
+	for trial := 0; trial < 10; trial++ {
+		if err := in.Bus("main"); err != nil {
+			t.Fatalf("bus cap not honored: %v", err)
+		}
+	}
+	st := in.Stats()
+	if st.Compile != 2 || st.Bus != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+// TestClassification: permanent compile faults classify as such, and the
+// errors survive wrapping.
+func TestClassification(t *testing.T) {
+	in := New(Config{Seed: 3, CompilePermanent: 1, MaxCompileFaults: 1})
+	err := in.Compile("main")
+	if err == nil {
+		t.Fatal("expected a fault")
+	}
+	if IsTransient(err) {
+		t.Fatalf("permanent fault classified transient: %v", err)
+	}
+	wrapped := fmt.Errorf("toolchain: %w", err)
+	if !IsFault(wrapped) {
+		t.Fatal("IsFault must see through wrapping")
+	}
+	var fe *Error
+	if !errors.As(wrapped, &fe) || fe.Op != OpCompile || fe.Site != "main" {
+		t.Fatalf("wrapped fault lost identity: %+v", fe)
+	}
+}
+
+// TestNilInjector: a nil injector is a no-op everywhere.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Compile("x") != nil || in.Bus("x") != nil || in.Region("x") != nil {
+		t.Fatal("nil injector injected a fault")
+	}
+	if in.Stats() != (Stats{}) || in.Seed() != 0 {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+// TestConcurrentUse: hammering one injector from many goroutines is
+// race-free and conserves counters (run under -race).
+func TestConcurrentUse(t *testing.T) {
+	in := New(Config{Seed: 9, CompileTransient: 0.5, BusError: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := fmt.Sprintf("site%d", g)
+			for i := 0; i < 500; i++ {
+				_ = in.Compile(s)
+				_ = in.Bus(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := in.Stats()
+	if st.Checks != 8*500*2 {
+		t.Fatalf("lost trials: %+v", st)
+	}
+	if st.Injected != st.Transient+st.Permanent || st.Injected != st.Compile+st.Bus+st.Region {
+		t.Fatalf("counter partition broken: %+v", st)
+	}
+}

@@ -1,0 +1,59 @@
+package fpga
+
+import (
+	"testing"
+
+	"cascade/internal/fault"
+)
+
+// TestFailedReplaceKeepsOldReservation: a re-place that does not fit
+// must leave the existing reservation (and the engine running in it)
+// untouched — the old code dropped it, leaking capacity accounting.
+func TestFailedReplaceKeepsOldReservation(t *testing.T) {
+	d := NewDevice(1000, 50_000_000)
+	if err := d.Place("main", 600); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Place("main", 1200); err == nil {
+		t.Fatal("oversized re-place must fail")
+	}
+	if d.Used() != 600 {
+		t.Fatalf("failed re-place dropped the old reservation: used=%d, want 600", d.Used())
+	}
+	// A fitting re-place swaps atomically: the region's own footprint
+	// does not count against its replacement.
+	if err := d.Place("main", 900); err != nil {
+		t.Fatalf("swap re-place should fit: %v", err)
+	}
+	if d.Used() != 900 {
+		t.Fatalf("used=%d, want 900", d.Used())
+	}
+	d.Release("main")
+	if d.Used() != 0 {
+		t.Fatalf("used=%d after release, want 0", d.Used())
+	}
+}
+
+// TestPlaceRegionFault: an injected region fault fails programming
+// without reserving anything, and clears once the schedule's cap is
+// spent (a retried placement succeeds).
+func TestPlaceRegionFault(t *testing.T) {
+	d := NewDevice(1000, 50_000_000)
+	d.SetFaults(fault.New(fault.Config{Seed: 2, RegionFault: 1, MaxRegionFaults: 1}))
+	err := d.Place("main", 100)
+	if err == nil {
+		t.Fatal("first placement must hit the injected region fault")
+	}
+	if !fault.IsTransient(err) {
+		t.Fatalf("region faults are transient (re-place clears them): %v", err)
+	}
+	if d.Used() != 0 {
+		t.Fatalf("faulted placement leaked %d LEs", d.Used())
+	}
+	if err := d.Place("main", 100); err != nil {
+		t.Fatalf("retried placement must succeed: %v", err)
+	}
+	if d.Used() != 100 {
+		t.Fatalf("used=%d, want 100", d.Used())
+	}
+}

@@ -10,6 +10,8 @@ package fpga
 import (
 	"fmt"
 	"sync"
+
+	"cascade/internal/fault"
 )
 
 // Device models one FPGA.
@@ -21,6 +23,10 @@ type Device struct {
 	regions  map[string]int // placed region name -> logic elements
 
 	clockHz uint64
+
+	// faults injects deterministic bus and region faults into the
+	// engines executing on this device (nil: fault-free).
+	faults *fault.Injector
 
 	// Bus transaction counters (reads + writes across the MMIO bridge).
 	busReads  uint64
@@ -53,18 +59,44 @@ func (d *Device) Used() int {
 	return d.used
 }
 
+// SetFaults installs a fault injector; placements and the engines
+// executing on this device consult it for bus and region faults.
+func (d *Device) SetFaults(in *fault.Injector) {
+	d.mu.Lock()
+	d.faults = in
+	d.mu.Unlock()
+}
+
+// Faults returns the installed injector (nil when fault-free).
+func (d *Device) Faults() *fault.Injector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults
+}
+
 // Place reserves fabric for a named region; it fails when the design
-// does not fit (the place-and-route "no fit" outcome).
+// does not fit (the place-and-route "no fit" outcome) or when the fault
+// schedule loses the bitstream during programming. Re-placing an
+// existing region swaps the reservation atomically: a failed re-place
+// leaves the old reservation — and the engine running in it — intact,
+// so repeated failed placements cannot leak capacity.
 func (d *Device) Place(name string, les int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if old, ok := d.regions[name]; ok {
-		d.used -= old
-		delete(d.regions, name)
+	old, had := d.regions[name]
+	avail := d.used
+	if had {
+		avail -= old
 	}
-	if d.used+les > d.capacity {
+	if avail+les > d.capacity {
 		return fmt.Errorf("fpga: design %s (%d LEs) does not fit: %d of %d LEs in use",
-			name, les, d.used, d.capacity)
+			name, les, avail, d.capacity)
+	}
+	if err := d.faults.Region(name); err != nil {
+		return fmt.Errorf("fpga: programming %s failed: %w", name, err)
+	}
+	if had {
+		d.used -= old
 	}
 	d.regions[name] = les
 	d.used += les

@@ -26,6 +26,7 @@ import (
 	"cascade/internal/engine"
 	"cascade/internal/engine/hweng"
 	"cascade/internal/engine/sweng"
+	"cascade/internal/fault"
 	"cascade/internal/fpga"
 	"cascade/internal/ir"
 	"cascade/internal/sim"
@@ -176,6 +177,13 @@ type Options struct {
 	// CPU; 1 runs batches serially on the controller goroutine.
 	Parallelism int
 
+	// Injector injects deterministic faults (internal/fault) into the
+	// toolchain, the device, and the hardware engines: flaky compiles
+	// are retried with virtual-time backoff, and a faulted hardware
+	// engine is evicted back to software between steps (the reverse
+	// hot-swap) instead of killing execution. Nil runs fault-free.
+	Injector *fault.Injector
+
 	// OpenLoopTargetPs is the adaptive profiling target: each open-loop
 	// burst should stall the runtime for about this much virtual time.
 	OpenLoopTargetPs uint64
@@ -183,6 +191,12 @@ type Options struct {
 
 // Runtime executes one Cascade program.
 type Runtime struct {
+	// mu serializes the scheduler's mutation entry points (Step, Eval,
+	// Idle, Restore) against Stats and Snapshot, so monitoring
+	// goroutines can observe a consistent between-steps state while the
+	// controller runs. Everything else remains controller-only.
+	mu sync.Mutex
+
 	opts Options
 	par  int // resolved Parallelism
 	vclk vclock.Clock
@@ -202,9 +216,15 @@ type Runtime struct {
 	groupOf    map[string]string    // forwarded engine -> owner path
 
 	jobs      map[string]*toolchain.Job
+	evalCtx   context.Context // context the current program version was eval'd under
 	phase     Phase
 	clockPath string // stdlib Clock subprogram path ("" if none)
 	clockVar  string // user engine input carrying the clock
+
+	// Degradation counters: hardware faults observed and the
+	// hardware→software evictions they triggered.
+	hwFaults  int
+	evictions int
 
 	steps     uint64
 	ticks     uint64
@@ -242,6 +262,13 @@ func New(opts Options) *Runtime {
 	}
 	if opts.OpenLoopTargetPs == 0 {
 		opts.OpenLoopTargetPs = 100 * vclock.Ms
+	}
+	if opts.Injector != nil {
+		// One injector feeds all three fault surfaces: compile attempts
+		// (toolchain), placements and region integrity (device), and
+		// MMIO transactions (hardware engines, via the device).
+		opts.Toolchain.SetFaults(opts.Injector)
+		opts.Device.SetFaults(opts.Injector)
 	}
 	par := opts.Parallelism
 	if par == 0 {
@@ -361,6 +388,22 @@ func (r *Runtime) drainLane(path string) {
 	}
 }
 
+// discardLane drops an engine's buffered, not-yet-drained output.
+// Eviction uses it: constructing the replacement software engine re-runs
+// initial blocks whose display output the user already saw when the
+// program first integrated (and whose variable effects the restored
+// state overwrites).
+func (r *Runtime) discardLane(path string) {
+	l, ok := r.lanes[path]
+	if !ok {
+		return
+	}
+	l.mu.Lock()
+	l.displays = nil
+	l.finished = false
+	l.mu.Unlock()
+}
+
 func (r *Runtime) flushDisplays() {
 	for _, t := range r.displayQ {
 		r.opts.View.Display(t)
@@ -384,6 +427,8 @@ func (r *Runtime) EvalCtx(ctx context.Context, src string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	mods, items, errs := verilog.ParseProgramFragment(src)
 	if len(errs) > 0 {
 		return fmt.Errorf("parse: %v", errs[0])
@@ -489,6 +534,7 @@ func mergeStates(saved map[string]*sim.State) *sim.State {
 // now-obsolete background compilations, and resubmitting fresh ones
 // bound to ctx.
 func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) error {
+	r.evalCtx = ctx // evictions resubmit compiles under the same context
 	// Tear down hardware engines.
 	for path, e := range r.engines {
 		if hw, ok := e.(*hweng.Engine); ok {

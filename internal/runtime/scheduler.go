@@ -2,12 +2,14 @@ package runtime
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
 	"cascade/internal/engine"
 	"cascade/internal/engine/hweng"
 	"cascade/internal/engine/sweng"
+	"cascade/internal/fault"
 	"cascade/internal/ir"
 	"cascade/internal/stdlib"
 )
@@ -30,6 +32,13 @@ import (
 // computes, and by the event-order-independence invariant the observable
 // states that result are identical.
 func (r *Runtime) Step() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.step()
+}
+
+// step is Step's body; callers hold r.mu.
+func (r *Runtime) step() {
 	if r.finished || r.design == nil {
 		return
 	}
@@ -66,6 +75,7 @@ func (r *Runtime) Step() {
 	r.ticks = r.steps / 2
 	r.vclk.AdvanceOverhead(model.DispatchPs)
 	r.settleCosts()
+	r.serviceFaults()
 	r.serviceJIT()
 }
 
@@ -157,9 +167,12 @@ func (r *Runtime) route(fromPath string, e engine.Engine) {
 }
 
 // settleBatch converts the batch's engine work counters into virtual
-// time. Compute is billed as the maximum over the engines that ran —
-// the lanes genuinely overlap, so a batch costs its slowest member, not
-// the sum — except in serial mode (Parallelism 1), where the engines run
+// time. With parallel lanes, compute is billed as the batch's makespan:
+// when the batch fits in the lanes (len ≤ Parallelism) that is the
+// slowest member, and when it does not, the lanes run multiple rounds
+// and the bill is at least ceil(sum/lanes) — billing bare max there
+// would pretend an unbounded number of lanes existed and under-charge
+// (the PR 1 bug). In serial mode (Parallelism 1) the engines run
 // back-to-back and the sum is the honest cost. Communication is always
 // summed: the memory-mapped bus serializes transfers.
 func (r *Runtime) settleBatch(batch []string) {
@@ -179,11 +192,7 @@ func (r *Runtime) settleBatch(batch []string) {
 			maxCompute = c
 		}
 	}
-	if r.par > 1 {
-		r.vclk.AdvanceCompute(maxCompute)
-	} else {
-		r.vclk.AdvanceCompute(sumCompute)
-	}
+	r.vclk.AdvanceCompute(batchMakespanPs(sumCompute, maxCompute, r.par))
 	// FIFO host transfers cross the memory-mapped bridge regardless of
 	// which side the engine lives on (the Figure 12 bottleneck).
 	for _, e := range r.stdEngines {
@@ -191,6 +200,22 @@ func (r *Runtime) settleBatch(batch []string) {
 			r.vclk.AdvanceComm(f.TransfersDelta(), model)
 		}
 	}
+}
+
+// batchMakespanPs is the compute bill for a batch with the given summed
+// and maximum per-engine costs across `lanes` worker lanes: the
+// longest-running lane under any work-conserving assignment is at least
+// max(maxCompute, ceil(sum/lanes)). One lane degenerates to the serial
+// sum.
+func batchMakespanPs(sumCompute, maxCompute uint64, lanes int) uint64 {
+	if lanes <= 1 {
+		return sumCompute
+	}
+	span := (sumCompute + uint64(lanes) - 1) / uint64(lanes)
+	if span < maxCompute {
+		span = maxCompute
+	}
+	return span
 }
 
 // settleCosts converts all engine work counters into virtual time (the
@@ -242,6 +267,16 @@ func (r *Runtime) serviceJIT() {
 		hw, err := hweng.New(path, res.Prog, r.opts.Device, res.AreaLEs, r.lane(path), r.opts.Features.Native, r.now)
 		if err != nil {
 			r.opts.View.Error(err)
+			// A transient programming fault (a bitstream lost on the way
+			// to the fabric) is not fatal: resubmit the compile — the
+			// bitstream cache makes the retry nearly free — and keep
+			// executing in software meanwhile. Permanent errors are
+			// reported once and the engine stays in software.
+			if fault.IsTransient(err) {
+				if f := r.elabsExec()[path]; f != nil {
+					r.jobs[path] = r.opts.Toolchain.Submit(r.jobCtx(), f, !r.opts.Features.Native, r.vclk.Now())
+				}
+			}
 			continue
 		}
 		// Inherit state and control (between steps: always safe).
@@ -296,6 +331,117 @@ func (r *Runtime) serviceJIT() {
 		r.phase = PhaseOpenLoop
 		r.opts.View.Info("entering open-loop scheduling on %s", r.clockVar)
 	}
+}
+
+// jobCtx is the context background compilations are bound to: the one
+// the current program version was eval'd under.
+func (r *Runtime) jobCtx() context.Context {
+	if r.evalCtx != nil {
+		return r.evalCtx
+	}
+	return context.Background()
+}
+
+// serviceFaults runs between time steps, after costs settle: any
+// hardware engine that latched an injected fault during the step is
+// evicted back to a software engine — the reverse hot-swap. Execution
+// degrades gracefully (the program keeps running, slower) instead of
+// dying with the fabric.
+func (r *Runtime) serviceFaults() {
+	if r.opts.Injector == nil {
+		return
+	}
+	var faulted []string
+	for _, path := range r.sched {
+		if hw, ok := r.engines[path].(*hweng.Engine); ok && hw.Fault() != nil {
+			faulted = append(faulted, path)
+		}
+	}
+	for _, path := range faulted {
+		if hw, ok := r.engines[path].(*hweng.Engine); ok {
+			r.evict(path, hw)
+		}
+	}
+}
+
+// evict performs the hardware→software reverse hot-swap for one faulted
+// engine. Like the forward swap it runs between steps, where state
+// movement cannot disturb program semantics: the engine's state is read
+// out through the ABI's shadow registers (GetState survives bus and
+// region faults by design — that is what the wrapper's state access
+// exists for), a fresh software engine inherits it, the fabric region
+// is released, and the compile is resubmitted so the JIT can climb back
+// to hardware — served from the bitstream cache, re-promotion is cheap.
+func (r *Runtime) evict(path string, hw *hweng.Engine) {
+	model := &r.opts.Model
+	r.hwFaults++
+	r.opts.View.Info("hardware fault on %s (%v): degrading to software", path, hw.Fault())
+
+	// A forwarded (or open-loop) engine first hands its absorbed stdlib
+	// components back to the runtime's schedule.
+	if r.phase == PhaseForwarded || r.phase == PhaseOpenLoop {
+		r.unforward(hw)
+	}
+
+	// Pull state out of the fabric (billed as bus reads) and release
+	// the region.
+	st := hw.GetState()
+	r.vclk.AdvanceComm(hw.MsgsDelta(), model)
+	hw.Release()
+	r.areaLEs -= hw.AreaLEs()
+
+	f := r.elabsExec()[path]
+	if f == nil {
+		// No elaboration to rebuild from (cannot happen for engines the
+		// runtime itself promoted); report and keep the schedule alive.
+		r.opts.View.Error(fmt.Errorf("runtime: cannot evict %s: no elaboration", path))
+		return
+	}
+	sw := sweng.New(f, r.lane(path), r.now, r.opts.Features.EagerSim)
+	// Constructing a software engine re-runs initial blocks; the user
+	// saw that output when the program first integrated, and the
+	// restored state overwrites their variable effects — discard it.
+	r.discardLane(path)
+	sw.SetState(st)
+	r.engines[path] = sw
+	r.evictions++
+	r.vclk.AdvanceOverhead(uint64(len(f.Vars)+1) * model.DispatchPs / 4)
+
+	// The JIT retreats one phase and climbs again.
+	if r.inlined {
+		r.phase = PhaseInlined
+	} else {
+		r.phase = PhaseSoftware
+	}
+	if !r.opts.Features.DisableJIT {
+		if _, pending := r.jobs[path]; !pending {
+			r.jobs[path] = r.opts.Toolchain.Submit(r.jobCtx(), f, !r.opts.Features.Native, r.vclk.Now())
+		}
+	}
+	r.opts.View.Info("engine %s moved to software (%d LEs released), recompiling", path, hw.AreaLEs())
+}
+
+// unforward reverses forwardStdlib: absorbed stdlib engines return to
+// the runtime's schedule and routing table (the engine objects
+// themselves persisted in stdEngines, state intact), exactly as restart
+// would lay them out.
+func (r *Runtime) unforward(hw *hweng.Engine) {
+	r.sched = nil
+	for _, s := range r.design.StdSubs() {
+		e, ok := r.stdEngines[s.Path]
+		if !ok {
+			continue
+		}
+		r.engines[s.Path] = e
+		delete(r.groupOf, s.Path)
+		r.sched = append(r.sched, s.Path)
+	}
+	for _, s := range r.design.UserSubs() {
+		r.sched = append(r.sched, s.Path)
+	}
+	// Group-internal wires return from the forwarder to the runtime.
+	r.rebuildRoutes()
+	r.opts.View.Info("stdlib components unforwarded from %s", hw.Name())
 }
 
 // forwardStdlib absorbs stdlib engines into the user hardware engine
@@ -366,6 +512,13 @@ func (r *Runtime) openLoopBurst() {
 	r.flushDisplays()
 	if hw.Finished() {
 		r.finished = true
+	}
+	if hw.Fault() != nil {
+		// A fault latched mid-burst: the reverse hot-swap, exactly as in
+		// the lock-step phases (serviceFaults does not see open-loop
+		// steps, which return before it runs).
+		r.evict(hw.Name(), hw)
+		return
 	}
 	if done == 0 {
 		// No forward progress (e.g. missing clock): fall back.
@@ -465,8 +618,49 @@ func (r *Runtime) WaitForPhase(p Phase, maxSteps uint64) bool {
 }
 
 // Idle advances virtual time without executing (used by benches to model
-// a user thinking, or a program waiting out a compile).
+// a user thinking, or a program waiting out a compile). The advance is
+// split at each pending compile job's ready point: the JIT is serviced
+// at the moment its result becomes available, not after one raw jump to
+// the far end — jumping past the ready point lumped the whole span into
+// idle and kept vclock.Breakdown's idle-vs-hardware attribution wrong
+// for everything that happened after the swap should have occurred.
 func (r *Runtime) Idle(ps uint64) {
-	r.vclk.AdvanceRaw(ps)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	end := r.vclk.Now() + ps
+	for {
+		now := r.vclk.Now()
+		if now >= end {
+			break
+		}
+		at, ok := r.earliestReady(now, end)
+		if !ok {
+			r.vclk.AdvanceRaw(end - now)
+			break
+		}
+		r.vclk.AdvanceRaw(at - now)
+		// Servicing may itself submit new work (a transient placement
+		// fault resubmits the compile), so the loop re-scans for ready
+		// points each pass.
+		r.serviceJIT()
+	}
 	r.serviceJIT()
+}
+
+// earliestReady returns the earliest pending-compile ready point strictly
+// inside (now, end), if any.
+func (r *Runtime) earliestReady(now, end uint64) (uint64, bool) {
+	var best uint64
+	found := false
+	for _, j := range r.jobs {
+		at, ok := j.ReadyAt()
+		if !ok || at <= now || at >= end {
+			continue
+		}
+		if !found || at < best {
+			best = at
+		}
+		found = true
+	}
+	return best, found
 }

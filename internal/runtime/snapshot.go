@@ -27,8 +27,11 @@ type Snapshot struct {
 }
 
 // Snapshot captures the runtime's program and state. Like every state
-// operation it happens between time steps.
+// operation it happens between time steps; taking the lock makes it
+// safe to call from a monitoring goroutine while the controller runs.
 func (r *Runtime) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	snap := &Snapshot{
 		Source: r.ProgramSource(),
 		States: r.captureStates(),
@@ -47,6 +50,8 @@ func (r *Runtime) Snapshot() *Snapshot {
 // subprogram's state is injected, and the JIT starts over on the new
 // target's engines.
 func (r *Runtime) Restore(snap *Snapshot) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.everBuilt {
 		return fmt.Errorf("runtime: Restore requires a fresh runtime")
 	}

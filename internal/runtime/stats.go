@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"cascade/internal/fault"
 	"cascade/internal/toolchain"
 	"cascade/internal/vclock"
 )
@@ -32,15 +33,26 @@ type Stats struct {
 	Engines []EngineStat
 
 	// Compile snapshots the toolchain job service (cache hits/misses,
-	// joins, cancellations); PendingCompiles counts this runtime's
-	// in-flight background jobs.
+	// joins, cancellations, fault retries); PendingCompiles counts this
+	// runtime's in-flight background jobs.
 	Compile         toolchain.Stats
 	PendingCompiles int
+
+	// HWFaults counts hardware-engine faults the runtime observed;
+	// Evictions counts the hardware→software reverse hot-swaps they
+	// triggered. Faults snapshots the injector's own counters (zero when
+	// running fault-free).
+	HWFaults  int
+	Evictions int
+	Faults    fault.Stats
 }
 
-// Stats snapshots the runtime. Like every state operation it reads
-// between time steps, on the controller goroutine.
+// Stats snapshots the runtime. It takes the runtime lock, so monitoring
+// goroutines may call it while the controller steps; the snapshot is a
+// consistent between-steps state.
 func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	st := Stats{
 		Phase:           r.phase,
 		Steps:           r.steps,
@@ -51,6 +63,9 @@ func (r *Runtime) Stats() Stats {
 		Finished:        r.finished,
 		Compile:         r.opts.Toolchain.Stats(),
 		PendingCompiles: len(r.jobs),
+		HWFaults:        r.hwFaults,
+		Evictions:       r.evictions,
+		Faults:          r.opts.Injector.Stats(),
 	}
 	for _, path := range r.sched {
 		e, ok := r.engines[path]
@@ -65,12 +80,18 @@ func (r *Runtime) Stats() Stats {
 // Summary renders the snapshot as one status line (the REPL's :stats).
 func (s Stats) Summary() string {
 	sec := func(ps uint64) float64 { return float64(ps) / float64(vclock.S) }
-	return fmt.Sprintf(
-		"phase=%v steps=%d ticks=%d vtime=%.3fs compute=%.3fs comm=%.3fs overhead=%.3fs idle=%.3fs messages=%d area=%d LEs lanes=%d compiles[pending=%d hits=%d misses=%d joined=%d canceled=%d]",
+	line := fmt.Sprintf(
+		"phase=%v steps=%d ticks=%d vtime=%.3fs compute=%.3fs comm=%.3fs overhead=%.3fs idle=%.3fs messages=%d area=%d LEs lanes=%d compiles[pending=%d hits=%d misses=%d joined=%d canceled=%d retried=%d]",
 		s.Phase, s.Steps, s.Ticks,
 		sec(s.Time.NowPs), sec(s.Time.ComputePs), sec(s.Time.CommPs),
 		sec(s.Time.OverheadPs), sec(s.Time.IdlePs), s.Time.Messages,
 		s.AreaLEs, s.Parallelism,
 		s.PendingCompiles, s.Compile.CacheHits, s.Compile.CacheMisses,
-		s.Compile.Joined, s.Compile.Canceled)
+		s.Compile.Joined, s.Compile.Canceled, s.Compile.Retried)
+	if s.Faults.Injected > 0 || s.HWFaults > 0 || s.Evictions > 0 {
+		line += fmt.Sprintf(" faults[injected=%d transient=%d permanent=%d hw=%d evictions=%d]",
+			s.Faults.Injected, s.Faults.Transient, s.Faults.Permanent,
+			s.HWFaults, s.Evictions)
+	}
+	return line
 }

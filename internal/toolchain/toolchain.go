@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"cascade/internal/elab"
+	"cascade/internal/fault"
 	"cascade/internal/fpga"
 	"cascade/internal/netlist"
 	"cascade/internal/vclock"
@@ -62,6 +63,15 @@ type Options struct {
 	// reloads the placed design; no place-and-route). 0 means the
 	// default of 2 virtual milliseconds.
 	CacheHitPs uint64
+	// MaxRetries bounds how many times a job re-attempts the flow after
+	// a transient fault (a flaky license server, a filesystem hiccup)
+	// before giving up; 0 means the default of 4. Retries back off
+	// exponentially in virtual time: RetryBasePs doubling per attempt
+	// up to RetryCapPs (defaults 5s and 60s, divided by Scale like
+	// every other latency).
+	MaxRetries  int
+	RetryBasePs uint64
+	RetryCapPs  uint64
 }
 
 // DefaultOptions calibrates the model so the paper's proof-of-work miner
@@ -76,6 +86,9 @@ func DefaultOptions() Options {
 		LevelPs:        450, // ps per level: ~44 levels close timing at 50 MHz
 		Scale:          1,
 		CacheHitPs:     2 * vclock.Ms,
+		MaxRetries:     4,
+		RetryBasePs:    5 * vclock.S,
+		RetryCapPs:     60 * vclock.S,
 	}
 }
 
@@ -92,6 +105,11 @@ type Stats struct {
 	CacheMisses int // submissions that paid for place-and-route
 	Joined      int // submissions that joined an in-flight identical flow
 	Canceled    int // jobs aborted before completing
+
+	// Fault-handling counters (internal/fault).
+	Retried         int // flow attempts re-run after a transient fault
+	TransientFaults int // transient compile faults observed
+	PermanentFaults int // permanent compile faults observed (reported once)
 }
 
 // cacheEntry is one content-addressed bitstream.
@@ -114,6 +132,7 @@ type Toolchain struct {
 	opts Options
 
 	mu       sync.Mutex
+	faults   *fault.Injector
 	compiles int
 	cache    map[string]*cacheEntry
 	stats    Stats
@@ -131,12 +150,53 @@ func New(dev *fpga.Device, opts Options) *Toolchain {
 	if opts.CacheHitPs == 0 {
 		opts.CacheHitPs = 2 * vclock.Ms
 	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 4
+	}
+	if opts.RetryBasePs == 0 {
+		opts.RetryBasePs = 5 * vclock.S
+	}
+	if opts.RetryCapPs == 0 {
+		opts.RetryCapPs = 60 * vclock.S
+	}
 	return &Toolchain{
 		dev:   dev,
 		opts:  opts,
 		cache: map[string]*cacheEntry{},
 		sem:   make(chan struct{}, opts.Workers),
 	}
+}
+
+// SetFaults installs a fault injector; compile attempts consult it. Call
+// before submitting work (jobs snapshot the injector at submit time).
+func (t *Toolchain) SetFaults(in *fault.Injector) {
+	t.mu.Lock()
+	t.faults = in
+	t.mu.Unlock()
+}
+
+// Faults returns the installed injector (nil when fault-free).
+func (t *Toolchain) Faults() *fault.Injector {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.faults
+}
+
+// backoffPs returns the virtual backoff before retry attempt n (0-based),
+// capped exponential, scaled like every other flow latency.
+func (t *Toolchain) backoffPs(attempt int) uint64 {
+	d := t.opts.RetryBasePs
+	for i := 0; i < attempt && d < t.opts.RetryCapPs; i++ {
+		d <<= 1
+	}
+	if d > t.opts.RetryCapPs {
+		d = t.opts.RetryCapPs
+	}
+	ps := uint64(float64(d) / t.opts.Scale)
+	if ps == 0 {
+		ps = 1
+	}
+	return ps
 }
 
 // Device returns the targeted device.
@@ -260,6 +320,40 @@ func (t *Toolchain) CompileSync(f *elab.Flat, wrapped bool) *Result {
 	return t.finish(prog, wrapped)
 }
 
+// JobState is the lifecycle state of a background compilation.
+type JobState int
+
+// Job lifecycle states. A job that hits a transient fault moves to
+// JobRetrying while it backs off (in virtual time) before re-attempting
+// the flow; JobFailed covers both permanent faults and design errors
+// (no fit, failed timing closure).
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobRetrying
+	JobDone
+	JobFailed
+	JobCanceled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobRetrying:
+		return "retrying"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
 // Job is a background compilation tracked in virtual time.
 type Job struct {
 	t        *Toolchain
@@ -267,11 +361,33 @@ type Job struct {
 	done     chan struct{}
 
 	mu        sync.Mutex
+	state     JobState
+	retries   int
 	canceled  bool
 	res       *Result
 	readyAtPs uint64
 	entry     *cacheEntry
 	abort     context.CancelFunc
+}
+
+// State returns the job's lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Retries returns how many transient-fault retries this job has run.
+func (j *Job) Retries() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.retries
+}
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
 }
 
 // Submit starts a background compilation at virtual time nowPs. The
@@ -310,10 +426,49 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 		j.markCanceled()
 		return
 	}
+	j.setState(JobRunning)
+
+	// Consult the fault schedule for this attempt. Transient faults are
+	// retried with capped exponential backoff accumulated in *virtual*
+	// time (the flow's wall-clock is already virtual; retries just make
+	// the job ready later); permanent faults fail the job once and are
+	// never re-queued. The backoff accrued by a flaky flow is carried
+	// into the result's duration, cache hit or not.
+	var backoff uint64
+	for attempt := 0; ; attempt++ {
+		err := t.Faults().Compile(f.Name)
+		if err == nil {
+			break
+		}
+		if fault.IsTransient(err) && attempt < t.opts.MaxRetries {
+			backoff += t.backoffPs(attempt)
+			t.mu.Lock()
+			t.stats.Retried++
+			t.stats.TransientFaults++
+			t.mu.Unlock()
+			j.mu.Lock()
+			j.state = JobRetrying
+			j.retries++
+			j.mu.Unlock()
+			continue
+		}
+		t.mu.Lock()
+		if fault.IsTransient(err) {
+			t.stats.TransientFaults++
+		} else {
+			t.stats.PermanentFaults++
+		}
+		t.mu.Unlock()
+		j.complete(&Result{
+			Err:        fmt.Errorf("toolchain: flow failed: %w", err),
+			DurationPs: backoff + t.opts.BasePs/4,
+		}, nil)
+		return
+	}
 
 	prog, err := t.synth(f)
 	if err != nil {
-		j.complete(&Result{Err: err, DurationPs: t.opts.BasePs / 4}, nil)
+		j.complete(&Result{Err: err, DurationPs: backoff + t.opts.BasePs/4}, nil)
 		return
 	}
 	key := fmt.Sprintf("%s|wrapped=%v", prog.Fingerprint(), wrapped)
@@ -324,14 +479,19 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 		res := *entry.res // shallow copy; Prog and Stats are immutable
 		switch {
 		case entry.published || j.submitPs >= entry.availAtPs:
-			// The bitstream exists: serve it in near-zero virtual time.
-			res.DurationPs = t.hitLatency()
+			// The bitstream exists: serve it in near-zero virtual time
+			// (after any backoff a flaky flow accrued first).
+			res.DurationPs = backoff + t.hitLatency()
 			res.CacheHit = true
 			t.stats.CacheHits++
 		default:
 			// The original flow is still in (virtual) flight: join it
-			// and finish when it does, rather than starting over.
+			// and finish when it does, rather than starting over — but
+			// never before this submission's own retry backoff elapsed.
 			res.DurationPs = entry.availAtPs - j.submitPs
+			if min := backoff + t.hitLatency(); res.DurationPs < min {
+				res.DurationPs = min
+			}
 			res.CacheHit = true
 			t.stats.Joined++
 		}
@@ -343,6 +503,7 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 	t.mu.Unlock()
 
 	res := t.finish(prog, wrapped)
+	res.DurationPs += backoff
 	t.mu.Lock()
 	entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs}
 	t.cache[key] = entry
@@ -350,10 +511,20 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 	j.complete(res, entry)
 }
 
+// markCanceled moves the job to the cancelled state. The stats counter
+// increments exactly once per job, on the first transition — whether the
+// worker noticed the abort or the owner called Cancel first is a
+// wall-clock race, and racy accounting would make otherwise-identical
+// sessions diverge in :stats.
 func (j *Job) markCanceled() {
 	j.mu.Lock()
+	already := j.canceled
 	j.canceled = true
+	j.state = JobCanceled
 	j.mu.Unlock()
+	if already {
+		return
+	}
 	j.t.mu.Lock()
 	j.t.stats.Canceled++
 	j.t.mu.Unlock()
@@ -364,6 +535,11 @@ func (j *Job) complete(res *Result, entry *cacheEntry) {
 	j.res = res
 	j.readyAtPs = j.submitPs + res.DurationPs
 	j.entry = entry
+	if res.Err != nil {
+		j.state = JobFailed
+	} else {
+		j.state = JobDone
+	}
 	j.mu.Unlock()
 }
 
@@ -372,9 +548,7 @@ func (j *Job) complete(res *Result, entry *cacheEntry) {
 // cancellation drops the subscription, not the artifact.
 func (j *Job) Cancel() {
 	j.abort()
-	j.mu.Lock()
-	j.canceled = true
-	j.mu.Unlock()
+	j.markCanceled()
 }
 
 // Wait blocks until the job has left the worker pool (compiled,

@@ -1,0 +1,43 @@
+package verilog
+
+import "testing"
+
+// FuzzParseFragment is the native fuzz target the CI smoke-runs: no
+// input, however mangled, may panic the lexer or any parser entry
+// point, and printing whatever parsed must re-parse without a crash
+// (the REPL echoes programs back through Print).
+func FuzzParseFragment(f *testing.F) {
+	seeds := []string{
+		"",
+		"wire x;",
+		"module M(input wire c, output wire [7:0] y); assign y = c ? 1 : 0; endmodule",
+		"reg [7:0] cnt = 1;\nalways @(posedge clk.val) cnt <= (cnt == 8'h80) ? 1 : (cnt << 1);",
+		"always @(posedge clk.val) begin $display(\"n=%d\", n); if (n == 9) $finish; end",
+		"case (s) 2'b00: x = 1; default: x = 0; endcase",
+		"assign led.val = g0.out ^ g1.out;",
+		"module M(; endmodule",
+		"8'hZZ 4'bxx01 {a, b[3:0], 2'd3}",
+		"// comment\n/* block */ wire y;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		LexAll(src)
+		ParseSourceText(src)
+		ParseItems(src)
+		mods, items, errs := ParseProgramFragment(src)
+		if len(errs) > 0 {
+			return
+		}
+		// Accepted input must survive a print/re-parse round trip.
+		for _, m := range mods {
+			if _, es := ParseSourceText(Print(m)); len(es) > 0 {
+				t.Errorf("printed module no longer parses:\n%s", Print(m))
+			}
+		}
+		for _, it := range items {
+			ParseItems(Print(it))
+		}
+	})
+}

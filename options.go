@@ -66,6 +66,15 @@ func WithOpenLoopTarget(ps uint64) Option {
 	return func(o *Options) { o.OpenLoopTargetPs = ps }
 }
 
+// WithFaultInjector wires a deterministic fault injector into the
+// toolchain, the device, and the hardware engines: flaky compiles retry
+// with capped virtual-time backoff, and a faulted hardware engine
+// degrades back to software between steps (the reverse hot-swap) while
+// the JIT recompiles. Same seed, same fault schedule, same session.
+func WithFaultInjector(inj *FaultInjector) Option {
+	return func(o *Options) { o.Injector = inj }
+}
+
 // DisableJIT keeps the program in software engines forever (the paper's
 // simulation-only baseline).
 func DisableJIT() Option {

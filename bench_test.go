@@ -11,6 +11,7 @@ package cascade
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"cascade/internal/bench"
@@ -29,11 +30,13 @@ import (
 
 // fastTC returns a toolchain whose virtual latency is negligible, for
 // benchmarks that measure steady-state execution rather than the JIT
-// timeline.
+// timeline. CASCADE_BITS_DIR points it at a persistent bitstream store
+// shared across processes (CI reuses the build step's store in bench).
 func fastTC(dev *fpga.Device) *toolchain.Toolchain {
 	o := toolchain.DefaultOptions()
 	o.Scale = 1e9
 	o.BasePs = 1
+	o.CacheDir = os.Getenv("CASCADE_BITS_DIR")
 	return toolchain.New(dev, o)
 }
 

@@ -101,6 +101,16 @@ type (
 	FaultConfig = fault.Config
 	// FaultStats counts the injector's decisions.
 	FaultStats = fault.Stats
+	// PersistOptions configures crash-safe persistence: the directory,
+	// the checkpoint cadence, retention, and the journal fsync policy.
+	PersistOptions = runtime.PersistOptions
+	// PersistStats counts the persistence layer's work (journal
+	// records, checkpoints, replay).
+	PersistStats = runtime.PersistStats
+	// RecoveryInfo describes what Open recovered from a persistence
+	// directory: the checkpoint used, the journal records replayed, and
+	// the resumed position.
+	RecoveryInfo = runtime.RecoveryInfo
 )
 
 // EncodeSnapshot renders a snapshot as a self-contained text blob.
@@ -132,6 +142,17 @@ func New(opts ...Option) *Runtime { return runtime.New(buildOptions(opts)) }
 // NewWithOptions creates a runtime from an Options struct literal; it is
 // exactly New(WithOptions(o)).
 func NewWithOptions(o Options) *Runtime { return runtime.New(o) }
+
+// Open creates a runtime with crash-safe persistence (configure it with
+// WithPersistence / WithPersistenceOptions) and recovers whatever state
+// a previous process left in the persistence directory: the newest
+// checkpoint that verifies clean, rolled forward by replaying the
+// write-ahead journal. When info.Recovered is true the runtime is
+// already mid-execution — skip the usual prelude/program evals and
+// continue ticking.
+func Open(opts ...Option) (*Runtime, *RecoveryInfo, error) {
+	return runtime.Open(buildOptions(opts))
+}
 
 // NewWorld creates an empty virtual peripheral board.
 func NewWorld() *World { return stdlib.NewWorld() }

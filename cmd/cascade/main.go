@@ -11,6 +11,9 @@
 //	cascade -no-jit             # stay in software (simulator only)
 //	cascade -native             # native mode (§4.5)
 //	cascade -compile-scale 600  # speed up the virtual vendor toolchain
+//	cascade -checkpoint-dir d   # crash-safe: checkpoint + journal in d,
+//	                            # restarting over d resumes mid-run
+//	cascade -cache-dir d        # persist compiled bitstreams across runs
 package main
 
 import (
@@ -32,11 +35,15 @@ func main() {
 	native := flag.Bool("native", false, "native mode: compile exactly as written (§4.5)")
 	scale := flag.Float64("compile-scale", 600, "divide virtual compile latency (1 = paper-faithful)")
 	lanes := flag.Int("parallelism", 0, "scheduler dispatch lanes (0 = one per CPU, 1 = serial)")
+	ckptDir := flag.String("checkpoint-dir", "", "crash-safe persistence directory (checkpoints + journal); restarting over it resumes")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint cadence in steps (0 = default)")
+	cacheDir := flag.String("cache-dir", "", "persist compiled bitstreams here across processes")
 	flag.Parse()
 
 	dev := fpga.NewCycloneV()
 	tco := toolchain.DefaultOptions()
 	tco.Scale = *scale
+	tco.CacheDir = *cacheDir
 	opts := runtime.Options{
 		Device:    dev,
 		Toolchain: toolchain.New(dev, tco),
@@ -47,8 +54,19 @@ func main() {
 		Parallelism: *lanes,
 	}
 	var r *repl.REPL
+	var info *runtime.RecoveryInfo
 	var err error
-	if *restore != "" {
+	if *ckptDir != "" {
+		opts.Persist = &runtime.PersistOptions{
+			Dir:        *ckptDir,
+			EverySteps: *ckptEvery,
+		}
+		r, info, err = repl.Open(opts, os.Stdout)
+		if err == nil && info.Recovered {
+			fmt.Printf("[cascade] recovered: ticks=%d steps=%d replayed=%d records (checkpoint seq %d)\n",
+				r.Runtime().Ticks(), info.ResumedSteps, info.ReplayedRecords, info.CheckpointSeq)
+		}
+	} else if *restore != "" {
 		blob, rerr := os.ReadFile(*restore)
 		if rerr != nil {
 			fmt.Fprintf(os.Stderr, "cascade: %v\n", rerr)
@@ -68,6 +86,21 @@ func main() {
 		os.Exit(1)
 	}
 	if *batch != "" {
+		if info != nil && info.Recovered {
+			// The program (and its progress) came back from the
+			// checkpoint + journal: don't re-eval the file, just spend
+			// whatever remains of the total tick budget.
+			remaining := uint64(0)
+			if done := r.Runtime().Ticks(); done < *ticks {
+				remaining = *ticks - done
+			}
+			if err := r.Resume(remaining); err != nil {
+				fmt.Fprintf(os.Stderr, "cascade: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[cascade] done: ticks=%d\n", r.Runtime().Ticks())
+			return
+		}
 		src, err := os.ReadFile(*batch)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cascade: %v\n", err)
@@ -77,6 +110,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cascade: %v\n", err)
 			os.Exit(1)
 		}
+		fmt.Printf("[cascade] done: ticks=%d\n", r.Runtime().Ticks())
 		return
 	}
 	if err := r.Interact(os.Stdin); err != nil {

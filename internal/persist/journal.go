@@ -1,0 +1,219 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Journal is one append-only write-ahead segment file. Every record
+// carries an absolute sequence number, a kind byte, a length, and a CRC
+// over all of it; appends go to the end of the file and a torn tail
+// (a crash mid-write) is detected by the CRC or the length framing and
+// truncated on reopen — a record is either durably, verifiably whole or
+// it never happened.
+//
+// Record layout (little-endian):
+//
+//	magic  [2]byte "jr"
+//	kind   uint8
+//	_      uint8 (reserved, zero)
+//	seq    uint64
+//	len    uint32
+//	data   [len]byte
+//	crc    uint32  // CRC-32 (IEEE) over kind..data
+type Journal struct {
+	f       *os.File
+	path    string
+	lastSeq uint64
+	count   int
+	bytes   int64
+	dirty   bool // appended since last Sync
+}
+
+// Record is one decoded journal record.
+type Record struct {
+	Seq  uint64
+	Kind byte
+	Data []byte
+}
+
+var journalMagic = [2]byte{'j', 'r'}
+
+const recordHeaderLen = 2 + 1 + 1 + 8 + 4
+
+// maxRecordLen bounds a single record; anything larger in a file is
+// treated as corruption rather than attempted as one allocation.
+const maxRecordLen = 1 << 28
+
+// OpenJournal opens (creating if needed) a journal segment for
+// appending. Existing records are scanned and verified; a torn or
+// corrupt tail is truncated away. The valid prefix is returned so a
+// recovering caller can replay it.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, goodLen, err := scanRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if st.Size() > goodLen {
+		// Torn tail: drop it so the next append starts on a record
+		// boundary.
+		if err := f.Truncate(goodLen); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(goodLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{f: f, path: path, count: len(recs), bytes: goodLen}
+	if len(recs) > 0 {
+		j.lastSeq = recs[len(recs)-1].Seq
+	}
+	return j, recs, nil
+}
+
+// ReadJournal decodes a segment file without opening it for writing; a
+// torn tail is ignored (the valid prefix is returned). A missing file
+// reads as empty.
+func ReadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, _, err := scanRecords(f)
+	return recs, err
+}
+
+// scanRecords reads records from the start of f, stopping at the first
+// framing or CRC violation; it returns the valid records and the byte
+// length of the valid prefix.
+func scanRecords(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var recs []Record
+	var off int64
+	hdr := make([]byte, recordHeaderLen)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			// Clean EOF or a partial header: the valid prefix ends here.
+			return recs, off, nil
+		}
+		if hdr[0] != journalMagic[0] || hdr[1] != journalMagic[1] {
+			return recs, off, nil
+		}
+		kind := hdr[2]
+		seq := binary.LittleEndian.Uint64(hdr[4:12])
+		n := binary.LittleEndian.Uint32(hdr[12:16])
+		if n > maxRecordLen {
+			return recs, off, nil
+		}
+		body := make([]byte, int(n)+4)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return recs, off, nil
+		}
+		data, tag := body[:n], binary.LittleEndian.Uint32(body[n:])
+		if recordCRC(kind, seq, data) != tag {
+			return recs, off, nil
+		}
+		if len(recs) > 0 && seq <= recs[len(recs)-1].Seq {
+			// Sequence numbers must strictly increase; a regression means
+			// the file was spliced or corrupted in a CRC-colliding way.
+			return recs, off, nil
+		}
+		recs = append(recs, Record{Seq: seq, Kind: kind, Data: data})
+		off += int64(recordHeaderLen) + int64(n) + 4
+	}
+}
+
+func recordCRC(kind byte, seq uint64, data []byte) uint32 {
+	h := crc32.NewIEEE()
+	var pre [12]byte
+	pre[0] = kind
+	binary.LittleEndian.PutUint64(pre[4:12], seq)
+	h.Write(pre[:])
+	h.Write(data)
+	return h.Sum32()
+}
+
+// Append writes one record with the given sequence number. Sequence
+// numbers must strictly increase across the journal's lifetime (they
+// are absolute, surviving segment rotation). The write is buffered by
+// the OS until Sync.
+func (j *Journal) Append(seq uint64, kind byte, data []byte) error {
+	if seq <= j.lastSeq && j.count > 0 {
+		return fmt.Errorf("persist: journal sequence regressed: %d after %d", seq, j.lastSeq)
+	}
+	buf := make([]byte, recordHeaderLen+len(data)+4)
+	buf[0], buf[1] = journalMagic[0], journalMagic[1]
+	buf[2] = kind
+	binary.LittleEndian.PutUint64(buf[4:12], seq)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(data)))
+	copy(buf[recordHeaderLen:], data)
+	binary.LittleEndian.PutUint32(buf[recordHeaderLen+len(data):], recordCRC(kind, seq, data))
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	j.lastSeq = seq
+	j.count++
+	j.bytes += int64(len(buf))
+	j.dirty = true
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (j *Journal) Sync() error {
+	if !j.dirty {
+		return nil
+	}
+	j.dirty = false
+	return j.f.Sync()
+}
+
+// LastSeq returns the sequence number of the most recent record (0 when
+// the journal is empty).
+func (j *Journal) LastSeq() uint64 { return j.lastSeq }
+
+// Len returns the number of valid records.
+func (j *Journal) Len() int { return j.count }
+
+// Bytes returns the byte size of the valid record prefix.
+func (j *Journal) Bytes() int64 { return j.bytes }
+
+// Path returns the segment's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close syncs and closes the segment.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

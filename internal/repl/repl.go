@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"cascade/internal/persist"
 	"cascade/internal/runtime"
 	"cascade/internal/vclock"
 	"cascade/internal/verilog"
@@ -62,6 +63,27 @@ func NewRestored(opts runtime.Options, snap *runtime.Snapshot, out io.Writer) (*
 		return nil, err
 	}
 	return &REPL{rt: rt, out: out, stop: make(chan struct{})}, nil
+}
+
+// Open builds a REPL over a crash-safe persistent runtime (the
+// -checkpoint-dir flag of cmd/cascade): opts.Persist must name a
+// directory, and whatever state a previous process left there is
+// recovered before the prompt appears. On a fresh directory the
+// standard prelude is evaluated as usual; on recovery the program is
+// already mid-execution and resumes where the journal left off.
+func Open(opts runtime.Options, out io.Writer) (*REPL, *runtime.RecoveryInfo, error) {
+	opts.View = &view{out: out}
+	rt, info, err := runtime.Open(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !info.Recovered {
+		if err := rt.Eval(runtime.DefaultPrelude); err != nil {
+			rt.ClosePersistence()
+			return nil, nil, err
+		}
+	}
+	return &REPL{rt: rt, out: out, stop: make(chan struct{})}, info, nil
 }
 
 // Runtime exposes the underlying runtime (tests, commands).
@@ -194,6 +216,7 @@ func (r *REPL) command(line string) bool {
   :run <ticks>     run N clock ticks synchronously
   :program         echo the program eval'd so far
   :save <path>     write a migratable snapshot of the running program
+  :load <path>     replace the running program with a saved snapshot
 `)
 	case ":phase":
 		r.mu.Lock()
@@ -236,11 +259,46 @@ func (r *REPL) command(line string) bool {
 		r.mu.Lock()
 		blob := runtime.EncodeSnapshot(r.rt.Snapshot())
 		r.mu.Unlock()
-		if err := os.WriteFile(fields[1], []byte(blob), 0o644); err != nil {
+		// Atomic write: a crash mid-save leaves either the previous
+		// file or the new one, never a torn snapshot.
+		if err := persist.WriteFileAtomic(fields[1], []byte(blob), 0o644); err != nil {
 			fmt.Fprintf(r.out, "save failed: %v\n", err)
 			break
 		}
 		fmt.Fprintf(r.out, "snapshot written to %s (%d bytes)\n", fields[1], len(blob))
+	case ":load":
+		if len(fields) < 2 {
+			fmt.Fprintln(r.out, "usage: :load <path>")
+			break
+		}
+		blob, err := os.ReadFile(fields[1])
+		if err != nil {
+			fmt.Fprintf(r.out, "load failed: %v\n", err)
+			break
+		}
+		snap, err := runtime.DecodeSnapshot(string(blob))
+		if err != nil {
+			fmt.Fprintf(r.out, "load failed: %v\n", err)
+			break
+		}
+		r.mu.Lock()
+		err = r.rt.Restore(snap)
+		r.mu.Unlock()
+		if err != nil {
+			// Restore validates before mutating: the running program
+			// is untouched and the session continues.
+			fmt.Fprintf(r.out, "load failed (program unchanged): %v\n", err)
+			break
+		}
+		if r.rt.PersistDir() != "" {
+			// The journal describes the replaced program; cut a fresh
+			// checkpoint so a crash recovers the loaded one.
+			if err := r.rt.Checkpoint(); err != nil {
+				fmt.Fprintf(r.out, "warning: checkpoint after load failed: %v\n", err)
+			}
+		}
+		fmt.Fprintf(r.out, "snapshot loaded from %s: ticks=%d phase=%v\n",
+			fields[1], r.rt.Ticks(), r.rt.Phase())
 	case ":program":
 		r.mu.Lock()
 		fmt.Fprint(r.out, r.rt.ProgramSource())
@@ -273,6 +331,18 @@ func (r *REPL) BatchCtx(ctx context.Context, src string, maxTicks uint64) error 
 	if err := r.rt.EvalCtx(ctx, src); err != nil {
 		return err
 	}
+	return r.runBudget(ctx, maxTicks)
+}
+
+// Resume continues a recovered program until $finish or the tick budget
+// is exhausted, without re-evaluating anything: the recovered runtime is
+// already mid-execution (batch mode restarted over a persistence
+// directory).
+func (r *REPL) Resume(maxTicks uint64) error {
+	return r.runBudget(context.Background(), maxTicks)
+}
+
+func (r *REPL) runBudget(ctx context.Context, maxTicks uint64) error {
 	start := r.rt.Ticks()
 	for !r.rt.Finished() && r.rt.Ticks()-start < maxTicks {
 		if err := r.rt.RunTicksCtx(ctx, 1); err != nil {

@@ -1,6 +1,8 @@
 package repl
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -145,5 +147,63 @@ end
 	// The continuation prompt must have been shown.
 	if !strings.Contains(out.String(), "... ") {
 		t.Fatalf("no continuation prompt:\n%s", out.String())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.snap")
+
+	// Session A: build up state, save, keep running past the save point.
+	a, _ := newTestREPL(t, runtime.Options{Features: runtime.Features{DisableOpenLoop: true}})
+	session := strings.NewReader(
+		"reg [7:0] n = 0; always @(posedge clk.val) n <= n + 1; assign led.val = n;\n" +
+			":run 24\n:save " + path + "\n:run 10\n:quit\n")
+	if err := a.Interact(session); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if _, err := runtime.DecodeSnapshot(string(blob)); err != nil {
+		t.Fatalf(":save wrote an undecodable snapshot: %v", err)
+	}
+
+	// Session B: :load replaces the fresh program with the saved one and
+	// execution continues from the saved tick count.
+	b, out := newTestREPL(t, runtime.Options{Features: runtime.Features{DisableOpenLoop: true}})
+	if err := b.Interact(strings.NewReader(":load " + path + "\n:run 8\n:quit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "snapshot loaded") {
+		t.Fatalf(":load did not confirm:\n%s", out.String())
+	}
+	if got := b.Runtime().Ticks(); got < 24 {
+		t.Fatalf("loaded session should resume past the save point, at tick %d", got)
+	}
+	if led := b.Runtime().World().Led("main.led"); led != b.Runtime().Steps()/2%256 {
+		t.Fatalf("restored counter out of sync: led=%d steps=%d", led, b.Runtime().Steps())
+	}
+}
+
+func TestLoadRejectsCorruptSnapshotAndKeepsSession(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, out := newTestREPL(t, runtime.Options{Features: runtime.Features{DisableJIT: true}})
+	session := strings.NewReader(
+		"reg [7:0] n = 3; assign led.val = n;\n:run 4\n:load " + path + "\n:run 4\n:leds\n:quit\n")
+	if err := r.Interact(session); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "load failed") {
+		t.Fatalf("corrupt snapshot should be rejected:\n%s", out.String())
+	}
+	// The running program survived the failed load.
+	if led := r.Runtime().World().Led("main.led"); led != 3 {
+		t.Fatalf("program lost after failed :load: led=%d", led)
 	}
 }

@@ -187,6 +187,12 @@ type Options struct {
 	// OpenLoopTargetPs is the adaptive profiling target: each open-loop
 	// burst should stall the runtime for about this much virtual time.
 	OpenLoopTargetPs uint64
+
+	// Persist enables crash-safe persistence (durable checkpoints plus
+	// a write-ahead side-effect journal) rooted at Persist.Dir. It is
+	// honored by Open, which also recovers whatever state a previous
+	// process left in the directory; New ignores it.
+	Persist *PersistOptions
 }
 
 // Runtime executes one Cascade program.
@@ -225,6 +231,13 @@ type Runtime struct {
 	// hardware→software evictions they triggered.
 	hwFaults  int
 	evictions int
+
+	// pers is the crash-safe persistence attachment (nil when the
+	// runtime was built with New rather than Open); outBytes counts
+	// display-output bytes flushed to the view, the offset checkpoints
+	// record so a recovered process continues the output stream exactly.
+	pers     *persister
+	outBytes uint64
 
 	steps     uint64
 	ticks     uint64
@@ -407,6 +420,7 @@ func (r *Runtime) discardLane(path string) {
 func (r *Runtime) flushDisplays() {
 	for _, t := range r.displayQ {
 		r.opts.View.Display(t)
+		r.outBytes += uint64(len(t))
 	}
 	r.displayQ = nil
 }
@@ -456,7 +470,12 @@ func (r *Runtime) EvalCtx(ctx context.Context, src string) error {
 		}
 		newElabs[s.Path] = f
 	}
-	// Commit.
+	// Commit — journaled first, so a crash between here and the commit
+	// replays an eval the crashed process had accepted but not applied
+	// (deterministically reaching the same state), never the reverse.
+	if err := r.persistEval(src); err != nil {
+		return err
+	}
 	saved := r.captureStates()
 	r.prog = trial
 	r.flatDesign = design

@@ -32,7 +32,7 @@ func fastToolchain(dev *fpga.Device) *toolchain.Toolchain {
 	return toolchain.New(dev, o)
 }
 
-func newTestRuntime(t *testing.T, opts Options) *Runtime {
+func newTestRuntime(t testing.TB, opts Options) *Runtime {
 	t.Helper()
 	if opts.Device == nil {
 		opts.Device = fpga.NewCycloneV()

@@ -44,6 +44,7 @@ func (r *Runtime) step() {
 	}
 	if r.phase == PhaseOpenLoop {
 		r.openLoopBurst()
+		r.persistAfterStep()
 		return
 	}
 
@@ -77,6 +78,7 @@ func (r *Runtime) step() {
 	r.settleCosts()
 	r.serviceFaults()
 	r.serviceJIT()
+	r.persistAfterStep()
 }
 
 // poll collects the schedule-ordered batch of engines with pending work,

@@ -1,29 +1,41 @@
 package runtime
 
 import (
+	"bufio"
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"cascade/internal/elab"
+	"cascade/internal/engine"
+	"cascade/internal/engine/hweng"
 	"cascade/internal/ir"
+	"cascade/internal/persist"
 	"cascade/internal/sim"
 	"cascade/internal/stdlib"
+	"cascade/internal/toolchain"
+	"cascade/internal/vclock"
 	"cascade/internal/verilog"
 )
 
-// Snapshot is a portable capture of a running program: its source and
-// the state of every subprogram, including standard-library components.
+// Snapshot is a portable capture of a running program: its source, the
+// state of every subprogram (including standard-library components),
+// the virtual-time accounting, and the board's host-driven input pins.
 // The paper's future-work section (§9) proposes using Cascade's ability
 // to move programs between hardware and software to bootstrap virtual
 // machine migration; a Snapshot taken on one runtime Restores onto
 // another — a different device, a different toolchain, mid-computation —
 // and execution continues exactly where it left off (in software first,
-// with the new target's JIT climbing back to hardware).
+// with the new target's JIT climbing back to hardware). Checkpoints on
+// disk are snapshots too: internal/persist frames them with per-section
+// checksums so a torn write is detected, never half-restored.
 type Snapshot struct {
 	Source string                // the eval'd program (reparseable)
 	States map[string]*sim.State // per-subprogram state, by instance path
 	Steps  uint64                // scheduler time ($time continuity)
+	VTime  vclock.Breakdown      // virtual-clock accounting at capture
+	Inputs []stdlib.InputState   // host-driven board inputs (pads, resets, GPIO)
 }
 
 // Snapshot captures the runtime's program and state. Like every state
@@ -32,10 +44,17 @@ type Snapshot struct {
 func (r *Runtime) Snapshot() *Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+// snapshotLocked is Snapshot's body; callers hold r.mu.
+func (r *Runtime) snapshotLocked() *Snapshot {
 	snap := &Snapshot{
 		Source: r.ProgramSource(),
 		States: r.captureStates(),
 		Steps:  r.steps,
+		VTime:  r.vclk.Breakdown(),
+		Inputs: r.opts.World.InputStates(),
 	}
 	// Standard-library components carry state too (FIFO contents, LED
 	// values, the clock phase).
@@ -45,16 +64,20 @@ func (r *Runtime) Snapshot() *Snapshot {
 	return snap
 }
 
-// Restore installs a snapshot onto this runtime, which must be fresh (no
-// program eval'd yet). The program source is re-integrated, every
-// subprogram's state is injected, and the JIT starts over on the new
-// target's engines.
+// Restore installs a snapshot onto this runtime, replacing whatever
+// program it was running (a fresh runtime works too). The program source
+// is re-integrated, every subprogram's state is injected, and the JIT
+// starts over on the new target's engines.
+//
+// Restore validates the whole snapshot — parse, build, elaboration,
+// standard-library construction — before touching any runtime state,
+// and rolls the runtime back to its fresh state if the final engine
+// build fails: a corrupt or rejected snapshot never leaves state
+// half-installed or the runtime marked as built, so the caller can
+// Restore another snapshot (or Eval a program) on the same runtime.
 func (r *Runtime) Restore(snap *Snapshot) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.everBuilt {
-		return fmt.Errorf("runtime: Restore requires a fresh runtime")
-	}
 	mods, items, errs := verilog.ParseProgramFragment(snap.Source)
 	if len(errs) > 0 {
 		return fmt.Errorf("runtime: snapshot source: %v", errs[0])
@@ -78,15 +101,12 @@ func (r *Runtime) Restore(snap *Snapshot) error {
 		}
 		elabs[s.Path] = f
 	}
-	r.prog = prog
-	r.flatDesign = design
-	r.elabs = elabs
-	r.steps = snap.Steps
-	r.ticks = snap.Steps / 2
 	// Pre-create the standard-library engines with their restored state,
 	// so restart's initial data-plane broadcast carries the snapshot's
 	// values: user engines (whose restored inputs already match) see no
-	// change and no clock edge is fabricated.
+	// change and no clock edge is fabricated. Built into a local map
+	// first — nothing is installed until everything constructed.
+	stdEngines := map[string]engine.Engine{}
 	for _, sub := range design.StdSubs() {
 		e, err := stdlib.New(sub.Path, sub.StdType, sub.Params, r.opts.World)
 		if err != nil {
@@ -95,36 +115,258 @@ func (r *Runtime) Restore(snap *Snapshot) error {
 		if st, ok := snap.States[sub.Path]; ok {
 			e.SetState(st)
 		}
-		r.stdEngines[sub.Path] = e
+		stdEngines[sub.Path] = e
 	}
-	return r.restart(context.Background(), snap.States)
+
+	// Input kinds are validated before anything mutates, so the apply
+	// loop below cannot fail partway.
+	for _, in := range snap.Inputs {
+		switch in.Kind {
+		case stdlib.InputPad, stdlib.InputReset, stdlib.InputGPIO:
+		default:
+			return fmt.Errorf("runtime: snapshot input kind %q", in.Kind)
+		}
+	}
+
+	// Validation complete: commit. A used runtime (the REPL's :load on a
+	// live session) is torn down only now — a snapshot that fails any
+	// check above leaves the running program untouched.
+	if r.everBuilt {
+		r.resetFreshLocked()
+	}
+	// Board inputs land first so stdlib engines sample the snapshot's
+	// values on their first EndStep.
+	for _, in := range snap.Inputs {
+		r.opts.World.ApplyInput(in.Kind, in.Path, in.Value)
+	}
+	r.prog = prog
+	r.flatDesign = design
+	r.elabs = elabs
+	r.steps = snap.Steps
+	r.ticks = snap.Steps / 2
+	r.vclk.Restore(snap.VTime)
+	r.stdEngines = stdEngines
+	if err := r.restart(context.Background(), snap.States); err != nil {
+		// A failed engine build must not leave the runtime half-restored:
+		// roll back to the fresh state so it remains usable.
+		r.resetFreshLocked()
+		return fmt.Errorf("runtime: restore failed: %w", err)
+	}
+	return nil
 }
 
-// EncodeSnapshot renders a snapshot as a self-contained text blob.
+// resetFreshLocked returns the runtime to its just-constructed state:
+// engines torn down, background compilations cancelled, program and
+// counters cleared. Callers hold r.mu.
+func (r *Runtime) resetFreshLocked() {
+	for _, j := range r.jobs {
+		j.Cancel()
+	}
+	r.jobs = map[string]*toolchain.Job{}
+	for path, e := range r.engines {
+		if hw, ok := e.(*hweng.Engine); ok {
+			hw.Release()
+		}
+		if _, std := r.stdEngines[path]; !std {
+			e.End()
+		}
+	}
+	r.engines = map[string]engine.Engine{}
+	r.stdEngines = map[string]engine.Engine{}
+	r.lanes = map[string]*laneIO{}
+	r.elabs = map[string]*elab.Flat{}
+	r.execElabs = nil
+	r.sched = nil
+	r.routesFrom = map[string][]ir.Wire{}
+	r.groupOf = map[string]string{}
+	r.prog = ir.NewProgram()
+	r.flatDesign, r.design = nil, nil
+	r.inlined = false
+	r.phase = PhaseEmpty
+	r.steps, r.ticks = 0, 0
+	r.finished = false
+	r.displayQ = nil
+	r.areaLEs = 0
+	r.everBuilt = false
+	r.constructDisplays = 0
+	r.clockPath, r.clockVar = "", ""
+	r.vclk = vclock.Clock{}
+	r.hwFaults, r.evictions = 0, 0
+	r.olIters, r.olWallCap = 64, 1<<14
+}
+
+// Snapshot container format. Version 2 is a checksummed
+// internal/persist container (magic + format version + CRC per
+// section): a "meta" section with the scalar counters, a "world"
+// section with the board's input pins, one "state:<path>" section per
+// subprogram, and a trailing "source" section. Version 1 — the bare
+// text blob older :save files hold — is still decoded.
+const (
+	snapshotMagic   = "cascade-snapshot"
+	snapshotVersion = 2
+)
+
+// EncodeSnapshot renders a snapshot as a self-contained, checksummed
+// blob (persist container v2): a torn or bit-flipped file is detected
+// by DecodeSnapshot instead of half-restoring.
 func EncodeSnapshot(snap *Snapshot) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "#cascade-snapshot steps=%d\n", snap.Steps)
+	return string(persist.EncodeContainer(snapshotMagic, snapshotVersion, snapshotSections(snap)))
+}
+
+// snapshotSections renders the container sections shared by
+// EncodeSnapshot and the checkpoint writer (which appends its own
+// journal-position section).
+func snapshotSections(snap *Snapshot) []persist.Section {
+	var meta strings.Builder
+	fmt.Fprintf(&meta, "steps=%d\n", snap.Steps)
+	fmt.Fprintf(&meta, "vnow=%d\n", snap.VTime.NowPs)
+	fmt.Fprintf(&meta, "vcompute=%d\n", snap.VTime.ComputePs)
+	fmt.Fprintf(&meta, "vcomm=%d\n", snap.VTime.CommPs)
+	fmt.Fprintf(&meta, "voverhead=%d\n", snap.VTime.OverheadPs)
+	fmt.Fprintf(&meta, "vmessages=%d\n", snap.VTime.Messages)
+	secs := []persist.Section{{Name: "meta", Data: []byte(meta.String())}}
+
+	var world strings.Builder
+	for _, in := range snap.Inputs {
+		fmt.Fprintf(&world, "%s %s %d\n", in.Kind, in.Path, in.Value)
+	}
+	secs = append(secs, persist.Section{Name: "world", Data: []byte(world.String())})
+
 	var paths []string
 	for p := range snap.States {
 		paths = append(paths, p)
 	}
-	// Deterministic order.
-	for i := 0; i < len(paths); i++ {
-		for j := i + 1; j < len(paths); j++ {
-			if paths[j] < paths[i] {
-				paths[i], paths[j] = paths[j], paths[i]
-			}
-		}
-	}
+	sort.Strings(paths)
 	for _, p := range paths {
-		fmt.Fprintf(&sb, "#state %s\n%s", p, snap.States[p].EncodeText())
+		secs = append(secs, persist.Section{
+			Name: "state:" + p,
+			Data: []byte(snap.States[p].EncodeText()),
+		})
 	}
-	fmt.Fprintf(&sb, "#source\n%s", snap.Source)
-	return sb.String()
+	secs = append(secs, persist.Section{Name: "source", Data: []byte(snap.Source)})
+	return secs
 }
 
-// DecodeSnapshot parses EncodeSnapshot's format.
+// DecodeSnapshot parses EncodeSnapshot's format (and the legacy v1 text
+// blob). Arbitrary or corrupted bytes are rejected with an error, never
+// half-decoded: every section must verify against its checksum before
+// any of it is interpreted.
 func DecodeSnapshot(text string) (*Snapshot, error) {
+	if strings.HasPrefix(text, "#cascade-snapshot steps=") {
+		return decodeSnapshotV1(text)
+	}
+	_, secs, err := persist.DecodeContainer(snapshotMagic, []byte(text))
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	snap, _, err := snapshotFromSections(secs)
+	return snap, err
+}
+
+// snapshotFromSections interprets decoded container sections; unknown
+// sections are returned to the caller (the checkpoint loader reads its
+// journal-position section from them).
+func snapshotFromSections(secs []persist.Section) (*Snapshot, []persist.Section, error) {
+	snap := &Snapshot{States: map[string]*sim.State{}}
+	var extra []persist.Section
+	seen := map[string]bool{}
+	for _, s := range secs {
+		switch {
+		case s.Name == "meta":
+			if err := decodeSnapshotMeta(snap, s.Data); err != nil {
+				return nil, nil, err
+			}
+		case s.Name == "world":
+			if err := decodeSnapshotWorld(snap, s.Data); err != nil {
+				return nil, nil, err
+			}
+		case s.Name == "source":
+			snap.Source = string(s.Data)
+		case strings.HasPrefix(s.Name, "state:"):
+			path := strings.TrimPrefix(s.Name, "state:")
+			if path == "" {
+				return nil, nil, fmt.Errorf("runtime: snapshot state section with empty path")
+			}
+			st, err := sim.DecodeStateText(string(s.Data))
+			if err != nil {
+				return nil, nil, fmt.Errorf("runtime: snapshot state %s: %w", path, err)
+			}
+			snap.States[path] = st
+		default:
+			extra = append(extra, s)
+			continue
+		}
+		if seen[s.Name] {
+			return nil, nil, fmt.Errorf("runtime: snapshot section %s duplicated", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	if !seen["meta"] || !seen["source"] {
+		return nil, nil, fmt.Errorf("runtime: snapshot missing meta or source section")
+	}
+	return snap, extra, nil
+}
+
+func decodeSnapshotMeta(snap *Snapshot, data []byte) error {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return fmt.Errorf("runtime: snapshot meta line %.40q", line)
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(val, "%d", &n); err != nil {
+			return fmt.Errorf("runtime: snapshot meta %s: %w", key, err)
+		}
+		switch key {
+		case "steps":
+			snap.Steps = n
+		case "vnow":
+			snap.VTime.NowPs = n
+		case "vcompute":
+			snap.VTime.ComputePs = n
+		case "vcomm":
+			snap.VTime.CommPs = n
+		case "voverhead":
+			snap.VTime.OverheadPs = n
+		case "vmessages":
+			snap.VTime.Messages = n
+		default:
+			// Unknown keys are tolerated: later format revisions may add
+			// counters without breaking older readers.
+		}
+	}
+	return sc.Err()
+}
+
+func decodeSnapshotWorld(snap *Snapshot, data []byte) error {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var in stdlib.InputState
+		if _, err := fmt.Sscanf(line, "%s %s %d", &in.Kind, &in.Path, &in.Value); err != nil {
+			return fmt.Errorf("runtime: snapshot world line %.40q: %w", line, err)
+		}
+		switch in.Kind {
+		case stdlib.InputPad, stdlib.InputReset, stdlib.InputGPIO:
+		default:
+			return fmt.Errorf("runtime: snapshot world kind %q", in.Kind)
+		}
+		snap.Inputs = append(snap.Inputs, in)
+	}
+	return sc.Err()
+}
+
+// decodeSnapshotV1 parses the legacy (pre-checksum) text format, kept
+// so snapshots written by older :save invocations still restore.
+func decodeSnapshotV1(text string) (*Snapshot, error) {
 	snap := &Snapshot{States: map[string]*sim.State{}}
 	head, rest, found := strings.Cut(text, "\n")
 	if !found || !strings.HasPrefix(head, "#cascade-snapshot") {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cascade/internal/fpga"
+	"cascade/internal/stdlib"
 	"cascade/internal/vclock"
 	"cascade/internal/workloads/pow"
 )
@@ -121,10 +122,166 @@ assign led.val = sol[7:0];
 	}
 }
 
-func TestRestoreRefusesUsedRuntime(t *testing.T) {
-	a := newTestRuntime(t, Options{})
-	if err := a.Restore(&Snapshot{Source: "wire x;"}); err == nil {
-		t.Fatal("restore onto a used runtime should fail")
+func TestRestoreReplacesRunningProgram(t *testing.T) {
+	// Session A: a counter, advanced past zero, snapshotted.
+	a := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
+	a.MustEval("reg [7:0] n = 0; always @(posedge clk.val) n <= n + 1; assign led.val = n;")
+	a.RunTicks(20)
+	snap := a.Snapshot()
+
+	// Session B runs a different program; Restore replaces it in place
+	// (the REPL's :load on a live session).
+	b := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
+	b.MustEval("reg [7:0] m = 99; assign led.val = m;")
+	b.RunTicks(4)
+	if err := b.Restore(snap); err != nil {
+		t.Fatalf("restore onto a used runtime: %v", err)
+	}
+	if b.Ticks() != a.Ticks() {
+		t.Fatalf("restored tick count %d != %d", b.Ticks(), a.Ticks())
+	}
+	a.RunTicks(8)
+	b.RunTicks(8)
+	if la, lb := a.World().Led("main.led"), b.World().Led("main.led"); la != lb {
+		t.Fatalf("replaced program diverged: %d != %d", la, lb)
+	}
+}
+
+func TestRestoreFailureKeepsRunningProgram(t *testing.T) {
+	r := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
+	r.MustEval("reg [7:0] m = 42; assign led.val = m;")
+	r.RunTicks(4)
+	if err := r.Restore(&Snapshot{Source: "module Broken("}); err == nil {
+		t.Fatal("corrupt snapshot should be rejected")
+	}
+	// The rejected restore never touched the running program.
+	r.RunTicks(2)
+	if led := r.World().Led("main.led"); led != 42 {
+		t.Fatalf("program lost after failed restore: led=%d", led)
+	}
+}
+
+func TestSnapshotCarriesBoardInputs(t *testing.T) {
+	a := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
+	a.MustEval(`
+reg [7:0] n = 0;
+always @(posedge clk.val) n <= n + pad.val;
+assign led.val = n;`)
+	a.World().PressPad("main.pad", 5)
+	a.RunTicks(4)
+	snap := a.Snapshot()
+
+	dev := fpga.NewCycloneV()
+	b := New(Options{Device: dev, Toolchain: fastToolchain(dev), Features: Features{DisableJIT: true}})
+	if err := b.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// The held-down pad traveled with the snapshot: without it the
+	// restored counter would freeze.
+	if got := b.World().Pad("main.pad"); got != 5 {
+		t.Fatalf("pad state lost: %d, want 5", got)
+	}
+	a.RunTicks(6)
+	b.RunTicks(6)
+	if la, lb := a.World().Led("main.led"), b.World().Led("main.led"); la != lb {
+		t.Fatalf("restored run diverged: led %d vs %d", lb, la)
+	}
+}
+
+func TestSnapshotCarriesVirtualTime(t *testing.T) {
+	a := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
+	a.MustEval(`always @(posedge clk.val) ;`)
+	a.RunTicks(50)
+	snap := a.Snapshot()
+	if snap.VTime.NowPs == 0 {
+		t.Fatal("snapshot did not capture virtual time")
+	}
+	dev := fpga.NewCycloneV()
+	b := New(Options{Device: dev, Toolchain: fastToolchain(dev), Features: Features{DisableJIT: true}})
+	if err := b.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if b.VirtualNow() < snap.VTime.NowPs {
+		t.Fatalf("virtual clock went backwards: %d < %d", b.VirtualNow(), snap.VTime.NowPs)
+	}
+}
+
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	a := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
+	a.MustEval(`reg [7:0] n = 0; always @(posedge clk.val) n <= n + 1; assign led.val = n;`)
+	a.RunTicks(10)
+	blob := EncodeSnapshot(a.Snapshot())
+
+	// Flip bytes spread across the blob: decode must reject every one.
+	for _, frac := range []int{3, 2} {
+		bad := []byte(blob)
+		bad[len(bad)/frac] ^= 0x20
+		if _, err := DecodeSnapshot(string(bad)); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", len(bad)/frac)
+		}
+	}
+	// Truncation at any point must be rejected, never half-decoded.
+	for _, n := range []int{0, 1, len(blob) / 2, len(blob) - 1} {
+		if _, err := DecodeSnapshot(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestDecodeSnapshotLegacyV1(t *testing.T) {
+	// Snapshots written before the checksummed container still load.
+	snap, err := DecodeSnapshot("#cascade-snapshot steps=8\n#source\nwire x;\n")
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if snap.Steps != 8 || snap.Source != "wire x;\n" {
+		t.Fatalf("legacy decode got steps=%d source=%q", snap.Steps, snap.Source)
+	}
+}
+
+func TestRestoreFailureLeavesRuntimeReusable(t *testing.T) {
+	dev := fpga.NewCycloneV()
+	r := New(Options{Device: dev, Toolchain: fastToolchain(dev), Features: Features{DisableJIT: true}})
+
+	// A snapshot that fails validation must not consume the runtime's
+	// freshness: each rejected restore leaves it ready for the next.
+	for _, snap := range []*Snapshot{
+		{Source: "module garbage("}, // parse error
+		{Source: "Undefined u();"},  // build error
+		{Source: "wire x;", Inputs: []stdlib.InputState{{Kind: "bogus", Path: "p"}}}, // bad input kind
+	} {
+		if err := r.Restore(snap); err == nil {
+			t.Fatalf("restore of %q should fail", snap.Source)
+		}
+	}
+	good := &Snapshot{Source: DefaultPrelude + " reg [7:0] n = 9; assign led.val = n;", Steps: 4}
+	if err := r.Restore(good); err != nil {
+		t.Fatalf("runtime unusable after failed restores: %v", err)
+	}
+	r.RunTicks(2)
+	if got := r.World().Led("main.led"); got != 9 {
+		t.Fatalf("restored program not running: led=%d", got)
+	}
+}
+
+func TestResetFreshAllowsRestoreAfterUse(t *testing.T) {
+	// resetFreshLocked is Restore's rollback for failures that strike
+	// after the commit point; exercise it directly.
+	r := newTestRuntime(t, Options{Features: Features{DisableJIT: true}})
+	r.MustEval(`reg [7:0] n = 0; always @(posedge clk.val) n <= n + 1; assign led.val = n;`)
+	r.RunTicks(10)
+	r.mu.Lock()
+	r.resetFreshLocked()
+	r.mu.Unlock()
+	if r.Steps() != 0 {
+		t.Fatalf("reset runtime reports %d steps", r.Steps())
+	}
+	if err := r.Restore(&Snapshot{Source: DefaultPrelude + " assign led.val = 7;"}); err != nil {
+		t.Fatalf("restore after reset: %v", err)
+	}
+	r.RunTicks(2)
+	if got := r.World().Led("main.led"); got != 7 {
+		t.Fatalf("led=%d after post-reset restore", got)
 	}
 }
 

@@ -45,6 +45,11 @@ type Stats struct {
 	HWFaults  int
 	Evictions int
 	Faults    fault.Stats
+
+	// Persist counts the crash-safe persistence layer's work (journal
+	// records, checkpoints, bytes, replay); Enabled is false on
+	// runtimes without persistence.
+	Persist PersistStats
 }
 
 // Stats snapshots the runtime. It takes the runtime lock, so monitoring
@@ -66,6 +71,7 @@ func (r *Runtime) Stats() Stats {
 		HWFaults:        r.hwFaults,
 		Evictions:       r.evictions,
 		Faults:          r.opts.Injector.Stats(),
+		Persist:         r.persistStats(),
 	}
 	for _, path := range r.sched {
 		e, ok := r.engines[path]
@@ -92,6 +98,14 @@ func (s Stats) Summary() string {
 		line += fmt.Sprintf(" faults[injected=%d transient=%d permanent=%d hw=%d evictions=%d]",
 			s.Faults.Injected, s.Faults.Transient, s.Faults.Permanent,
 			s.HWFaults, s.Evictions)
+	}
+	if s.Persist.Enabled {
+		line += fmt.Sprintf(" persist[records=%d journal=%dB ckpts=%d ckptBytes=%d ckptMs=%d replayed=%d]",
+			s.Persist.Records, s.Persist.JournalBytes, s.Persist.Checkpoints,
+			s.Persist.CheckpointBytes, s.Persist.CheckpointNs/1e6, s.Persist.ReplayedRecords)
+		if s.Persist.Err != "" {
+			line += " persist-error=" + s.Persist.Err
+		}
 	}
 	return line
 }

@@ -11,6 +11,8 @@
 package stdlib
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 
 	"cascade/internal/bits"
@@ -31,6 +33,88 @@ type World struct {
 	// user-study harness to check expected behaviour).
 	TraceLeds bool
 	LedTrace  []uint64
+
+	// recorder, when set, observes every committed host-side input
+	// event (pad presses, reset lines, GPIO drives) before it is
+	// applied — the write-ahead hook the persistence journal uses so a
+	// recovering process can replay inputs in their original order.
+	recorder InputRecorder
+}
+
+// InputRecorder observes host-driven input events. It is invoked under
+// the world's lock, immediately before the event takes effect, so the
+// record order matches the application order exactly.
+type InputRecorder func(kind, path string, value uint64)
+
+// Input-event kinds, as reported to an InputRecorder and accepted by
+// ApplyInput.
+const (
+	InputPad   = "pad"
+	InputReset = "reset"
+	InputGPIO  = "gpio"
+)
+
+// SetInputRecorder installs (or, with nil, removes) the input hook.
+func (w *World) SetInputRecorder(rec InputRecorder) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.recorder = rec
+}
+
+// InputState is the value of one host-driven input surface.
+type InputState struct {
+	Kind  string
+	Path  string
+	Value uint64
+}
+
+// InputStates snapshots every host-driven input value in deterministic
+// order (checkpoints store these so a recovered board matches the
+// original one even after the journal records that set them are
+// compacted away).
+func (w *World) InputStates() []InputState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []InputState
+	for path, v := range w.pads {
+		out = append(out, InputState{Kind: InputPad, Path: path, Value: v})
+	}
+	for path, b := range w.resets {
+		v := uint64(0)
+		if b {
+			v = 1
+		}
+		out = append(out, InputState{Kind: InputReset, Path: path, Value: v})
+	}
+	for path, v := range w.gpioIn {
+		out = append(out, InputState{Kind: InputGPIO, Path: path, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// ApplyInput sets one host-driven input without invoking the recorder —
+// recovery uses it to replay journaled events and restore checkpointed
+// input state without re-journaling them.
+func (w *World) ApplyInput(kind, path string, value uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch kind {
+	case InputPad:
+		w.pads[path] = value
+	case InputReset:
+		w.resets[path] = value != 0
+	case InputGPIO:
+		w.gpioIn[path] = value
+	default:
+		return fmt.Errorf("stdlib: unknown input kind %q", kind)
+	}
+	return nil
 }
 
 // NewWorld returns an empty peripheral board.
@@ -49,6 +133,9 @@ func NewWorld() *World {
 func (w *World) PressPad(path string, value uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.recorder != nil {
+		w.recorder(InputPad, path, value)
+	}
 	w.pads[path] = value
 }
 
@@ -63,6 +150,13 @@ func (w *World) Pad(path string) uint64 {
 func (w *World) SetReset(path string, asserted bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.recorder != nil {
+		v := uint64(0)
+		if asserted {
+			v = 1
+		}
+		w.recorder(InputReset, path, v)
+	}
 	w.resets[path] = asserted
 }
 
@@ -105,6 +199,9 @@ func (w *World) setLed(path string, v *bits.Vector) {
 func (w *World) DriveGPIO(path string, value uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.recorder != nil {
+		w.recorder(InputGPIO, path, value)
+	}
 	w.gpioIn[path] = value
 }
 

@@ -63,6 +63,14 @@ type Options struct {
 	// reloads the placed design; no place-and-route). 0 means the
 	// default of 2 virtual milliseconds.
 	CacheHitPs uint64
+	// CacheDir, when set, backs the bitstream cache with a disk store:
+	// successful flows are recorded there (atomically, checksummed) and
+	// a fresh process over the same directory serves unchanged designs
+	// at cache-hit latency instead of re-running place-and-route —
+	// crash recovery re-reaches hardware almost immediately. Corrupt or
+	// stale entries are detected and treated as misses; entry validity
+	// (fit, timing) is re-checked against the live device on every hit.
+	CacheDir string
 	// MaxRetries bounds how many times a job re-attempts the flow after
 	// a transient fault (a flaky license server, a filesystem hiccup)
 	// before giving up; 0 means the default of 4. Retries back off
@@ -110,6 +118,11 @@ type Stats struct {
 	Retried         int // flow attempts re-run after a transient fault
 	TransientFaults int // transient compile faults observed
 	PermanentFaults int // permanent compile faults observed (reported once)
+
+	// Disk bitstream-store counters (Options.CacheDir).
+	DiskHits    int // submissions served from the on-disk store
+	DiskWrites  int // entries durably written
+	DiskCorrupt int // entries rejected by verification and evicted
 }
 
 // cacheEntry is one content-addressed bitstream.
@@ -499,15 +512,36 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 		j.complete(&res, entry)
 		return
 	}
-	t.stats.CacheMisses++
 	t.mu.Unlock()
 
+	// Not in memory: apply the fit and timing models, then consult the
+	// disk store. A verified disk entry whose recorded outcome matches
+	// this synthesis — and which still fits the live device — means the
+	// bitstream was fully built by an earlier process: serve it at
+	// cache-hit latency. Anything less (corrupt, stale, new device)
+	// pays for place-and-route as usual.
 	res := t.finish(prog, wrapped)
+	if meta, ok := t.diskLookup(key); ok && res.Err == nil &&
+		meta.AreaLEs == res.AreaLEs && meta.RawAreaLEs == res.RawAreaLEs &&
+		meta.CritPath == res.Stats.CritPath {
+		res.DurationPs = backoff + t.hitLatency()
+		res.CacheHit = true
+		t.mu.Lock()
+		t.stats.CacheHits++
+		t.stats.DiskHits++
+		entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs, published: true}
+		t.cache[key] = entry
+		t.mu.Unlock()
+		j.complete(res, entry)
+		return
+	}
 	res.DurationPs += backoff
 	t.mu.Lock()
+	t.stats.CacheMisses++
 	entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs}
 	t.cache[key] = entry
 	t.mu.Unlock()
+	t.diskStore(key, res)
 	j.complete(res, entry)
 }
 

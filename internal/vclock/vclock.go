@@ -109,6 +109,18 @@ type Breakdown struct {
 	Messages   uint64
 }
 
+// Restore sets the clock to a previously captured breakdown (snapshot
+// restore and crash recovery: the recovered timeline continues from the
+// captured virtual time, so $time-relative behaviour and the JIT's
+// compile-overlap accounting stay continuous across the gap).
+func (c *Clock) Restore(b Breakdown) {
+	c.nowPs = b.NowPs
+	c.ComputePs = b.ComputePs
+	c.CommPs = b.CommPs
+	c.OverheadPs = b.OverheadPs
+	c.Messages = b.Messages
+}
+
 // Breakdown snapshots the clock.
 func (c *Clock) Breakdown() Breakdown {
 	attributed := c.ComputePs + c.CommPs + c.OverheadPs

@@ -66,6 +66,26 @@ func WithOpenLoopTarget(ps uint64) Option {
 	return func(o *Options) { o.OpenLoopTargetPs = ps }
 }
 
+// WithPersistence enables crash-safe persistence rooted at dir: durable
+// checkpoints on the default cadence plus a write-ahead side-effect
+// journal between them. Only cascade.Open honors it — Open also
+// recovers whatever state a previous process left in dir. Use
+// WithPersistenceOptions to tune cadence, retention, and sync policy.
+func WithPersistence(dir string) Option {
+	return func(o *Options) {
+		if o.Persist == nil {
+			o.Persist = &PersistOptions{}
+		}
+		o.Persist.Dir = dir
+	}
+}
+
+// WithPersistenceOptions overlays the whole persistence configuration
+// (directory, checkpoint cadence, retention, fsync policy).
+func WithPersistenceOptions(po PersistOptions) Option {
+	return func(o *Options) { o.Persist = &po }
+}
+
 // WithFaultInjector wires a deterministic fault injector into the
 // toolchain, the device, and the hardware engines: flaky compiles retry
 // with capped virtual-time backoff, and a faulted hardware engine

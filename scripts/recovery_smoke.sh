@@ -1,0 +1,49 @@
+#!/bin/sh
+# Recovery smoke (CI): start a batch run with crash-safe persistence,
+# SIGKILL it mid-run, restart over the same directory, and assert the
+# process resumed where the journal left off instead of starting over.
+# Usage: recovery_smoke.sh <path-to-cascade-binary>
+set -eu
+
+bin=${1:?usage: recovery_smoke.sh <cascade-binary>}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+# Share CI's persistent bitstream store when it names one, so the
+# restarted process (and the later bench step) re-reach hardware at
+# cache-hit latency instead of re-running place-and-route.
+bits=${CASCADE_BITS_DIR:-$work/bits}
+
+cat > "$work/prog.v" <<'PROG'
+reg [31:0] n = 0;
+always @(posedge clk.val) n <= n + 1;
+assign led.val = n[7:0];
+PROG
+
+"$bin" -batch "$work/prog.v" -ticks 100000000 \
+  -checkpoint-dir "$work/ckpt" -checkpoint-every 256 \
+  -cache-dir "$bits" >"$work/first.log" 2>&1 &
+pid=$!
+sleep 3
+if ! kill -9 "$pid" 2>/dev/null; then
+  echo "FAIL: run finished before the kill"
+  cat "$work/first.log"
+  exit 1
+fi
+wait "$pid" 2>/dev/null || true
+
+"$bin" -batch "$work/prog.v" -ticks 1 \
+  -checkpoint-dir "$work/ckpt" -checkpoint-every 256 \
+  -cache-dir "$bits" >"$work/second.log" 2>&1
+
+if ! grep -q "recovered: ticks=" "$work/second.log"; then
+  echo "FAIL: restart did not recover"
+  cat "$work/second.log"
+  exit 1
+fi
+resumed=$(sed -n 's/.*recovered: ticks=\([0-9]*\).*/\1/p' "$work/second.log")
+if [ "$resumed" -le 0 ]; then
+  echo "FAIL: resumed at tick 0"
+  cat "$work/second.log"
+  exit 1
+fi
+echo "recovery smoke ok: resumed at tick $resumed"

@@ -46,6 +46,7 @@ import (
 	"cascade/internal/runtime"
 	"cascade/internal/stdlib"
 	"cascade/internal/toolchain"
+	"cascade/internal/transport"
 	"cascade/internal/vclock"
 )
 
@@ -111,7 +112,23 @@ type (
 	// directory: the checkpoint used, the journal records replayed, and
 	// the resumed position.
 	RecoveryInfo = runtime.RecoveryInfo
+	// RemoteOptions configures the connection to a cascade-engined
+	// daemon hosting the program's user engines (WithRemoteEngine).
+	RemoteOptions = runtime.RemoteOptions
+	// TransportStats counts one transport's protocol traffic:
+	// round-trips, bytes each way, injected drops, and retries.
+	TransportStats = transport.Stats
+	// EngineHost is the serving side of the engine protocol — the core
+	// of cmd/cascade-engined, embeddable for in-process loopback setups.
+	EngineHost = transport.Host
+	// EngineHostOptions configures an EngineHost (device, toolchain,
+	// fault injector, JIT switch).
+	EngineHostOptions = transport.HostOptions
 )
+
+// NewEngineHost builds an engine-protocol host; serve it on a listener
+// with its ServeListener method (see cmd/cascade-engined).
+func NewEngineHost(opts EngineHostOptions) *EngineHost { return transport.NewHost(opts) }
 
 // EncodeSnapshot renders a snapshot as a self-contained text blob.
 func EncodeSnapshot(s *Snapshot) string { return runtime.EncodeSnapshot(s) }

@@ -1,0 +1,58 @@
+// Command cascade-engined is the remote engine daemon: it hosts Cascade
+// engines behind the message-passing engine protocol, so a cascade
+// runtime on another process (or machine) can ship subprograms to it
+// with -remote-engine / cascade.WithRemoteEngine and drive them over
+// TCP. The daemon owns its own simulated fabric and vendor-toolchain
+// model: spawned engines start in its software interpreter and are
+// JIT-promoted onto its device in the background, exactly as a local
+// runtime would promote them — the client only sees the location flip
+// in the reply envelopes.
+//
+// Usage:
+//
+//	cascade-engined                      # listen on 127.0.0.1:9925
+//	cascade-engined -listen :9000        # any interface, port 9000
+//	cascade-engined -compile-scale 600   # speed up the virtual toolchain
+//	cascade-engined -cache-dir d         # persist bitstreams across runs
+//	cascade-engined -no-jit              # pin hosted engines to software
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"cascade/internal/fpga"
+	"cascade/internal/toolchain"
+	"cascade/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9925", "TCP address to serve the engine protocol on")
+	scale := flag.Float64("compile-scale", 600, "divide virtual compile latency (1 = paper-faithful)")
+	cacheDir := flag.String("cache-dir", "", "persist compiled bitstreams here across processes")
+	noJIT := flag.Bool("no-jit", false, "pin hosted engines to software (no fabric promotion)")
+	flag.Parse()
+
+	dev := fpga.NewCycloneV()
+	tco := toolchain.DefaultOptions()
+	tco.Scale = *scale
+	tco.CacheDir = *cacheDir
+	host := transport.NewHost(transport.HostOptions{
+		Device:     dev,
+		Toolchain:  toolchain.New(dev, tco),
+		DisableJIT: *noJIT,
+	})
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cascade-engined: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[cascade-engined] listening on %s\n", l.Addr())
+	if err := host.ServeListener(l); err != nil {
+		fmt.Fprintf(os.Stderr, "cascade-engined: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,8 @@
 //	cascade -checkpoint-dir d   # crash-safe: checkpoint + journal in d,
 //	                            # restarting over d resumes mid-run
 //	cascade -cache-dir d        # persist compiled bitstreams across runs
+//	cascade -remote-engine addr # host user engines on a cascade-engined
+//	                            # daemon at addr (see cmd/cascade-engined)
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "crash-safe persistence directory (checkpoints + journal); restarting over it resumes")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint cadence in steps (0 = default)")
 	cacheDir := flag.String("cache-dir", "", "persist compiled bitstreams here across processes")
+	remote := flag.String("remote-engine", "", "host user engines on a cascade-engined daemon at this address")
 	flag.Parse()
 
 	dev := fpga.NewCycloneV()
@@ -52,6 +55,9 @@ func main() {
 			Native:     *native,
 		},
 		Parallelism: *lanes,
+	}
+	if *remote != "" {
+		opts.Remote = &runtime.RemoteOptions{Addr: *remote}
 	}
 	var r *repl.REPL
 	var info *runtime.RecoveryInfo

@@ -546,6 +546,36 @@ func (b *Vector) Repl(n int) *Vector {
 	return r
 }
 
+// ByteLen returns the number of bytes needed to hold b's width.
+func (b *Vector) ByteLen() int { return (b.width + 7) / 8 }
+
+// AppendBytesLE appends b's value to dst as ByteLen() little-endian
+// bytes (the wire encoding of the engine protocol).
+func (b *Vector) AppendBytesLE(dst []byte) []byte {
+	n := b.ByteLen()
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(b.words[i/8]>>((i%8)*8)))
+	}
+	return dst
+}
+
+// FromBytesLE builds a vector of the given width from little-endian
+// bytes (the inverse of AppendBytesLE). Missing bytes read as zero,
+// excess bytes and out-of-width bits are truncated, so any input yields
+// a normalized vector.
+func FromBytesLE(width int, data []byte) *Vector {
+	b := New(width)
+	n := b.ByteLen()
+	if len(data) < n {
+		n = len(data)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i/8] |= uint64(data[i]) << ((i % 8) * 8)
+	}
+	b.normalize()
+	return b
+}
+
 // String formats b as width'hXX... (Verilog sized hexadecimal).
 func (b *Vector) String() string {
 	return fmt.Sprintf("%d'h%s", b.width, b.Hex())

@@ -78,6 +78,34 @@ type Engine interface {
 	End()
 }
 
+// Usage is the work an engine performed since its last report, in the
+// units the virtual clock bills: software interpreter operations,
+// fabric clock cycles, and messages that crossed a serialized boundary
+// (MMIO transactions for hardware engines, transport round-trips and
+// state words for remote ones).
+type Usage struct {
+	Ops    uint64 // software interpreter operations
+	Cycles uint64 // hardware fabric cycles
+	Msgs   uint64 // bus/transport messages
+}
+
+// Add accumulates o into u.
+func (u *Usage) Add(o Usage) {
+	u.Ops += o.Ops
+	u.Cycles += o.Cycles
+	u.Msgs += o.Msgs
+}
+
+// UsageReporter is implemented by engines that meter their work. The
+// runtime drains deltas when it settles batch and end-of-step costs;
+// engines that do not implement it are billed nothing (stdlib
+// components share the controller's heap).
+type UsageReporter interface {
+	// UsageDelta returns the work performed since the previous call and
+	// resets the counters.
+	UsageDelta() Usage
+}
+
 // OpenLooper is the optional open-loop scheduling capability (paper
 // §4.4): the engine simulates many scheduler iterations internally,
 // toggling the named clock variable, until the iteration budget is spent

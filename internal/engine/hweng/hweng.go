@@ -152,6 +152,11 @@ func (e *Engine) MsgsDelta() uint64 {
 	return d
 }
 
+// UsageDelta implements engine.UsageReporter.
+func (e *Engine) UsageDelta() engine.Usage {
+	return engine.Usage{Cycles: e.CyclesDelta(), Msgs: e.MsgsDelta()}
+}
+
 // bill records one MMIO control transaction (and gives the fault
 // schedule one shot at it).
 func (e *Engine) bill() {

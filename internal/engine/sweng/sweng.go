@@ -119,3 +119,8 @@ func (e *Engine) OpsDelta() uint64 {
 	e.lastOps = total
 	return d
 }
+
+// UsageDelta implements engine.UsageReporter.
+func (e *Engine) UsageDelta() engine.Usage {
+	return engine.Usage{Ops: e.OpsDelta()}
+}

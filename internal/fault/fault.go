@@ -43,6 +43,9 @@ const (
 	// OpRegion is the integrity of a placed fabric region (a lost or
 	// corrupted bitstream; checked at placement and per time step).
 	OpRegion
+	// OpNet is one transport round-trip to a remote engine (a dropped
+	// frame; the transport retries deterministically).
+	OpNet
 )
 
 func (o Op) String() string {
@@ -53,6 +56,8 @@ func (o Op) String() string {
 		return "bus"
 	case OpRegion:
 		return "region"
+	case OpNet:
+		return "net"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -117,6 +122,13 @@ type Config struct {
 	// MaxRegionFaults.
 	RegionFault     float64
 	MaxRegionFaults int
+
+	// NetDrop is the per-attempt probability that a transport
+	// round-trip to a remote engine is dropped before transmission,
+	// capped per transport site by MaxNetFaults (so retry loops
+	// provably converge).
+	NetDrop      float64
+	MaxNetFaults int
 }
 
 // Stats counts the injector's activity.
@@ -128,6 +140,7 @@ type Stats struct {
 	Compile   uint64 // injected compile faults
 	Bus       uint64 // injected bus faults
 	Region    uint64 // injected region faults
+	Net       uint64 // injected transport drops
 }
 
 // site tracks one (op, site) timeline.
@@ -200,6 +213,18 @@ func (in *Injector) Region(siteName string) error {
 	return in.check(OpRegion, siteName, in.cfg.RegionFault, 0, in.cfg.MaxRegionFaults)
 }
 
+// Net consults the fault schedule for one transport round-trip attempt
+// at the given site (a transport endpoint). Drops are transient by
+// definition: the frame never left the host, so resending it is always
+// safe (no duplicated side effects) and the transport retries until its
+// attempt budget runs out.
+func (in *Injector) Net(siteName string) error {
+	if in == nil || in.cfg.NetDrop <= 0 {
+		return nil
+	}
+	return in.check(OpNet, siteName, in.cfg.NetDrop, 0, in.cfg.MaxNetFaults)
+}
+
 // check runs one trial on the (op, site) timeline.
 func (in *Injector) check(op Op, siteName string, pTransient, pPermanent float64, cap int) error {
 	key := fmt.Sprintf("%d\x00%s", op, siteName)
@@ -239,6 +264,8 @@ func (in *Injector) check(op Op, siteName string, pTransient, pPermanent float64
 		in.stats.Bus++
 	case OpRegion:
 		in.stats.Region++
+	case OpNet:
+		in.stats.Net++
 	}
 	return &Error{Op: op, Site: siteName, Attempt: s.trials, Transient: transient}
 }

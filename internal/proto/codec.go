@@ -1,0 +1,436 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"cascade/internal/bits"
+	"cascade/internal/engine"
+	"cascade/internal/sim"
+)
+
+// MaxFrame caps the length of one framed message. It bounds what a
+// decoder will allocate on behalf of a peer; a GetState reply for any
+// realistic subprogram fits with orders of magnitude to spare.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("proto: frame exceeds MaxFrame")
+
+// errShort is the generic truncated-message error.
+var errShort = errors.New("proto: truncated message")
+
+// encoding ---------------------------------------------------------------
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// appendVec encodes a vector as uvarint(width) + ByteLen little-endian
+// bytes. A nil vector encodes as width 0 (no vector has width 0: New
+// clamps to 1).
+func appendVec(dst []byte, v *bits.Vector) []byte {
+	if v == nil {
+		return appendUvarint(dst, 0)
+	}
+	dst = appendUvarint(dst, uint64(v.Width()))
+	return v.AppendBytesLE(dst)
+}
+
+// appendState encodes a state snapshot: a presence byte, then scalars
+// and arrays in sorted name order (deterministic bytes for identical
+// states, so snapshot comparisons work on encodings too).
+func appendState(dst []byte, st *sim.State) []byte {
+	if st == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	names := make([]string, 0, len(st.Scalars))
+	for k := range st.Scalars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	dst = appendUvarint(dst, uint64(len(names)))
+	for _, k := range names {
+		dst = appendString(dst, k)
+		dst = appendVec(dst, st.Scalars[k])
+	}
+	names = names[:0]
+	for k := range st.Arrays {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	dst = appendUvarint(dst, uint64(len(names)))
+	for _, k := range names {
+		dst = appendString(dst, k)
+		words := st.Arrays[k]
+		dst = appendUvarint(dst, uint64(len(words)))
+		for _, w := range words {
+			dst = appendVec(dst, w)
+		}
+	}
+	return dst
+}
+
+func appendParams(dst []byte, params map[string]*bits.Vector) []byte {
+	names := make([]string, 0, len(params))
+	for k := range params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	dst = appendUvarint(dst, uint64(len(names)))
+	for _, k := range names {
+		dst = appendString(dst, k)
+		dst = appendVec(dst, params[k])
+	}
+	return dst
+}
+
+// EncodeRequest appends req's wire encoding to dst and returns the
+// extended slice.
+func EncodeRequest(dst []byte, req *Request) []byte {
+	dst = append(dst, Version, byte(req.Kind))
+	dst = appendUvarint(dst, uint64(req.Engine))
+	dst = appendUvarint(dst, req.Now)
+	dst = appendUvarint(dst, req.VNow)
+	switch req.Kind {
+	case KindSpawn:
+		dst = appendString(dst, req.Path)
+		dst = appendString(dst, req.Source)
+		dst = appendParams(dst, req.Params)
+		dst = appendBool(dst, req.Eager)
+		dst = appendBool(dst, req.JIT)
+	case KindRead:
+		dst = appendString(dst, req.Var)
+		dst = appendVec(dst, req.Val)
+	case KindSetState:
+		dst = appendState(dst, req.State)
+	}
+	return dst
+}
+
+// EncodeReply appends rep's wire encoding to dst and returns the
+// extended slice.
+func EncodeReply(dst []byte, rep *Reply) []byte {
+	dst = append(dst, Version, byte(rep.Kind))
+	dst = appendUvarint(dst, uint64(rep.Engine))
+	dst = appendString(dst, rep.Err)
+	dst = append(dst, byte(rep.Loc))
+	dst = appendUvarint(dst, rep.Usage.Ops)
+	dst = appendUvarint(dst, rep.Usage.Cycles)
+	dst = appendUvarint(dst, rep.Usage.Msgs)
+	dst = appendUvarint(dst, uint64(len(rep.IO)))
+	for _, ev := range rep.IO {
+		dst = append(dst, byte(ev.Kind))
+		switch ev.Kind {
+		case IODisplay:
+			dst = appendString(dst, ev.Text)
+			dst = appendBool(dst, ev.Newline)
+		case IOFinish:
+			dst = appendUvarint(dst, uint64(int64(ev.Code)))
+		}
+	}
+	dst = appendBool(dst, rep.Bool)
+	dst = appendUvarint(dst, uint64(len(rep.Events)))
+	for _, ev := range rep.Events {
+		dst = appendString(dst, ev.Var)
+		dst = appendVec(dst, ev.Val)
+	}
+	dst = appendState(dst, rep.State)
+	return dst
+}
+
+// decoding ---------------------------------------------------------------
+
+// reader is a bounds-checked cursor over one message. Every method
+// reports errors through the sticky err field; callers check it once.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail(errShort)
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail(errShort)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// length reads a count/length prefix and rejects values that could not
+// possibly fit in the remaining bytes (each counted element occupies at
+// least min bytes), so hostile prefixes never drive allocations.
+func (r *reader) length(min int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64((len(r.buf)-r.pos)/min+1) {
+		r.fail(fmt.Errorf("proto: length %d exceeds remaining input", v))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail(errShort)
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func (r *reader) vec() *bits.Vector {
+	w := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if w == 0 {
+		return nil
+	}
+	n := (int64(w) + 7) / 8
+	if w > uint64(MaxFrame)*8 || n > int64(len(r.buf)-r.pos) {
+		r.fail(errShort)
+		return nil
+	}
+	v := bits.FromBytesLE(int(w), r.buf[r.pos:r.pos+int(n)])
+	r.pos += int(n)
+	return v
+}
+
+// vecNonNil is vec for positions where the protocol requires a value.
+func (r *reader) vecNonNil() *bits.Vector {
+	v := r.vec()
+	if v == nil && r.err == nil {
+		r.fail(errors.New("proto: missing vector"))
+	}
+	return v
+}
+
+func (r *reader) state() *sim.State {
+	if !r.bool() {
+		return nil
+	}
+	st := &sim.State{Scalars: map[string]*bits.Vector{}, Arrays: map[string][]*bits.Vector{}}
+	n := r.length(2)
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.string()
+		st.Scalars[name] = r.vecNonNil()
+	}
+	n = r.length(2)
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.string()
+		cnt := r.length(1)
+		words := make([]*bits.Vector, 0, cnt)
+		for j := 0; j < cnt && r.err == nil; j++ {
+			words = append(words, r.vecNonNil())
+		}
+		st.Arrays[name] = words
+	}
+	if r.err != nil {
+		return nil
+	}
+	return st
+}
+
+func (r *reader) params() map[string]*bits.Vector {
+	n := r.length(2)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	m := make(map[string]*bits.Vector, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.string()
+		m[name] = r.vecNonNil()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
+}
+
+func (r *reader) header() Kind {
+	v := r.u8()
+	if r.err == nil && v != Version {
+		r.fail(fmt.Errorf("proto: unsupported version %d", v))
+		return 0
+	}
+	k := Kind(r.u8())
+	if r.err == nil && (k == 0 || k >= kindMax) {
+		r.fail(fmt.Errorf("proto: unknown message kind %d", k))
+		return 0
+	}
+	return k
+}
+
+// finish rejects trailing garbage so decode(encode(m)) is exact.
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.buf) {
+		return fmt.Errorf("proto: %d trailing bytes", len(r.buf)-r.pos)
+	}
+	return nil
+}
+
+// DecodeRequest parses one request message. Malformed input yields an
+// error, never a panic, and allocations are bounded by len(data).
+func DecodeRequest(data []byte) (*Request, error) {
+	r := &reader{buf: data}
+	req := &Request{Kind: r.header()}
+	req.Engine = uint32(r.uvarint())
+	req.Now = r.uvarint()
+	req.VNow = r.uvarint()
+	switch req.Kind {
+	case KindSpawn:
+		req.Path = r.string()
+		req.Source = r.string()
+		req.Params = r.params()
+		req.Eager = r.bool()
+		req.JIT = r.bool()
+	case KindRead:
+		req.Var = r.string()
+		req.Val = r.vecNonNil()
+	case KindSetState:
+		req.State = r.state()
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// DecodeReply parses one reply message into rep (overwriting it).
+func DecodeReply(data []byte, rep *Reply) error {
+	r := &reader{buf: data}
+	*rep = Reply{Kind: r.header()}
+	rep.Engine = uint32(r.uvarint())
+	rep.Err = r.string()
+	rep.Loc = engine.Location(r.u8())
+	rep.Usage.Ops = r.uvarint()
+	rep.Usage.Cycles = r.uvarint()
+	rep.Usage.Msgs = r.uvarint()
+	n := r.length(1)
+	for i := 0; i < n && r.err == nil; i++ {
+		ev := IOEvent{Kind: IOKind(r.u8())}
+		switch ev.Kind {
+		case IODisplay:
+			ev.Text = r.string()
+			ev.Newline = r.bool()
+		case IOFinish:
+			ev.Code = int(int64(r.uvarint()))
+		default:
+			r.fail(fmt.Errorf("proto: unknown IO event kind %d", ev.Kind))
+		}
+		rep.IO = append(rep.IO, ev)
+	}
+	rep.Bool = r.bool()
+	n = r.length(2)
+	for i := 0; i < n && r.err == nil; i++ {
+		ev := engine.Event{Var: r.string()}
+		ev.Val = r.vecNonNil()
+		rep.Events = append(rep.Events, ev)
+	}
+	rep.State = r.state()
+	return r.finish()
+}
+
+// framing ----------------------------------------------------------------
+
+// AppendFrame appends payload to dst as one length-prefixed frame
+// (little-endian u32 length, then the payload).
+func AppendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return dst, ErrFrameTooLarge
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// WriteFrame writes payload to w as one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r, reusing buf when it
+// has capacity. It returns the payload (valid until the next reuse of
+// buf) or an error; oversized frames fail without being read.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,139 @@
+// Package proto defines the serializable message protocol spoken across
+// the runtime↔engine boundary. The paper's engine ABI (§3.5, Figure 7)
+// is target-agnostic by design; making each ABI request an explicit,
+// versioned message is what lets a subprogram live behind a transport —
+// in-process today, a TCP hop to a remote engine daemon tomorrow (the
+// direction SYNERGY pushed the Cascade architecture in).
+//
+// One request/reply pair models one ABI round-trip. Unsynthesizable side
+// effects ($display, $finish) do not get their own callback channel:
+// engines buffer them and every reply piggybacks the buffered events, so
+// IO is delivered on the goroutine that issued the request and the
+// runtime's deterministic lane-drain ordering is preserved no matter
+// which transport carried the message.
+//
+// The binary codec (codec.go) is compact and allocation-bounded: vectors
+// reuse the internal/bits little-endian byte encoding, frames are
+// length-prefixed and capped, and every decode path is bounds-checked so
+// malformed input yields an error, never a panic.
+package proto
+
+import (
+	"cascade/internal/bits"
+	"cascade/internal/engine"
+	"cascade/internal/sim"
+)
+
+// Version is the protocol version carried in every message. A peer
+// rejects versions it does not speak.
+const Version = 1
+
+// Kind identifies the ABI request a message carries.
+type Kind uint8
+
+// Message kinds. KindSpawn instantiates a subprogram on the serving
+// host from shipped source; the rest mirror Figure 7 of the paper.
+const (
+	KindSpawn Kind = iota + 1
+	KindRead
+	KindDrainWrites
+	KindThereAreEvals
+	KindEvaluate
+	KindThereAreUpdates
+	KindUpdate
+	KindGetState
+	KindSetState
+	KindEndStep
+	KindEnd
+	kindMax
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSpawn:
+		return "spawn"
+	case KindRead:
+		return "read"
+	case KindDrainWrites:
+		return "drain_writes"
+	case KindThereAreEvals:
+		return "there_are_evals"
+	case KindEvaluate:
+		return "evaluate"
+	case KindThereAreUpdates:
+		return "there_are_updates"
+	case KindUpdate:
+		return "update"
+	case KindGetState:
+		return "get_state"
+	case KindSetState:
+		return "set_state"
+	case KindEndStep:
+		return "end_step"
+	case KindEnd:
+		return "end"
+	}
+	return "invalid"
+}
+
+// IOKind classifies a piggybacked IO event.
+type IOKind uint8
+
+// IO event kinds ($display text and $finish).
+const (
+	IODisplay IOKind = iota + 1
+	IOFinish
+)
+
+// IOEvent is one buffered unsynthesizable side effect, carried back to
+// the requesting side on the next reply for its engine.
+type IOEvent struct {
+	Kind    IOKind
+	Text    string // IODisplay
+	Newline bool   // IODisplay
+	Code    int    // IOFinish
+}
+
+// Request is one ABI request. Kind selects which fields are meaningful;
+// unused fields are zero and occupy no space on the wire.
+type Request struct {
+	Kind   Kind
+	Engine uint32 // host-assigned engine ID (0 for Spawn)
+	Now    uint64 // $time feed: the runtime's current step counter
+	VNow   uint64 // virtual time in ps (host-side JIT readiness)
+
+	// Spawn: instantiate Source (a self-contained module declaration)
+	// elaborated at instance path Path with parameter bindings Params.
+	// Eager selects the naive re-evaluation ablation; JIT lets the host
+	// promote the engine to its own fabric in the background.
+	Path   string
+	Source string
+	Params map[string]*bits.Vector
+	Eager  bool
+	JIT    bool
+
+	// Read: the input event being delivered.
+	Var string
+	Val *bits.Vector
+
+	// SetState: the snapshot to install.
+	State *sim.State
+}
+
+// Reply is the response to one Request. Err is an engine-level failure
+// rendered as text (transport-level failures surface as Go errors from
+// the transport instead). Every reply carries the engine's current
+// location, its metered work since the previous reply, and any buffered
+// IO events.
+type Reply struct {
+	Kind   Kind
+	Engine uint32 // Spawn: the assigned engine ID
+	Err    string
+	Loc    engine.Location
+	Usage  engine.Usage
+	IO     []IOEvent
+
+	Bool   bool           // ThereAreEvals / ThereAreUpdates
+	Events []engine.Event // DrainWrites
+	State  *sim.State     // GetState
+}

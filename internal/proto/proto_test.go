@@ -1,0 +1,145 @@
+package proto
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cascade/internal/bits"
+	"cascade/internal/engine"
+	"cascade/internal/sim"
+)
+
+func testState() *sim.State {
+	return &sim.State{
+		Scalars: map[string]*bits.Vector{
+			"cnt": bits.FromUint64(8, 0xa5),
+			"big": bits.FromUint64(97, 1).ShlUint(96).Or(bits.FromUint64(97, 0xdeadbeef)),
+		},
+		Arrays: map[string][]*bits.Vector{
+			"mem": {bits.FromUint64(16, 1), bits.FromUint64(16, 0xffff), bits.New(16)},
+		},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{Kind: KindSpawn, Now: 3, VNow: 1e12, Path: "main.m", Source: "module m(); endmodule",
+			Params: map[string]*bits.Vector{"W": bits.FromUint64(32, 8)}, Eager: true, JIT: true},
+		{Kind: KindRead, Engine: 7, Now: 11, Var: "clk", Val: bits.FromUint64(1, 1)},
+		{Kind: KindSetState, Engine: 2, State: testState()},
+		{Kind: KindEvaluate, Engine: 9, Now: 1 << 40, VNow: 1 << 50},
+		{Kind: KindGetState, Engine: 1},
+		{Kind: KindEnd, Engine: 3},
+	}
+	for _, req := range reqs {
+		enc := EncodeRequest(nil, req)
+		got, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", req.Kind, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("%v: round trip mismatch\n got %+v\nwant %+v", req.Kind, got, req)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	reps := []*Reply{
+		{Kind: KindSpawn, Engine: 12, Loc: engine.Software,
+			IO: []IOEvent{{Kind: IODisplay, Text: "hello", Newline: true}}},
+		{Kind: KindThereAreEvals, Engine: 1, Bool: true, Usage: engine.Usage{Ops: 41, Msgs: 2}},
+		{Kind: KindDrainWrites, Engine: 1, Loc: engine.Hardware,
+			Usage:  engine.Usage{Cycles: 99, Msgs: 3},
+			Events: []engine.Event{{Var: "out", Val: bits.FromUint64(8, 0x42)}},
+			IO:     []IOEvent{{Kind: IOFinish, Code: 2}}},
+		{Kind: KindGetState, Engine: 4, State: testState()},
+		{Kind: KindEvaluate, Engine: 5, Err: "engine 5 unknown"},
+	}
+	for _, rep := range reps {
+		enc := EncodeReply(nil, rep)
+		var got Reply
+		if err := DecodeReply(enc, &got); err != nil {
+			t.Fatalf("%v: decode: %v", rep.Kind, err)
+		}
+		if !reflect.DeepEqual(&got, rep) {
+			t.Errorf("%v: round trip mismatch\n got %+v\nwant %+v", rep.Kind, &got, rep)
+		}
+	}
+}
+
+// TestStateEncodingDeterministic checks that identical states produce
+// identical bytes (map iteration order must not leak into the wire).
+func TestStateEncodingDeterministic(t *testing.T) {
+	a := appendState(nil, testState())
+	for i := 0; i < 32; i++ {
+		if b := appendState(nil, testState()); !bytes.Equal(a, b) {
+			t.Fatal("state encoding varies across runs")
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := EncodeRequest(nil, &Request{Kind: KindRead, Engine: 1, Var: "x", Val: bits.FromUint64(8, 1)})
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad version":  {99, byte(KindRead)},
+		"bad kind":     {Version, 0},
+		"kind too big": {Version, byte(kindMax)},
+		"truncated":    valid[:len(valid)-2],
+		"trailing":     append(append([]byte{}, valid...), 0xff),
+		"huge count": append(EncodeRequest(nil, &Request{Kind: KindSpawn})[:0],
+			Version, byte(KindSpawn), 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x0f),
+	}
+	for name, data := range cases {
+		if _, err := DecodeRequest(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+	var rep Reply
+	if err := DecodeReply([]byte{Version, byte(KindEvaluate), 1}, &rep); err == nil {
+		t.Error("reply decode accepted truncated input")
+	}
+}
+
+func TestFraming(t *testing.T) {
+	payload := EncodeReply(nil, &Reply{Kind: KindEndStep, Engine: 8})
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("frame payload mismatch")
+	}
+	// Oversized header is rejected without reading the body.
+	var hdr bytes.Buffer
+	hdr.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&hdr, nil); err != ErrFrameTooLarge {
+		t.Fatalf("oversized frame: got %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrame(&bytes.Buffer{}, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("oversized write: got %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := AppendFrame(nil, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("oversized append: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestVectorBytesRoundTrip(t *testing.T) {
+	for _, w := range []int{1, 7, 8, 9, 63, 64, 65, 128, 257} {
+		v := bits.FromUint64(w, 0x1234567890abcdef)
+		got := bits.FromBytesLE(w, v.AppendBytesLE(nil))
+		if !got.Equal(v) || got.Width() != w {
+			t.Errorf("width %d: bytes round trip mismatch: %v vs %v", w, got, v)
+		}
+	}
+	// Excess input bits beyond the width are truncated (normalization).
+	v := bits.FromBytesLE(4, []byte{0xff, 0xff})
+	if v.Uint64() != 0xf {
+		t.Errorf("FromBytesLE did not normalize: %v", v)
+	}
+}

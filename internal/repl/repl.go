@@ -211,6 +211,7 @@ func (r *REPL) command(line string) bool {
   :quit            exit
   :phase           current JIT phase and virtual time
   :stats           scheduler and device statistics
+  :engines         per-engine location, transport, and traffic counters
   :pad <value>     press/release buttons (bit i = button i)
   :leds            show the LED bank
   :run <ticks>     run N clock ticks synchronously
@@ -230,6 +231,25 @@ func (r *REPL) command(line string) bool {
 		fmt.Fprintln(r.out, st.Summary())
 		for _, e := range st.Engines {
 			fmt.Fprintf(r.out, "  engine %-12s %s\n", e.Path, e.Location)
+		}
+	case ":engines":
+		r.mu.Lock()
+		st := r.rt.Stats()
+		r.mu.Unlock()
+		if st.Remote != "" {
+			fmt.Fprintf(r.out, "remote daemon: %s\n", st.Remote)
+		}
+		if len(st.Engines) == 0 {
+			fmt.Fprintln(r.out, "no engines scheduled")
+			break
+		}
+		fmt.Fprintf(r.out, "%-16s %-10s %-9s %10s %10s %10s %6s %7s\n",
+			"PATH", "LOCATION", "TRANSPORT", "ROUNDTRIPS", "OUT", "IN", "DROPS", "RETRIES")
+		for _, e := range st.Engines {
+			fmt.Fprintf(r.out, "%-16s %-10s %-9s %10d %9dB %9dB %6d %7d\n",
+				e.Path, e.Location, e.Transport,
+				e.Xport.RoundTrips, e.Xport.BytesOut, e.Xport.BytesIn,
+				e.Xport.Drops, e.Xport.Retries)
 		}
 	case ":pad":
 		if len(fields) < 2 {

@@ -115,6 +115,31 @@ assign led.val = cnt;
 	}
 }
 
+func TestEnginesCommand(t *testing.T) {
+	r, out := newTestREPL(t, runtime.Options{Features: runtime.Features{DisableJIT: true}})
+	session := strings.NewReader(`
+reg [7:0] cnt = 1;
+always @(posedge clk.val) cnt <= cnt + 1;
+assign led.val = cnt;
+:run 8
+:engines
+:quit
+`)
+	if err := r.Interact(session); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "TRANSPORT") {
+		t.Fatalf(":engines header missing:\n%s", text)
+	}
+	if !strings.Contains(text, "local") {
+		t.Fatalf(":engines should list local transports:\n%s", text)
+	}
+	if !strings.Contains(text, "software") {
+		t.Fatalf(":engines should list engine locations:\n%s", text)
+	}
+}
+
 func TestInteractReportsErrors(t *testing.T) {
 	r, out := newTestREPL(t, runtime.Options{Features: runtime.Features{DisableJIT: true}})
 	session := strings.NewReader("assign q = nothing;\n:quit\n")

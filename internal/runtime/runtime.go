@@ -20,6 +20,7 @@ import (
 	goruntime "runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"cascade/internal/bits"
 	"cascade/internal/elab"
@@ -32,6 +33,7 @@ import (
 	"cascade/internal/sim"
 	"cascade/internal/stdlib"
 	"cascade/internal/toolchain"
+	"cascade/internal/transport"
 	"cascade/internal/vclock"
 	"cascade/internal/verilog"
 )
@@ -193,6 +195,26 @@ type Options struct {
 	// honored by Open, which also recovers whatever state a previous
 	// process left in the directory; New ignores it.
 	Persist *PersistOptions
+
+	// Remote, when set, hosts the user's engines on a cascade-engined
+	// daemon instead of in-process: each subprogram is shipped over the
+	// engine protocol at integration time and every ABI interaction
+	// becomes a billed TCP round-trip. Stdlib engines (the peripherals)
+	// always stay local — they are the board. JIT promotion happens on
+	// the daemon's own fabric; forwarding and open-loop scheduling
+	// require in-process hardware and are skipped.
+	Remote *RemoteOptions
+}
+
+// RemoteOptions configures the connection to a remote engine daemon.
+type RemoteOptions struct {
+	// Addr is the daemon's TCP address (host:port).
+	Addr string
+	// DialTimeout, CallTimeout, and Retries tune the transport; zero
+	// values take the transport defaults.
+	DialTimeout time.Duration
+	CallTimeout time.Duration
+	Retries     int
 }
 
 // Runtime executes one Cascade program.
@@ -212,7 +234,14 @@ type Runtime struct {
 	design     *ir.Design // currently executing design
 	inlined    bool
 
-	engines    map[string]engine.Engine
+	// engines maps each scheduled path to its transport client: the
+	// scheduler dispatches every ABI call through the message protocol,
+	// and the client decides whether that means a direct in-process call
+	// (Local transport, zero-copy) or a TCP round-trip to a daemon. The
+	// bare in-process engine, where one exists, is reachable through
+	// Client.Underlying for the operations that genuinely need it (hot
+	// swaps, forwarding, open-loop bursts).
+	engines    map[string]*transport.Client
 	lanes      map[string]*laneIO    // per-engine buffered IO handlers
 	elabs      map[string]*elab.Flat // flatDesign elaborations
 	execElabs  map[string]*elab.Flat // executing-design elaborations
@@ -220,6 +249,18 @@ type Runtime struct {
 	sched      []string             // scheduled engine paths, in order
 	routesFrom map[string][]ir.Wire // producer "path\x00var" -> wires
 	groupOf    map[string]string    // forwarded engine -> owner path
+
+	// remoteT is the shared connection to the remote engine daemon (nil
+	// unless Options.Remote is set); xstats accumulates per-path
+	// transport counters across the restarts that retire and rebuild
+	// clients, so :engines reports lifetime totals. xerrs collects
+	// transport errors latched by clients — possibly on worker
+	// goroutines mid-batch — for the controller to report from the
+	// observable part of the step, keeping the View single-threaded.
+	remoteT *transport.TCP
+	xstats  map[string]transport.Stats
+	xerrMu  sync.Mutex
+	xerrs   []error
 
 	jobs      map[string]*toolchain.Job
 	evalCtx   context.Context // context the current program version was eval'd under
@@ -294,13 +335,14 @@ func New(opts Options) *Runtime {
 		opts:       opts,
 		par:        par,
 		prog:       ir.NewProgram(),
-		engines:    map[string]engine.Engine{},
+		engines:    map[string]*transport.Client{},
 		lanes:      map[string]*laneIO{},
 		elabs:      map[string]*elab.Flat{},
 		stdEngines: map[string]engine.Engine{},
 		routesFrom: map[string][]ir.Wire{},
 		groupOf:    map[string]string{},
 		jobs:       map[string]*toolchain.Job{},
+		xstats:     map[string]transport.Stats{},
 		olIters:    64,
 		olWallCap:  1 << 14, // ramps up while bursts stay cheap
 	}
@@ -346,9 +388,20 @@ func (r *Runtime) StartupPs() uint64 { return r.startupPs }
 // goroutine while a batch executes in parallel — and the controller
 // drains lanes in schedule order once the batch has joined, which keeps
 // the interrupt queue's ordering deterministic and identical to a serial
-// schedule. The mutex is uncontended in practice (each engine is touched
-// by exactly one goroutine at a time); it exists so the ordering logic
-// never depends on that invariant.
+// schedule.
+//
+// Flush-ordering contract (TestLaneFlushOrdering): appends to one lane
+// happen from at most one goroutine at a time — the worker lane its
+// engine is dispatched on during a batch, or the controller between
+// batches. Remote engines preserve this by construction: their
+// $display/$finish events ride back piggybacked on protocol replies and
+// the transport client replays them into the lane on the goroutine that
+// issued the round-trip, so no transport or daemon goroutine ever
+// touches a lane. The mutex is therefore not what provides the
+// ordering; it provides the happens-before edge between a worker's
+// appends and the controller's drain (the WaitGroup join also provides
+// one, but drainLane must stay correct even when called for an engine
+// the current batch did not dispatch).
 type laneIO struct {
 	mu       sync.Mutex
 	displays []string
@@ -423,6 +476,116 @@ func (r *Runtime) flushDisplays() {
 		r.outBytes += uint64(len(t))
 	}
 	r.displayQ = nil
+}
+
+// transport clients --------------------------------------------------------
+
+// wrapLocal wraps an in-process engine in a Local-transport client,
+// re-seeding any counters a retired client for the same path left
+// behind.
+func (r *Runtime) wrapLocal(path string, e engine.Engine) *transport.Client {
+	c := transport.NewLocalClient(e, r.noteTransportErr)
+	if s, ok := r.xstats[path]; ok {
+		c.SeedStats(s)
+		delete(r.xstats, path)
+	}
+	return c
+}
+
+// retireClient banks a client's cumulative transport counters before the
+// client is dropped (restart, forwarding), so the path's lifetime totals
+// survive into its replacement.
+func (r *Runtime) retireClient(path string, c *transport.Client) {
+	s := r.xstats[path]
+	s.Add(c.Stats())
+	r.xstats[path] = s
+}
+
+// noteTransportErr is the onErr hook handed to every client. Clients
+// latch transport failures on whichever goroutine issued the round-trip
+// — possibly a worker lane mid-batch — so the error is queued here and
+// reported by the controller from the observable part of the step,
+// preserving the View's single-threaded contract.
+func (r *Runtime) noteTransportErr(err error) {
+	r.xerrMu.Lock()
+	r.xerrs = append(r.xerrs, err)
+	r.xerrMu.Unlock()
+}
+
+// flushTransportErrs reports queued transport errors. Controller only.
+func (r *Runtime) flushTransportErrs() {
+	r.xerrMu.Lock()
+	errs := r.xerrs
+	r.xerrs = nil
+	r.xerrMu.Unlock()
+	for _, err := range errs {
+		r.opts.View.Error(err)
+	}
+}
+
+// asSW returns the in-process software engine behind a client, or nil.
+func asSW(c *transport.Client) *sweng.Engine {
+	sw, _ := c.Underlying().(*sweng.Engine)
+	return sw
+}
+
+// asHW returns the in-process hardware engine behind a client, or nil
+// (remote engines report Hardware without exposing one).
+func asHW(c *transport.Client) *hweng.Engine {
+	hw, _ := c.Underlying().(*hweng.Engine)
+	return hw
+}
+
+// spawnRemote instantiates one user subprogram on the remote daemon: the
+// module is printed back to Verilog, shipped with its parameter bindings
+// over the shared TCP transport, and re-elaborated on the far side. The
+// client's IO lands in the same lane an in-process engine would use —
+// piggybacked on replies and replayed on the calling goroutine, so
+// ordering is untouched.
+func (r *Runtime) spawnRemote(path string, mod *verilog.Module, params map[string]*bits.Vector) (*transport.Client, error) {
+	if r.remoteT == nil {
+		ro := r.opts.Remote
+		t, err := transport.DialTCP(ro.Addr, transport.TCPOptions{
+			DialTimeout: ro.DialTimeout,
+			CallTimeout: ro.CallTimeout,
+			Retries:     ro.Retries,
+			Injector:    r.opts.Injector,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("remote engine: %w", err)
+		}
+		r.remoteT = t
+	}
+	spec := transport.SpawnSpec{
+		Path:   path,
+		Source: verilog.Print(mod),
+		Params: params,
+		Eager:  r.opts.Features.EagerSim,
+		JIT:    !r.opts.Features.DisableJIT,
+	}
+	c, err := transport.Spawn(r.remoteT, spec, r.lane(path), r.now,
+		func() uint64 { return r.vclk.Now() }, r.noteTransportErr)
+	if err != nil {
+		return nil, fmt.Errorf("remote engine %s: %w", path, err)
+	}
+	if s, ok := r.xstats[path]; ok {
+		c.SeedStats(s)
+		delete(r.xstats, path)
+	}
+	return c, nil
+}
+
+// CloseRemote tears down the connection to the remote engine daemon, if
+// one was ever established.
+func (r *Runtime) CloseRemote() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.remoteT == nil {
+		return nil
+	}
+	err := r.remoteT.Close()
+	r.remoteT = nil
+	return err
 }
 
 // Eval integrates new source into the running program: module
@@ -554,14 +717,18 @@ func mergeStates(saved map[string]*sim.State) *sim.State {
 // bound to ctx.
 func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) error {
 	r.evalCtx = ctx // evictions resubmit compiles under the same context
-	// Tear down hardware engines.
-	for path, e := range r.engines {
-		if hw, ok := e.(*hweng.Engine); ok {
+	// Tear down engines: release in-process hardware, End everything
+	// but the persistent stdlib peripherals (for remote engines End is a
+	// protocol round-trip that frees the daemon-side instance), and bank
+	// each client's transport counters for its successor.
+	for path, c := range r.engines {
+		if hw := asHW(c); hw != nil {
 			hw.Release()
 		}
 		if _, std := r.stdEngines[path]; !std {
-			e.End()
+			c.End()
 		}
+		r.retireClient(path, c)
 	}
 	// Compilations for the superseded program version are obsolete: the
 	// toolchain drops them (finished flows stay in its bitstream cache).
@@ -569,7 +736,7 @@ func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) erro
 		j.Cancel()
 	}
 	r.jobs = map[string]*toolchain.Job{}
-	r.engines = map[string]engine.Engine{}
+	r.engines = map[string]*transport.Client{}
 	r.lanes = map[string]*laneIO{}
 	r.execElabs = map[string]*elab.Flat{}
 	r.sched = nil
@@ -612,7 +779,7 @@ func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) erro
 		if s.StdType == "Clock" && r.clockPath == "" {
 			r.clockPath = s.Path
 		}
-		r.engines[s.Path] = e
+		r.engines[s.Path] = r.wrapLocal(s.Path, e)
 		r.sched = append(r.sched, s.Path)
 	}
 
@@ -632,21 +799,38 @@ func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) erro
 				return err
 			}
 		}
-		e := sweng.New(f, r.lane(s.Path), r.now, r.opts.Features.EagerSim)
-		if r.inlined {
-			e.SetState(mergeStates(saved))
-		} else if st, ok := saved[s.Path]; ok {
-			e.SetState(st)
+		var c *transport.Client
+		if r.opts.Remote != nil {
+			var err error
+			c, err = r.spawnRemote(s.Path, s.Module, s.Params)
+			if err != nil {
+				return err
+			}
+			if r.inlined {
+				c.SetState(mergeStates(saved))
+			} else if st, ok := saved[s.Path]; ok {
+				c.SetState(st)
+			}
+		} else {
+			e := sweng.New(f, r.lane(s.Path), r.now, r.opts.Features.EagerSim)
+			if r.inlined {
+				e.SetState(mergeStates(saved))
+			} else if st, ok := saved[s.Path]; ok {
+				e.SetState(st)
+			}
+			c = r.wrapLocal(s.Path, e)
 		}
 		r.drainLane(s.Path) // initial-block output emitted at construction
-		r.engines[s.Path] = e
+		r.engines[s.Path] = c
 		r.elabsExec()[s.Path] = f
 		r.sched = append(r.sched, s.Path)
 		// Creating a software engine is fast but not free.
 		r.vclk.AdvanceOverhead(uint64(len(f.Vars)+1) * r.opts.Model.DispatchPs / 4)
 
 		// Kick off background hardware compilation (Figure 9.2 -> 9.3).
-		if !r.opts.Features.DisableJIT {
+		// Remote engines compile on the daemon's toolchain (the spawn
+		// request carries the JIT flag), not the runtime's.
+		if !r.opts.Features.DisableJIT && r.opts.Remote == nil {
 			r.jobs[s.Path] = r.opts.Toolchain.Submit(ctx, f, !r.opts.Features.Native, r.vclk.Now())
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"cascade/internal/fault"
 	"cascade/internal/ir"
 	"cascade/internal/stdlib"
+	"cascade/internal/transport"
 )
 
 // Step executes one scheduler time step (Figure 6): evaluate batches to a
@@ -51,13 +52,13 @@ func (r *Runtime) step() {
 	model := &r.opts.Model
 	for {
 		// EvalAll over engines with evaluation events.
-		batch := r.poll(engine.Engine.ThereAreEvals)
+		batch := r.poll((*transport.Client).ThereAreEvals)
 		if len(batch) > 0 {
 			r.runBatch(batch, false)
 			continue
 		}
 		// Update batch.
-		batch = r.poll(engine.Engine.ThereAreUpdates)
+		batch = r.poll((*transport.Client).ThereAreUpdates)
 		if len(batch) == 0 {
 			break
 		}
@@ -66,6 +67,7 @@ func (r *Runtime) step() {
 
 	// Observable state: flush the interrupt queue, end the step.
 	r.flushDisplays()
+	r.flushTransportErrs()
 	for _, path := range r.sched {
 		e := r.engines[path]
 		e.EndStep()
@@ -83,7 +85,7 @@ func (r *Runtime) step() {
 
 // poll collects the schedule-ordered batch of engines with pending work,
 // billing the control-plane traffic of asking.
-func (r *Runtime) poll(pending func(engine.Engine) bool) []string {
+func (r *Runtime) poll(pending func(*transport.Client) bool) []string {
 	var batch []string
 	for _, path := range r.sched {
 		e := r.engines[path]
@@ -135,22 +137,26 @@ func (r *Runtime) runBatch(batch []string, update bool) {
 }
 
 // billCtrl charges one control-plane message for talking to a
-// hardware-located engine (software engines share the heap).
-func (r *Runtime) billCtrl(e engine.Engine) {
-	if e.Loc() == engine.Hardware {
+// hardware-located engine (software engines share the heap). Remote
+// engines are excluded: their clients meter every round-trip — polls
+// included — through Usage.Msgs, which settleBatch/settleCosts convert
+// to comm time; billing here too would double-charge.
+func (r *Runtime) billCtrl(c *transport.Client) {
+	if !c.Remote() && c.Loc() == engine.Hardware {
 		r.vclk.AdvanceComm(1, &r.opts.Model)
 	}
 }
 
 // route broadcasts an engine's pending output writes along the wires
-// table, billing boundary crossings.
-func (r *Runtime) route(fromPath string, e engine.Engine) {
-	evs := e.DrainWrites()
+// table, billing boundary crossings. As in billCtrl, remote endpoints
+// are billed through their clients' per-round-trip meter, not here.
+func (r *Runtime) route(fromPath string, c *transport.Client) {
+	evs := c.DrainWrites()
 	if len(evs) == 0 {
 		return
 	}
 	model := &r.opts.Model
-	fromHW := e.Loc() == engine.Hardware
+	fromHW := !c.Remote() && c.Loc() == engine.Hardware
 	for _, ev := range evs {
 		if fromHW {
 			r.vclk.AdvanceComm(1, model) // bus read of the changed output
@@ -160,12 +166,28 @@ func (r *Runtime) route(fromPath string, e engine.Engine) {
 			if !ok {
 				continue // consumer was forwarded or removed
 			}
-			if target.Loc() == engine.Hardware {
+			if !target.Remote() && target.Loc() == engine.Hardware {
 				r.vclk.AdvanceComm(1, model) // bus write of the input
 			}
 			target.Read(engine.Event{Var: w.To.Port, Val: ev.Val})
 		}
 	}
+}
+
+// settleEngine drains one client's metered work, bills its serialized
+// communication (messages cross the memory-mapped bus — or, for remote
+// engines, the TCP transport, which the client meters per round-trip),
+// and returns its compute cost in picoseconds for the caller's makespan
+// arithmetic. Usage is location-agnostic: a remote subprogram reports
+// interpreter ops while its host runs it in software and fabric cycles
+// after the host promotes it, and the same conversion applies.
+func (r *Runtime) settleEngine(c *transport.Client) uint64 {
+	model := &r.opts.Model
+	u := c.UsageDelta()
+	if u.Msgs > 0 {
+		r.vclk.AdvanceComm(u.Msgs, model)
+	}
+	return u.Ops*model.SWEvalOpPs + u.Cycles*model.HWCyclePs
 }
 
 // settleBatch converts the batch's engine work counters into virtual
@@ -181,14 +203,7 @@ func (r *Runtime) settleBatch(batch []string) {
 	model := &r.opts.Model
 	var maxCompute, sumCompute uint64
 	for _, path := range batch {
-		var c uint64
-		switch e := r.engines[path].(type) {
-		case *sweng.Engine:
-			c = e.OpsDelta() * model.SWEvalOpPs
-		case *hweng.Engine:
-			c = e.CyclesDelta() * model.HWCyclePs
-			r.vclk.AdvanceComm(e.MsgsDelta(), model)
-		}
+		c := r.settleEngine(r.engines[path])
 		sumCompute += c
 		if c > maxCompute {
 			maxCompute = c
@@ -225,13 +240,7 @@ func batchMakespanPs(sumCompute, maxCompute uint64, lanes int) uint64 {
 func (r *Runtime) settleCosts() {
 	model := &r.opts.Model
 	for _, path := range r.sched {
-		switch e := r.engines[path].(type) {
-		case *sweng.Engine:
-			r.vclk.AdvanceCompute(e.OpsDelta() * model.SWEvalOpPs)
-		case *hweng.Engine:
-			r.vclk.AdvanceCompute(e.CyclesDelta() * model.HWCyclePs)
-			r.vclk.AdvanceComm(e.MsgsDelta(), model)
-		}
+		r.vclk.AdvanceCompute(r.settleEngine(r.engines[path]))
 	}
 	for _, e := range r.stdEngines {
 		if f, ok := e.(*stdlib.FIFO); ok {
@@ -262,8 +271,9 @@ func (r *Runtime) serviceJIT() {
 			r.opts.View.Error(res.Err)
 			continue
 		}
-		old, ok := r.engines[path].(*sweng.Engine)
-		if !ok {
+		c := r.engines[path]
+		old := asSW(c)
+		if old == nil {
 			continue
 		}
 		hw, err := hweng.New(path, res.Prog, r.opts.Device, res.AreaLEs, r.lane(path), r.opts.Features.Native, r.now)
@@ -281,11 +291,13 @@ func (r *Runtime) serviceJIT() {
 			}
 			continue
 		}
-		// Inherit state and control (between steps: always safe).
+		// Inherit state and control (between steps: always safe). The
+		// swap happens inside the client, so the path's transport stats
+		// and the scheduler's dispatch route are untouched.
 		hw.SetState(old.GetState())
 		r.vclk.AdvanceComm(hw.MsgsDelta(), &r.opts.Model)
 		old.End()
-		r.engines[path] = hw
+		c.SwapLocal(hw)
 		r.areaLEs += res.AreaLEs
 		if res.CacheHit {
 			r.opts.View.Info("engine %s moved to hardware (%d LEs, bitstream cache hit)",
@@ -296,7 +308,9 @@ func (r *Runtime) serviceJIT() {
 		}
 	}
 
-	// Phase transitions once every user engine is in hardware.
+	// Phase transitions once every user engine is in hardware. Location
+	// is read from the clients, so it covers remote engines the daemon
+	// promoted onto its own fabric as well as in-process hardware.
 	if len(r.jobs) != 0 {
 		return
 	}
@@ -305,14 +319,28 @@ func (r *Runtime) serviceJIT() {
 	users := 0
 	for _, s := range r.design.UserSubs() {
 		users++
-		hw, ok := r.engines[s.Path].(*hweng.Engine)
-		if !ok {
+		c := r.engines[s.Path]
+		if c.Loc() != engine.Hardware {
 			allHW = false
 			break
 		}
-		userHW = hw
+		userHW = asHW(c)
 	}
-	if !allHW || users == 0 {
+	if users == 0 {
+		return
+	}
+	if !allHW {
+		// A remote host evicts faulted engines on its own; the phase
+		// retreats here, when the reply envelopes show the move, and
+		// climbs again as the daemon recompiles. (Local evictions retreat
+		// the phase in evict directly.)
+		if r.phase == PhaseHardware || r.phase == PhaseNative {
+			if r.inlined {
+				r.phase = PhaseInlined
+			} else {
+				r.phase = PhaseSoftware
+			}
+		}
 		return
 	}
 	if r.phase == PhaseInlined || r.phase == PhaseSoftware {
@@ -322,9 +350,11 @@ func (r *Runtime) serviceJIT() {
 			r.phase = PhaseHardware
 		}
 	}
-	// ABI forwarding needs a single user engine (inlined designs).
+	// ABI forwarding needs a single user engine (inlined designs) living
+	// in this process: the forwarder absorbs stdlib engine objects, which
+	// cannot cross the wire. Remote engines stay in lock-step hardware.
 	if (r.phase == PhaseHardware || r.phase == PhaseNative) && users == 1 &&
-		!r.opts.Features.DisableForwarding {
+		userHW != nil && !r.opts.Features.DisableForwarding {
 		r.forwardStdlib(userHW)
 	}
 	// Open loop needs everything in one engine plus a known clock.
@@ -355,12 +385,12 @@ func (r *Runtime) serviceFaults() {
 	}
 	var faulted []string
 	for _, path := range r.sched {
-		if hw, ok := r.engines[path].(*hweng.Engine); ok && hw.Fault() != nil {
+		if hw := asHW(r.engines[path]); hw != nil && hw.Fault() != nil {
 			faulted = append(faulted, path)
 		}
 	}
 	for _, path := range faulted {
-		if hw, ok := r.engines[path].(*hweng.Engine); ok {
+		if hw := asHW(r.engines[path]); hw != nil {
 			r.evict(path, hw)
 		}
 	}
@@ -405,7 +435,7 @@ func (r *Runtime) evict(path string, hw *hweng.Engine) {
 	// restored state overwrites their variable effects — discard it.
 	r.discardLane(path)
 	sw.SetState(st)
-	r.engines[path] = sw
+	r.engines[path].SwapLocal(sw)
 	r.evictions++
 	r.vclk.AdvanceOverhead(uint64(len(f.Vars)+1) * model.DispatchPs / 4)
 
@@ -434,7 +464,7 @@ func (r *Runtime) unforward(hw *hweng.Engine) {
 		if !ok {
 			continue
 		}
-		r.engines[s.Path] = e
+		r.engines[s.Path] = r.wrapLocal(s.Path, e)
 		delete(r.groupOf, s.Path)
 		r.sched = append(r.sched, s.Path)
 	}
@@ -452,10 +482,15 @@ func (r *Runtime) unforward(hw *hweng.Engine) {
 func (r *Runtime) forwardStdlib(hw *hweng.Engine) {
 	group := map[string]bool{hw.Name(): true}
 	for _, s := range r.design.StdSubs() {
-		inner := r.engines[s.Path]
+		// The forwarder absorbs the bare stdlib engine; its transport
+		// client retires (stats banked for when unforward re-wraps it).
+		inner := r.stdEngines[s.Path]
 		hw.Forward(s.Path, inner)
 		group[s.Path] = true
 		r.groupOf[s.Path] = hw.Name()
+		if c, ok := r.engines[s.Path]; ok {
+			r.retireClient(s.Path, c)
+		}
 		delete(r.engines, s.Path)
 	}
 	// Rebuild the schedule: only the user engine remains.
@@ -486,8 +521,13 @@ func (r *Runtime) forwardStdlib(hw *hweng.Engine) {
 // openLoopBurst runs one adaptively-sized burst of scheduler iterations
 // inside the hardware engine (Figure 9.5).
 func (r *Runtime) openLoopBurst() {
-	hw, ok := r.engines[ir.RootPath].(*hweng.Engine)
+	c, ok := r.engines[ir.RootPath]
 	if !ok {
+		r.phase = PhaseForwarded
+		return
+	}
+	hw := asHW(c)
+	if hw == nil {
 		r.phase = PhaseForwarded
 		return
 	}

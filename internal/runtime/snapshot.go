@@ -9,12 +9,12 @@ import (
 
 	"cascade/internal/elab"
 	"cascade/internal/engine"
-	"cascade/internal/engine/hweng"
 	"cascade/internal/ir"
 	"cascade/internal/persist"
 	"cascade/internal/sim"
 	"cascade/internal/stdlib"
 	"cascade/internal/toolchain"
+	"cascade/internal/transport"
 	"cascade/internal/vclock"
 	"cascade/internal/verilog"
 )
@@ -163,15 +163,16 @@ func (r *Runtime) resetFreshLocked() {
 		j.Cancel()
 	}
 	r.jobs = map[string]*toolchain.Job{}
-	for path, e := range r.engines {
-		if hw, ok := e.(*hweng.Engine); ok {
+	for path, c := range r.engines {
+		if hw := asHW(c); hw != nil {
 			hw.Release()
 		}
 		if _, std := r.stdEngines[path]; !std {
-			e.End()
+			c.End()
 		}
+		r.retireClient(path, c)
 	}
-	r.engines = map[string]engine.Engine{}
+	r.engines = map[string]*transport.Client{}
 	r.stdEngines = map[string]engine.Engine{}
 	r.lanes = map[string]*laneIO{}
 	r.elabs = map[string]*elab.Flat{}

@@ -5,13 +5,19 @@ import (
 
 	"cascade/internal/fault"
 	"cascade/internal/toolchain"
+	"cascade/internal/transport"
 	"cascade/internal/vclock"
 )
 
-// EngineStat describes one scheduled engine.
+// EngineStat describes one scheduled engine: where it executes, which
+// transport its ABI dispatches over, and the transport's cumulative
+// counters for this path (carried across the restarts and hot swaps
+// that rebuild clients).
 type EngineStat struct {
-	Path     string
-	Location string // "software" or "hardware"
+	Path      string
+	Location  string // "software" or "hardware"
+	Transport string // "local" or "tcp"
+	Xport     transport.Stats
 }
 
 // Stats is a stable snapshot of the runtime's externally observable
@@ -50,6 +56,12 @@ type Stats struct {
 	// records, checkpoints, bytes, replay); Enabled is false on
 	// runtimes without persistence.
 	Persist PersistStats
+
+	// Remote reports the shared daemon connection ("" when engines run
+	// in-process); Xport sums the transport counters across every
+	// scheduled engine, retired clients included.
+	Remote string
+	Xport  transport.Stats
 }
 
 // Stats snapshots the runtime. It takes the runtime lock, so monitoring
@@ -73,12 +85,27 @@ func (r *Runtime) Stats() Stats {
 		Faults:          r.opts.Injector.Stats(),
 		Persist:         r.persistStats(),
 	}
+	if r.opts.Remote != nil {
+		st.Remote = r.opts.Remote.Addr
+	}
 	for _, path := range r.sched {
-		e, ok := r.engines[path]
+		c, ok := r.engines[path]
 		if !ok {
 			continue
 		}
-		st.Engines = append(st.Engines, EngineStat{Path: path, Location: e.Loc().String()})
+		es := EngineStat{
+			Path:      path,
+			Location:  c.Loc().String(),
+			Transport: c.TransportKind(),
+			Xport:     c.Stats(),
+		}
+		st.Engines = append(st.Engines, es)
+		st.Xport.Add(es.Xport)
+	}
+	// Counters banked from retired clients (paths currently forwarded or
+	// mid-rebuild) still belong to the lifetime totals.
+	for _, s := range r.xstats {
+		st.Xport.Add(s)
 	}
 	return st
 }
@@ -98,6 +125,11 @@ func (s Stats) Summary() string {
 		line += fmt.Sprintf(" faults[injected=%d transient=%d permanent=%d hw=%d evictions=%d]",
 			s.Faults.Injected, s.Faults.Transient, s.Faults.Permanent,
 			s.HWFaults, s.Evictions)
+	}
+	if s.Remote != "" {
+		line += fmt.Sprintf(" remote[%s roundtrips=%d out=%dB in=%dB drops=%d retries=%d]",
+			s.Remote, s.Xport.RoundTrips, s.Xport.BytesOut, s.Xport.BytesIn,
+			s.Xport.Drops, s.Xport.Retries)
 	}
 	if s.Persist.Enabled {
 		line += fmt.Sprintf(" persist[records=%d journal=%dB ckpts=%d ckptBytes=%d ckptMs=%d replayed=%d]",

@@ -1,0 +1,387 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cascade/internal/bits"
+	"cascade/internal/engine"
+	"cascade/internal/proto"
+	"cascade/internal/sim"
+)
+
+// Client presents a Transport-backed engine to the runtime: it
+// implements engine.Engine (plus engine.UsageReporter), so the
+// scheduler's lanes dispatch protocol round-trips without knowing where
+// the engine lives.
+//
+// IO ordering contract: replies piggyback the engine's buffered
+// $display/$finish events, and the client delivers them to its
+// IOHandler synchronously on the goroutine that issued the request —
+// before the call returns, hence before the worker lane joins the
+// batch. Remote engines therefore obey exactly the same lane-drain
+// ordering as in-process ones; no transport goroutine ever touches a
+// lane.
+//
+// Error model: a transport-level failure (daemon unreachable after the
+// retry budget) latches. The engine goes inert — polls answer false,
+// drains answer nothing, GetState returns an empty snapshot — and the
+// error is reported once through onErr. This is deliberate degradation,
+// mirroring the hardware fault path: the program limps rather than the
+// runtime crashing mid-step.
+type Client struct {
+	t      Transport
+	id     uint32
+	name   string
+	io     engine.IOHandler
+	onErr  func(error)
+	remote bool
+	nowFn  func() uint64
+	vnowFn func() uint64
+
+	// local is the zero-copy fast path: when the transport is Local,
+	// engine methods delegate straight to the wrapped engine — no
+	// request/reply structs, no locks, nothing between the scheduler and
+	// the engine but one pointer indirection and a round-trip counter.
+	// Guarded by the same controller-only discipline as Local.Swap.
+	local  engine.Engine
+	fastRT atomic.Uint64 // fast-path round-trips (for Stats)
+
+	mu      sync.Mutex
+	req     proto.Request
+	rep     proto.Reply
+	loc     engine.Location
+	pending engine.Usage
+	stats   Stats
+	err     error
+}
+
+// NewLocalClient wraps a pre-built in-process engine in a Client over a
+// Local transport. onErr may be nil.
+func NewLocalClient(e engine.Engine, onErr func(error)) *Client {
+	return &Client{
+		t:     NewLocal(e),
+		name:  e.Name(),
+		loc:   e.Loc(),
+		onErr: onErr,
+		local: e,
+	}
+}
+
+// SpawnSpec describes a subprogram to instantiate on a remote host.
+type SpawnSpec struct {
+	Path   string // instance path (the engine's name)
+	Source string // self-contained module declaration
+	Params map[string]*bits.Vector
+	Eager  bool // naive re-evaluation ablation
+	JIT    bool // let the host promote to its own fabric
+}
+
+// Spawn instantiates a subprogram on the host behind t and returns its
+// client. io receives the engine's $display/$finish events (including
+// those its initial blocks emit during construction, piggybacked on the
+// spawn reply). now feeds $time; vnow feeds the host's JIT clock. Both
+// may be nil when irrelevant.
+func Spawn(t Transport, spec SpawnSpec, io engine.IOHandler, now, vnow func() uint64, onErr func(error)) (*Client, error) {
+	c := &Client{
+		t:      t,
+		name:   spec.Path,
+		io:     io,
+		onErr:  onErr,
+		remote: t.Kind() != "local",
+		nowFn:  now,
+		vnowFn: vnow,
+	}
+	rep := c.call(proto.KindSpawn, func(req *proto.Request) {
+		req.Path = spec.Path
+		req.Source = spec.Source
+		req.Params = spec.Params
+		req.Eager = spec.Eager
+		req.JIT = spec.JIT
+	})
+	if c.err != nil {
+		return nil, c.err
+	}
+	if rep.Err != "" {
+		return nil, &remoteError{rep.Err}
+	}
+	c.id = rep.Engine
+	return c, nil
+}
+
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "transport: remote: " + e.msg }
+
+// Underlying returns the in-process engine behind a Local client (nil
+// for remote clients). The runtime uses it where it genuinely needs the
+// concrete engine — hot swaps, forwarding, open-loop bursts.
+func (c *Client) Underlying() engine.Engine { return c.local }
+
+// SwapLocal replaces the engine behind a Local client in place (the
+// JIT's hot swap), preserving the client's cumulative transport stats.
+// It panics on remote clients — remote promotion is the host's job.
+func (c *Client) SwapLocal(e engine.Engine) {
+	l := c.t.(*Local)
+	l.Swap(e)
+	c.local = e
+	c.mu.Lock()
+	c.loc = e.Loc()
+	c.mu.Unlock()
+}
+
+// Transport returns the client's transport.
+func (c *Client) Transport() Transport { return c.t }
+
+// Remote reports whether the engine lives on the far side of a real
+// transport (its communication is billed per round-trip) rather than
+// in-process.
+func (c *Client) Remote() bool { return c.remote }
+
+// TransportKind names the transport for stats displays.
+func (c *Client) TransportKind() string { return c.t.Kind() }
+
+// Stats returns the client's cumulative per-engine transport counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.RoundTrips += c.fastRT.Load()
+	return st
+}
+
+// SeedStats pre-loads the cumulative counters (the runtime carries an
+// engine's stats across program restarts, which rebuild clients).
+func (c *Client) SeedStats(s Stats) {
+	c.mu.Lock()
+	c.stats.Add(s)
+	c.mu.Unlock()
+}
+
+// Err returns the latched transport error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// call performs one round-trip. It returns the reply (valid until the
+// next call) or nil when the client has latched a transport error.
+func (c *Client) call(kind proto.Kind, build func(*proto.Request)) *proto.Reply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil
+	}
+	c.req = proto.Request{Kind: kind, Engine: c.id}
+	if c.nowFn != nil {
+		c.req.Now = c.nowFn()
+	}
+	if c.vnowFn != nil {
+		c.req.VNow = c.vnowFn()
+	}
+	if build != nil {
+		build(&c.req)
+	}
+	cost, err := c.t.Roundtrip(&c.req, &c.rep)
+	c.stats.RoundTrips++
+	c.stats.BytesOut += cost.BytesOut
+	c.stats.BytesIn += cost.BytesIn
+	c.stats.Drops += cost.Drops
+	c.stats.Retries += cost.Retries
+	if err != nil {
+		c.err = err
+		if c.onErr != nil {
+			c.onErr(err)
+		}
+		return nil
+	}
+	// Deliver piggybacked IO on this goroutine, preserving lane order.
+	if c.io != nil {
+		for _, ev := range c.rep.IO {
+			switch ev.Kind {
+			case proto.IODisplay:
+				c.io.Display(ev.Text, ev.Newline)
+			case proto.IOFinish:
+				c.io.Finish(ev.Code)
+			}
+		}
+	}
+	c.loc = c.rep.Loc
+	c.pending.Add(c.rep.Usage)
+	if c.remote {
+		// Every remote round-trip (and each retry) crosses a serialized
+		// boundary: bill it like an MMIO transaction. State transfers
+		// additionally cost one message per 32-bit word, matching the
+		// hardware engines' shadow-register access model.
+		c.pending.Msgs += 1 + cost.Retries
+		switch kind {
+		case proto.KindGetState:
+			c.pending.Msgs += stateWords(c.rep.State)
+		case proto.KindSetState:
+			c.pending.Msgs += stateWords(c.req.State)
+		}
+	}
+	return &c.rep
+}
+
+// stateWords counts 32-bit words in a snapshot (the unit the MMIO
+// model bills state access in).
+func stateWords(st *sim.State) uint64 {
+	if st == nil {
+		return 0
+	}
+	words := uint64(0)
+	for _, v := range st.Scalars {
+		words += uint64((v.Width() + 31) / 32)
+	}
+	for _, ws := range st.Arrays {
+		for _, v := range ws {
+			words += uint64((v.Width() + 31) / 32)
+		}
+	}
+	return words
+}
+
+// engine.Engine ----------------------------------------------------------
+
+// Name implements engine.Engine (no round-trip).
+func (c *Client) Name() string { return c.name }
+
+// Loc implements engine.Engine. Local clients read the engine directly;
+// remote clients return the location cached from the latest reply
+// envelope. No round-trip either way — the scheduler polls it constantly.
+func (c *Client) Loc() engine.Location {
+	if c.local != nil {
+		return c.local.Loc()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loc
+}
+
+// GetState implements engine.Engine.
+func (c *Client) GetState() *sim.State {
+	if c.local != nil {
+		c.fastRT.Add(1)
+		return c.local.GetState()
+	}
+	rep := c.call(proto.KindGetState, nil)
+	if rep == nil || rep.State == nil {
+		return &sim.State{Scalars: map[string]*bits.Vector{}, Arrays: map[string][]*bits.Vector{}}
+	}
+	return rep.State
+}
+
+// SetState implements engine.Engine.
+func (c *Client) SetState(st *sim.State) {
+	if c.local != nil {
+		c.fastRT.Add(1)
+		c.local.SetState(st)
+		return
+	}
+	c.call(proto.KindSetState, func(req *proto.Request) { req.State = st })
+}
+
+// Read implements engine.Engine.
+func (c *Client) Read(ev engine.Event) {
+	if c.local != nil {
+		c.fastRT.Add(1)
+		c.local.Read(ev)
+		return
+	}
+	c.call(proto.KindRead, func(req *proto.Request) {
+		req.Var = ev.Var
+		req.Val = ev.Val
+	})
+}
+
+// DrainWrites implements engine.Engine.
+func (c *Client) DrainWrites() []engine.Event {
+	if c.local != nil {
+		c.fastRT.Add(1)
+		return c.local.DrainWrites()
+	}
+	rep := c.call(proto.KindDrainWrites, nil)
+	if rep == nil {
+		return nil
+	}
+	return rep.Events
+}
+
+// ThereAreEvals implements engine.Engine.
+func (c *Client) ThereAreEvals() bool {
+	if c.local != nil {
+		c.fastRT.Add(1)
+		return c.local.ThereAreEvals()
+	}
+	rep := c.call(proto.KindThereAreEvals, nil)
+	return rep != nil && rep.Bool
+}
+
+// Evaluate implements engine.Engine.
+func (c *Client) Evaluate() {
+	if c.local != nil {
+		c.fastRT.Add(1)
+		c.local.Evaluate()
+		return
+	}
+	c.call(proto.KindEvaluate, nil)
+}
+
+// ThereAreUpdates implements engine.Engine.
+func (c *Client) ThereAreUpdates() bool {
+	if c.local != nil {
+		c.fastRT.Add(1)
+		return c.local.ThereAreUpdates()
+	}
+	rep := c.call(proto.KindThereAreUpdates, nil)
+	return rep != nil && rep.Bool
+}
+
+// Update implements engine.Engine.
+func (c *Client) Update() {
+	if c.local != nil {
+		c.fastRT.Add(1)
+		c.local.Update()
+		return
+	}
+	c.call(proto.KindUpdate, nil)
+}
+
+// EndStep implements engine.Engine.
+func (c *Client) EndStep() {
+	if c.local != nil {
+		c.fastRT.Add(1)
+		c.local.EndStep()
+		return
+	}
+	c.call(proto.KindEndStep, nil)
+}
+
+// End implements engine.Engine.
+func (c *Client) End() {
+	if c.local != nil {
+		c.fastRT.Add(1)
+		c.local.End()
+		return
+	}
+	c.call(proto.KindEnd, nil)
+}
+
+// UsageDelta implements engine.UsageReporter: the wrapped engine's own
+// meter on the fast path, or work accumulated from reply envelopes
+// (plus transport messages) for remote engines.
+func (c *Client) UsageDelta() engine.Usage {
+	if c.local != nil {
+		if ur, ok := c.local.(engine.UsageReporter); ok {
+			return ur.UsageDelta()
+		}
+		return engine.Usage{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := c.pending
+	c.pending = engine.Usage{}
+	return u
+}

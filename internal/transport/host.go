@@ -1,0 +1,305 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"cascade/internal/elab"
+	"cascade/internal/engine"
+	"cascade/internal/engine/hweng"
+	"cascade/internal/engine/sweng"
+	"cascade/internal/fault"
+	"cascade/internal/fpga"
+	"cascade/internal/proto"
+	"cascade/internal/toolchain"
+	"cascade/internal/verilog"
+)
+
+// HostOptions configures an engine host.
+type HostOptions struct {
+	// Device is the host's own fabric (default: a fresh Cyclone V).
+	// Remote engines are promoted onto it, not onto the runtime's.
+	Device *fpga.Device
+	// Toolchain compiles hosted subprograms (default: the standard
+	// model over Device).
+	Toolchain *toolchain.Toolchain
+	// DisableJIT pins hosted engines to software even when a spawn
+	// requests promotion.
+	DisableJIT bool
+	// Injector, when set, wires the host's fault surfaces (compiles,
+	// bus, regions) exactly as runtime.Options.Injector does locally.
+	Injector *fault.Injector
+}
+
+// Host is the serving side of the engine protocol: the core of
+// cmd/cascade-engined, and directly embeddable for loopback tests. It
+// keeps a registry of hosted engines keyed by the IDs it assigns at
+// spawn, executes ABI requests against them, and — when a spawn asks
+// for it — JIT-promotes hosted software engines onto its own fabric in
+// the background, flipping the location the reply envelopes advertise.
+type Host struct {
+	opts HostOptions
+
+	mu      sync.Mutex
+	nextID  uint32
+	engines map[uint32]*hosted
+}
+
+// hosted is one engine and its host-side bookkeeping.
+type hosted struct {
+	mu   sync.Mutex
+	e    engine.Engine
+	io   *bufIO
+	now  atomic.Uint64 // $time feed, updated from request headers
+	flat *elab.Flat
+	job  *toolchain.Job // pending background promotion
+	path string
+	area int
+}
+
+// bufIO buffers an engine's IO events for piggybacking on replies.
+type bufIO struct {
+	mu  sync.Mutex
+	evs []proto.IOEvent
+}
+
+// Display implements engine.IOHandler.
+func (b *bufIO) Display(text string, newline bool) {
+	b.mu.Lock()
+	b.evs = append(b.evs, proto.IOEvent{Kind: proto.IODisplay, Text: text, Newline: newline})
+	b.mu.Unlock()
+}
+
+// Finish implements engine.IOHandler.
+func (b *bufIO) Finish(code int) {
+	b.mu.Lock()
+	b.evs = append(b.evs, proto.IOEvent{Kind: proto.IOFinish, Code: code})
+	b.mu.Unlock()
+}
+
+func (b *bufIO) drain() []proto.IOEvent {
+	b.mu.Lock()
+	evs := b.evs
+	b.evs = nil
+	b.mu.Unlock()
+	return evs
+}
+
+// NewHost builds an engine host.
+func NewHost(opts HostOptions) *Host {
+	if opts.Device == nil {
+		opts.Device = fpga.NewCycloneV()
+	}
+	if opts.Toolchain == nil {
+		opts.Toolchain = toolchain.New(opts.Device, toolchain.DefaultOptions())
+	}
+	if opts.Injector != nil {
+		opts.Toolchain.SetFaults(opts.Injector)
+		opts.Device.SetFaults(opts.Injector)
+	}
+	return &Host{opts: opts, engines: map[uint32]*hosted{}}
+}
+
+// Handle executes one protocol request, filling rep. Transport servers
+// (and loopback tests) call it once per decoded frame; it never
+// panics on hostile input — unknown engines and bad spawns surface
+// through rep.Err.
+func (h *Host) Handle(req *proto.Request, rep *proto.Reply) {
+	*rep = proto.Reply{Kind: req.Kind, Engine: req.Engine}
+	if req.Kind == proto.KindSpawn {
+		h.spawn(req, rep)
+		return
+	}
+	h.mu.Lock()
+	hd := h.engines[req.Engine]
+	h.mu.Unlock()
+	if hd == nil {
+		rep.Err = fmt.Sprintf("unknown engine %d", req.Engine)
+		return
+	}
+	hd.mu.Lock()
+	defer hd.mu.Unlock()
+	hd.now.Store(req.Now)
+	e := hd.e
+	switch req.Kind {
+	case proto.KindRead:
+		e.Read(engine.Event{Var: req.Var, Val: req.Val})
+	case proto.KindDrainWrites:
+		rep.Events = e.DrainWrites()
+	case proto.KindThereAreEvals:
+		rep.Bool = e.ThereAreEvals()
+	case proto.KindEvaluate:
+		e.Evaluate()
+	case proto.KindThereAreUpdates:
+		rep.Bool = e.ThereAreUpdates()
+	case proto.KindUpdate:
+		e.Update()
+	case proto.KindGetState:
+		rep.State = e.GetState()
+	case proto.KindSetState:
+		if req.State != nil {
+			e.SetState(req.State)
+		}
+	case proto.KindEndStep:
+		e.EndStep()
+		h.serviceJIT(hd, req.VNow)
+	case proto.KindEnd:
+		e.End()
+		if hw, ok := hd.e.(*hweng.Engine); ok {
+			hw.Release()
+		}
+		h.mu.Lock()
+		delete(h.engines, req.Engine)
+		h.mu.Unlock()
+	default:
+		rep.Err = fmt.Sprintf("unsupported request kind %d", req.Kind)
+		return
+	}
+	h.finishReply(hd, rep)
+}
+
+// finishReply stamps the envelope: location, metered work, buffered IO.
+func (h *Host) finishReply(hd *hosted, rep *proto.Reply) {
+	rep.Loc = hd.e.Loc()
+	if ur, ok := hd.e.(engine.UsageReporter); ok {
+		rep.Usage = ur.UsageDelta()
+	}
+	rep.IO = hd.io.drain()
+}
+
+// spawn parses and elaborates the shipped source, builds a software
+// engine, and (when requested) submits its background compilation.
+func (h *Host) spawn(req *proto.Request, rep *proto.Reply) {
+	mods, items, errs := verilog.ParseProgramFragment(req.Source)
+	if len(errs) > 0 {
+		rep.Err = fmt.Sprintf("parse spawn source: %v", errs[0])
+		return
+	}
+	if len(mods) != 1 || len(items) != 0 {
+		rep.Err = fmt.Sprintf("spawn source must be exactly one module declaration (got %d modules, %d items)",
+			len(mods), len(items))
+		return
+	}
+	flat, err := elab.Elaborate(mods[0], req.Path, req.Params)
+	if err != nil {
+		rep.Err = fmt.Sprintf("elaborate %s: %v", req.Path, err)
+		return
+	}
+	hd := &hosted{io: &bufIO{}, flat: flat, path: req.Path}
+	hd.now.Store(req.Now)
+	nowFn := func() uint64 { return hd.now.Load() }
+	hd.e = sweng.New(flat, hd.io, nowFn, req.Eager)
+	if req.JIT && !h.opts.DisableJIT {
+		hd.job = h.opts.Toolchain.Submit(context.Background(), flat, true, req.VNow)
+	}
+	h.mu.Lock()
+	h.nextID++
+	id := h.nextID
+	h.engines[id] = hd
+	h.mu.Unlock()
+	rep.Engine = id
+	h.finishReply(hd, rep)
+}
+
+// serviceJIT runs the host-side slice of the Figure-9 state machine for
+// one engine at a step boundary: promote a finished compilation onto
+// the host's fabric, or evict a faulted hardware engine back to
+// software (resubmitting the compile). Callers hold hd.mu.
+func (h *Host) serviceJIT(hd *hosted, vnow uint64) {
+	if hw, ok := hd.e.(*hweng.Engine); ok && hw.Fault() != nil {
+		st := hw.GetState()
+		hw.Release()
+		sw := sweng.New(hd.flat, hd.io, func() uint64 { return hd.now.Load() }, false)
+		// Initial blocks re-ran at construction; the runtime side saw
+		// that output when the engine first spawned, so drop it.
+		hd.io.drain()
+		sw.SetState(st)
+		hd.e = sw
+		if hd.job == nil {
+			hd.job = h.opts.Toolchain.Submit(context.Background(), hd.flat, true, vnow)
+		}
+		return
+	}
+	job := hd.job
+	if job == nil || !job.Ready(vnow) {
+		return
+	}
+	hd.job = nil
+	res := job.Result()
+	if res.Err != nil {
+		return // stay in software; a hosted engine never kills the run
+	}
+	sw, ok := hd.e.(*sweng.Engine)
+	if !ok {
+		return
+	}
+	nowFn := func() uint64 { return hd.now.Load() }
+	hw, err := hweng.New(hd.path, res.Prog, h.opts.Device, res.AreaLEs, hd.io, false, nowFn)
+	if err != nil {
+		return // no fabric room (or a placement fault): stay in software
+	}
+	hw.SetState(sw.GetState())
+	sw.End()
+	hd.e = hw
+	hd.area = res.AreaLEs
+}
+
+// Engines returns the number of currently hosted engines.
+func (h *Host) Engines() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.engines)
+}
+
+// ServeListener accepts connections until the listener closes, serving
+// each on its own goroutine. All connections share the host's engine
+// registry, so a runtime that reconnects finds its engines intact.
+func (h *Host) ServeListener(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go h.ServeConn(conn)
+	}
+}
+
+// ServeConn runs the frame loop on one connection: read a request
+// frame, execute it, write the reply frame. It returns when the peer
+// disconnects or sends bytes that do not decode (a desynchronized
+// stream cannot be re-synchronized, so the connection drops and the
+// client's retry path redials).
+func (h *Host) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	var rbuf, wbuf []byte
+	var rep proto.Reply
+	for {
+		payload, err := proto.ReadFrame(conn, rbuf)
+		if err != nil {
+			return
+		}
+		rbuf = payload[:cap(payload)]
+		req, err := proto.DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		h.Handle(req, &rep)
+		wbuf = wbuf[:0]
+		wbuf = append(wbuf, 0, 0, 0, 0)
+		wbuf = proto.EncodeReply(wbuf, &rep)
+		n := len(wbuf) - 4
+		if n > proto.MaxFrame {
+			return
+		}
+		wbuf[0] = byte(n)
+		wbuf[1] = byte(n >> 8)
+		wbuf[2] = byte(n >> 16)
+		wbuf[3] = byte(n >> 24)
+		if _, err := conn.Write(wbuf); err != nil {
+			return
+		}
+	}
+}

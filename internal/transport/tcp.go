@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cascade/internal/fault"
+	"cascade/internal/proto"
+)
+
+// TCPOptions tunes a TCP transport.
+type TCPOptions struct {
+	// DialTimeout bounds each connection attempt (default 3s).
+	DialTimeout time.Duration
+	// CallTimeout bounds each round-trip, send to reply (default 10s).
+	CallTimeout time.Duration
+	// Retries is how many additional attempts a failed round-trip gets
+	// before the error is surfaced (default 2). Each retry reconnects.
+	Retries int
+	// Injector, when set, is consulted once per attempt: an injected
+	// drop loses the frame before transmission (deterministically, so
+	// fault runs replay) and counts against the attempt budget.
+	Injector *fault.Injector
+}
+
+func (o *TCPOptions) fill() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+}
+
+// TCP is a framed connection to a remote engine daemon. One TCP
+// transport multiplexes every engine the runtime hosts at that address;
+// round-trips are serialized on the connection (the protocol is
+// strictly request/reply), mirroring the serialized memory-mapped bus
+// the virtual-time model bills.
+type TCP struct {
+	addr string
+	opts TCPOptions
+	site string // fault-injection site name
+
+	mu   sync.Mutex // serializes round-trips on the connection
+	conn net.Conn
+	wbuf []byte
+	rbuf []byte
+
+	stMu    sync.Mutex
+	statsSn Stats // cumulative counters, guarded by stMu for concurrent Stats()
+}
+
+// DialTCP connects to a remote engine daemon. The initial dial is
+// eager so a bad address fails fast; later disconnects redial lazily.
+func DialTCP(addr string, opts TCPOptions) (*TCP, error) {
+	opts.fill()
+	t := &TCP{addr: addr, opts: opts, site: "tcp:" + addr}
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	t.conn = conn
+	return t, nil
+}
+
+// Kind implements Transport.
+func (t *TCP) Kind() string { return "tcp" }
+
+// Addr returns the daemon address.
+func (t *TCP) Addr() string { return t.addr }
+
+// Stats implements Transport.
+func (t *TCP) Stats() Stats {
+	t.stMu.Lock()
+	defer t.stMu.Unlock()
+	return t.statsSn
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn != nil {
+		err := t.conn.Close()
+		t.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Roundtrip implements Transport: encode, frame, send, await the reply
+// frame, decode. Failed attempts (injected drops, IO errors, decode
+// errors) reconnect and retry until the budget runs out.
+func (t *TCP) Roundtrip(req *proto.Request, rep *proto.Reply) (Cost, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var cost Cost
+	var lastErr error
+	for attempt := 0; attempt <= t.opts.Retries; attempt++ {
+		if attempt > 0 {
+			cost.Retries++
+		}
+		if err := t.opts.Injector.Net(t.site); err != nil {
+			// The frame is dropped before it leaves the host: nothing
+			// reached the daemon, so resending cannot duplicate side
+			// effects. The connection itself is fine.
+			cost.Drops++
+			lastErr = err
+			continue
+		}
+		c, err := t.attempt(req, rep, &cost)
+		if err == nil {
+			t.settle(cost, true)
+			return cost, nil
+		}
+		lastErr = err
+		if c != nil {
+			c.Close()
+		}
+		t.conn = nil // force redial on the next attempt
+	}
+	t.settle(cost, false)
+	return cost, fmt.Errorf("transport: %s: round-trip failed after %d attempts: %w",
+		t.addr, t.opts.Retries+1, lastErr)
+}
+
+// attempt performs one send/receive on the current (or a fresh)
+// connection, accounting bytes into cost.
+func (t *TCP) attempt(req *proto.Request, rep *proto.Reply, cost *Cost) (net.Conn, error) {
+	if t.conn == nil {
+		conn, err := net.DialTimeout("tcp", t.addr, t.opts.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		t.conn = conn
+	}
+	c := t.conn
+	deadline := time.Now().Add(t.opts.CallTimeout)
+	if err := c.SetDeadline(deadline); err != nil {
+		return c, err
+	}
+	t.wbuf = t.wbuf[:0]
+	t.wbuf = append(t.wbuf, 0, 0, 0, 0)
+	t.wbuf = proto.EncodeRequest(t.wbuf, req)
+	payload := len(t.wbuf) - 4
+	if payload > proto.MaxFrame {
+		return c, proto.ErrFrameTooLarge
+	}
+	t.wbuf[0] = byte(payload)
+	t.wbuf[1] = byte(payload >> 8)
+	t.wbuf[2] = byte(payload >> 16)
+	t.wbuf[3] = byte(payload >> 24)
+	if _, err := c.Write(t.wbuf); err != nil {
+		return c, err
+	}
+	cost.BytesOut += uint64(len(t.wbuf))
+	buf, err := proto.ReadFrame(c, t.rbuf)
+	if err != nil {
+		return c, err
+	}
+	t.rbuf = buf[:cap(buf)]
+	cost.BytesIn += uint64(len(buf) + 4)
+	if err := proto.DecodeReply(buf, rep); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// settle folds one call's cost into the cumulative stats snapshot.
+func (t *TCP) settle(cost Cost, ok bool) {
+	t.stMu.Lock()
+	defer t.stMu.Unlock()
+	if ok {
+		t.statsSn.RoundTrips++
+	}
+	t.statsSn.BytesOut += cost.BytesOut
+	t.statsSn.BytesIn += cost.BytesIn
+	t.statsSn.Drops += cost.Drops
+	t.statsSn.Retries += cost.Retries
+}

@@ -1,0 +1,63 @@
+// Package transport carries the engine protocol (internal/proto)
+// between the runtime and its engines. Two implementations ship: Local,
+// a zero-copy in-process fast path that dispatches protocol structs
+// directly onto an engine without touching the codec, and TCP, a
+// length-prefixed framed connection to a remote engine daemon
+// (cmd/cascade-engined) with deadlines, deterministic fault-injected
+// drops, and reconnect-and-retry.
+//
+// The runtime talks to every scheduled engine through a Client, which
+// implements engine.Engine over a Transport — so the scheduler cannot
+// tell (and must not care) whether a subprogram lives on its own heap,
+// in another process, or on another machine. That is the paper's
+// Figure-7 ABI boundary made wire-real, and the prerequisite for the
+// multi-host sharding direction SYNERGY explored.
+package transport
+
+import (
+	"cascade/internal/proto"
+)
+
+// Cost is the transport-level price of one round-trip, returned to the
+// caller so per-engine accounting stays exact even when a transport is
+// shared by many engines.
+type Cost struct {
+	BytesOut uint64
+	BytesIn  uint64
+	Drops    uint64 // fault-injected drops consumed by this call
+	Retries  uint64 // reconnect/resend attempts beyond the first
+}
+
+// Stats are a transport's cumulative counters.
+type Stats struct {
+	RoundTrips uint64
+	BytesOut   uint64
+	BytesIn    uint64
+	Drops      uint64
+	Retries    uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.RoundTrips += o.RoundTrips
+	s.BytesOut += o.BytesOut
+	s.BytesIn += o.BytesIn
+	s.Drops += o.Drops
+	s.Retries += o.Retries
+}
+
+// Transport moves one request/reply pair at a time. Implementations are
+// safe for concurrent Roundtrip calls (the runtime's worker lanes drive
+// different engines concurrently over a shared transport).
+type Transport interface {
+	// Roundtrip sends req and fills rep with the response. A non-nil
+	// error means the transport failed (the engine is unreachable);
+	// engine-level failures travel inside rep.Err.
+	Roundtrip(req *proto.Request, rep *proto.Reply) (Cost, error)
+	// Kind names the transport ("local", "tcp") for stats displays.
+	Kind() string
+	// Stats returns cumulative counters.
+	Stats() Stats
+	// Close releases the transport's resources.
+	Close() error
+}

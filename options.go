@@ -86,6 +86,27 @@ func WithPersistenceOptions(po PersistOptions) Option {
 	return func(o *Options) { o.Persist = &po }
 }
 
+// WithRemoteEngine hosts the program's user engines on a cascade-engined
+// daemon at addr (host:port) instead of in-process: subprograms are
+// shipped over the engine protocol at integration time, every ABI
+// interaction becomes a billed TCP round-trip, and JIT promotion happens
+// on the daemon's own fabric. Stdlib peripherals always stay local.
+// Tune timeouts and the retry budget with WithRemoteEngineOptions.
+func WithRemoteEngine(addr string) Option {
+	return func(o *Options) {
+		if o.Remote == nil {
+			o.Remote = &RemoteOptions{}
+		}
+		o.Remote.Addr = addr
+	}
+}
+
+// WithRemoteEngineOptions overlays the whole remote-engine configuration
+// (address, dial/call timeouts, retry budget).
+func WithRemoteEngineOptions(ro RemoteOptions) Option {
+	return func(o *Options) { o.Remote = &ro }
+}
+
 // WithFaultInjector wires a deterministic fault injector into the
 // toolchain, the device, and the hardware engines: flaky compiles retry
 // with capped virtual-time backoff, and a faulted hardware engine

@@ -42,6 +42,7 @@ import (
 
 	"cascade/internal/fault"
 	"cascade/internal/fpga"
+	"cascade/internal/obsv"
 	"cascade/internal/repl"
 	"cascade/internal/runtime"
 	"cascade/internal/stdlib"
@@ -115,6 +116,21 @@ type (
 	// RemoteOptions configures the connection to a cascade-engined
 	// daemon hosting the program's user engines (WithRemoteEngine).
 	RemoteOptions = runtime.RemoteOptions
+	// Observer is the observability hub (internal/obsv): a bounded JIT
+	// lifecycle trace ring, a Prometheus-text metrics registry, and an
+	// optional HTTP endpoint. Wire one in with WithObservability (builds
+	// one) or WithObserver (shares an existing one); a nil Observer
+	// disables observability at near-zero cost.
+	Observer = obsv.Observer
+	// ObservabilityOptions configures an Observer: the HTTP address, the
+	// trace-ring capacity, and (for tests) a pinned wall clock.
+	ObservabilityOptions = obsv.Options
+	// TraceEvent is one recorded lifecycle event: what happened, to
+	// which engine path, stamped with both wall and virtual time.
+	TraceEvent = obsv.Event
+	// TraceEventKind classifies a TraceEvent (compile-submit, cache-hit,
+	// hot-swap, eviction, fault, recovery, …).
+	TraceEventKind = obsv.EventKind
 	// TransportStats counts one transport's protocol traffic:
 	// round-trips, bytes each way, injected drops, and retries.
 	TransportStats = transport.Stats
@@ -129,6 +145,12 @@ type (
 // NewEngineHost builds an engine-protocol host; serve it on a listener
 // with its ServeListener method (see cmd/cascade-engined).
 func NewEngineHost(opts EngineHostOptions) *EngineHost { return transport.NewHost(opts) }
+
+// NewObserver builds a standalone observability hub (see Observer). Most
+// callers use WithObservability instead; build one directly to share it
+// between a runtime and an embedded EngineHost, or to serve its HTTP
+// endpoint (StartHTTP) without a runtime.
+func NewObserver(oo ObservabilityOptions) *Observer { return obsv.New(oo) }
 
 // EncodeSnapshot renders a snapshot as a self-contained text blob.
 func EncodeSnapshot(s *Snapshot) string { return runtime.EncodeSnapshot(s) }

@@ -15,6 +15,8 @@
 //	cascade-engined -compile-scale 600   # speed up the virtual toolchain
 //	cascade-engined -cache-dir d         # persist bitstreams across runs
 //	cascade-engined -no-jit              # pin hosted engines to software
+//	cascade-engined -observe 127.0.0.1:9926  # serve the daemon's own
+//	                                     # /metrics, /trace, /debug/pprof
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"os"
 
 	"cascade/internal/fpga"
+	"cascade/internal/obsv"
 	"cascade/internal/toolchain"
 	"cascade/internal/transport"
 )
@@ -33,8 +36,18 @@ func main() {
 	scale := flag.Float64("compile-scale", 600, "divide virtual compile latency (1 = paper-faithful)")
 	cacheDir := flag.String("cache-dir", "", "persist compiled bitstreams here across processes")
 	noJIT := flag.Bool("no-jit", false, "pin hosted engines to software (no fabric promotion)")
+	observe := flag.String("observe", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. 127.0.0.1:0)")
 	flag.Parse()
 
+	var obs *obsv.Observer
+	if *observe != "" {
+		obs = obsv.New(obsv.Options{Addr: *observe})
+		if err := obs.StartHTTP(); err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-engined: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[cascade-engined] observability endpoint on http://%s (/metrics, /trace, /debug/pprof)\n", obs.HTTPAddr())
+	}
 	dev := fpga.NewCycloneV()
 	tco := toolchain.DefaultOptions()
 	tco.Scale = *scale
@@ -43,6 +56,7 @@ func main() {
 		Device:     dev,
 		Toolchain:  toolchain.New(dev, tco),
 		DisableJIT: *noJIT,
+		Observer:   obs,
 	})
 
 	l, err := net.Listen("tcp", *listen)

@@ -16,6 +16,8 @@
 //	cascade -cache-dir d        # persist compiled bitstreams across runs
 //	cascade -remote-engine addr # host user engines on a cascade-engined
 //	                            # daemon at addr (see cmd/cascade-engined)
+//	cascade -observe 127.0.0.1:9926  # serve /metrics, /trace, and
+//	                            # /debug/pprof; enables :trace/:metrics
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"os"
 
 	"cascade/internal/fpga"
+	"cascade/internal/obsv"
 	"cascade/internal/repl"
 	"cascade/internal/runtime"
 	"cascade/internal/toolchain"
@@ -41,6 +44,7 @@ func main() {
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint cadence in steps (0 = default)")
 	cacheDir := flag.String("cache-dir", "", "persist compiled bitstreams here across processes")
 	remote := flag.String("remote-engine", "", "host user engines on a cascade-engined daemon at this address")
+	observe := flag.String("observe", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. 127.0.0.1:0); also enables :trace and :metrics")
 	flag.Parse()
 
 	dev := fpga.NewCycloneV()
@@ -58,6 +62,11 @@ func main() {
 	}
 	if *remote != "" {
 		opts.Remote = &runtime.RemoteOptions{Addr: *remote}
+	}
+	if *observe != "" {
+		// runtime.New starts the endpoint and announces the bound
+		// address through the view.
+		opts.Observer = obsv.New(obsv.Options{Addr: *observe})
 	}
 	var r *repl.REPL
 	var info *runtime.RecoveryInfo

@@ -39,6 +39,9 @@ func main() {
 		cascade.WithDevice(dev),
 		cascade.WithToolchain(cascade.NewToolchain(dev, tco)),
 		cascade.WithOpenLoopTarget(50_000_000), // 50 virtual µs per burst
+		// Trace the JIT lifecycle and serve /metrics, /trace, and
+		// /debug/pprof on an ephemeral port for the demo's duration.
+		cascade.WithObservability(cascade.ObservabilityOptions{Addr: "127.0.0.1:0"}),
 	)
 
 	fmt.Println("eval: standard prelude (Clock clk; Pad#(4) pad; Led#(8) led)")
@@ -89,4 +92,15 @@ func main() {
 		}
 	}
 	fmt.Printf("\nfinal phase: %v, hardware area: %d LEs\n", rt.Phase(), rt.AreaLEs())
+
+	// The observer recorded the whole migration; replay the story.
+	obs := rt.Observer()
+	fmt.Printf("\nJIT lifecycle trace (last 8 of %d events; full trace at http://%s/trace):\n",
+		len(obs.Trace(0)), obs.HTTPAddr())
+	for _, ev := range obs.Trace(8) {
+		fmt.Println(ev.String())
+	}
+	fmt.Printf("\ncompiles: %d (%.2f virtual s billed)  promotions: %d  metrics: http://%s/metrics\n",
+		obs.CompileLatency.Count(), float64(obs.CompileLatency.Sum())/1e12,
+		obs.Promotions.Value(), obs.HTTPAddr())
 }

@@ -28,6 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"cascade/internal/obsv"
 )
 
 // Op is the class of operation a fault can be injected into.
@@ -157,6 +159,7 @@ type Injector struct {
 	mu    sync.Mutex
 	sites map[string]*site
 	stats Stats
+	obs   *obsv.Observer
 }
 
 // New returns an injector for the given config.
@@ -170,6 +173,20 @@ func (in *Injector) Seed() uint64 {
 		return 0
 	}
 	return in.cfg.Seed
+}
+
+// SetObserver installs an observability hub: every injected fault is
+// traced and counted. Injection happens on whatever goroutine runs the
+// faulted operation (toolchain workers, transport callers), so events
+// carry no virtual stamp (EmitAt 0) — the schedule itself stays a pure
+// function of (seed, op, site, trial) and observation changes nothing.
+func (in *Injector) SetObserver(o *obsv.Observer) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.obs = o
+	in.mu.Unlock()
 }
 
 // Stats returns a snapshot of the injector's counters.
@@ -267,7 +284,12 @@ func (in *Injector) check(op Op, siteName string, pTransient, pPermanent float64
 	case OpNet:
 		in.stats.Net++
 	}
-	return &Error{Op: op, Site: siteName, Attempt: s.trials, Transient: transient}
+	err := &Error{Op: op, Site: siteName, Attempt: s.trials, Transient: transient}
+	if o := in.obs; o != nil {
+		o.Faults.Inc()
+		o.EmitAt(0, obsv.EvFault, siteName, err.Error())
+	}
+	return err
 }
 
 // roll maps (seed, op, site, trial) to a uniform value in [0, 1).

@@ -1,0 +1,100 @@
+package obsv
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// httpServer is the listener + server pair StartHTTP manages.
+type httpServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns the observability mux: /metrics (Prometheus text),
+// /trace (JSONL, ?n= tail), and /debug/pprof/* for live profiling.
+// Returns nil on a nil Observer.
+func (o *Observer) Handler() http.Handler {
+	if o == nil {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.WriteMetrics(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, ev := range o.Trace(n) {
+			ev.writeJSON(w)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartHTTP serves the Handler on Options.Addr. It is idempotent (the
+// first successful call wins; later calls return nil) and a no-op when
+// Addr is empty or the Observer nil, so both the facade and the daemon
+// can call it unconditionally.
+func (o *Observer) StartHTTP() error {
+	if o == nil {
+		return nil
+	}
+	o.httpMu.Lock()
+	defer o.httpMu.Unlock()
+	if o.addr == "" || o.srv != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return fmt.Errorf("obsv: listen %s: %w", o.addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	o.srv = &httpServer{ln: ln, srv: srv}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return nil
+}
+
+// HTTPAddr returns the bound address ("" until StartHTTP succeeds).
+// With Addr ":0" this is how tests and logs learn the chosen port.
+func (o *Observer) HTTPAddr() string {
+	if o == nil {
+		return ""
+	}
+	o.httpMu.Lock()
+	defer o.httpMu.Unlock()
+	if o.srv == nil {
+		return ""
+	}
+	return o.srv.ln.Addr().String()
+}
+
+// Close shuts the HTTP endpoint down (if one was started). The Observer
+// itself stays usable; StartHTTP may be called again.
+func (o *Observer) Close() error {
+	if o == nil {
+		return nil
+	}
+	o.httpMu.Lock()
+	defer o.httpMu.Unlock()
+	if o.srv == nil {
+		return nil
+	}
+	err := o.srv.srv.Close()
+	o.srv = nil
+	return err
+}

@@ -218,6 +218,8 @@ func (r *REPL) command(line string) bool {
   :program         echo the program eval'd so far
   :save <path>     write a migratable snapshot of the running program
   :load <path>     replace the running program with a saved snapshot
+  :trace [n]       show the last n lifecycle events (default 20)
+  :metrics         dump the metrics registry in Prometheus text format
 `)
 	case ":phase":
 		r.mu.Lock()
@@ -319,6 +321,33 @@ func (r *REPL) command(line string) bool {
 		}
 		fmt.Fprintf(r.out, "snapshot loaded from %s: ticks=%d phase=%v\n",
 			fields[1], r.rt.Ticks(), r.rt.Phase())
+	case ":trace":
+		o := r.rt.Observer()
+		if !o.Enabled() {
+			fmt.Fprintln(r.out, "observability is off (start with -observe, or WithObservability)")
+			break
+		}
+		n := 20
+		if len(fields) > 1 {
+			fmt.Sscanf(fields[1], "%d", &n)
+		}
+		r.mu.Lock()
+		evs := o.Trace(n)
+		r.mu.Unlock()
+		if len(evs) == 0 {
+			fmt.Fprintln(r.out, "no events recorded yet")
+			break
+		}
+		for _, ev := range evs {
+			fmt.Fprintln(r.out, ev.String())
+		}
+	case ":metrics":
+		o := r.rt.Observer()
+		if !o.Enabled() {
+			fmt.Fprintln(r.out, "observability is off (start with -observe, or WithObservability)")
+			break
+		}
+		fmt.Fprint(r.out, o.MetricsText())
 	case ":program":
 		r.mu.Lock()
 		fmt.Fprint(r.out, r.rt.ProgramSource())

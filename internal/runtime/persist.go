@@ -3,8 +3,8 @@ package runtime
 import (
 	"fmt"
 	"sync"
-	"time"
 
+	"cascade/internal/obsv"
 	"cascade/internal/persist"
 )
 
@@ -270,6 +270,10 @@ func Open(opts Options) (*Runtime, *RecoveryInfo, error) {
 	}
 	info.ResumedSteps = r.Steps()
 	info.LastSeq = lastSeq
+	if info.Recovered {
+		r.obs().Emit(obsv.EvRecovery, "", fmt.Sprintf("checkpoint seq=%d replayed=%d records resumed steps=%d",
+			st.CheckpointSeq, info.ReplayedRecords, r.Steps()))
+	}
 
 	p := &persister{
 		opts:          po,
@@ -358,7 +362,9 @@ func (r *Runtime) persistAfterStep() {
 // checkpoint, rotating the journal. Callers hold r.mu.
 func (r *Runtime) checkpointLocked() error {
 	p := r.pers
-	start := time.Now()
+	// Checkpoint timing reads the observer's wall clock (pinnable in
+	// tests); it feeds only stats and metrics, never virtual billing.
+	start := r.obs().WallNow()
 	// The covered journal position is read before the snapshot: an
 	// input racing in between lands in both the snapshot and the replay
 	// suffix, and applying it twice is idempotent — the reverse order
@@ -395,7 +401,16 @@ func (r *Runtime) checkpointLocked() error {
 	p.lastCkptPs = r.vclk.Now()
 	p.checkpoints++
 	p.checkpointBytes = int64(len(payload))
-	p.checkpointNs += time.Since(start).Nanoseconds()
+	wallNs := r.obs().WallNow().Sub(start).Nanoseconds()
+	if wallNs < 0 {
+		wallNs = 0 // a pinned/frozen test clock may not advance
+	}
+	p.checkpointNs += wallNs
+	if o := r.opts.Observer; o != nil {
+		o.Emit(obsv.EvCheckpoint, "", fmt.Sprintf("seq=%d bytes=%d", seqAt, len(payload)))
+		o.Checkpoints.Inc()
+		o.CheckpointWall.Observe(uint64(wallNs))
+	}
 	return nil
 }
 

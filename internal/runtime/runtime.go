@@ -30,6 +30,7 @@ import (
 	"cascade/internal/fault"
 	"cascade/internal/fpga"
 	"cascade/internal/ir"
+	"cascade/internal/obsv"
 	"cascade/internal/sim"
 	"cascade/internal/stdlib"
 	"cascade/internal/toolchain"
@@ -179,6 +180,16 @@ type Options struct {
 	// CPU; 1 runs batches serially on the controller goroutine.
 	Parallelism int
 
+	// Observer receives JIT lifecycle trace events and metrics
+	// (internal/obsv). Nil disables observability at near-zero cost: the
+	// scheduler's instrumentation is nil-receiver no-ops. The runtime
+	// also routes every host-side wall-clock read (open-loop burst
+	// profiling, checkpoint timing) through Observer.WallNow, so a
+	// test-pinned wall clock makes even the wall-adaptive paths
+	// deterministic — and proves wall time never leaks into virtual
+	// billing.
+	Observer *obsv.Observer
+
 	// Injector injects deterministic faults (internal/fault) into the
 	// toolchain, the device, and the hardware engines: flaky compiles
 	// are retried with virtual-time backoff, and a faulted hardware
@@ -324,6 +335,16 @@ func New(opts Options) *Runtime {
 		opts.Toolchain.SetFaults(opts.Injector)
 		opts.Device.SetFaults(opts.Injector)
 	}
+	if opts.Observer != nil {
+		// One observer sees the whole pipeline: the toolchain stamps
+		// compile events with job virtual times, the injector reports
+		// fault sites, and the runtime emits the controller-side
+		// lifecycle (phases, hot swaps, evictions, checkpoints).
+		opts.Toolchain.SetObserver(opts.Observer)
+		if opts.Injector != nil {
+			opts.Injector.SetObserver(opts.Observer)
+		}
+	}
 	par := opts.Parallelism
 	if par == 0 {
 		par = goruntime.NumCPU()
@@ -331,7 +352,7 @@ func New(opts Options) *Runtime {
 	if par < 1 {
 		par = 1
 	}
-	return &Runtime{
+	r := &Runtime{
 		opts:       opts,
 		par:        par,
 		prog:       ir.NewProgram(),
@@ -345,6 +366,39 @@ func New(opts Options) *Runtime {
 		xstats:     map[string]transport.Stats{},
 		olIters:    64,
 		olWallCap:  1 << 14, // ramps up while bursts stay cheap
+	}
+	// Emit (controller-only) stamps events off the runtime's virtual
+	// clock; concurrent emitters (toolchain workers, transports, the
+	// injector) use EmitAt and never touch this closure.
+	opts.Observer.SetVirtualNow(func() uint64 { return r.vclk.Now() })
+	// Serve /metrics, /trace, and /debug/pprof if the observer names an
+	// address (no-op otherwise; idempotent if the caller already did).
+	if err := opts.Observer.StartHTTP(); err != nil {
+		opts.View.Error(err)
+	} else if addr := opts.Observer.HTTPAddr(); addr != "" {
+		opts.View.Info("observability endpoint on http://%s (/metrics, /trace, /debug/pprof)", addr)
+	}
+	return r
+}
+
+// Observer returns the configured observability hub (nil when disabled).
+func (r *Runtime) Observer() *obsv.Observer { return r.opts.Observer }
+
+// obs is shorthand for the (possibly nil) observer at instrumentation
+// sites.
+func (r *Runtime) obs() *obsv.Observer { return r.opts.Observer }
+
+// setPhase transitions the JIT phase, tracing the transition and
+// updating the phase gauge. Controller goroutine only.
+func (r *Runtime) setPhase(p Phase) {
+	if r.phase == p {
+		return
+	}
+	prev := r.phase
+	r.phase = p
+	if o := r.opts.Observer; o != nil {
+		o.Emit(obsv.EvPhase, "", prev.String()+" -> "+p.String())
+		o.Phase.Set(int64(p))
 	}
 }
 
@@ -550,6 +604,7 @@ func (r *Runtime) spawnRemote(path string, mod *verilog.Module, params map[strin
 			CallTimeout: ro.CallTimeout,
 			Retries:     ro.Retries,
 			Injector:    r.opts.Injector,
+			Observer:    r.opts.Observer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("remote engine: %w", err)
@@ -568,6 +623,8 @@ func (r *Runtime) spawnRemote(path string, mod *verilog.Module, params map[strin
 	if err != nil {
 		return nil, fmt.Errorf("remote engine %s: %w", path, err)
 	}
+	c.SetObserver(r.opts.Observer)
+	r.obs().Emit(obsv.EvSpawn, path, "remote engine on "+r.opts.Remote.Addr)
 	if s, ok := r.xstats[path]; ok {
 		c.SeedStats(s)
 		delete(r.xstats, path)
@@ -624,6 +681,7 @@ func (r *Runtime) EvalCtx(ctx context.Context, src string) error {
 	if err != nil {
 		return err
 	}
+	r.obs().Emit(obsv.EvEval, "", fmt.Sprintf("modules=%d items=%d bytes=%d", len(mods), len(items), len(src)))
 	// Every user subprogram must elaborate (type checking).
 	newElabs := map[string]*elab.Flat{}
 	for _, s := range design.UserSubs() {
@@ -632,6 +690,7 @@ func (r *Runtime) EvalCtx(ctx context.Context, src string) error {
 			return err
 		}
 		newElabs[s.Path] = f
+		r.obs().Emit(obsv.EvElaborate, s.Path, fmt.Sprintf("vars=%d", len(f.Vars)))
 	}
 	// Commit — journaled first, so a crash between here and the commit
 	// replays an eval the crashed process had accepted but not applied
@@ -856,9 +915,9 @@ func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) erro
 		r.startupPs = r.vclk.Now() - evalStart
 	}
 	if r.inlined {
-		r.phase = PhaseInlined
+		r.setPhase(PhaseInlined)
 	} else {
-		r.phase = PhaseSoftware
+		r.setPhase(PhaseSoftware)
 	}
 	return nil
 }

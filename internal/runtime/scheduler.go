@@ -11,6 +11,7 @@ import (
 	"cascade/internal/engine/sweng"
 	"cascade/internal/fault"
 	"cascade/internal/ir"
+	"cascade/internal/obsv"
 	"cascade/internal/stdlib"
 	"cascade/internal/transport"
 )
@@ -209,7 +210,12 @@ func (r *Runtime) settleBatch(batch []string) {
 			maxCompute = c
 		}
 	}
-	r.vclk.AdvanceCompute(batchMakespanPs(sumCompute, maxCompute, r.par))
+	span := batchMakespanPs(sumCompute, maxCompute, r.par)
+	r.vclk.AdvanceCompute(span)
+	if o := r.opts.Observer; o != nil {
+		o.BatchMakespan.Observe(span)
+		o.LaneOccupancy.Observe(uint64(len(batch)))
+	}
 	// FIFO host transfers cross the memory-mapped bridge regardless of
 	// which side the engine lives on (the Figure 12 bottleneck).
 	for _, e := range r.stdEngines {
@@ -287,6 +293,7 @@ func (r *Runtime) serviceJIT() {
 			if fault.IsTransient(err) {
 				if f := r.elabsExec()[path]; f != nil {
 					r.jobs[path] = r.opts.Toolchain.Submit(r.jobCtx(), f, !r.opts.Features.Native, r.vclk.Now())
+					r.obs().Emit(obsv.EvRecovery, path, "transient programming fault: compile resubmitted")
 				}
 			}
 			continue
@@ -299,6 +306,11 @@ func (r *Runtime) serviceJIT() {
 		old.End()
 		c.SwapLocal(hw)
 		r.areaLEs += res.AreaLEs
+		if o := r.opts.Observer; o != nil {
+			o.Emit(obsv.EvHotSwap, path, fmt.Sprintf("sw->hw area=%dLEs cacheHit=%v", res.AreaLEs, res.CacheHit))
+			o.Promotions.Inc()
+			o.AreaLEs.Set(int64(r.areaLEs))
+		}
 		if res.CacheHit {
 			r.opts.View.Info("engine %s moved to hardware (%d LEs, bitstream cache hit)",
 				path, res.AreaLEs)
@@ -336,18 +348,18 @@ func (r *Runtime) serviceJIT() {
 		// the phase in evict directly.)
 		if r.phase == PhaseHardware || r.phase == PhaseNative {
 			if r.inlined {
-				r.phase = PhaseInlined
+				r.setPhase(PhaseInlined)
 			} else {
-				r.phase = PhaseSoftware
+				r.setPhase(PhaseSoftware)
 			}
 		}
 		return
 	}
 	if r.phase == PhaseInlined || r.phase == PhaseSoftware {
 		if r.opts.Features.Native {
-			r.phase = PhaseNative
+			r.setPhase(PhaseNative)
 		} else {
-			r.phase = PhaseHardware
+			r.setPhase(PhaseHardware)
 		}
 	}
 	// ABI forwarding needs a single user engine (inlined designs) living
@@ -360,7 +372,7 @@ func (r *Runtime) serviceJIT() {
 	// Open loop needs everything in one engine plus a known clock.
 	if r.phase == PhaseForwarded && !r.opts.Features.DisableOpenLoop &&
 		len(r.sched) == 1 && r.clockVar != "" {
-		r.phase = PhaseOpenLoop
+		r.setPhase(PhaseOpenLoop)
 		r.opts.View.Info("entering open-loop scheduling on %s", r.clockVar)
 	}
 }
@@ -407,6 +419,7 @@ func (r *Runtime) serviceFaults() {
 func (r *Runtime) evict(path string, hw *hweng.Engine) {
 	model := &r.opts.Model
 	r.hwFaults++
+	r.obs().Emit(obsv.EvFault, path, fmt.Sprintf("hardware fault latched: %v", hw.Fault()))
 	r.opts.View.Info("hardware fault on %s (%v): degrading to software", path, hw.Fault())
 
 	// A forwarded (or open-loop) engine first hands its absorbed stdlib
@@ -438,16 +451,22 @@ func (r *Runtime) evict(path string, hw *hweng.Engine) {
 	r.engines[path].SwapLocal(sw)
 	r.evictions++
 	r.vclk.AdvanceOverhead(uint64(len(f.Vars)+1) * model.DispatchPs / 4)
+	if o := r.opts.Observer; o != nil {
+		o.Emit(obsv.EvEviction, path, fmt.Sprintf("hw->sw area=%dLEs released", hw.AreaLEs()))
+		o.Evictions.Inc()
+		o.AreaLEs.Set(int64(r.areaLEs))
+	}
 
 	// The JIT retreats one phase and climbs again.
 	if r.inlined {
-		r.phase = PhaseInlined
+		r.setPhase(PhaseInlined)
 	} else {
-		r.phase = PhaseSoftware
+		r.setPhase(PhaseSoftware)
 	}
 	if !r.opts.Features.DisableJIT {
 		if _, pending := r.jobs[path]; !pending {
 			r.jobs[path] = r.opts.Toolchain.Submit(r.jobCtx(), f, !r.opts.Features.Native, r.vclk.Now())
+			r.obs().Emit(obsv.EvRecovery, path, "eviction: compile resubmitted (bitstream cache warm)")
 		}
 	}
 	r.opts.View.Info("engine %s moved to software (%d LEs released), recompiling", path, hw.AreaLEs())
@@ -514,7 +533,7 @@ func (r *Runtime) forwardStdlib(hw *hweng.Engine) {
 		}
 	}
 	r.routesFrom = kept
-	r.phase = PhaseForwarded
+	r.setPhase(PhaseForwarded)
 	r.opts.View.Info("stdlib components forwarded into %s", hw.Name())
 }
 
@@ -523,12 +542,12 @@ func (r *Runtime) forwardStdlib(hw *hweng.Engine) {
 func (r *Runtime) openLoopBurst() {
 	c, ok := r.engines[ir.RootPath]
 	if !ok {
-		r.phase = PhaseForwarded
+		r.setPhase(PhaseForwarded)
 		return
 	}
 	hw := asHW(c)
 	if hw == nil {
-		r.phase = PhaseForwarded
+		r.setPhase(PhaseForwarded)
 		return
 	}
 	model := &r.opts.Model
@@ -537,9 +556,15 @@ func (r *Runtime) openLoopBurst() {
 	if iters > r.olWallCap {
 		iters = r.olWallCap
 	}
-	wallStart := time.Now()
+	// Wall time is read through the observer's clock, never time.Now
+	// directly: burst sizing is the one place host wall time influences
+	// scheduling (how many iterations run before control returns), so
+	// routing it here lets tests pin the clock and prove the virtual
+	// timeline is independent of the host (TestOpenLoopDeterministicWithPinnedWall).
+	// Wall time still never reaches r.vclk — only iteration counts do.
+	wallStart := r.obs().WallNow()
 	done := hw.OpenLoop(r.clockVar, iters)
-	wall := time.Since(wallStart)
+	wall := r.obs().WallNow().Sub(wallStart)
 	r.steps += uint64(done)
 	r.ticks = r.steps / 2
 	r.vclk.AdvanceCompute(hw.CyclesDelta() * model.HWCyclePs)
@@ -564,7 +589,7 @@ func (r *Runtime) openLoopBurst() {
 	}
 	if done == 0 {
 		// No forward progress (e.g. missing clock): fall back.
-		r.phase = PhaseForwarded
+		r.setPhase(PhaseForwarded)
 		return
 	}
 	// Adaptive profiling: size the next burst so control returns to the

@@ -183,7 +183,7 @@ func (r *Runtime) resetFreshLocked() {
 	r.prog = ir.NewProgram()
 	r.flatDesign, r.design = nil, nil
 	r.inlined = false
-	r.phase = PhaseEmpty
+	r.setPhase(PhaseEmpty)
 	r.steps, r.ticks = 0, 0
 	r.finished = false
 	r.displayQ = nil

@@ -126,9 +126,19 @@ func (s Stats) Summary() string {
 			s.Faults.Injected, s.Faults.Transient, s.Faults.Permanent,
 			s.HWFaults, s.Evictions)
 	}
-	if s.Remote != "" {
+	// The remote segment keys on wire traffic, not on a configured
+	// address: counters banked from retired clients (a session whose
+	// remote engines were torn down, forwarded, or rebuilt mid-run) are
+	// still lifetime totals the user asked for, and RoundTrips alone
+	// cannot gate it — Local clients meter fast-path round-trips too, so
+	// every in-process session has RoundTrips > 0 with zero wire bytes.
+	if s.Remote != "" || s.Xport.WireActivity() {
+		addr := s.Remote
+		if addr == "" {
+			addr = "(retired)"
+		}
 		line += fmt.Sprintf(" remote[%s roundtrips=%d out=%dB in=%dB drops=%d retries=%d]",
-			s.Remote, s.Xport.RoundTrips, s.Xport.BytesOut, s.Xport.BytesIn,
+			addr, s.Xport.RoundTrips, s.Xport.BytesOut, s.Xport.BytesIn,
 			s.Xport.Drops, s.Xport.Retries)
 	}
 	if s.Persist.Enabled {

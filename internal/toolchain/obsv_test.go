@@ -1,0 +1,74 @@
+package toolchain
+
+import (
+	"context"
+	"testing"
+
+	"cascade/internal/fpga"
+	"cascade/internal/obsv"
+)
+
+// TestObserverRecordsBilledLatency pins the compile-latency histogram to
+// the toolchain's own virtual billing: every sample it records is the
+// DurationPs the job service charged, so the exported histogram can
+// never tell a different story than the virtual clock. Cache hits are
+// billed (and recorded) too, at cache-hit latency.
+func TestObserverRecordsBilledLatency(t *testing.T) {
+	obs := obsv.New(obsv.Options{})
+	tc := New(fpga.NewCycloneV(), DefaultOptions())
+	tc.SetObserver(obs)
+
+	var wantSum uint64
+	durations := map[uint64]bool{}
+	for _, src := range []string{smallCounter, bigDatapath} {
+		j := tc.Submit(context.Background(), flatFor(t, src), false, 0)
+		res := j.Result()
+		if res.Err != nil {
+			t.Fatalf("compile failed: %v", res.Err)
+		}
+		wantSum += res.DurationPs
+		durations[res.DurationPs] = true
+	}
+	if got := obs.CompileLatency.Count(); got != 2 {
+		t.Fatalf("histogram count = %d, want 2", got)
+	}
+	if got := obs.CompileLatency.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %d ps, billed %d ps", got, wantSum)
+	}
+
+	// A resubmission of an unchanged design is a cache hit billed at
+	// cache-hit latency — still recorded, still equal to the billing.
+	j := tc.Submit(context.Background(), flatFor(t, smallCounter), false, 0)
+	res := j.Result()
+	if res.Err != nil {
+		t.Fatalf("cached compile failed: %v", res.Err)
+	}
+	if !res.CacheHit {
+		t.Fatal("resubmission should hit the bitstream cache")
+	}
+	wantSum += res.DurationPs
+	if got := obs.CompileLatency.Sum(); got != wantSum {
+		t.Errorf("after cache hit: histogram sum = %d ps, billed %d ps", got, wantSum)
+	}
+	if hits := obs.CacheHits.Value(); hits != 1 {
+		t.Errorf("cache-hit counter = %d, want 1", hits)
+	}
+	if misses := obs.CacheMisses.Value(); misses != 2 {
+		t.Errorf("cache-miss counter = %d, want 2", misses)
+	}
+
+	// Submitted at virtual time 0, each bitstream-ready event is stamped
+	// exactly at its billed duration: the trace and the clock agree.
+	readyStamps := map[uint64]bool{}
+	for _, ev := range obs.Trace(0) {
+		if ev.Kind == obsv.EvBitstreamReady {
+			readyStamps[ev.VPs] = true
+		}
+	}
+	for d := range durations {
+		if !readyStamps[d] {
+			t.Errorf("no bitstream-ready event stamped at billed duration %d ps (stamps %v)",
+				d, readyStamps)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"cascade/internal/fault"
 	"cascade/internal/fpga"
 	"cascade/internal/netlist"
+	"cascade/internal/obsv"
 	"cascade/internal/vclock"
 )
 
@@ -146,6 +147,7 @@ type Toolchain struct {
 
 	mu       sync.Mutex
 	faults   *fault.Injector
+	obs      *obsv.Observer
 	compiles int
 	cache    map[string]*cacheEntry
 	stats    Stats
@@ -193,6 +195,25 @@ func (t *Toolchain) Faults() *fault.Injector {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.faults
+}
+
+// SetObserver installs an observability hub (internal/obsv): the job
+// service traces compile submissions, cache outcomes, and completions,
+// and records each flow's billed virtual latency. Jobs run on worker
+// goroutines, so every event is stamped with job virtual times via
+// EmitAt — the workers never touch a live virtual clock. Nil (the
+// default) disables instrumentation.
+func (t *Toolchain) SetObserver(o *obsv.Observer) {
+	t.mu.Lock()
+	t.obs = o
+	t.mu.Unlock()
+}
+
+// observer returns the installed hub (nil-safe to use directly).
+func (t *Toolchain) observer() *obsv.Observer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.obs
 }
 
 // backoffPs returns the virtual backoff before retry attempt n (0-based),
@@ -370,6 +391,7 @@ func (s JobState) String() string {
 // Job is a background compilation tracked in virtual time.
 type Job struct {
 	t        *Toolchain
+	name     string // subprogram path, for trace events
 	submitPs uint64
 	done     chan struct{}
 
@@ -414,10 +436,12 @@ func (t *Toolchain) Submit(ctx context.Context, f *elab.Flat, wrapped bool, nowP
 		ctx = context.Background()
 	}
 	jctx, abort := context.WithCancel(ctx)
-	j := &Job{t: t, submitPs: nowPs, done: make(chan struct{}), abort: abort}
+	j := &Job{t: t, name: f.Name, submitPs: nowPs, done: make(chan struct{}), abort: abort}
 	t.mu.Lock()
 	t.stats.Submitted++
+	obs := t.obs
 	t.mu.Unlock()
+	obs.EmitAt(nowPs, obsv.EvCompileSubmit, f.Name, fmt.Sprintf("wrapped=%v", wrapped))
 	go j.run(jctx, f, wrapped)
 	return j
 }
@@ -490,6 +514,7 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 	entry, hit := t.cache[key]
 	if hit {
 		res := *entry.res // shallow copy; Prog and Stats are immutable
+		detail := "memory"
 		switch {
 		case entry.published || j.submitPs >= entry.availAtPs:
 			// The bitstream exists: serve it in near-zero virtual time
@@ -507,8 +532,14 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 			}
 			res.CacheHit = true
 			t.stats.Joined++
+			detail = "joined in-flight flow"
 		}
+		obs := t.obs
 		t.mu.Unlock()
+		if obs != nil {
+			obs.CacheHits.Inc()
+			obs.EmitAt(j.submitPs, obsv.EvCacheHit, j.name, detail)
+		}
 		j.complete(&res, entry)
 		return
 	}
@@ -531,7 +562,12 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 		t.stats.DiskHits++
 		entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs, published: true}
 		t.cache[key] = entry
+		obs := t.obs
 		t.mu.Unlock()
+		if obs != nil {
+			obs.CacheHits.Inc()
+			obs.EmitAt(j.submitPs, obsv.EvCacheHit, j.name, "disk store")
+		}
 		j.complete(res, entry)
 		return
 	}
@@ -540,7 +576,12 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 	t.stats.CacheMisses++
 	entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs}
 	t.cache[key] = entry
+	obs := t.obs
 	t.mu.Unlock()
+	if obs != nil {
+		obs.CacheMisses.Inc()
+		obs.EmitAt(j.submitPs, obsv.EvCacheMiss, j.name, "place-and-route")
+	}
 	t.diskStore(key, res)
 	j.complete(res, entry)
 }
@@ -574,7 +615,20 @@ func (j *Job) complete(res *Result, entry *cacheEntry) {
 	} else {
 		j.state = JobDone
 	}
+	readyAt := j.readyAtPs
 	j.mu.Unlock()
+	if o := j.t.observer(); o != nil {
+		// The histogram records exactly the virtual duration the flow
+		// bills (TestObserverRecordsBilledLatency pins the two together);
+		// the completion event is stamped at the flow's virtual finish.
+		o.CompileLatency.Observe(res.DurationPs)
+		if res.Err != nil {
+			o.EmitAt(readyAt, obsv.EvCompileFailed, j.name, res.Err.Error())
+		} else {
+			o.EmitAt(readyAt, obsv.EvBitstreamReady, j.name,
+				fmt.Sprintf("area=%dLEs virtual=%.3fs cacheHit=%v", res.AreaLEs, float64(res.DurationPs)/float64(vclock.S), res.CacheHit))
+		}
+	}
 }
 
 // Cancel marks the job obsolete: its result will never be reported

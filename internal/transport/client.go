@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"cascade/internal/bits"
 	"cascade/internal/engine"
+	"cascade/internal/obsv"
 	"cascade/internal/proto"
 	"cascade/internal/sim"
 )
@@ -48,12 +50,25 @@ type Client struct {
 	fastRT atomic.Uint64 // fast-path round-trips (for Stats)
 
 	mu      sync.Mutex
+	obs     *obsv.Observer
 	req     proto.Request
 	rep     proto.Reply
 	loc     engine.Location
 	pending engine.Usage
 	stats   Stats
 	err     error
+}
+
+// SetObserver installs an observability hub on a remote client: location
+// changes advertised by reply envelopes — the daemon promoting the
+// engine onto its own fabric, or evicting a faulted one back to software
+// — are traced as hot-swap events, so remote JIT activity flows back
+// into the runtime's trace. The fast path of Local clients is untouched
+// (local swaps are traced by the runtime's own serviceJIT).
+func (c *Client) SetObserver(o *obsv.Observer) {
+	c.mu.Lock()
+	c.obs = o
+	c.mu.Unlock()
 }
 
 // NewLocalClient wraps a pre-built in-process engine in a Client over a
@@ -205,6 +220,22 @@ func (c *Client) call(kind proto.Kind, build func(*proto.Request)) *proto.Reply 
 			case proto.IOFinish:
 				c.io.Finish(ev.Code)
 			}
+		}
+	}
+	if c.remote && c.rep.Loc != c.loc && c.obs != nil {
+		// The daemon moved the engine (its own Figure-9 machine): a
+		// promotion onto its fabric, or an eviction back to software.
+		// Worker goroutines issue calls, so the event carries the
+		// request's virtual stamp via EmitAt rather than Emit.
+		dir := "sw->hw"
+		if c.rep.Loc != engine.Hardware {
+			dir = "hw->sw"
+		}
+		c.obs.EmitAt(c.req.VNow, obsv.EvHotSwap, c.name, fmt.Sprintf("remote %s", dir))
+		if c.rep.Loc == engine.Hardware {
+			c.obs.Promotions.Inc()
+		} else {
+			c.obs.Evictions.Inc()
 		}
 	}
 	c.loc = c.rep.Loc

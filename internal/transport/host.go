@@ -13,6 +13,7 @@ import (
 	"cascade/internal/engine/sweng"
 	"cascade/internal/fault"
 	"cascade/internal/fpga"
+	"cascade/internal/obsv"
 	"cascade/internal/proto"
 	"cascade/internal/toolchain"
 	"cascade/internal/verilog"
@@ -32,6 +33,12 @@ type HostOptions struct {
 	// Injector, when set, wires the host's fault surfaces (compiles,
 	// bus, regions) exactly as runtime.Options.Injector does locally.
 	Injector *fault.Injector
+	// Observer, when set, receives the daemon-side lifecycle: spawns,
+	// the host's own promotions and evictions, and (via the toolchain)
+	// compile events — so cascade-engined can serve its own /metrics.
+	// Events are stamped with the virtual clock the requesting runtime
+	// ships in each request header.
+	Observer *obsv.Observer
 }
 
 // Host is the serving side of the engine protocol: the core of
@@ -99,6 +106,12 @@ func NewHost(opts HostOptions) *Host {
 	if opts.Injector != nil {
 		opts.Toolchain.SetFaults(opts.Injector)
 		opts.Device.SetFaults(opts.Injector)
+	}
+	if opts.Observer != nil {
+		opts.Toolchain.SetObserver(opts.Observer)
+		if opts.Injector != nil {
+			opts.Injector.SetObserver(opts.Observer)
+		}
 	}
 	return &Host{opts: opts, engines: map[uint32]*hosted{}}
 }
@@ -200,6 +213,8 @@ func (h *Host) spawn(req *proto.Request, rep *proto.Reply) {
 	id := h.nextID
 	h.engines[id] = hd
 	h.mu.Unlock()
+	h.opts.Observer.EmitAt(req.VNow, obsv.EvSpawn, req.Path,
+		fmt.Sprintf("hosted engine %d jit=%v", id, req.JIT && !h.opts.DisableJIT))
 	rep.Engine = id
 	h.finishReply(hd, rep)
 }
@@ -210,6 +225,10 @@ func (h *Host) spawn(req *proto.Request, rep *proto.Reply) {
 // software (resubmitting the compile). Callers hold hd.mu.
 func (h *Host) serviceJIT(hd *hosted, vnow uint64) {
 	if hw, ok := hd.e.(*hweng.Engine); ok && hw.Fault() != nil {
+		if o := h.opts.Observer; o != nil {
+			o.EmitAt(vnow, obsv.EvEviction, hd.path, fmt.Sprintf("host hw->sw: %v", hw.Fault()))
+			o.Evictions.Inc()
+		}
 		st := hw.GetState()
 		hw.Release()
 		sw := sweng.New(hd.flat, hd.io, func() uint64 { return hd.now.Load() }, false)
@@ -245,6 +264,10 @@ func (h *Host) serviceJIT(hd *hosted, vnow uint64) {
 	sw.End()
 	hd.e = hw
 	hd.area = res.AreaLEs
+	if o := h.opts.Observer; o != nil {
+		o.EmitAt(vnow, obsv.EvHotSwap, hd.path, fmt.Sprintf("host sw->hw area=%dLEs", res.AreaLEs))
+		o.Promotions.Inc()
+	}
 }
 
 // Engines returns the number of currently hosted engines.

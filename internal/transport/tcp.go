@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cascade/internal/fault"
+	"cascade/internal/obsv"
 	"cascade/internal/proto"
 )
 
@@ -23,6 +24,10 @@ type TCPOptions struct {
 	// drop loses the frame before transmission (deterministically, so
 	// fault runs replay) and counts against the attempt budget.
 	Injector *fault.Injector
+	// Observer, when set, records wall-clock round-trip latency and
+	// drop/retry/error counters, and traces round-trips that fail after
+	// the retry budget. Nil costs nothing.
+	Observer *obsv.Observer
 }
 
 func (o *TCPOptions) fill() {
@@ -102,6 +107,11 @@ func (t *TCP) Close() error {
 func (t *TCP) Roundtrip(req *proto.Request, rep *proto.Reply) (Cost, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	obs := t.opts.Observer
+	var rttStart time.Time
+	if obs != nil {
+		rttStart = obs.WallNow()
+	}
 	var cost Cost
 	var lastErr error
 	for attempt := 0; attempt <= t.opts.Retries; attempt++ {
@@ -118,7 +128,26 @@ func (t *TCP) Roundtrip(req *proto.Request, rep *proto.Reply) (Cost, error) {
 		}
 		c, err := t.attempt(req, rep, &cost)
 		if err == nil {
+			// The per-call deadline must not outlive the call: the conn is
+			// shared and long-lived, and an armed deadline from this
+			// round-trip would fire mid-write on the next one after an
+			// idle gap longer than CallTimeout (TestTCPDeadlineClearedAfterIdle).
+			if derr := c.SetDeadline(time.Time{}); derr != nil {
+				// The call itself succeeded; a failed disarm means the
+				// conn is going bad — drop it so the next call redials.
+				c.Close()
+				t.conn = nil
+			}
 			t.settle(cost, true)
+			if obs != nil {
+				if ns := obs.WallNow().Sub(rttStart).Nanoseconds(); ns > 0 {
+					obs.TransportRTT.Observe(uint64(ns))
+				} else {
+					obs.TransportRTT.Observe(0) // pinned test clock
+				}
+				obs.TransportDrops.Add(cost.Drops)
+				obs.TransportRetry.Add(cost.Retries)
+			}
 			return cost, nil
 		}
 		lastErr = err
@@ -128,8 +157,18 @@ func (t *TCP) Roundtrip(req *proto.Request, rep *proto.Reply) (Cost, error) {
 		t.conn = nil // force redial on the next attempt
 	}
 	t.settle(cost, false)
-	return cost, fmt.Errorf("transport: %s: round-trip failed after %d attempts: %w",
+	err := fmt.Errorf("transport: %s: round-trip failed after %d attempts: %w",
 		t.addr, t.opts.Retries+1, lastErr)
+	if obs != nil {
+		obs.TransportErrors.Inc()
+		obs.TransportDrops.Add(cost.Drops)
+		obs.TransportRetry.Add(cost.Retries)
+		// Stamped with the caller's virtual clock from the request
+		// header (0 for un-clocked callers); Roundtrip runs on worker
+		// goroutines, so Emit is off-limits.
+		obs.EmitAt(req.VNow, obsv.EvTransportError, t.site, err.Error())
+	}
+	return cost, err
 }
 
 // attempt performs one send/receive on the current (or a fresh)

@@ -46,6 +46,14 @@ func (s *Stats) Add(o Stats) {
 	s.Retries += o.Retries
 }
 
+// WireActivity reports whether any real (non-Local) traffic is counted:
+// bytes moved, frames dropped, or attempts retried. RoundTrips is
+// deliberately excluded — Local clients meter their zero-copy fast-path
+// calls as round-trips, so it is non-zero in every in-process session.
+func (s Stats) WireActivity() bool {
+	return s.BytesOut > 0 || s.BytesIn > 0 || s.Drops > 0 || s.Retries > 0
+}
+
 // Transport moves one request/reply pair at a time. Implementations are
 // safe for concurrent Roundtrip calls (the runtime's worker lanes drive
 // different engines concurrently over a shared transport).

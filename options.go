@@ -1,5 +1,7 @@
 package cascade
 
+import "cascade/internal/obsv"
+
 // Option configures a Runtime at construction (cascade.New). Options
 // compose left to right; everything left unset gets a paper-calibrated
 // default. The same knobs remain reachable through an Options struct
@@ -105,6 +107,27 @@ func WithRemoteEngine(addr string) Option {
 // (address, dial/call timeouts, retry budget).
 func WithRemoteEngineOptions(ro RemoteOptions) Option {
 	return func(o *Options) { o.Remote = &ro }
+}
+
+// WithObservability builds a fresh observability hub from oo and wires
+// it through the whole pipeline: the runtime's lifecycle (phase
+// transitions, hot swaps, evictions, checkpoints), the toolchain's
+// compile events and latency histogram, the fault injector's sites, and
+// every transport's round-trip counters. When oo.Addr is non-empty the
+// runtime serves /metrics (Prometheus text), /trace (JSONL), and
+// /debug/pprof there as soon as it is constructed — read the bound
+// address from rt.Observer().HTTPAddr() (use "127.0.0.1:0" to pick a
+// free port). A nil observer — the default — disables all of it at
+// near-zero cost.
+func WithObservability(oo ObservabilityOptions) Option {
+	return func(o *Options) { o.Observer = obsv.New(oo) }
+}
+
+// WithObserver wires an existing Observer instead of building one: share
+// a hub (and its metrics registry) across several runtimes, or between a
+// runtime and an embedded EngineHost.
+func WithObserver(ob *Observer) Option {
+	return func(o *Options) { o.Observer = ob }
 }
 
 // WithFaultInjector wires a deterministic fault injector into the

@@ -117,6 +117,147 @@ func TestOptionConformance(t *testing.T) {
 	}
 }
 
+// TestNewWithOptionsAlias pins the collapse of the construction
+// triplet: NewWithOptions(o) is exactly New(WithOptions(o)) — one
+// options-resolution path — so both runtimes behave identically.
+func TestNewWithOptionsAlias(t *testing.T) {
+	// Each runtime gets its own fresh (but identically configured)
+	// device/toolchain stack so neither perturbs the other's compile
+	// cache or fabric.
+	build := func() Options {
+		o := buildOptions(fastOptions())
+		o.View = &BufView{Quiet: true}
+		o.Parallelism = 2
+		o.Features = Features{DisableOpenLoop: true}
+		return o
+	}
+	// The functional path resolves a struct literal unchanged...
+	lit := build()
+	if got := buildOptions([]Option{WithOptions(lit)}); !reflect.DeepEqual(got, lit) {
+		t.Fatalf("WithOptions mutates the literal:\n got %+v\nwant %+v", got, lit)
+	}
+	// ...and the two constructors drive identical executions.
+	prog := `
+        reg [7:0] cnt = 1;
+        always @(posedge clk.val) cnt <= cnt + 3;
+        assign led.val = cnt;
+    `
+	run := func(rt *Runtime) (uint64, Phase, uint64) {
+		rt.MustEval(DefaultPrelude)
+		rt.MustEval(prog)
+		rt.RunTicks(200)
+		return rt.World().Led("main.led"), rt.Phase(), rt.VirtualNow()
+	}
+	aLed, aPhase, aNow := run(New(WithOptions(build())))
+	bLed, bPhase, bNow := run(NewWithOptions(build()))
+	if aLed != bLed || aPhase != bPhase || aNow != bNow {
+		t.Fatalf("construction paths diverge: led %d/%d phase %v/%v vnow %d/%d",
+			aLed, bLed, aPhase, bPhase, aNow, bNow)
+	}
+}
+
+// TestFacadeOptionPermutations checks order-independence of the three
+// subsystem options: WithRemoteEngine, WithPersistence, and
+// WithObservability touch disjoint Options fields, so every application
+// order must resolve to identical Options.
+func TestFacadeOptionPermutations(t *testing.T) {
+	type entry struct {
+		name string
+		opt  Option
+	}
+	entries := []entry{
+		{"remote", WithRemoteEngine("127.0.0.1:9000")},
+		{"persist", WithPersistence("/tmp/cascade-perm")},
+		{"observe", WithObservability(ObservabilityOptions{TraceCap: 64})},
+	}
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	var want Options
+	for i, p := range perms {
+		got := buildOptions([]Option{entries[p[0]].opt, entries[p[1]].opt, entries[p[2]].opt})
+		// WithObservability builds a fresh hub per application; normalize
+		// the pointer before comparing the rest.
+		if got.Observer == nil {
+			t.Fatalf("perm %v: observer not wired", p)
+		}
+		got.Observer = nil
+		if got.Remote == nil || got.Remote.Addr != "127.0.0.1:9000" {
+			t.Fatalf("perm %v: remote not wired: %+v", p, got.Remote)
+		}
+		if got.Persist == nil || got.Persist.Dir != "/tmp/cascade-perm" {
+			t.Fatalf("perm %v: persistence not wired: %+v", p, got.Persist)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("perm %v resolves differently:\n got %+v\nwant %+v", p, got, want)
+		}
+	}
+}
+
+// TestFacadeServe drives the session API end to end through the public
+// facade: a hypervisor over a shared fabric, two tenant sessions with
+// private views, both reaching hardware with tenant-scoped stats.
+func TestFacadeServe(t *testing.T) {
+	tco := DefaultToolchainOptions()
+	tco.Scale = 1e9
+	tco.BasePs = 1
+	hv, err := Serve(
+		ServeDevice(NewDevice(40_000, 50_000_000)),
+		ServeToolchainOptions(tco),
+		ServeQuantum(50),
+		ServeDefaultQuota(16_000),
+		ServeDefaultCompileShare(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hv.Close()
+
+	views := [2]*BufView{{Quiet: true}, {Quiet: true}}
+	for i, view := range views {
+		s, err := hv.NewSession(
+			SessionID(fmt.Sprintf("tenant%d", i)),
+			SessionRuntime(WithParallelism(2), WithOpenLoopTarget(10_000_000)),
+			SessionView(view),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.MustEval(DefaultPrelude)
+		s.MustEval(fmt.Sprintf(`
+            reg [7:0] cnt = %d;
+            always @(posedge clk.val) begin
+                cnt <= cnt + 1;
+                if (cnt == 8'd100) $display("tenant %d done");
+            end
+            assign led.val = cnt;
+        `, i+1, i))
+		s.RunTicks(400)
+	}
+	infos := hv.SessionInfos()
+	if len(infos) != 2 {
+		t.Fatalf("SessionInfos: %+v", infos)
+	}
+	for i, view := range views {
+		if !strings.Contains(view.Output(), fmt.Sprintf("tenant %d done", i)) {
+			t.Errorf("tenant %d output missing: %q", i, view.Output())
+		}
+	}
+	s0 := hv.Session("tenant0")
+	st := s0.Stats()
+	if st.Tenant != "tenant0" || st.RegionLEs != 16_000 {
+		t.Errorf("tenant stats: %q region=%d", st.Tenant, st.RegionLEs)
+	}
+	if err := s0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hv.SessionCount() != 1 {
+		t.Errorf("session count after close = %d", hv.SessionCount())
+	}
+}
+
 // TestFacadeFaultDegradation drives the fault injector through the
 // public API: a scripted transient compile failure plus one bus error.
 // The program must keep producing correct output through the retry, the

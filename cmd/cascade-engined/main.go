@@ -8,6 +8,15 @@
 // runtime would promote them — the client only sees the location flip
 // in the reply envelopes.
 //
+// The daemon is multi-session: clients may open private sessions
+// (cascade -session-quota / cascade.WithRemoteSession), each of which
+// carves a spatial region out of the daemon's fabric and gets its own
+// toolchain tenant — namespaced bitstream cache, fair-share compile
+// workers, scoped fault schedules. Sessionless clients keep the legacy
+// behavior of sharing the whole fabric. -session-quota sets the region
+// size granted when a session opens without asking for one (default: a
+// quarter of the fabric).
+//
 // Usage:
 //
 //	cascade-engined                      # listen on 127.0.0.1:9925
@@ -15,6 +24,8 @@
 //	cascade-engined -compile-scale 600   # speed up the virtual toolchain
 //	cascade-engined -cache-dir d         # persist bitstreams across runs
 //	cascade-engined -no-jit              # pin hosted engines to software
+//	cascade-engined -session-quota 25000 # default region for sessions
+//	                                     # that don't request a size
 //	cascade-engined -observe 127.0.0.1:9926  # serve the daemon's own
 //	                                     # /metrics, /trace, /debug/pprof
 package main
@@ -36,6 +47,7 @@ func main() {
 	scale := flag.Float64("compile-scale", 600, "divide virtual compile latency (1 = paper-faithful)")
 	cacheDir := flag.String("cache-dir", "", "persist compiled bitstreams here across processes")
 	noJIT := flag.Bool("no-jit", false, "pin hosted engines to software (no fabric promotion)")
+	sessQuota := flag.Int("session-quota", 0, "default fabric region in LEs for sessions that open without a quota (0 = a quarter of the fabric)")
 	observe := flag.String("observe", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. 127.0.0.1:0)")
 	flag.Parse()
 
@@ -53,10 +65,11 @@ func main() {
 	tco.Scale = *scale
 	tco.CacheDir = *cacheDir
 	host := transport.NewHost(transport.HostOptions{
-		Device:     dev,
-		Toolchain:  toolchain.New(dev, tco),
-		DisableJIT: *noJIT,
-		Observer:   obs,
+		Device:                 dev,
+		Toolchain:              toolchain.New(dev, tco),
+		DisableJIT:             *noJIT,
+		DefaultSessionQuotaLEs: *sessQuota,
+		Observer:               obs,
 	})
 
 	l, err := net.Listen("tcp", *listen)

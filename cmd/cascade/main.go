@@ -16,6 +16,10 @@
 //	cascade -cache-dir d        # persist compiled bitstreams across runs
 //	cascade -remote-engine addr # host user engines on a cascade-engined
 //	                            # daemon at addr (see cmd/cascade-engined)
+//	cascade -remote-engine addr -session-quota 25000 -session-share 2
+//	                            # open a private daemon session: a 25K-LE
+//	                            # fabric region and 2 fair-share compile
+//	                            # workers, isolated from other clients
 //	cascade -observe 127.0.0.1:9926  # serve /metrics, /trace, and
 //	                            # /debug/pprof; enables :trace/:metrics
 package main
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"os"
 
+	"cascade/internal/fault"
 	"cascade/internal/fpga"
 	"cascade/internal/obsv"
 	"cascade/internal/repl"
@@ -44,6 +49,10 @@ func main() {
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint cadence in steps (0 = default)")
 	cacheDir := flag.String("cache-dir", "", "persist compiled bitstreams here across processes")
 	remote := flag.String("remote-engine", "", "host user engines on a cascade-engined daemon at this address")
+	sessQuota := flag.Int("session-quota", 0, "with -remote-engine: open a private daemon session with a fabric region of this many LEs (0 = sessionless shared fabric)")
+	sessShare := flag.Int("session-share", 0, "with -remote-engine -session-quota: bound the session to this many fair-share compile workers (0 = global pool)")
+	faultNet := flag.Float64("fault-net", 0, "per-attempt probability an engine-protocol round-trip is dropped and retried (0 = no injected faults; drops never change program output)")
+	faultSeed := flag.Uint64("fault-seed", 1, "deterministic fault-schedule seed (with -fault-net)")
 	observe := flag.String("observe", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. 127.0.0.1:0); also enables :trace and :metrics")
 	flag.Parse()
 
@@ -61,12 +70,31 @@ func main() {
 		Parallelism: *lanes,
 	}
 	if *remote != "" {
-		opts.Remote = &runtime.RemoteOptions{Addr: *remote}
+		// SessionName stays empty: the daemon assigns a unique tenant
+		// name, so several CLIs can open sessions against one daemon.
+		opts.Remote = &runtime.RemoteOptions{
+			Addr:            *remote,
+			SessionQuotaLEs: *sessQuota,
+			SessionShare:    *sessShare,
+		}
+	} else if *sessQuota != 0 || *sessShare != 0 {
+		fmt.Fprintln(os.Stderr, "cascade: -session-quota/-session-share require -remote-engine")
+		os.Exit(1)
 	}
 	if *observe != "" {
 		// runtime.New starts the endpoint and announces the bound
 		// address through the view.
 		opts.Observer = obsv.New(obsv.Options{Addr: *observe})
+	}
+	if *faultNet > 0 {
+		// Cap injected drops per transport site below the default retry
+		// budget (2), so every drop is absorbed and observables match
+		// the fault-free run (DESIGN.md key invariant 11).
+		opts.Injector = fault.New(fault.Config{
+			Seed:         *faultSeed,
+			NetDrop:      *faultNet,
+			MaxNetFaults: 2,
+		})
 	}
 	var r *repl.REPL
 	var info *runtime.RecoveryInfo

@@ -1,0 +1,214 @@
+package hyper
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cascade/internal/fpga"
+	"cascade/internal/obsv"
+	"cascade/internal/runtime"
+)
+
+func testHV(t *testing.T, capacity, quota int, opts ...Option) *Hypervisor {
+	t.Helper()
+	hv, err := New(append([]Option{
+		WithDevice(fpga.NewDevice(capacity, isoClockHz)),
+		WithToolchainOptions(isoToolchainOptions()),
+		WithQuantum(isoQuantum),
+		WithDefaultQuota(quota),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hv.Close() })
+	return hv
+}
+
+func testSession(t *testing.T, hv *Hypervisor, opts ...SessionOption) *Session {
+	t.Helper()
+	s, err := hv.NewSession(append([]SessionOption{WithRuntime(runtime.Options{
+		View:             &runtime.BufView{Quiet: true},
+		Observer:         pinnedObserver(),
+		Parallelism:      2,
+		OpenLoopTargetPs: isoOLTarget,
+	})}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Three 6k-LE tenants over a 10k fabric: at most one region fits at a
+// time, so completing all three proves the residency queue actually
+// rotates the fabric instead of deadlocking or starving a waiter.
+func TestTimeMultiplexedResidency(t *testing.T) {
+	hv := testHV(t, 10_000, 6_000)
+	const n = 3
+	sessions := make([]*Session, n)
+	for i := range sessions {
+		sessions[i] = testSession(t, hv)
+	}
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			s.MustEval(runtime.DefaultPrelude)
+			s.MustEval(isoProgram(i))
+			s.RunTicks(6 * isoQuantum)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, s := range sessions {
+		info := s.Info()
+		// Open-loop bursts may overshoot a chunk's goal (exactly as a
+		// solo RunTicks does), so >= is the contract.
+		if info.Ticks < 6*isoQuantum {
+			t.Errorf("session %d ran %d ticks, want >= %d", i, info.Ticks, 6*isoQuantum)
+		}
+		if info.Quanta < 6 {
+			t.Errorf("session %d consumed %d quanta, want >= 6", i, info.Quanta)
+		}
+	}
+	if used := hv.Device().Used(); used > hv.Device().Capacity() {
+		t.Fatalf("shared fabric over-committed: %d/%d LEs", used, hv.Device().Capacity())
+	}
+}
+
+// An uncontended session keeps its region between quanta (no
+// release/re-place churn), but a closing session always frees fabric so
+// a big newcomer can place.
+func TestCloseFreesFabric(t *testing.T) {
+	hv := testHV(t, 10_000, 8_000)
+	first := testSession(t, hv)
+	first.MustEval(runtime.DefaultPrelude)
+	first.MustEval(isoProgram(0))
+	first.RunTicks(isoQuantum)
+	if info := first.Info(); !info.Resident {
+		t.Fatal("uncontended session should stay resident between quanta")
+	}
+	if err := first.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	second := testSession(t, hv, WithQuota(9_000))
+	second.MustEval(runtime.DefaultPrelude)
+	second.MustEval(isoProgram(1))
+	second.RunTicks(isoQuantum) // would block forever if the region leaked
+	if got := second.Ticks(); got < isoQuantum {
+		t.Fatalf("second session ran %d ticks, want >= %d", got, isoQuantum)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	hv := testHV(t, 10_000, 4_000)
+	if _, err := hv.NewSession(WithQuota(20_000)); err == nil {
+		t.Error("quota beyond fabric capacity must be rejected")
+	}
+	s := testSession(t, hv, WithID("dup"))
+	if _, err := hv.NewSession(WithID("dup")); err == nil {
+		t.Error("duplicate session ID must be rejected")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close must be a no-op, got %v", err)
+	}
+	if err := s.Eval("reg x = 0;"); err != ErrClosed {
+		t.Errorf("eval on closed session: got %v, want ErrClosed", err)
+	}
+	hv.Close()
+	if _, err := hv.NewSession(); err != ErrClosed {
+		t.Errorf("new session on closed hypervisor: got %v, want ErrClosed", err)
+	}
+}
+
+func TestFairShareRegistration(t *testing.T) {
+	hv := testHV(t, 20_000, 4_000, WithDefaultCompileShare(2))
+	a := testSession(t, hv, WithID("a"))
+	b := testSession(t, hv, WithID("b"), WithCompileShare(1))
+	defer a.Close()
+	defer b.Close()
+	if got := hv.Toolchain().TenantShare("a"); got != 2 {
+		t.Errorf("tenant a share = %d, want default 2", got)
+	}
+	if got := hv.Toolchain().TenantShare("b"); got != 1 {
+		t.Errorf("tenant b share = %d, want 1", got)
+	}
+	infos := hv.SessionInfos()
+	if len(infos) != 2 || infos[0].ID != "a" || infos[1].ID != "b" {
+		t.Fatalf("SessionInfos = %+v, want [a b]", infos)
+	}
+	if infos[1].CompileShare != 1 || infos[0].QuotaLEs != 4_000 {
+		t.Errorf("info fields wrong: %+v", infos)
+	}
+}
+
+// Hypervisor metrics: the active-session gauge tracks lifecycle, and
+// per-tenant residency/quanta series render as labeled Prometheus
+// samples under their family names.
+func TestHypervisorMetrics(t *testing.T) {
+	obs := obsv.New(obsv.Options{})
+	hv := testHV(t, 20_000, 4_000, WithObserver(obs))
+	s := testSession(t, hv, WithID("m0"))
+	s.MustEval(runtime.DefaultPrelude)
+	s.MustEval(isoProgram(0))
+	s.RunTicks(isoQuantum)
+
+	text := obs.MetricsText()
+	for _, want := range []string{
+		"cascade_sessions_active 1",
+		`cascade_tenant_resident{tenant="m0"} 1`,
+		`cascade_tenant_quanta_total{tenant="m0"} 1`,
+		"# TYPE cascade_tenant_resident gauge",
+		"# TYPE cascade_tenant_quanta_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	text = obs.MetricsText()
+	if !strings.Contains(text, "cascade_sessions_active 0") {
+		t.Errorf("active gauge not decremented:\n%s", text)
+	}
+	if !strings.Contains(text, `cascade_tenant_resident{tenant="m0"} 0`) {
+		t.Errorf("residency gauge not cleared on close:\n%s", text)
+	}
+	// Reusing the ID must reuse the cached series, not panic on a
+	// duplicate registration.
+	s2 := testSession(t, hv, WithID("m0"))
+	s2.MustEval(runtime.DefaultPrelude)
+	s2.MustEval(isoProgram(0))
+	s2.RunTicks(isoQuantum)
+	if got := s2.Info().Quanta; got != 1 {
+		t.Errorf("reused session quanta = %d, want 1", got)
+	}
+}
+
+// Per-tenant stats surface through Session.Stats: tenant ID, region
+// size, and a compile mirror that counts only this tenant's jobs.
+func TestSessionStatsTenantScoped(t *testing.T) {
+	hv := testHV(t, 20_000, 5_000)
+	a := testSession(t, hv, WithID("a"))
+	b := testSession(t, hv, WithID("b"))
+	a.MustEval(runtime.DefaultPrelude)
+	a.MustEval(isoProgram(0))
+	a.RunTicks(2 * isoQuantum)
+	st := a.Stats()
+	if st.Tenant != "a" || st.RegionLEs != 5_000 {
+		t.Errorf("tenant stats fields: %q region=%d, want a/5000", st.Tenant, st.RegionLEs)
+	}
+	if st.Compile.Submitted == 0 {
+		t.Error("tenant a submitted no compiles?")
+	}
+	if got := b.Stats().Compile.Submitted; got != 0 {
+		t.Errorf("tenant b inherited %d submissions from a", got)
+	}
+	if !strings.Contains(st.Summary(), "tenant[a region=5000LEs]") {
+		t.Errorf("Summary missing tenant segment: %s", st.Summary())
+	}
+}

@@ -1,0 +1,300 @@
+package hyper
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cascade/internal/fault"
+	"cascade/internal/fpga"
+	"cascade/internal/obsv"
+	"cascade/internal/runtime"
+	"cascade/internal/toolchain"
+	"cascade/internal/vclock"
+)
+
+// The isolation property: every session hosted by a hypervisor —
+// sharing its fabric, its compile pool, and its bitstream-cache storage
+// with N-1 neighbours, one of them fault-injected — produces an
+// observable output stream, virtual clock, phase, and compile history
+// byte-identical to the same program driven through the same chunk
+// sequence in a solo single-tenant runtime. Multi-tenancy is allowed to
+// cost wall time; it is never allowed to cost virtual time.
+
+const (
+	isoTicks    = 1500
+	isoQuantum  = 50
+	isoQuota    = 8_000
+	isoClockHz  = 50_000_000
+	isoOLTarget = 10 * vclock.Us
+)
+
+// isoFaults is the seeded schedule tenant 0 runs under: every compile
+// attempt faults transiently until the budget is spent, exercising the
+// retry/backoff path.
+var isoFaults = fault.Config{Seed: 7, CompileTransient: 1, MaxCompileFaults: 2}
+
+func isoProgram(i int) string {
+	return fmt.Sprintf(`
+        reg [7:0] cnt = 0;
+        always @(posedge clk.val) begin
+            cnt <= cnt + 1;
+            if (cnt == 8'd%d) $display("t%d at %%d", cnt);
+        end
+        assign led.val = cnt;
+    `, 37+13*i, i)
+}
+
+func isoToolchainOptions() toolchain.Options {
+	tco := toolchain.DefaultOptions()
+	tco.Scale = 1e9
+	tco.BasePs = 1
+	return tco
+}
+
+// pinnedObserver returns an observer with a frozen wall clock, so the
+// wall-adaptive paths (open-loop burst sizing) are deterministic and
+// identical between a contended session and an uncontended baseline.
+func pinnedObserver() *obsv.Observer {
+	wall := time.Unix(1_000_000, 0)
+	return obsv.New(obsv.Options{WallClock: func() time.Time { return wall }})
+}
+
+// isoResult is everything a tenant can observe about its own execution.
+type isoResult struct {
+	Output  string
+	Infos   []string
+	VNow    uint64
+	Steps   uint64
+	Ticks   uint64
+	Phase   runtime.Phase
+	Time    vclock.Breakdown
+	Compile toolchain.Stats
+	AreaLEs int
+}
+
+func capture(view *runtime.BufView, st runtime.Stats) isoResult {
+	return isoResult{
+		Output:  view.Output(),
+		Infos:   view.Infos(),
+		VNow:    st.Time.NowPs,
+		Steps:   st.Steps,
+		Ticks:   st.Ticks,
+		Phase:   st.Phase,
+		Time:    st.Time,
+		Compile: st.Compile,
+		AreaLEs: st.AreaLEs,
+	}
+}
+
+func sameResult(t *testing.T, label string, got, want isoResult) {
+	t.Helper()
+	if got.Output != want.Output {
+		t.Errorf("%s: output diverged:\nsession:\n%s\nsolo:\n%s", label, got.Output, want.Output)
+	}
+	if len(got.Infos) != len(want.Infos) {
+		t.Errorf("%s: info stream diverged: %d vs %d lines\nsession: %q\nsolo: %q",
+			label, len(got.Infos), len(want.Infos), got.Infos, want.Infos)
+	} else {
+		for i := range got.Infos {
+			if got.Infos[i] != want.Infos[i] {
+				t.Errorf("%s: info[%d] diverged: %q vs %q", label, i, got.Infos[i], want.Infos[i])
+			}
+		}
+	}
+	if got.VNow != want.VNow {
+		t.Errorf("%s: virtual clock diverged: %d vs %d ps", label, got.VNow, want.VNow)
+	}
+	if got.Time != want.Time {
+		t.Errorf("%s: virtual-time breakdown diverged:\nsession: %+v\nsolo: %+v", label, got.Time, want.Time)
+	}
+	if got.Steps != want.Steps || got.Ticks != want.Ticks {
+		t.Errorf("%s: steps/ticks diverged: %d/%d vs %d/%d", label, got.Steps, got.Ticks, want.Steps, want.Ticks)
+	}
+	if got.Phase != want.Phase {
+		t.Errorf("%s: phase diverged: %v vs %v", label, got.Phase, want.Phase)
+	}
+	if got.Compile != want.Compile {
+		t.Errorf("%s: compile stats diverged:\nsession: %+v\nsolo: %+v", label, got.Compile, want.Compile)
+	}
+	if got.AreaLEs != want.AreaLEs {
+		t.Errorf("%s: area diverged: %d vs %d LEs", label, got.AreaLEs, want.AreaLEs)
+	}
+}
+
+// injectorFor builds tenant i's injector (tenant 0 is the faulty one).
+func injectorFor(i int) *fault.Injector {
+	if i == 0 {
+		return fault.New(isoFaults)
+	}
+	return nil
+}
+
+// runSolo executes tenant i's program in a private single-tenant
+// runtime — its own device of exactly the session quota, its own
+// toolchain — driven through the identical quantum chunking the
+// hypervisor uses (burst partitioning follows chunk boundaries, so the
+// baseline must see the same chunks to bill the same virtual time).
+func runSolo(i int) isoResult {
+	dev := fpga.NewDevice(isoQuota, isoClockHz)
+	tc := toolchain.New(dev, isoToolchainOptions())
+	view := &runtime.BufView{Quiet: true}
+	rt := runtime.New(runtime.Options{
+		Device:           dev,
+		Toolchain:        tc,
+		View:             view,
+		Observer:         pinnedObserver(),
+		Injector:         injectorFor(i),
+		Parallelism:      2,
+		OpenLoopTargetPs: isoOLTarget,
+	})
+	rt.MustEval(runtime.DefaultPrelude)
+	rt.MustEval(isoProgram(i))
+	for rem := uint64(isoTicks); rem > 0 && !rt.Finished(); {
+		chunk := uint64(isoQuantum)
+		if chunk > rem {
+			chunk = rem
+		}
+		rt.RunTicks(chunk)
+		rem -= chunk
+	}
+	return capture(view, rt.Stats())
+}
+
+// runSessions executes all N tenants concurrently on one hypervisor and
+// returns each tenant's observations.
+func runSessions(t *testing.T, n, capacityLEs int) []isoResult {
+	t.Helper()
+	shared := fpga.NewDevice(capacityLEs, isoClockHz)
+	hv, err := New(
+		WithDevice(shared),
+		WithToolchainOptions(isoToolchainOptions()),
+		WithQuantum(isoQuantum),
+		WithDefaultQuota(isoQuota),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hv.Close()
+
+	views := make([]*runtime.BufView, n)
+	sessions := make([]*Session, n)
+	for i := 0; i < n; i++ {
+		views[i] = &runtime.BufView{Quiet: true}
+		sessions[i], err = hv.NewSession(
+			WithID(fmt.Sprintf("t%d", i)),
+			WithQuota(isoQuota),
+			WithCompileShare(1),
+			WithRuntime(runtime.Options{
+				View:             views[i],
+				Observer:         pinnedObserver(),
+				Injector:         injectorFor(i),
+				Parallelism:      2,
+				OpenLoopTargetPs: isoOLTarget,
+			}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			s.MustEval(runtime.DefaultPrelude)
+			s.MustEval(isoProgram(i))
+			s.RunTicks(isoTicks)
+		}(i, s)
+	}
+	wg.Wait()
+
+	out := make([]isoResult, n)
+	for i, s := range sessions {
+		out[i] = capture(views[i], s.Stats())
+	}
+	return out
+}
+
+// TestIsolationSpatial: two tenants whose regions fit on the shared
+// fabric simultaneously (2x8k on 20k LEs) run concurrently; each must
+// match its solo baseline byte for byte. Tenant 0 runs under a seeded
+// fault schedule — its retries must not leak into tenant 1 either.
+func TestIsolationSpatial(t *testing.T) {
+	got := runSessions(t, 2, 20_000)
+	for i, g := range got {
+		sameResult(t, fmt.Sprintf("tenant %d (N=2 spatial)", i), g, runSolo(i))
+	}
+}
+
+// TestIsolationTimeMultiplexed: four tenants over a fabric that holds
+// only two regions at a time (4x8k on 20k LEs), forcing residency
+// eviction and re-admission between quanta. Time-multiplexing must cost
+// wall time only: every tenant still matches its solo baseline exactly.
+func TestIsolationTimeMultiplexed(t *testing.T) {
+	got := runSessions(t, 4, 20_000)
+	for i, g := range got {
+		sameResult(t, fmt.Sprintf("tenant %d (N=4 time-mux)", i), g, runSolo(i))
+	}
+}
+
+// TestIsolationAcrossClose: a neighbour crashing out mid-run (Close
+// between quanta) must be invisible to the survivor.
+func TestIsolationAcrossClose(t *testing.T) {
+	shared := fpga.NewDevice(20_000, isoClockHz)
+	hv, err := New(
+		WithDevice(shared),
+		WithToolchainOptions(isoToolchainOptions()),
+		WithQuantum(isoQuantum),
+		WithDefaultQuota(isoQuota),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hv.Close()
+
+	view := &runtime.BufView{Quiet: true}
+	survivor, err := hv.NewSession(WithID("t1"), WithRuntime(runtime.Options{
+		View:             view,
+		Observer:         pinnedObserver(),
+		Parallelism:      2,
+		OpenLoopTargetPs: isoOLTarget,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crasher, err := hv.NewSession(WithID("t0"), WithRuntime(runtime.Options{
+		View:             &runtime.BufView{Quiet: true},
+		Observer:         pinnedObserver(),
+		Injector:         fault.New(isoFaults),
+		Parallelism:      2,
+		OpenLoopTargetPs: isoOLTarget,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crasher.MustEval(runtime.DefaultPrelude)
+	crasher.MustEval(isoProgram(0))
+	crasher.RunTicks(3 * isoQuantum)
+
+	survivor.MustEval(runtime.DefaultPrelude)
+	survivor.MustEval(isoProgram(1))
+	for rem := uint64(isoTicks); rem > 0; {
+		chunk := uint64(isoQuantum)
+		if chunk > rem {
+			chunk = rem
+		}
+		survivor.RunTicks(chunk)
+		rem -= chunk
+		if rem == isoTicks/2/isoQuantum*isoQuantum {
+			// Mid-run, the neighbour dies.
+			if err := crasher.Close(); err != nil {
+				t.Fatalf("crasher close: %v", err)
+			}
+		}
+	}
+	sameResult(t, "survivor (neighbour crashed mid-run)", capture(view, survivor.Stats()), runSolo(1))
+}

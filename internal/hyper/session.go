@@ -1,0 +1,399 @@
+package hyper
+
+import (
+	"context"
+	"fmt"
+
+	"cascade/internal/fpga"
+	"cascade/internal/obsv"
+	"cascade/internal/runtime"
+	"sync"
+)
+
+// SessionOptions configures one tenant session.
+type SessionOptions struct {
+	// ID names the tenant (must be unique among live sessions; default
+	// "s1", "s2", ...). It is the toolchain tenant ID, the shared-fabric
+	// region name, and the metric label.
+	ID string
+	// QuotaLEs is the session's region size on the shared fabric — the
+	// capacity of the private device its designs place, fit, and close
+	// timing against. Default: the hypervisor's DefaultQuotaLEs.
+	QuotaLEs int
+	// CompileShare bounds how many compile workers the session may
+	// occupy concurrently (its fair share of the shared pool). Default:
+	// the hypervisor's DefaultCompileShare; 0 means global pool only.
+	CompileShare int
+	// Runtime seeds the session runtime's options: World, View,
+	// Features, Model, Parallelism, Observer, Injector, and
+	// OpenLoopTargetPs pass through; Device, Toolchain, and Tenant are
+	// owned by the hypervisor and overwritten.
+	Runtime runtime.Options
+}
+
+// SessionOption configures a session (Hypervisor.NewSession).
+type SessionOption func(*SessionOptions)
+
+// WithID names the session's tenant ID.
+func WithID(id string) SessionOption {
+	return func(o *SessionOptions) { o.ID = id }
+}
+
+// WithQuota sets the session's fabric region size in logic elements.
+func WithQuota(les int) SessionOption {
+	return func(o *SessionOptions) { o.QuotaLEs = les }
+}
+
+// WithCompileShare bounds the session's concurrent compile workers.
+func WithCompileShare(n int) SessionOption {
+	return func(o *SessionOptions) { o.CompileShare = n }
+}
+
+// WithRuntime seeds the session runtime's options (view, features,
+// observer, injector, ...); the hypervisor still owns device, toolchain,
+// and tenant identity.
+func WithRuntime(ro runtime.Options) SessionOption {
+	return func(o *SessionOptions) { o.Runtime = ro }
+}
+
+// WithView directs the session's program output to v.
+func WithView(v runtime.View) SessionOption {
+	return func(o *SessionOptions) { o.Runtime.View = v }
+}
+
+// Session is one tenant: a full Runtime over a private fabric
+// partition, scheduled onto the shared device by the hypervisor. The
+// Eval/RunTicks/Stats/Snapshot surface mirrors Runtime; RunTicks is
+// chunked into residency quanta so tenants whose regions do not fit
+// simultaneously time-multiplex the fabric — in wall time only, never
+// in virtual time.
+type Session struct {
+	hv    *Hypervisor
+	id    string
+	quota int
+	share int
+	rt    *runtime.Runtime
+
+	// opMu serializes the session's public entry points (one driver
+	// goroutine per session is the intended shape; opMu makes stray
+	// concurrent use safe rather than fast).
+	opMu sync.Mutex
+
+	// Scheduling state, guarded by hv.mu.
+	resident bool
+	stepping bool
+	closed   bool
+	quanta   uint64
+
+	residentG *obsv.Gauge
+	quantaC   *obsv.Counter
+}
+
+// NewSession carves a region out of the shared fabric and boots a
+// tenant runtime over it. The session starts non-resident; its first
+// RunTicks quantum queues for fabric residency.
+func (hv *Hypervisor) NewSession(opts ...SessionOption) (*Session, error) {
+	var so SessionOptions
+	for _, opt := range opts {
+		opt(&so)
+	}
+	if so.QuotaLEs == 0 {
+		so.QuotaLEs = hv.opts.DefaultQuotaLEs
+	}
+	if so.CompileShare == 0 {
+		so.CompileShare = hv.opts.DefaultCompileShare
+	}
+	if so.QuotaLEs <= 0 || so.QuotaLEs > hv.dev.Capacity() {
+		return nil, fmt.Errorf("hyper: session quota %d LEs outside shared fabric capacity %d",
+			so.QuotaLEs, hv.dev.Capacity())
+	}
+
+	hv.mu.Lock()
+	if hv.closed {
+		hv.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if so.ID == "" {
+		hv.nextID++
+		so.ID = fmt.Sprintf("s%d", hv.nextID)
+	}
+	if _, dup := hv.sessions[so.ID]; dup {
+		hv.mu.Unlock()
+		return nil, fmt.Errorf("hyper: session %q already exists", so.ID)
+	}
+	s := &Session{hv: hv, id: so.ID, quota: so.QuotaLEs, share: so.CompileShare}
+	s.residentG, s.quantaC = hv.metricsFor(so.ID)
+	hv.sessions[so.ID] = s
+	hv.active.Set(int64(len(hv.sessions)))
+	hv.mu.Unlock()
+
+	// The tenant's private device is its region: placement, fit, and
+	// timing close against the partition, blind to neighbours.
+	ro := so.Runtime
+	ro.Device = fpga.NewDevice(so.QuotaLEs, hv.dev.ClockHz())
+	ro.Toolchain = hv.tc
+	ro.Tenant = so.ID
+	hv.tc.RegisterTenant(so.ID, so.CompileShare, ro.Device)
+	s.rt = runtime.New(ro)
+	return s, nil
+}
+
+// ID returns the session's tenant ID.
+func (s *Session) ID() string { return s.id }
+
+// QuotaLEs returns the session's region size.
+func (s *Session) QuotaLEs() int { return s.quota }
+
+// Runtime exposes the underlying tenant runtime for read-mostly access
+// (World, Observer, Clock). Driving it directly bypasses the residency
+// scheduler; use the Session surface to step.
+func (s *Session) Runtime() *runtime.Runtime { return s.rt }
+
+// Info snapshots the session's scheduling state.
+func (s *Session) Info() SessionInfo {
+	s.hv.mu.Lock()
+	resident, quanta := s.resident, s.quanta
+	s.hv.mu.Unlock()
+	return SessionInfo{
+		ID:           s.id,
+		Phase:        s.rt.Phase(),
+		QuotaLEs:     s.quota,
+		Resident:     resident,
+		CompileShare: s.share,
+		Quanta:       quanta,
+		Ticks:        s.rt.Ticks(),
+	}
+}
+
+// region is the session's reservation name on the shared fabric.
+func (s *Session) region() string { return "tenant:" + s.id }
+
+// acquire blocks until the session's region is placed on the shared
+// fabric (FIFO among waiters) and marks the session stepping. A session
+// that is still resident from its previous quantum (nobody wanted the
+// fabric) proceeds immediately.
+func (s *Session) acquire(ctx context.Context) error {
+	hv := s.hv
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.resident {
+		s.stepping = true
+		s.quanta++
+		s.quantaC.Inc()
+		return nil
+	}
+	hv.queue = append(hv.queue, s)
+	// A cancelled context must wake this waiter out of cond.Wait.
+	stop := context.AfterFunc(ctx, func() {
+		hv.mu.Lock()
+		hv.cond.Broadcast()
+		hv.mu.Unlock()
+	})
+	defer stop()
+	for {
+		if s.closed {
+			hv.removeWaiterLocked(s)
+			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			hv.removeWaiterLocked(s)
+			return err
+		}
+		if len(hv.queue) > 0 && hv.queue[0] == s {
+			// Only the head may place — FIFO admission keeps tenants
+			// starvation-free. Idle residents are reaped first: parked
+			// sessions must not pin fabric the head is waiting for.
+			hv.reapIdleLocked()
+			if err := hv.dev.Place(s.region(), s.quota); err == nil {
+				hv.queue = hv.queue[1:]
+				s.resident = true
+				s.stepping = true
+				s.quanta++
+				s.residentG.Set(1)
+				s.quantaC.Inc()
+				// The next waiter may fit alongside us (spatial
+				// sharing); give it a chance to place immediately.
+				hv.cond.Broadcast()
+				return nil
+			}
+		}
+		hv.cond.Wait()
+	}
+}
+
+// yield ends a quantum: the session stops stepping, and if other
+// tenants are waiting for fabric it releases its region (virtual
+// eviction — shared-device bookkeeping only; the session's runtime and
+// virtual clock are untouched). With no waiters the region stays placed
+// so an uncontended session never pays the release/re-place churn.
+func (s *Session) yield() {
+	hv := s.hv
+	hv.mu.Lock()
+	s.stepping = false
+	if len(hv.queue) > 0 && s.resident {
+		hv.dev.Release(s.region())
+		s.resident = false
+		s.residentG.Set(0)
+	}
+	hv.cond.Broadcast()
+	hv.mu.Unlock()
+}
+
+// Eval appends source to the session's program (Runtime.Eval). Evals
+// run software-side — parsing, elaboration, engine rebuild, compile
+// submission — and never touch the shared fabric, so they need no
+// residency.
+func (s *Session) Eval(src string) error {
+	return s.EvalCtx(context.Background(), src)
+}
+
+// EvalCtx is Eval bound to a context.
+func (s *Session) EvalCtx(ctx context.Context, src string) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if s.isClosed() {
+		return ErrClosed
+	}
+	return s.rt.EvalCtx(ctx, src)
+}
+
+// MustEval panics if Eval fails (tests and REPL preludes).
+func (s *Session) MustEval(src string) {
+	if err := s.Eval(src); err != nil {
+		panic(err)
+	}
+}
+
+// RunTicks advances the session n virtual clock ticks, in residency
+// quanta.
+func (s *Session) RunTicks(n uint64) {
+	_ = s.RunTicksCtx(context.Background(), n)
+}
+
+// RunTicksCtx advances the session n virtual clock ticks, acquiring
+// fabric residency for each quantum and yielding between quanta so
+// other tenants can run. Losing the fabric between quanta costs wall
+// time only: the program's virtual timeline is identical to running the
+// same chunk sequence solo.
+func (s *Session) RunTicksCtx(ctx context.Context, n uint64) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	q := s.hv.opts.QuantumTicks
+	for n > 0 {
+		chunk := q
+		if chunk > n {
+			chunk = n
+		}
+		if err := s.acquire(ctx); err != nil {
+			return err
+		}
+		err := s.rt.RunTicksCtx(ctx, chunk)
+		s.yield()
+		if err != nil {
+			return err
+		}
+		if s.rt.Finished() {
+			return nil
+		}
+		n -= chunk
+	}
+	return nil
+}
+
+// RunUntilFinishCtx steps quantum by quantum until the program executes
+// $finish or maxSteps scheduler steps have run; it reports whether the
+// program finished.
+func (s *Session) RunUntilFinishCtx(ctx context.Context, maxSteps uint64) (bool, error) {
+	start := s.rt.Steps()
+	for !s.rt.Finished() && s.rt.Steps()-start < maxSteps {
+		if err := s.RunTicksCtx(ctx, s.hv.opts.QuantumTicks); err != nil {
+			return s.rt.Finished(), err
+		}
+	}
+	return s.rt.Finished(), nil
+}
+
+// WaitForPhase steps (holding residency for the whole wait) until the
+// JIT reaches phase p, the program finishes, or maxSteps elapse; it
+// reports whether p was reached.
+func (s *Session) WaitForPhase(p runtime.Phase, maxSteps uint64) bool {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if err := s.acquire(context.Background()); err != nil {
+		return false
+	}
+	defer s.yield()
+	return s.rt.WaitForPhase(p, maxSteps)
+}
+
+// Phase returns the session's JIT phase.
+func (s *Session) Phase() runtime.Phase { return s.rt.Phase() }
+
+// Ticks returns completed virtual clock ticks.
+func (s *Session) Ticks() uint64 { return s.rt.Ticks() }
+
+// Steps returns completed scheduler steps ($time).
+func (s *Session) Steps() uint64 { return s.rt.Steps() }
+
+// VirtualNow returns the session's virtual time in picoseconds.
+func (s *Session) VirtualNow() uint64 { return s.rt.VirtualNow() }
+
+// Finished reports whether the program executed $finish.
+func (s *Session) Finished() bool { return s.rt.Finished() }
+
+// Stats snapshots the tenant runtime (tenant-scoped compile counters,
+// region size, phase, virtual-time breakdown).
+func (s *Session) Stats() runtime.Stats { return s.rt.Stats() }
+
+// Snapshot captures the session's program, state, and counters
+// (Runtime.Snapshot).
+func (s *Session) Snapshot() *runtime.Snapshot { return s.rt.Snapshot() }
+
+// Restore replaces the session's world with a snapshot
+// (Runtime.Restore).
+func (s *Session) Restore(snap *runtime.Snapshot) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if s.isClosed() {
+		return ErrClosed
+	}
+	return s.rt.Restore(snap)
+}
+
+func (s *Session) isClosed() bool {
+	s.hv.mu.Lock()
+	defer s.hv.mu.Unlock()
+	return s.closed
+}
+
+// Close tears the session down: its shared-fabric region is released,
+// its tenant registration dropped (counters and cache entries survive
+// in the shared toolchain), and its runtime shut down. Close never
+// touches other sessions — a tenant crashing out is invisible to its
+// neighbours except as freed fabric. Closing twice is a no-op.
+func (s *Session) Close() error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	hv := s.hv
+	hv.mu.Lock()
+	if s.closed {
+		hv.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.resident {
+		hv.dev.Release(s.region())
+		s.resident = false
+		s.residentG.Set(0)
+	}
+	hv.removeWaiterLocked(s)
+	delete(hv.sessions, s.id)
+	hv.active.Set(int64(len(hv.sessions)))
+	hv.cond.Broadcast()
+	hv.mu.Unlock()
+	hv.tc.UnregisterTenant(s.id)
+	return s.rt.Shutdown()
+}

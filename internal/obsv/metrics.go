@@ -86,6 +86,46 @@ func (g *Gauge) writeProm(w io.Writer) {
 		g.name, g.help, g.name, g.name, g.v.Load())
 }
 
+// labeled renders one series of a labeled family: the HELP/TYPE header
+// carries the bare family name (a valid Prometheus metric name), the
+// sample line carries the label set. The registry deduplicates on
+// name+labels, so one family fans out into one series per label set —
+// the per-tenant breakdowns the hypervisor exports.
+type labeled struct {
+	family, labels string // labels rendered `k="v",...`, sorted by key
+	inner          metric // the bare Counter or Gauge holding the value
+}
+
+// LabelSet renders a label map in Prometheus sample syntax, keys sorted.
+func LabelSet(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, labels[k])
+	}
+	return sb.String()
+}
+
+func (l *labeled) metricName() string { return l.family + "{" + l.labels + "}" }
+
+func (l *labeled) writeProm(w io.Writer) {
+	switch m := l.inner.(type) {
+	case *Counter:
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s{%s} %d\n",
+			l.family, m.help, l.family, l.family, l.labels, m.v.Load())
+	case *Gauge:
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s{%s} %d\n",
+			l.family, m.help, l.family, l.family, l.labels, m.v.Load())
+	}
+}
+
 // Histogram is a fixed-bucket cumulative histogram over uint64 samples.
 // Samples are recorded in a native integer unit (picoseconds of virtual
 // time, nanoseconds of wall time, engines per batch); `scale` divides
@@ -216,6 +256,32 @@ func (o *Observer) NewGauge(name, help string) *Gauge {
 	}
 	g := &Gauge{name: name, help: help}
 	o.reg.add(g)
+	return g
+}
+
+// NewLabeledCounter registers one series of a labeled counter family
+// (e.g. cascade_tenant_quanta_total{tenant="a"}). Series of one family
+// are distinct metrics sharing a name; registering the same name+labels
+// twice panics like any duplicate, so callers cache the returned
+// counter per label set. Returns nil on a nil Observer.
+func (o *Observer) NewLabeledCounter(name, help string, labels map[string]string) *Counter {
+	if o == nil {
+		return nil
+	}
+	c := &Counter{name: name, help: help}
+	o.reg.add(&labeled{family: name, labels: LabelSet(labels), inner: c})
+	return c
+}
+
+// NewLabeledGauge registers one series of a labeled gauge family (e.g.
+// cascade_tenant_resident{tenant="a"}). Same dedup/caching contract as
+// NewLabeledCounter. Returns nil on a nil Observer.
+func (o *Observer) NewLabeledGauge(name, help string, labels map[string]string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	g := &Gauge{name: name, help: help}
+	o.reg.add(&labeled{family: name, labels: LabelSet(labels), inner: g})
 	return g
 }
 

@@ -115,11 +115,18 @@ func EncodeRequest(dst []byte, req *Request) []byte {
 		dst = appendParams(dst, req.Params)
 		dst = appendBool(dst, req.Eager)
 		dst = appendBool(dst, req.JIT)
+		dst = appendUvarint(dst, uint64(req.Session))
 	case KindRead:
 		dst = appendString(dst, req.Var)
 		dst = appendVec(dst, req.Val)
 	case KindSetState:
 		dst = appendState(dst, req.State)
+	case KindSessionOpen:
+		dst = appendString(dst, req.Path)
+		dst = appendUvarint(dst, req.Quota)
+		dst = appendUvarint(dst, req.Share)
+	case KindSessionClose:
+		dst = appendUvarint(dst, uint64(req.Session))
 	}
 	return dst
 }
@@ -340,11 +347,18 @@ func DecodeRequest(data []byte) (*Request, error) {
 		req.Params = r.params()
 		req.Eager = r.bool()
 		req.JIT = r.bool()
+		req.Session = uint32(r.uvarint())
 	case KindRead:
 		req.Var = r.string()
 		req.Val = r.vecNonNil()
 	case KindSetState:
 		req.State = r.state()
+	case KindSessionOpen:
+		req.Path = r.string()
+		req.Quota = r.uvarint()
+		req.Share = r.uvarint()
+	case KindSessionClose:
+		req.Session = uint32(r.uvarint())
 	}
 	if err := r.finish(); err != nil {
 		return nil, err

@@ -25,8 +25,10 @@ import (
 )
 
 // Version is the protocol version carried in every message. A peer
-// rejects versions it does not speak.
-const Version = 1
+// rejects versions it does not speak. Version 2 added the session
+// layer: KindSessionOpen/KindSessionClose and the Session, Quota, and
+// Share request fields that let one daemon host independent tenants.
+const Version = 2
 
 // Kind identifies the ABI request a message carries.
 type Kind uint8
@@ -45,6 +47,15 @@ const (
 	KindSetState
 	KindEndStep
 	KindEnd
+	// KindSessionOpen opens a tenant session on the daemon: the host
+	// carves a fabric region of Quota LEs, registers the tenant on its
+	// toolchain with a fair-share of Share workers, and replies with
+	// the session ID. KindSessionClose tears the session down, ending
+	// its engines and releasing its region. Engines spawned with a
+	// non-zero Session field are owned by (and isolated to) that
+	// session.
+	KindSessionOpen
+	KindSessionClose
 	kindMax
 )
 
@@ -72,6 +83,10 @@ func (k Kind) String() string {
 		return "end_step"
 	case KindEnd:
 		return "end"
+	case KindSessionOpen:
+		return "session_open"
+	case KindSessionClose:
+		return "session_close"
 	}
 	return "invalid"
 }
@@ -118,6 +133,17 @@ type Request struct {
 
 	// SetState: the snapshot to install.
 	State *sim.State
+
+	// Session scopes the request to a daemon-side tenant session:
+	// Spawn binds the new engine to it, SessionClose names the session
+	// to tear down. 0 is the legacy sessionless arrangement (the whole
+	// daemon fabric is one tenant).
+	Session uint32
+	// SessionOpen: the requested fabric region size in LEs (0 takes
+	// the daemon default) and compile-worker fair share (0: global
+	// pool only). Path doubles as the requested tenant name.
+	Quota uint64
+	Share uint64
 }
 
 // Reply is the response to one Request. Err is an engine-level failure

@@ -31,6 +31,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Kind: KindEvaluate, Engine: 9, Now: 1 << 40, VNow: 1 << 50},
 		{Kind: KindGetState, Engine: 1},
 		{Kind: KindEnd, Engine: 3},
+		{Kind: KindSpawn, Path: "main.m", Source: "module m(); endmodule", JIT: true, Session: 4},
+		{Kind: KindSessionOpen, Path: "tenant-a", Quota: 12_000, Share: 2},
+		{Kind: KindSessionClose, Session: 9},
 	}
 	for _, req := range reqs {
 		enc := EncodeRequest(nil, req)

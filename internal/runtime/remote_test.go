@@ -101,6 +101,60 @@ func TestSerialParallelRemoteEquivalence(t *testing.T) {
 	}
 }
 
+// TestRemoteSessionEquivalence reruns the remote-equivalence property
+// with the runtime opted into a daemon session: engines spawn bound to
+// a tenant region instead of the shared daemon fabric, observables are
+// still byte-identical to the serial baseline, and closing the remote
+// connection tears the session down on the daemon.
+func TestRemoteSessionEquivalence(t *testing.T) {
+	prog := genEquivProgram(rand.New(rand.NewSource(3)))
+	feats := Features{DisableInline: true}
+	outS, ledS, stS := runEquiv(t, prog, feats, 1, 48)
+
+	dev := fpga.NewCycloneV()
+	host := transport.NewHost(transport.HostOptions{
+		Device:    dev,
+		Toolchain: fastToolchain(dev),
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go host.ServeListener(l)
+	defer l.Close()
+
+	ro := &RemoteOptions{Addr: l.Addr().String(),
+		SessionQuotaLEs: dev.Capacity() / 2, SessionShare: 1, SessionName: "repl"}
+	view := &BufView{Quiet: true}
+	r := newTestRuntime(t, Options{View: view, Features: feats, Parallelism: 4, Remote: ro})
+	r.MustEval(prog)
+	leds := make([]uint64, 0, 48)
+	for i := 0; i < 48; i++ {
+		r.RunTicks(1)
+		leds = append(leds, r.World().Led("main.led"))
+	}
+	outR, stR := view.Output(), r.captureStates()
+
+	if host.Sessions() != 1 {
+		t.Fatalf("daemon sessions = %d, want 1", host.Sessions())
+	}
+	if outS != outR {
+		t.Errorf("display output diverged in session:\nserial: %q\nremote: %q", outS, outR)
+	}
+	if !reflect.DeepEqual(ledS, leds) {
+		t.Errorf("LED trace diverged in session:\nserial: %v\nremote: %v", ledS, leds)
+	}
+	if !reflect.DeepEqual(stS, stR) {
+		t.Errorf("final states diverged in session")
+	}
+	if err := r.CloseRemote(); err != nil {
+		t.Fatalf("close remote: %v", err)
+	}
+	if host.Sessions() != 0 {
+		t.Fatalf("session leaked on daemon after CloseRemote: %d", host.Sessions())
+	}
+}
+
 // TestRemoteEquivalenceWithNetDrops re-runs the remote schedule under
 // deterministic network-fault injection: a capped number of injected
 // message drops, each absorbed by the transport's retry budget. Drops

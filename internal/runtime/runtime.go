@@ -215,6 +215,16 @@ type Options struct {
 	// the daemon's own fabric; forwarding and open-loop scheduling
 	// require in-process hardware and are skipped.
 	Remote *RemoteOptions
+
+	// Tenant scopes this runtime on a *shared* Toolchain (the hypervisor
+	// arrangement, internal/hyper): compiles are submitted under this
+	// tenant ID, so they draw on the tenant's fair-share worker quota,
+	// consult only the tenant's fault injector and observer, close fit
+	// and timing against the tenant's Device (its fabric partition), and
+	// count into the tenant's stats mirror. "" — the default — is the
+	// classic single-tenant arrangement: the runtime owns its toolchain
+	// and wires injector and observer globally onto it.
+	Tenant string
 }
 
 // RemoteOptions configures the connection to a remote engine daemon.
@@ -226,6 +236,17 @@ type RemoteOptions struct {
 	DialTimeout time.Duration
 	CallTimeout time.Duration
 	Retries     int
+	// SessionQuotaLEs, when positive, opens a tenant session on the
+	// daemon before the first spawn: the daemon carves a fabric region
+	// of this many LEs and this runtime's engines promote onto it,
+	// isolated from other clients of the same daemon. Zero keeps the
+	// legacy sessionless arrangement (all clients share the daemon
+	// fabric). SessionName names the tenant (default: daemon-assigned);
+	// SessionShare bounds the session's concurrent compile workers on
+	// the daemon toolchain (0: global pool only).
+	SessionQuotaLEs int
+	SessionShare    int
+	SessionName     string
 }
 
 // Runtime executes one Cascade program.
@@ -268,10 +289,11 @@ type Runtime struct {
 	// transport errors latched by clients — possibly on worker
 	// goroutines mid-batch — for the controller to report from the
 	// observable part of the step, keeping the View single-threaded.
-	remoteT *transport.TCP
-	xstats  map[string]transport.Stats
-	xerrMu  sync.Mutex
-	xerrs   []error
+	remoteT    *transport.TCP
+	remoteSess uint32 // daemon session ID (0: sessionless)
+	xstats     map[string]transport.Stats
+	xerrMu     sync.Mutex
+	xerrs      []error
 
 	jobs      map[string]*toolchain.Job
 	evalCtx   context.Context // context the current program version was eval'd under
@@ -331,16 +353,29 @@ func New(opts Options) *Runtime {
 	if opts.Injector != nil {
 		// One injector feeds all three fault surfaces: compile attempts
 		// (toolchain), placements and region integrity (device), and
-		// MMIO transactions (hardware engines, via the device).
-		opts.Toolchain.SetFaults(opts.Injector)
+		// MMIO transactions (hardware engines, via the device). Under a
+		// tenant ID the toolchain wiring is tenant-scoped — the shared
+		// toolchain's global injector (another tenant's, or nobody's)
+		// must never see this runtime's compiles, and vice versa. The
+		// device is this runtime's own partition either way.
+		if opts.Tenant != "" {
+			opts.Toolchain.SetTenantFaults(opts.Tenant, opts.Injector)
+		} else {
+			opts.Toolchain.SetFaults(opts.Injector)
+		}
 		opts.Device.SetFaults(opts.Injector)
 	}
 	if opts.Observer != nil {
 		// One observer sees the whole pipeline: the toolchain stamps
 		// compile events with job virtual times, the injector reports
 		// fault sites, and the runtime emits the controller-side
-		// lifecycle (phases, hot swaps, evictions, checkpoints).
-		opts.Toolchain.SetObserver(opts.Observer)
+		// lifecycle (phases, hot swaps, evictions, checkpoints). Scoped
+		// per tenant on a shared toolchain, like the injector.
+		if opts.Tenant != "" {
+			opts.Toolchain.SetTenantObserver(opts.Tenant, opts.Observer)
+		} else {
+			opts.Toolchain.SetObserver(opts.Observer)
+		}
 		if opts.Injector != nil {
 			opts.Injector.SetObserver(opts.Observer)
 		}
@@ -387,6 +422,12 @@ func (r *Runtime) Observer() *obsv.Observer { return r.opts.Observer }
 // obs is shorthand for the (possibly nil) observer at instrumentation
 // sites.
 func (r *Runtime) obs() *obsv.Observer { return r.opts.Observer }
+
+// submitCompile starts a background compilation of f under this
+// runtime's tenant scope (the default tenant when Options.Tenant is "").
+func (r *Runtime) submitCompile(ctx context.Context, f *elab.Flat) *toolchain.Job {
+	return r.opts.Toolchain.SubmitTenant(ctx, r.opts.Tenant, f, !r.opts.Features.Native, r.vclk.Now())
+}
 
 // setPhase transitions the JIT phase, tracing the transition and
 // updating the phase gauge. Controller goroutine only.
@@ -609,14 +650,26 @@ func (r *Runtime) spawnRemote(path string, mod *verilog.Module, params map[strin
 		if err != nil {
 			return nil, fmt.Errorf("remote engine: %w", err)
 		}
+		if ro.SessionQuotaLEs > 0 {
+			sess, err := transport.OpenSession(t, ro.SessionName,
+				ro.SessionQuotaLEs, ro.SessionShare, r.vclk.Now())
+			if err != nil {
+				t.Close()
+				return nil, fmt.Errorf("remote session: %w", err)
+			}
+			r.remoteSess = sess
+			r.obs().Emit(obsv.EvSpawn, "session",
+				fmt.Sprintf("daemon session %d quota=%dLEs", sess, ro.SessionQuotaLEs))
+		}
 		r.remoteT = t
 	}
 	spec := transport.SpawnSpec{
-		Path:   path,
-		Source: verilog.Print(mod),
-		Params: params,
-		Eager:  r.opts.Features.EagerSim,
-		JIT:    !r.opts.Features.DisableJIT,
+		Path:    path,
+		Source:  verilog.Print(mod),
+		Params:  params,
+		Eager:   r.opts.Features.EagerSim,
+		JIT:     !r.opts.Features.DisableJIT,
+		Session: r.remoteSess,
 	}
 	c, err := transport.Spawn(r.remoteT, spec, r.lane(path), r.now,
 		func() uint64 { return r.vclk.Now() }, r.noteTransportErr)
@@ -640,8 +693,33 @@ func (r *Runtime) CloseRemote() error {
 	if r.remoteT == nil {
 		return nil
 	}
-	err := r.remoteT.Close()
+	var err error
+	if r.remoteSess != 0 {
+		err = transport.CloseSession(r.remoteT, r.remoteSess, r.vclk.Now())
+		r.remoteSess = 0
+	}
+	if cerr := r.remoteT.Close(); err == nil {
+		err = cerr
+	}
 	r.remoteT = nil
+	return err
+}
+
+// Shutdown tears the runtime down for good: background compilations are
+// cancelled, fabric regions released, every engine Ended (for remote
+// engines that is a protocol round-trip freeing the daemon-side
+// instance), the daemon connection closed, and persistence synced and
+// closed. A hypervisor calls this when a session closes so the tenant's
+// region and daemon state are actually reclaimed; the runtime must not
+// be used afterwards.
+func (r *Runtime) Shutdown() error {
+	r.mu.Lock()
+	r.resetFreshLocked()
+	r.mu.Unlock()
+	err := r.CloseRemote()
+	if perr := r.ClosePersistence(); err == nil && perr != nil {
+		err = perr
+	}
 	return err
 }
 
@@ -890,7 +968,7 @@ func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) erro
 		// Remote engines compile on the daemon's toolchain (the spawn
 		// request carries the JIT flag), not the runtime's.
 		if !r.opts.Features.DisableJIT && r.opts.Remote == nil {
-			r.jobs[s.Path] = r.opts.Toolchain.Submit(ctx, f, !r.opts.Features.Native, r.vclk.Now())
+			r.jobs[s.Path] = r.submitCompile(ctx, f)
 		}
 	}
 	constructed := len(r.displayQ) - qMark

@@ -292,7 +292,7 @@ func (r *Runtime) serviceJIT() {
 			// reported once and the engine stays in software.
 			if fault.IsTransient(err) {
 				if f := r.elabsExec()[path]; f != nil {
-					r.jobs[path] = r.opts.Toolchain.Submit(r.jobCtx(), f, !r.opts.Features.Native, r.vclk.Now())
+					r.jobs[path] = r.submitCompile(r.jobCtx(), f)
 					r.obs().Emit(obsv.EvRecovery, path, "transient programming fault: compile resubmitted")
 				}
 			}
@@ -465,7 +465,7 @@ func (r *Runtime) evict(path string, hw *hweng.Engine) {
 	}
 	if !r.opts.Features.DisableJIT {
 		if _, pending := r.jobs[path]; !pending {
-			r.jobs[path] = r.opts.Toolchain.Submit(r.jobCtx(), f, !r.opts.Features.Native, r.vclk.Now())
+			r.jobs[path] = r.submitCompile(r.jobCtx(), f)
 			r.obs().Emit(obsv.EvRecovery, path, "eviction: compile resubmitted (bitstream cache warm)")
 		}
 	}

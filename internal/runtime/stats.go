@@ -62,6 +62,15 @@ type Stats struct {
 	// scheduled engine, retired clients included.
 	Remote string
 	Xport  transport.Stats
+
+	// Tenant is the runtime's tenant ID on a shared (hypervisor-owned)
+	// toolchain; "" for a classic single-tenant runtime. RegionLEs is
+	// the capacity of the runtime's fabric partition — its Device's
+	// capacity, meaningful when a hypervisor carved it out of a shared
+	// fabric. When Tenant is set, Compile is the tenant's own stats
+	// mirror, not the shared service's global counters.
+	Tenant    string
+	RegionLEs int
 }
 
 // Stats snapshots the runtime. It takes the runtime lock, so monitoring
@@ -78,7 +87,7 @@ func (r *Runtime) Stats() Stats {
 		AreaLEs:         r.areaLEs,
 		Parallelism:     r.par,
 		Finished:        r.finished,
-		Compile:         r.opts.Toolchain.Stats(),
+		Compile:         r.opts.Toolchain.StatsFor(r.opts.Tenant),
 		PendingCompiles: len(r.jobs),
 		HWFaults:        r.hwFaults,
 		Evictions:       r.evictions,
@@ -87,6 +96,10 @@ func (r *Runtime) Stats() Stats {
 	}
 	if r.opts.Remote != nil {
 		st.Remote = r.opts.Remote.Addr
+	}
+	if r.opts.Tenant != "" {
+		st.Tenant = r.opts.Tenant
+		st.RegionLEs = r.opts.Device.Capacity()
 	}
 	for _, path := range r.sched {
 		c, ok := r.engines[path]
@@ -121,6 +134,9 @@ func (s Stats) Summary() string {
 		s.AreaLEs, s.Parallelism,
 		s.PendingCompiles, s.Compile.CacheHits, s.Compile.CacheMisses,
 		s.Compile.Joined, s.Compile.Canceled, s.Compile.Retried)
+	if s.Tenant != "" {
+		line += fmt.Sprintf(" tenant[%s region=%dLEs]", s.Tenant, s.RegionLEs)
+	}
 	if s.Faults.Injected > 0 || s.HWFaults > 0 || s.Evictions > 0 {
 		line += fmt.Sprintf(" faults[injected=%d transient=%d permanent=%d hw=%d evictions=%d]",
 			s.Faults.Injected, s.Faults.Transient, s.Faults.Permanent,

@@ -152,6 +152,7 @@ type Toolchain struct {
 	cache    map[string]*cacheEntry
 	stats    Stats
 	sem      chan struct{}
+	tenants  map[string]*tenant
 }
 
 // New returns a toolchain targeting dev.
@@ -175,10 +176,11 @@ func New(dev *fpga.Device, opts Options) *Toolchain {
 		opts.RetryCapPs = 60 * vclock.S
 	}
 	return &Toolchain{
-		dev:   dev,
-		opts:  opts,
-		cache: map[string]*cacheEntry{},
-		sem:   make(chan struct{}, opts.Workers),
+		dev:     dev,
+		opts:    opts,
+		cache:   map[string]*cacheEntry{},
+		sem:     make(chan struct{}, opts.Workers),
+		tenants: map[string]*tenant{},
 	}
 }
 
@@ -307,8 +309,16 @@ func (t *Toolchain) synth(f *elab.Flat) (*netlist.Program, error) {
 }
 
 // finish applies the area, fit, and timing models to a synthesized
-// netlist (the place-and-route half of the flow).
+// netlist (the place-and-route half of the flow) against the
+// toolchain's own device.
 func (t *Toolchain) finish(prog *netlist.Program, wrapped bool) *Result {
+	return t.finishOn(t.dev, prog, wrapped)
+}
+
+// finishOn is finish against an explicit device — a tenant's fabric
+// partition closes fit and timing against its own region, not the whole
+// shared device.
+func (t *Toolchain) finishOn(dev *fpga.Device, prog *netlist.Program, wrapped bool) *Result {
 	st := prog.Stats
 	raw := st.LogicElements()
 	area := raw + InfraLEs
@@ -327,14 +337,14 @@ func (t *Toolchain) finish(prog *netlist.Program, wrapped bool) *Result {
 		AreaLEs: area, RawAreaLEs: raw, Wrapped: wrapped,
 		DurationPs: dur,
 	}
-	if area > t.dev.Capacity() {
-		res.Err = fmt.Errorf("toolchain: design requires %d LEs, device has %d", area, t.dev.Capacity())
+	if area > dev.Capacity() {
+		res.Err = fmt.Errorf("toolchain: design requires %d LEs, device has %d", area, dev.Capacity())
 		return res
 	}
 	// Timing closure is only discovered after placement (late failure).
-	if uint64(st.CritPath)*t.opts.LevelPs > t.dev.CyclePs() {
+	if uint64(st.CritPath)*t.opts.LevelPs > dev.CyclePs() {
 		res.Err = fmt.Errorf("toolchain: timing closure failed: critical path %d levels (%d ps) exceeds %d ps clock period",
-			st.CritPath, uint64(st.CritPath)*t.opts.LevelPs, t.dev.CyclePs())
+			st.CritPath, uint64(st.CritPath)*t.opts.LevelPs, dev.CyclePs())
 		return res
 	}
 	return res
@@ -391,7 +401,8 @@ func (s JobState) String() string {
 // Job is a background compilation tracked in virtual time.
 type Job struct {
 	t        *Toolchain
-	name     string // subprogram path, for trace events
+	view     jobView // tenant scoping: faults, observer, device, stats, cache namespace
+	name     string  // subprogram path, for trace events
 	submitPs uint64
 	done     chan struct{}
 
@@ -432,33 +443,22 @@ func (j *Job) setState(s JobState) {
 // it has not yet reached a worker; Job.Cancel discards the result of an
 // obsolete job at any point.
 func (t *Toolchain) Submit(ctx context.Context, f *elab.Flat, wrapped bool, nowPs uint64) *Job {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	jctx, abort := context.WithCancel(ctx)
-	j := &Job{t: t, name: f.Name, submitPs: nowPs, done: make(chan struct{}), abort: abort}
-	t.mu.Lock()
-	t.stats.Submitted++
-	obs := t.obs
-	t.mu.Unlock()
-	obs.EmitAt(nowPs, obsv.EvCompileSubmit, f.Name, fmt.Sprintf("wrapped=%v", wrapped))
-	go j.run(jctx, f, wrapped)
-	return j
+	return t.SubmitTenant(ctx, "", f, wrapped, nowPs)
 }
 
 // run executes the flow on a worker slot.
 func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 	defer close(j.done)
 	t := j.t
-	// Wait for a worker; a context cancelled while queued aborts the
-	// job before any work is done.
-	select {
-	case <-ctx.Done():
+	// Wait for the tenant's fair-share slot, then a global worker; a
+	// context cancelled while queued aborts the job before any work is
+	// done.
+	tsem, ok := j.view.acquire(ctx)
+	if !ok {
 		j.markCanceled()
 		return
-	case t.sem <- struct{}{}:
 	}
-	defer func() { <-t.sem }()
+	defer j.view.release(tsem)
 	if ctx.Err() != nil {
 		j.markCanceled()
 		return
@@ -470,32 +470,35 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 	// time (the flow's wall-clock is already virtual; retries just make
 	// the job ready later); permanent faults fail the job once and are
 	// never re-queued. The backoff accrued by a flaky flow is carried
-	// into the result's duration, cache hit or not.
+	// into the result's duration, cache hit or not. The schedule is the
+	// submitting tenant's own — another tenant's injector never fires
+	// here.
 	var backoff uint64
 	for attempt := 0; ; attempt++ {
-		err := t.Faults().Compile(f.Name)
+		err := j.view.faults().Compile(f.Name)
 		if err == nil {
 			break
 		}
 		if fault.IsTransient(err) && attempt < t.opts.MaxRetries {
 			backoff += t.backoffPs(attempt)
-			t.mu.Lock()
-			t.stats.Retried++
-			t.stats.TransientFaults++
-			t.mu.Unlock()
+			j.view.bump(func(s *Stats) {
+				s.Retried++
+				s.TransientFaults++
+			})
 			j.mu.Lock()
 			j.state = JobRetrying
 			j.retries++
 			j.mu.Unlock()
 			continue
 		}
-		t.mu.Lock()
-		if fault.IsTransient(err) {
-			t.stats.TransientFaults++
-		} else {
-			t.stats.PermanentFaults++
-		}
-		t.mu.Unlock()
+		transient := fault.IsTransient(err)
+		j.view.bump(func(s *Stats) {
+			if transient {
+				s.TransientFaults++
+			} else {
+				s.PermanentFaults++
+			}
+		})
 		j.complete(&Result{
 			Err:        fmt.Errorf("toolchain: flow failed: %w", err),
 			DurationPs: backoff + t.opts.BasePs/4,
@@ -503,25 +506,25 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 		return
 	}
 
-	prog, err := t.synth(f)
+	prog, err := j.synth(f)
 	if err != nil {
 		j.complete(&Result{Err: err, DurationPs: backoff + t.opts.BasePs/4}, nil)
 		return
 	}
-	key := fmt.Sprintf("%s|wrapped=%v", prog.Fingerprint(), wrapped)
+	key := j.view.cacheKey(fmt.Sprintf("%s|wrapped=%v", prog.Fingerprint(), wrapped))
 
 	t.mu.Lock()
 	entry, hit := t.cache[key]
 	if hit {
 		res := *entry.res // shallow copy; Prog and Stats are immutable
 		detail := "memory"
+		joined := false
 		switch {
 		case entry.published || j.submitPs >= entry.availAtPs:
 			// The bitstream exists: serve it in near-zero virtual time
 			// (after any backoff a flaky flow accrued first).
 			res.DurationPs = backoff + t.hitLatency()
 			res.CacheHit = true
-			t.stats.CacheHits++
 		default:
 			// The original flow is still in (virtual) flight: join it
 			// and finish when it does, rather than starting over — but
@@ -531,12 +534,18 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 				res.DurationPs = min
 			}
 			res.CacheHit = true
-			t.stats.Joined++
+			joined = true
 			detail = "joined in-flight flow"
 		}
-		obs := t.obs
 		t.mu.Unlock()
-		if obs != nil {
+		j.view.bump(func(s *Stats) {
+			if joined {
+				s.Joined++
+			} else {
+				s.CacheHits++
+			}
+		})
+		if obs := j.view.observer(); obs != nil {
 			obs.CacheHits.Inc()
 			obs.EmitAt(j.submitPs, obsv.EvCacheHit, j.name, detail)
 		}
@@ -545,26 +554,28 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 	}
 	t.mu.Unlock()
 
-	// Not in memory: apply the fit and timing models, then consult the
-	// disk store. A verified disk entry whose recorded outcome matches
-	// this synthesis — and which still fits the live device — means the
-	// bitstream was fully built by an earlier process: serve it at
-	// cache-hit latency. Anything less (corrupt, stale, new device)
-	// pays for place-and-route as usual.
-	res := t.finish(prog, wrapped)
+	// Not in memory: apply the fit and timing models (against the
+	// tenant's own device partition), then consult the disk store. A
+	// verified disk entry whose recorded outcome matches this synthesis
+	// — and which still fits the live device — means the bitstream was
+	// fully built by an earlier process: serve it at cache-hit latency.
+	// Anything less (corrupt, stale, new device) pays for
+	// place-and-route as usual.
+	res := t.finishOn(j.view.device(), prog, wrapped)
 	if meta, ok := t.diskLookup(key); ok && res.Err == nil &&
 		meta.AreaLEs == res.AreaLEs && meta.RawAreaLEs == res.RawAreaLEs &&
 		meta.CritPath == res.Stats.CritPath {
 		res.DurationPs = backoff + t.hitLatency()
 		res.CacheHit = true
 		t.mu.Lock()
-		t.stats.CacheHits++
-		t.stats.DiskHits++
 		entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs, published: true}
 		t.cache[key] = entry
-		obs := t.obs
 		t.mu.Unlock()
-		if obs != nil {
+		j.view.bump(func(s *Stats) {
+			s.CacheHits++
+			s.DiskHits++
+		})
+		if obs := j.view.observer(); obs != nil {
 			obs.CacheHits.Inc()
 			obs.EmitAt(j.submitPs, obsv.EvCacheHit, j.name, "disk store")
 		}
@@ -573,17 +584,27 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 	}
 	res.DurationPs += backoff
 	t.mu.Lock()
-	t.stats.CacheMisses++
 	entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs}
 	t.cache[key] = entry
-	obs := t.obs
 	t.mu.Unlock()
-	if obs != nil {
+	j.view.bump(func(s *Stats) { s.CacheMisses++ })
+	if obs := j.view.observer(); obs != nil {
 		obs.CacheMisses.Inc()
 		obs.EmitAt(j.submitPs, obsv.EvCacheMiss, j.name, "place-and-route")
 	}
 	t.diskStore(key, res)
 	j.complete(res, entry)
+}
+
+// synth is the job-service path through synthesis: the global
+// synthesized-flow count still ticks (Compiles observes real synthesis
+// runs machine-wide), but the stats mirror is the submitting tenant's.
+func (j *Job) synth(f *elab.Flat) (*netlist.Program, error) {
+	j.t.mu.Lock()
+	j.t.compiles++
+	j.t.mu.Unlock()
+	j.view.bump(func(s *Stats) { s.Synthesized++ })
+	return netlist.Compile(f)
 }
 
 // markCanceled moves the job to the cancelled state. The stats counter
@@ -600,9 +621,7 @@ func (j *Job) markCanceled() {
 	if already {
 		return
 	}
-	j.t.mu.Lock()
-	j.t.stats.Canceled++
-	j.t.mu.Unlock()
+	j.view.bump(func(s *Stats) { s.Canceled++ })
 }
 
 func (j *Job) complete(res *Result, entry *cacheEntry) {
@@ -617,7 +636,7 @@ func (j *Job) complete(res *Result, entry *cacheEntry) {
 	}
 	readyAt := j.readyAtPs
 	j.mu.Unlock()
-	if o := j.t.observer(); o != nil {
+	if o := j.view.observer(); o != nil {
 		// The histogram records exactly the virtual duration the flow
 		// bills (TestObserverRecordsBilledLatency pins the two together);
 		// the completion event is stamped at the flow's virtual finish.

@@ -85,11 +85,12 @@ func NewLocalClient(e engine.Engine, onErr func(error)) *Client {
 
 // SpawnSpec describes a subprogram to instantiate on a remote host.
 type SpawnSpec struct {
-	Path   string // instance path (the engine's name)
-	Source string // self-contained module declaration
-	Params map[string]*bits.Vector
-	Eager  bool // naive re-evaluation ablation
-	JIT    bool // let the host promote to its own fabric
+	Path    string // instance path (the engine's name)
+	Source  string // self-contained module declaration
+	Params  map[string]*bits.Vector
+	Eager   bool   // naive re-evaluation ablation
+	JIT     bool   // let the host promote to its own fabric
+	Session uint32 // owning daemon session (0: the legacy shared fabric)
 }
 
 // Spawn instantiates a subprogram on the host behind t and returns its
@@ -113,6 +114,7 @@ func Spawn(t Transport, spec SpawnSpec, io engine.IOHandler, now, vnow func() ui
 		req.Params = spec.Params
 		req.Eager = spec.Eager
 		req.JIT = spec.JIT
+		req.Session = spec.Session
 	})
 	if c.err != nil {
 		return nil, c.err
@@ -127,6 +129,38 @@ func Spawn(t Transport, spec SpawnSpec, io engine.IOHandler, now, vnow func() ui
 type remoteError struct{ msg string }
 
 func (e *remoteError) Error() string { return "transport: remote: " + e.msg }
+
+// OpenSession opens a tenant session on the daemon behind t: the host
+// carves a fabric region of quotaLEs (0 takes the daemon default),
+// registers tenant name on its toolchain with a fair share of share
+// compile workers (0: global pool only), and returns the session ID to
+// stamp into SpawnSpec.Session. vnow feeds the host's virtual clock.
+func OpenSession(t Transport, name string, quotaLEs, share int, vnow uint64) (uint32, error) {
+	var rep proto.Reply
+	req := proto.Request{Kind: proto.KindSessionOpen, VNow: vnow,
+		Path: name, Quota: uint64(quotaLEs), Share: uint64(share)}
+	if _, err := t.Roundtrip(&req, &rep); err != nil {
+		return 0, err
+	}
+	if rep.Err != "" {
+		return 0, &remoteError{rep.Err}
+	}
+	return rep.Engine, nil
+}
+
+// CloseSession tears down a daemon session opened with OpenSession,
+// ending its engines and releasing its fabric region.
+func CloseSession(t Transport, id uint32, vnow uint64) error {
+	var rep proto.Reply
+	req := proto.Request{Kind: proto.KindSessionClose, Session: id, VNow: vnow}
+	if _, err := t.Roundtrip(&req, &rep); err != nil {
+		return err
+	}
+	if rep.Err != "" {
+		return &remoteError{rep.Err}
+	}
+	return nil
+}
 
 // Underlying returns the in-process engine behind a Local client (nil
 // for remote clients). The runtime uses it where it genuinely needs the

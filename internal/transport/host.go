@@ -39,6 +39,10 @@ type HostOptions struct {
 	// Events are stamped with the virtual clock the requesting runtime
 	// ships in each request header.
 	Observer *obsv.Observer
+	// DefaultSessionQuotaLEs is the fabric region granted to a
+	// session-open request that does not name a quota. Default: a
+	// quarter of the host device.
+	DefaultSessionQuotaLEs int
 }
 
 // Host is the serving side of the engine protocol: the core of
@@ -50,9 +54,23 @@ type HostOptions struct {
 type Host struct {
 	opts HostOptions
 
-	mu      sync.Mutex
-	nextID  uint32
-	engines map[uint32]*hosted
+	mu       sync.Mutex
+	nextID   uint32
+	nextSess uint32
+	engines  map[uint32]*hosted
+	sessions map[uint32]*hostSession
+}
+
+// hostSession is one daemon-side tenant: a region carved out of the
+// host fabric for the session's lifetime, a private device of exactly
+// that size its engines promote onto, and a tenant registration on the
+// shared toolchain scoping compile stats, cache keys, and fair share.
+// Unlike the in-process hypervisor, daemon sessions are purely spatial:
+// opening one fails when the fabric has no room rather than queueing.
+type hostSession struct {
+	id     uint32
+	tenant string
+	dev    *fpga.Device
 }
 
 // hosted is one engine and its host-side bookkeeping.
@@ -65,6 +83,13 @@ type hosted struct {
 	job  *toolchain.Job // pending background promotion
 	path string
 	area int
+
+	// Session binding: promotions land on dev (the owning session's
+	// region-sized device, or the whole host fabric when sessionless) and
+	// compiles are scoped to tenant on the shared toolchain.
+	dev     *fpga.Device
+	tenant  string
+	session uint32
 }
 
 // bufIO buffers an engine's IO events for piggybacking on replies.
@@ -113,7 +138,10 @@ func NewHost(opts HostOptions) *Host {
 			opts.Injector.SetObserver(opts.Observer)
 		}
 	}
-	return &Host{opts: opts, engines: map[uint32]*hosted{}}
+	if opts.DefaultSessionQuotaLEs <= 0 {
+		opts.DefaultSessionQuotaLEs = opts.Device.Capacity() / 4
+	}
+	return &Host{opts: opts, engines: map[uint32]*hosted{}, sessions: map[uint32]*hostSession{}}
 }
 
 // Handle executes one protocol request, filling rep. Transport servers
@@ -122,8 +150,15 @@ func NewHost(opts HostOptions) *Host {
 // through rep.Err.
 func (h *Host) Handle(req *proto.Request, rep *proto.Reply) {
 	*rep = proto.Reply{Kind: req.Kind, Engine: req.Engine}
-	if req.Kind == proto.KindSpawn {
+	switch req.Kind {
+	case proto.KindSpawn:
 		h.spawn(req, rep)
+		return
+	case proto.KindSessionOpen:
+		h.sessionOpen(req, rep)
+		return
+	case proto.KindSessionClose:
+		h.sessionClose(req, rep)
 		return
 	}
 	h.mu.Lock()
@@ -201,12 +236,24 @@ func (h *Host) spawn(req *proto.Request, rep *proto.Reply) {
 		rep.Err = fmt.Sprintf("elaborate %s: %v", req.Path, err)
 		return
 	}
-	hd := &hosted{io: &bufIO{}, flat: flat, path: req.Path}
+	hd := &hosted{io: &bufIO{}, flat: flat, path: req.Path,
+		dev: h.opts.Device, session: req.Session}
+	if req.Session != 0 {
+		h.mu.Lock()
+		sess := h.sessions[req.Session]
+		h.mu.Unlock()
+		if sess == nil {
+			rep.Err = fmt.Sprintf("unknown session %d", req.Session)
+			return
+		}
+		hd.dev = sess.dev
+		hd.tenant = sess.tenant
+	}
 	hd.now.Store(req.Now)
 	nowFn := func() uint64 { return hd.now.Load() }
 	hd.e = sweng.New(flat, hd.io, nowFn, req.Eager)
 	if req.JIT && !h.opts.DisableJIT {
-		hd.job = h.opts.Toolchain.Submit(context.Background(), flat, true, req.VNow)
+		hd.job = h.opts.Toolchain.SubmitTenant(context.Background(), hd.tenant, flat, true, req.VNow)
 	}
 	h.mu.Lock()
 	h.nextID++
@@ -217,6 +264,85 @@ func (h *Host) spawn(req *proto.Request, rep *proto.Reply) {
 		fmt.Sprintf("hosted engine %d jit=%v", id, req.JIT && !h.opts.DisableJIT))
 	rep.Engine = id
 	h.finishReply(hd, rep)
+}
+
+// sessionOpen carves a tenant session out of the host: a fabric region
+// of the requested quota (held for the session's lifetime), a private
+// device of that size its engines promote onto, and a toolchain tenant
+// registration scoping compile stats, cache namespace, and fair share.
+func (h *Host) sessionOpen(req *proto.Request, rep *proto.Reply) {
+	quota := int(req.Quota)
+	if quota <= 0 {
+		quota = h.opts.DefaultSessionQuotaLEs
+	}
+	h.mu.Lock()
+	h.nextSess++
+	id := h.nextSess
+	tenant := req.Path
+	if tenant == "" {
+		tenant = fmt.Sprintf("s%d", id)
+	}
+	for _, s := range h.sessions {
+		if s.tenant == tenant {
+			h.mu.Unlock()
+			rep.Err = fmt.Sprintf("session name %q already open", tenant)
+			return
+		}
+	}
+	h.mu.Unlock()
+	if err := h.opts.Device.Place("session:"+tenant, quota); err != nil {
+		rep.Err = fmt.Sprintf("open session %s: %v", tenant, err)
+		return
+	}
+	sess := &hostSession{id: id, tenant: tenant,
+		dev: fpga.NewDevice(quota, h.opts.Device.ClockHz())}
+	h.opts.Toolchain.RegisterTenant(tenant, int(req.Share), sess.dev)
+	h.mu.Lock()
+	h.sessions[id] = sess
+	h.mu.Unlock()
+	h.opts.Observer.EmitAt(req.VNow, obsv.EvSpawn, tenant,
+		fmt.Sprintf("session %d open quota=%dLEs share=%d", id, quota, req.Share))
+	rep.Engine = id
+}
+
+// sessionClose tears a session down: ends every engine it owns,
+// releases its fabric region, and unregisters its toolchain tenant.
+func (h *Host) sessionClose(req *proto.Request, rep *proto.Reply) {
+	h.mu.Lock()
+	sess := h.sessions[req.Session]
+	if sess == nil {
+		h.mu.Unlock()
+		rep.Err = fmt.Sprintf("unknown session %d", req.Session)
+		return
+	}
+	delete(h.sessions, req.Session)
+	var owned []*hosted
+	for id, hd := range h.engines {
+		if hd.session == req.Session {
+			owned = append(owned, hd)
+			delete(h.engines, id)
+		}
+	}
+	h.mu.Unlock()
+	for _, hd := range owned {
+		hd.mu.Lock()
+		hd.e.End()
+		if hw, ok := hd.e.(*hweng.Engine); ok {
+			hw.Release()
+		}
+		hd.mu.Unlock()
+	}
+	h.opts.Device.Release("session:" + sess.tenant)
+	h.opts.Toolchain.UnregisterTenant(sess.tenant)
+	h.opts.Observer.EmitAt(req.VNow, obsv.EvSpawn, sess.tenant,
+		fmt.Sprintf("session %d closed (%d engines ended)", sess.id, len(owned)))
+}
+
+// Sessions returns the number of currently open sessions.
+func (h *Host) Sessions() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.sessions)
 }
 
 // serviceJIT runs the host-side slice of the Figure-9 state machine for
@@ -238,7 +364,7 @@ func (h *Host) serviceJIT(hd *hosted, vnow uint64) {
 		sw.SetState(st)
 		hd.e = sw
 		if hd.job == nil {
-			hd.job = h.opts.Toolchain.Submit(context.Background(), hd.flat, true, vnow)
+			hd.job = h.opts.Toolchain.SubmitTenant(context.Background(), hd.tenant, hd.flat, true, vnow)
 		}
 		return
 	}
@@ -256,7 +382,7 @@ func (h *Host) serviceJIT(hd *hosted, vnow uint64) {
 		return
 	}
 	nowFn := func() uint64 { return hd.now.Load() }
-	hw, err := hweng.New(hd.path, res.Prog, h.opts.Device, res.AreaLEs, hd.io, false, nowFn)
+	hw, err := hweng.New(hd.path, res.Prog, hd.dev, res.AreaLEs, hd.io, false, nowFn)
 	if err != nil {
 		return // no fabric room (or a placement fault): stay in software
 	}

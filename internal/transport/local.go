@@ -74,6 +74,10 @@ func (l *Local) Roundtrip(req *proto.Request, rep *proto.Reply) (Cost, error) {
 		e.End()
 	case proto.KindSpawn:
 		rep.Err = "local transport does not spawn engines"
+	case proto.KindSessionOpen, proto.KindSessionClose:
+		// Sessions are a daemon concept: one Local carries one in-process
+		// engine and has no fabric to partition.
+		rep.Err = "local transport does not manage sessions"
 	default:
 		return Cost{}, fmt.Errorf("transport: unknown request kind %d", req.Kind)
 	}

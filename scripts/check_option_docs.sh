@@ -1,0 +1,29 @@
+#!/bin/sh
+# Option-doc lint (CI): every exported option constructor in options.go
+# (WithX, DisableX, EagerSim, Native) must carry a doc comment that
+# states its default and its interaction with the Features switches —
+# the two things a caller cannot infer from the signature. Run from the
+# repo root; exits non-zero listing offenders.
+set -eu
+
+file=${1:-options.go}
+[ -f "$file" ] || { echo "check_option_docs: $file not found" >&2; exit 2; }
+
+awk '
+    /^\/\// { comment = comment $0 "\n"; next }
+    /^func (With|Disable|EagerSim|Native)[A-Za-z]*\(/ {
+        name = $2; sub(/\(.*/, "", name)
+        if (comment == "")           bad[name] = "missing doc comment"
+        else if (comment !~ /[Dd]efault/) bad[name] = "doc comment does not state the default"
+        else if (comment !~ /Features/)   bad[name] = "doc comment does not state the Features interaction"
+        total++
+    }
+    { comment = "" }
+    END {
+        if (total == 0) { print "check_option_docs: no option constructors found — wrong file?"; exit 2 }
+        n = 0
+        for (name in bad) { printf "%s: %s\n", name, bad[name]; n++ }
+        if (n > 0) { printf "check_option_docs: %d of %d option constructors fail the doc contract\n", n, total; exit 1 }
+        printf "check_option_docs: %d option constructors OK\n", total
+    }
+' "$file"

@@ -11,6 +11,8 @@
 //	cascade-bench -experiment fig13
 //	cascade-bench -experiment table1
 //	cascade-bench -experiment intext    # §6's in-text claims
+//	cascade-bench -experiment tier      # native-tier promotion ladder
+//	cascade-bench -tier                 # shorthand for the above
 package main
 
 import (
@@ -22,8 +24,12 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "fig11 | fig12 | fig13 | table1 | intext | all")
+	which := flag.String("experiment", "all", "fig11 | fig12 | fig13 | table1 | intext | tier | all")
+	tier := flag.Bool("tier", false, "shorthand for -experiment tier")
 	flag.Parse()
+	if *tier {
+		*which = "tier"
+	}
 
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {
@@ -101,6 +107,24 @@ func main() {
 			fmt.Println(row)
 		}
 		fmt.Printf("(%d of %d submissions include build logs; paper: 23 of 31)\n", agg.WithLogs, agg.N)
+		return nil
+	})
+
+	run("tier", func() error {
+		f, err := bench.RunTier()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Native tier: proof-of-work promotion ladder (interpreter -> native Go -> fabric)")
+		fmt.Print(bench.FormatSeries(f.Series, "Hz"))
+		fmt.Printf("startup             %8.2f s\n", f.StartupSec)
+		fmt.Printf("interpreter rate    %8.0f Hz\n", f.InterpHz)
+		fmt.Printf("native ready        %8.2f s   (fabric: %.0f s later)\n",
+			f.NativeReadySec, f.FabricReadySec-f.NativeReadySec)
+		fmt.Printf("native rate         %8.0f Hz  (%.1fx interpreter)\n", f.NativeHz, f.NativeSpeedup)
+		fmt.Printf("fabric ready        %8.0f s\n", f.FabricReadySec)
+		fmt.Printf("open-loop rate      %8.2f MHz\n", f.OpenLoopHz/1e6)
+		fmt.Printf("runtime stats       %s\n", f.Stats.Summary())
 		return nil
 	})
 

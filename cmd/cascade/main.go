@@ -43,6 +43,7 @@ func main() {
 	ticks := flag.Uint64("ticks", 1_000_000, "batch mode: maximum clock ticks to run")
 	noJIT := flag.Bool("no-jit", false, "disable the JIT (software simulation only)")
 	native := flag.Bool("native", false, "native mode: compile exactly as written (§4.5)")
+	nativeTier := flag.Bool("native-tier", false, "add the native-Go JIT rung: closure-threaded code within virtual ms, fabric later")
 	scale := flag.Float64("compile-scale", 600, "divide virtual compile latency (1 = paper-faithful)")
 	lanes := flag.Int("parallelism", 0, "scheduler dispatch lanes (0 = one per CPU, 1 = serial)")
 	ckptDir := flag.String("checkpoint-dir", "", "crash-safe persistence directory (checkpoints + journal); restarting over it resumes")
@@ -66,6 +67,7 @@ func main() {
 		Features: runtime.Features{
 			DisableJIT: *noJIT,
 			Native:     *native,
+			NativeTier: *nativeTier,
 		},
 		Parallelism: *lanes,
 	}

@@ -166,6 +166,101 @@ func RunFig11() (*Fig11, error) {
 	return out, nil
 }
 
+// Tier holds the native-tier trajectory: the PoW miner's virtual tick
+// rate on each rung of the extended JIT ladder (interpreter -> native
+// closure-threaded Go -> fabric open loop) and the virtual times at
+// which the promotions land.
+type Tier struct {
+	Series []Series
+
+	StartupSec     float64
+	InterpHz       float64 // interpreter rate before the native swap
+	NativeHz       float64 // native-tier rate before the fabric arrives
+	OpenLoopHz     float64 // steady state once the bitstream takes over
+	NativeReadySec float64 // virtual time of the sw -> native swap
+	FabricReadySec float64 // virtual time the fabric flow completes
+	NativeSpeedup  float64 // NativeHz / InterpHz
+	Stats          runtime.Stats
+}
+
+// tierOf returns the user engine's execution rung from a runtime
+// snapshot ("" before the first engine is scheduled).
+func tierOf(st runtime.Stats) string {
+	for _, e := range st.Engines {
+		if e.Tier != "" {
+			return e.Tier
+		}
+	}
+	return ""
+}
+
+// RunTier regenerates the native-tier trajectory experiment: Figure 11's
+// ladder with the middle rung switched on (WithNativeTier).
+func RunTier() (*Tier, error) {
+	prog := powProgram()
+	out := &Tier{}
+	cas := runtime.New(runtime.Options{
+		OpenLoopTargetPs: 200 * vclock.Us,
+		Features:         runtime.Features{NativeTier: true},
+	})
+	if err := cas.Eval(runtime.DefaultPrelude); err != nil {
+		return nil, err
+	}
+	if err := cas.Eval(prog); err != nil {
+		return nil, err
+	}
+	out.StartupSec = float64(cas.StartupPs()) / float64(vclock.S)
+	if got := tierOf(cas.Stats()); got != "interpreter" {
+		return nil, fmt.Errorf("tier: program should start on the interpreter, got %q", got)
+	}
+	out.InterpHz = measureRate(cas, 400)
+
+	// Step until the native compile lands (virtual milliseconds away).
+	promoted := false
+	for i := 0; i < 10_000; i++ {
+		if tierOf(cas.Stats()) == "native" {
+			promoted = true
+			break
+		}
+		cas.RunTicks(25)
+	}
+	if !promoted {
+		return nil, fmt.Errorf("tier: native promotion never happened (phase %v)", cas.Phase())
+	}
+	out.NativeReadySec = float64(cas.VirtualNow()) / float64(vclock.S)
+	out.NativeHz = measureRate(cas, 4000)
+	out.NativeSpeedup = out.NativeHz / out.InterpHz
+
+	// The fabric flow is still in flight; fast-forward to it.
+	readyAt, pending := cas.CompileReadyAt()
+	if !pending {
+		return nil, fmt.Errorf("tier: no fabric compilation in flight")
+	}
+	out.FabricReadySec = float64(readyAt) / float64(vclock.S)
+	if cas.VirtualNow() < readyAt {
+		cas.Idle(readyAt - cas.VirtualNow() + 1)
+	}
+	if !cas.WaitForPhase(runtime.PhaseOpenLoop, 50_000) {
+		return nil, fmt.Errorf("tier: cascade never reached open loop (phase %v)", cas.Phase())
+	}
+	cas.Step()
+	out.OpenLoopHz = measureRate(cas, 40_000)
+	out.Stats = cas.Stats()
+
+	horizon := 900.0
+	out.Series = []Series{
+		{Name: "Cascade+native-tier", Points: []Point{
+			{out.StartupSec, out.InterpHz},
+			{out.NativeReadySec, out.InterpHz},
+			{out.NativeReadySec + 0.01, out.NativeHz},
+			{out.FabricReadySec, out.NativeHz},
+			{out.FabricReadySec + 1, out.OpenLoopHz},
+			{horizon, out.OpenLoopHz},
+		}},
+	}
+	return out, nil
+}
+
 // elabMain builds the inlined root module of a program and elaborates it
 // (the design the toolchain baselines compile).
 func elabMain(src string) (*elab.Flat, error) {

@@ -50,6 +50,32 @@ func TestFig11Shape(t *testing.T) {
 	}
 }
 
+func TestTierShape(t *testing.T) {
+	f, err := RunTier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tier: interp=%.0fHz native=%.0fHz (%.1fx) ol=%.2fMHz nativeReady=%.2fs fabricReady=%.0fs",
+		f.InterpHz, f.NativeHz, f.NativeSpeedup, f.OpenLoopHz/1e6, f.NativeReadySec, f.FabricReadySec)
+
+	// The native compile lands within virtual seconds, the fabric flow
+	// minutes later: three orders of magnitude between the rungs.
+	if f.NativeReadySec > 5 {
+		t.Errorf("native ready at %.2fs, want within seconds", f.NativeReadySec)
+	}
+	if f.FabricReadySec < f.NativeReadySec*50 {
+		t.Errorf("fabric ready %.0fs vs native %.2fs: rungs not separated", f.FabricReadySec, f.NativeReadySec)
+	}
+	// The issue's acceptance bar: native at least 2x the interpreter.
+	if f.NativeSpeedup < 2 {
+		t.Errorf("native speedup %.1fx, want >=2x", f.NativeSpeedup)
+	}
+	// The ladder is monotone: each rung is faster than the last.
+	if f.OpenLoopHz <= f.NativeHz {
+		t.Errorf("open loop %.0fHz not above native %.0fHz", f.OpenLoopHz, f.NativeHz)
+	}
+}
+
 func TestFig12Shape(t *testing.T) {
 	f, err := RunFig12()
 	if err != nil {

@@ -104,12 +104,22 @@ func (b *Vector) Clone() *Vector {
 
 // CopyFrom overwrites b in place with v truncated or zero-extended to b's
 // width. It never allocates and reports whether b's value changed.
+//
+// The source is read at its *semantic* width: bits of v's top storage word
+// above v.Width() are masked off rather than trusted to be zero, so a
+// source that violates the normalization invariant (e.g. a snapshot vector
+// produced by a different engine tier) cannot leak junk into a wider
+// destination.
 func (b *Vector) CopyFrom(v *Vector) bool {
 	changed := false
+	vTop, vRem := len(v.words)-1, v.width%WordBits
 	for i := range b.words {
 		var w uint64
 		if i < len(v.words) {
 			w = v.words[i]
+			if i == vTop && vRem != 0 {
+				w &= (uint64(1) << vRem) - 1
+			}
 		}
 		if i == len(b.words)-1 {
 			if rem := b.width % WordBits; rem != 0 {
@@ -125,10 +135,20 @@ func (b *Vector) CopyFrom(v *Vector) bool {
 }
 
 // SetUint64 overwrites b in place with v truncated to b's width and reports
-// whether the value changed.
+// whether the value changed. It never allocates.
 func (b *Vector) SetUint64(v uint64) bool {
-	tmp := FromUint64(b.width, v)
-	return b.CopyFrom(tmp)
+	if b.width < WordBits {
+		v &= (uint64(1) << b.width) - 1
+	}
+	changed := b.words[0] != v
+	b.words[0] = v
+	for i := 1; i < len(b.words); i++ {
+		if b.words[i] != 0 {
+			changed = true
+			b.words[i] = 0
+		}
+	}
+	return changed
 }
 
 // Resize returns a copy of b truncated or zero-extended to width.

@@ -465,3 +465,61 @@ func BenchmarkCopyFrom128(b *testing.B) {
 		y.CopyFrom(x)
 	}
 }
+
+func TestCopyFromMasksDenormalizedSource(t *testing.T) {
+	// A source vector that violates the normalization invariant (junk
+	// above its semantic width) must still copy at its semantic width:
+	// the junk may not leak into a wider destination.
+	src := New(40)
+	src.words[0] = ^uint64(0) // bits [40,64) are junk under the invariant
+	dst := New(100)
+	dst.CopyFrom(src)
+	want := (uint64(1) << 40) - 1
+	if dst.words[0] != want {
+		t.Fatalf("CopyFrom leaked junk above source width: got %#x, want %#x", dst.words[0], want)
+	}
+	if dst.words[1] != 0 {
+		t.Fatalf("CopyFrom dirtied high destination word: %#x", dst.words[1])
+	}
+
+	// Multi-word source with a dirty top word into an even wider dest.
+	src2 := New(70)
+	src2.words[0] = 0xdeadbeefcafef00d
+	src2.words[1] = ^uint64(0) // only 6 bits are semantic
+	dst2 := New(200)
+	dst2.CopyFrom(src2)
+	if dst2.words[1] != (uint64(1)<<6)-1 {
+		t.Fatalf("CopyFrom leaked junk in top source word: %#x", dst2.words[1])
+	}
+}
+
+func TestSetUint64InPlace(t *testing.T) {
+	v := New(40)
+	if !v.SetUint64(^uint64(0)) {
+		t.Fatal("SetUint64: change not reported")
+	}
+	if got, want := v.Uint64(), (uint64(1)<<40)-1; got != want {
+		t.Fatalf("SetUint64 truncation: got %#x, want %#x", got, want)
+	}
+	if v.SetUint64(^uint64(0)) {
+		t.Fatal("SetUint64: spurious change reported")
+	}
+	// Wide vector: high words must be cleared and counted as a change.
+	w := New(130)
+	w.words[1] = 7
+	w.words[2] = 1
+	if !w.SetUint64(5) {
+		t.Fatal("SetUint64 wide: change not reported")
+	}
+	for i := 1; i < len(w.words); i++ {
+		if w.words[i] != 0 {
+			t.Fatalf("SetUint64 wide: word %d not cleared: %#x", i, w.words[i])
+		}
+	}
+	if w.Uint64() != 5 {
+		t.Fatalf("SetUint64 wide: got %d, want 5", w.Uint64())
+	}
+	if n := testing.AllocsPerRun(100, func() { w.SetUint64(9) }); n != 0 {
+		t.Fatalf("SetUint64 allocates: %v allocs/op", n)
+	}
+}

@@ -84,9 +84,10 @@ type Engine interface {
 // (MMIO transactions for hardware engines, transport round-trips and
 // state words for remote ones).
 type Usage struct {
-	Ops    uint64 // software interpreter operations
-	Cycles uint64 // hardware fabric cycles
-	Msgs   uint64 // bus/transport messages
+	Ops       uint64 // software interpreter operations
+	Cycles    uint64 // hardware fabric cycles
+	Msgs      uint64 // bus/transport messages
+	NativeOps uint64 // compiled native-tier operations (internal/njit)
 }
 
 // Add accumulates o into u.
@@ -94,6 +95,7 @@ func (u *Usage) Add(o Usage) {
 	u.Ops += o.Ops
 	u.Cycles += o.Cycles
 	u.Msgs += o.Msgs
+	u.NativeOps += o.NativeOps
 }
 
 // UsageReporter is implemented by engines that meter their work. The

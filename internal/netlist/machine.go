@@ -31,14 +31,25 @@ type Machine struct {
 	seqTrig    []bool
 	seqPending bool
 	edgeWatch  map[int][]edgeHook // slot -> interested seq procs
+	edgeList   [][]edgeHook       // edgeWatch flattened per slot (hot path)
 
 	pending  []mPending
 	events   []DisplayEvent
 	monLast  []string
 	finished bool
 
+	// scratch holds one lazily-allocated vector per narrow slot so
+	// slotVec can materialize transient reads without allocating.
+	scratch []*bv.Vector
+
 	// NowFn supplies $time.
 	NowFn func() uint64
+
+	// ChangeHook, when non-nil, is invoked after every committed state
+	// change: variable-slot changes pass the slot index (>= 0), memory
+	// word changes pass -1-mem. The native tier (internal/njit)
+	// registers it to drive sensitivity-based combinational scheduling.
+	ChangeHook func(slot int)
 
 	// Cycles counts Evaluate calls that did work; Ops counts executed
 	// instructions (the performance model's compute proxy).
@@ -72,6 +83,7 @@ func NewMachine(p *Program) *Machine {
 		seqTrig:   make([]bool, len(p.Seq)),
 		edgeWatch: map[int][]edgeHook{},
 		monLast:   make([]string, len(p.Monitors)),
+		scratch:   make([]*bv.Vector, len(p.Slots)),
 	}
 	for i, s := range p.Slots {
 		if s.Wide {
@@ -96,6 +108,10 @@ func NewMachine(p *Program) *Machine {
 			slot := p.VarSlot[e.Var.Index]
 			m.edgeWatch[slot] = append(m.edgeWatch[slot], edgeHook{proc: pi, kind: e.Kind})
 		}
+	}
+	m.edgeList = make([][]edgeHook, len(p.Slots))
+	for slot, hs := range m.edgeWatch {
+		m.edgeList[slot] = hs
 	}
 	m.Reset()
 	return m
@@ -133,10 +149,29 @@ func mask(w int) uint64 {
 	return (uint64(1) << w) - 1
 }
 
-// slotVec materializes a slot as a bit vector.
+// slotVec materializes a slot as a bit vector. The result is borrowed:
+// wide slots return the live backing vector, narrow slots return a
+// per-slot scratch vector that stays valid only until the next read of
+// the same slot. Callers that retain the value must Clone it (or use
+// slotVecOwned).
 func (m *Machine) slotVec(i int) *bv.Vector {
 	if m.wide[i] != nil {
 		return m.wide[i]
+	}
+	s := m.scratch[i]
+	if s == nil {
+		s = bv.New(m.prog.Slots[i].Width)
+		m.scratch[i] = s
+	}
+	s.SetUint64(m.u64[i])
+	return s
+}
+
+// slotVecOwned materializes a slot as a freshly-allocated vector the
+// caller may retain and mutate.
+func (m *Machine) slotVecOwned(i int) *bv.Vector {
+	if m.wide[i] != nil {
+		return m.wide[i].Clone()
 	}
 	return bv.FromUint64(m.prog.Slots[i].Width, m.u64[i])
 }
@@ -180,7 +215,10 @@ func (m *Machine) writeVarSlot(i int, newU uint64, newW *bv.Vector, isWide bool)
 
 func (m *Machine) onVarChange(slot int, oldLSB, newLSB uint) {
 	m.combDirty = true
-	for _, h := range m.edgeWatch[slot] {
+	if m.ChangeHook != nil {
+		m.ChangeHook(slot)
+	}
+	for _, h := range m.edgeList[slot] {
 		if (h.kind == elab.Pos && oldLSB == 0 && newLSB == 1) ||
 			(h.kind == elab.Neg && oldLSB == 1 && newLSB == 0) {
 			m.seqTrig[h.proc] = true
@@ -195,9 +233,10 @@ func (m *Machine) SetInput(v *elab.Var, val *bv.Vector) {
 	m.writeVarSlot(slot, val.Uint64(), val, m.prog.Slots[slot].Wide)
 }
 
-// ReadVar returns the current value of a scalar variable.
+// ReadVar returns the current value of a scalar variable. The result is
+// owned by the caller.
 func (m *Machine) ReadVar(v *elab.Var) *bv.Vector {
-	return m.slotVec(m.prog.VarSlot[v.Index]).Clone()
+	return m.slotVecOwned(m.prog.VarSlot[v.Index])
 }
 
 // HasActive reports pending evaluation work (there_are_evals).
@@ -243,7 +282,7 @@ func (m *Machine) Update() {
 			continue
 		}
 		if p.hasRng {
-			cur := m.slotVec(p.slot).Clone()
+			cur := m.slotVecOwned(p.slot)
 			var val *bv.Vector
 			if p.wide {
 				val = p.w
@@ -270,6 +309,9 @@ func (m *Machine) commitMem(p mPending) {
 		m.mem64[p.mem][p.word] = p.u & mask(mi.Width)
 	}
 	m.combDirty = true
+	if m.ChangeHook != nil {
+		m.ChangeHook(-1 - p.mem)
+	}
 }
 
 // EndStep re-evaluates $monitor units and emits changed lines.
@@ -308,7 +350,7 @@ func (m *Machine) GetState() *sim.State {
 			st.Arrays[v.Name] = words
 			continue
 		}
-		st.Scalars[v.Name] = m.slotVec(m.prog.VarSlot[v.Index]).Clone()
+		st.Scalars[v.Name] = m.slotVecOwned(m.prog.VarSlot[v.Index])
 	}
 	return st
 }
@@ -511,7 +553,7 @@ func (m *Machine) exec(pc int) {
 		case OpWrite:
 			m.writeVarSlot(op.Dst, m.u64[op.Srcs[0]], nil, false)
 		case OpWriteRng:
-			cur := m.slotVec(op.Dst).Clone()
+			cur := m.slotVecOwned(op.Dst)
 			if cur.SetSlice(op.Hi, op.Lo, bv.FromUint64(op.Width, m.u64[op.Srcs[0]])) {
 				m.writeVarSlot(op.Dst, cur.Uint64(), cur, false)
 			}
@@ -529,6 +571,9 @@ func (m *Machine) exec(pc int) {
 				if m.mem64[op.Aux][addr] != m.u64[op.Srcs[0]]&mask(mi.Width) {
 					m.mem64[op.Aux][addr] = m.u64[op.Srcs[0]] & mask(mi.Width)
 					m.combDirty = true
+					if m.ChangeHook != nil {
+						m.ChangeHook(-1 - op.Aux)
+					}
 				}
 			}
 		case OpWriteNB:
@@ -671,7 +716,7 @@ func (m *Machine) execWide(op *Op) bool {
 	case OpWrite:
 		m.writeVarSlot(op.Dst, 0, get(0).Resize(m.prog.Slots[op.Dst].Width), true)
 	case OpWriteRng:
-		cur := m.slotVec(op.Dst).Clone()
+		cur := m.slotVecOwned(op.Dst)
 		if cur.SetSlice(op.Hi, op.Lo, get(0)) {
 			m.writeVarSlot(op.Dst, 0, cur, true)
 		}
@@ -679,7 +724,7 @@ func (m *Machine) execWide(op *Op) bool {
 		idx := get(1)
 		i := int(idx.Uint64())
 		if idx.Equal(bv.FromUint64(64, uint64(i))) && i < m.prog.Slots[op.Dst].Width {
-			cur := m.slotVec(op.Dst).Clone()
+			cur := m.slotVecOwned(op.Dst)
 			if cur.SetSlice(i, i, get(0)) {
 				m.writeVarSlot(op.Dst, 0, cur, true)
 			}
@@ -693,10 +738,16 @@ func (m *Machine) execWide(op *Op) bool {
 			if mi.Wide {
 				if m.memW[op.Aux][addr].CopyFrom(val) {
 					m.combDirty = true
+					if m.ChangeHook != nil {
+						m.ChangeHook(-1 - op.Aux)
+					}
 				}
 			} else if m.mem64[op.Aux][addr] != val.Uint64() {
 				m.mem64[op.Aux][addr] = val.Uint64()
 				m.combDirty = true
+				if m.ChangeHook != nil {
+					m.ChangeHook(-1 - op.Aux)
+				}
 			}
 		}
 	case OpWriteNB:
@@ -729,7 +780,7 @@ func (m *Machine) display(op *Op) {
 	task := m.prog.Tasks[op.Aux]
 	vals := make([]*bv.Vector, len(op.Srcs))
 	for i, s := range op.Srcs {
-		vals[i] = m.slotVec(s).Clone()
+		vals[i] = m.slotVecOwned(s)
 	}
 	var text string
 	if task.Src.Format == "" {

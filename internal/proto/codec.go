@@ -141,6 +141,7 @@ func EncodeReply(dst []byte, rep *Reply) []byte {
 	dst = appendUvarint(dst, rep.Usage.Ops)
 	dst = appendUvarint(dst, rep.Usage.Cycles)
 	dst = appendUvarint(dst, rep.Usage.Msgs)
+	dst = appendUvarint(dst, rep.Usage.NativeOps)
 	dst = appendUvarint(dst, uint64(len(rep.IO)))
 	for _, ev := range rep.IO {
 		dst = append(dst, byte(ev.Kind))
@@ -376,6 +377,7 @@ func DecodeReply(data []byte, rep *Reply) error {
 	rep.Usage.Ops = r.uvarint()
 	rep.Usage.Cycles = r.uvarint()
 	rep.Usage.Msgs = r.uvarint()
+	rep.Usage.NativeOps = r.uvarint()
 	n := r.length(1)
 	for i := 0; i < n && r.err == nil; i++ {
 		ev := IOEvent{Kind: IOKind(r.u8())}

@@ -326,11 +326,15 @@ func (r *REPL) command(line string) bool {
 			fmt.Fprintln(r.out, "no engines scheduled")
 			break
 		}
-		fmt.Fprintf(r.out, "%-16s %-10s %-9s %10s %10s %10s %6s %7s\n",
-			"PATH", "LOCATION", "TRANSPORT", "ROUNDTRIPS", "OUT", "IN", "DROPS", "RETRIES")
+		fmt.Fprintf(r.out, "%-16s %-10s %-12s %-9s %10s %10s %10s %6s %7s\n",
+			"PATH", "LOCATION", "TIER", "TRANSPORT", "ROUNDTRIPS", "OUT", "IN", "DROPS", "RETRIES")
 		for _, e := range st.Engines {
-			fmt.Fprintf(r.out, "%-16s %-10s %-9s %10d %9dB %9dB %6d %7d\n",
-				e.Path, e.Location, e.Transport,
+			tier := e.Tier
+			if tier == "" {
+				tier = "-"
+			}
+			fmt.Fprintf(r.out, "%-16s %-10s %-12s %-9s %10d %9dB %9dB %6d %7d\n",
+				e.Path, e.Location, tier, e.Transport,
 				e.Xport.RoundTrips, e.Xport.BytesOut, e.Xport.BytesIn,
 				e.Xport.Drops, e.Xport.Retries)
 		}

@@ -1,0 +1,209 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cascade/internal/fault"
+	"cascade/internal/fpga"
+	"cascade/internal/sim"
+	"cascade/internal/toolchain"
+	"cascade/internal/vclock"
+)
+
+// tierOf returns the named engine's tier from a Stats snapshot ("" if
+// the path is not scheduled).
+func tierOf(st Stats, path string) string {
+	for _, e := range st.Engines {
+		if e.Path == path {
+			return e.Tier
+		}
+	}
+	return ""
+}
+
+func userTier(st Stats) string {
+	for _, e := range st.Engines {
+		if e.Tier != "" {
+			return e.Tier
+		}
+	}
+	return ""
+}
+
+// TestNativeTierLadder walks the promotion ladder end to end on real
+// toolchain latencies: the program starts on the interpreter, the
+// native tier replaces it within virtual milliseconds (three orders of
+// magnitude before the fabric flow), and the bitstream later takes over
+// from the native engine. The LED animation must survive every rung.
+func TestNativeTierLadder(t *testing.T) {
+	dev := fpga.NewCycloneV()
+	view := &BufView{Quiet: true}
+	r := newTestRuntime(t, Options{
+		View:      view,
+		Device:    dev,
+		Toolchain: toolchain.New(dev, toolchain.DefaultOptions()), // real latencies
+		Features:  Features{NativeTier: true},
+	})
+	r.MustEval(figure3)
+
+	st := r.Stats()
+	if got := userTier(st); got != "interpreter" {
+		t.Fatalf("fresh program should run on the interpreter, got %q", got)
+	}
+	if st.PendingNative != 1 {
+		t.Fatalf("native compile not submitted: pendingNative=%d", st.PendingNative)
+	}
+
+	// One virtual second covers the native compile (~0.5s for this tiny
+	// design) but is nowhere near the fabric flow (~1 virtual minute).
+	r.Idle(1 * vclock.S)
+	st = r.Stats()
+	if got := userTier(st); got != "native" {
+		t.Fatalf("after 1 virtual second the native tier should hold the engine, got %q (pendingNative=%d)",
+			got, st.PendingNative)
+	}
+	if st.Phase == PhaseHardware || st.Phase == PhaseOpenLoop {
+		t.Fatalf("native promotion must not advance the JIT phase, got %v", st.Phase)
+	}
+	// The program still runs correctly on the native rung.
+	seq := ledSequence(r, 8)
+	expectAnimation(t, seq, 2)
+
+	// Fast-forward past the fabric compile: the bitstream takes over
+	// from the native engine.
+	r.Idle(30 * 60 * vclock.S)
+	st = r.Stats()
+	if got := userTier(st); got != "" && got != "fabric" {
+		t.Fatalf("fabric should take over from the native tier, still on %q (phase %v)", got, st.Phase)
+	}
+	if st.Phase != PhaseHardware && st.Phase != PhaseForwarded && st.Phase != PhaseOpenLoop {
+		t.Fatalf("JIT never reached hardware: phase %v", st.Phase)
+	}
+	// The hardware engine inherited the native tier's state and keeps
+	// executing. (Per-tick LED sampling aliases under open-loop bursts,
+	// so assert forward progress rather than the animation.)
+	before := r.Ticks()
+	r.RunTicks(4)
+	if r.Ticks() <= before {
+		t.Fatalf("no forward progress after the fabric swap: ticks %d -> %d", before, r.Ticks())
+	}
+}
+
+// TestNativeTierDemotion seeds a region fault against the native code
+// cache: the engine demotes back to the interpreter between steps, the
+// native compile is resubmitted (a tier-cache hit), and the program's
+// observables never notice.
+func TestNativeTierDemotion(t *testing.T) {
+	dev := fpga.NewCycloneV()
+	view := &BufView{Quiet: true}
+	opts := toolchain.DefaultOptions()
+	// Keep the fabric out of the picture: this test isolates the
+	// native <-> interpreter cycle.
+	opts.BasePs = 100_000 * vclock.S // far beyond the test horizon
+	r := newTestRuntime(t, Options{
+		View:      view,
+		Device:    dev,
+		Toolchain: toolchain.New(dev, opts),
+		Features:  Features{NativeTier: true},
+		Injector:  fault.New(fault.Config{Seed: 7, RegionFault: 1, MaxRegionFaults: 1}),
+	})
+	r.MustEval(figure3)
+	r.Idle(1 * vclock.S)
+	if got := userTier(r.Stats()); got != "native" {
+		t.Fatalf("engine should be native before the fault, got %q", got)
+	}
+	// The first native step trips the region fault; the demotion runs
+	// between steps and the animation stays intact.
+	seq := ledSequence(r, 12)
+	expectAnimation(t, seq, 2)
+	st := r.Stats()
+	if st.NativeFaults < 1 || st.Demotions < 1 {
+		t.Fatalf("seeded native fault did not demote: faults=%d demotions=%d", st.NativeFaults, st.Demotions)
+	}
+	// MaxRegionFaults=1: the resubmitted native compile re-promotes and
+	// stays healthy this time.
+	r.Idle(1 * vclock.S)
+	if got := userTier(r.Stats()); got != "native" {
+		t.Fatalf("engine should re-promote to native after the demotion, got %q", got)
+	}
+	seq = ledSequence(r, 8)
+	expectAnimation(t, seq, seq[0])
+}
+
+// runNativeEquiv executes prog with the native tier in the ladder (and
+// optionally a fault schedule) and returns every observable.
+func runNativeEquiv(t *testing.T, prog string, cfg *fault.Config, par, n int) (string, []uint64, map[string]*sim.State, Stats) {
+	t.Helper()
+	view := &BufView{Quiet: true}
+	opts := Options{View: view, Features: Features{DisableInline: true, NativeTier: true}, Parallelism: par}
+	if cfg != nil {
+		opts.Injector = fault.New(*cfg)
+	}
+	r := newTestRuntime(t, opts)
+	r.MustEval(prog)
+	leds := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		r.RunTicks(1)
+		leds = append(leds, r.World().Led("main.led"))
+	}
+	return view.Output(), leds, r.captureStates(), r.Stats()
+}
+
+// TestNativeTierEquivalenceProperty extends the scheduler-equivalence
+// property to the native tier: for random multi-engine programs, a run
+// whose engines climb interpreter -> native -> fabric mid-trace — and,
+// under a seeded fault schedule, fall back down mid-trace — must be
+// observationally identical to the plain interpreter run, serially and
+// in parallel. Only billing and counters may differ.
+func TestNativeTierEquivalenceProperty(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			prog := genEquivProgram(rand.New(rand.NewSource(seed)))
+			// Baseline: pure interpreter, no JIT at all.
+			cleanOut, cleanLed, cleanSt := runEquiv(t, prog, Features{DisableInline: true, DisableJIT: true}, 1, 96)
+
+			out, led, st, stats := runNativeEquiv(t, prog, nil, 1, 96)
+			if out != cleanOut {
+				t.Errorf("display output diverged with native tier:\nclean:  %q\nnative: %q\nprogram:\n%s", cleanOut, out, prog)
+			}
+			if !reflect.DeepEqual(led, cleanLed) {
+				t.Errorf("LED trace diverged with native tier:\nclean:  %v\nnative: %v\nprogram:\n%s", cleanLed, led, prog)
+			}
+			if !reflect.DeepEqual(st, cleanSt) {
+				t.Errorf("final states diverged with native tier:\nclean:  %v\nnative: %v", cleanSt, st)
+			}
+			// The tier must actually have been exercised: every engine
+			// compiled natively (hit or miss) before the fabric arrived.
+			if stats.Compile.Submitted < 2 {
+				t.Errorf("native jobs not submitted alongside fabric jobs: %+v", stats.Compile)
+			}
+
+			// Parallel agrees with serial.
+			outP, ledP, stP, _ := runNativeEquiv(t, prog, nil, 8, 96)
+			if outP != cleanOut || !reflect.DeepEqual(ledP, cleanLed) || !reflect.DeepEqual(stP, cleanSt) {
+				t.Errorf("parallel native-tier run diverged:\nclean out: %q\npar out:   %q", cleanOut, outP)
+			}
+
+			// Seeded faults: native demotions (region faults hit the
+			// "native:" sites too) plus the usual fabric faults, all
+			// mid-run, all invisible.
+			cfg := fault.Config{
+				Seed:        uint64(seed) + 1,
+				RegionFault: 1, MaxRegionFaults: 2,
+				BusError: 1, MaxBusFaults: 1,
+			}
+			outF, ledF, stF, statsF := runNativeEquiv(t, prog, &cfg, 1, 96)
+			if outF != cleanOut || !reflect.DeepEqual(ledF, cleanLed) || !reflect.DeepEqual(stF, cleanSt) {
+				t.Errorf("faulty native-tier run diverged:\nclean out: %q\nfault out: %q\nclean led: %v\nfault led: %v",
+					cleanOut, outF, cleanLed, ledF)
+			}
+			if statsF.NativeFaults < 1 || statsF.Demotions < 1 {
+				t.Errorf("seeded schedule never demoted a native engine: faults=%d demotions=%d",
+					statsF.NativeFaults, statsF.Demotions)
+			}
+		})
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"cascade/internal/fault"
 	"cascade/internal/fpga"
 	"cascade/internal/ir"
+	"cascade/internal/njit"
 	"cascade/internal/obsv"
 	"cascade/internal/sim"
 	"cascade/internal/stdlib"
@@ -161,6 +162,15 @@ type Features struct {
 	DisableForwarding bool // keep stdlib engines scheduled (§4.3 ablation)
 	DisableOpenLoop   bool // stay in lock-step hardware (§4.4 ablation)
 	Native            bool // §4.5: compile exactly as written, no ABI
+	// NativeTier stages the JIT through a middle rung: alongside the
+	// fabric compile, each subprogram is also handed to the toolchain's
+	// native tier, which lowers the synthesized netlist to
+	// closure-threaded Go (internal/njit). The native job is ready in
+	// virtual milliseconds, so the interpreter is replaced by compiled
+	// code long before the bitstream arrives; the fabric swap then takes
+	// over from the native engine, and a native-tier fault demotes back
+	// to the interpreter. Off by default.
+	NativeTier bool
 }
 
 // Options configures a runtime.
@@ -296,15 +306,19 @@ type Runtime struct {
 	xerrs      []error
 
 	jobs      map[string]*toolchain.Job
-	evalCtx   context.Context // context the current program version was eval'd under
+	njobs     map[string]*toolchain.Job // native-tier compilations (Features.NativeTier)
+	evalCtx   context.Context           // context the current program version was eval'd under
 	phase     Phase
 	clockPath string // stdlib Clock subprogram path ("" if none)
 	clockVar  string // user engine input carrying the clock
 
 	// Degradation counters: hardware faults observed and the
-	// hardware→software evictions they triggered.
-	hwFaults  int
-	evictions int
+	// hardware→software evictions they triggered; native-tier faults
+	// and the native→interpreter demotions they triggered.
+	hwFaults     int
+	evictions    int
+	nativeFaults int
+	demotions    int
 
 	// pers is the crash-safe persistence attachment (nil when the
 	// runtime was built with New rather than Open); outBytes counts
@@ -398,6 +412,7 @@ func New(opts Options) *Runtime {
 		routesFrom: map[string][]ir.Wire{},
 		groupOf:    map[string]string{},
 		jobs:       map[string]*toolchain.Job{},
+		njobs:      map[string]*toolchain.Job{},
 		xstats:     map[string]transport.Stats{},
 		olIters:    64,
 		olWallCap:  1 << 14, // ramps up while bursts stay cheap
@@ -427,6 +442,13 @@ func (r *Runtime) obs() *obsv.Observer { return r.opts.Observer }
 // runtime's tenant scope (the default tenant when Options.Tenant is "").
 func (r *Runtime) submitCompile(ctx context.Context, f *elab.Flat) *toolchain.Job {
 	return r.opts.Toolchain.SubmitTenant(ctx, r.opts.Tenant, f, !r.opts.Features.Native, r.vclk.Now())
+}
+
+// submitNativeCompile starts a background native-tier compilation of f
+// (closure-threaded Go, ready long before the fabric flow) under this
+// runtime's tenant scope.
+func (r *Runtime) submitNativeCompile(ctx context.Context, f *elab.Flat) *toolchain.Job {
+	return r.opts.Toolchain.SubmitNativeTenant(ctx, r.opts.Tenant, f, r.vclk.Now())
 }
 
 // setPhase transitions the JIT phase, tracing the transition and
@@ -626,6 +648,11 @@ func asSW(c *transport.Client) *sweng.Engine {
 
 // asHW returns the in-process hardware engine behind a client, or nil
 // (remote engines report Hardware without exposing one).
+func asNative(c *transport.Client) *njit.Engine {
+	ne, _ := c.Underlying().(*njit.Engine)
+	return ne
+}
+
 func asHW(c *transport.Client) *hweng.Engine {
 	hw, _ := c.Underlying().(*hweng.Engine)
 	return hw
@@ -873,6 +900,10 @@ func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) erro
 		j.Cancel()
 	}
 	r.jobs = map[string]*toolchain.Job{}
+	for _, j := range r.njobs {
+		j.Cancel()
+	}
+	r.njobs = map[string]*toolchain.Job{}
 	r.engines = map[string]*transport.Client{}
 	r.lanes = map[string]*laneIO{}
 	r.execElabs = map[string]*elab.Flat{}
@@ -969,6 +1000,12 @@ func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) erro
 		// request carries the JIT flag), not the runtime's.
 		if !r.opts.Features.DisableJIT && r.opts.Remote == nil {
 			r.jobs[s.Path] = r.submitCompile(ctx, f)
+			// The native tier compiles in parallel with the fabric flow:
+			// a cheap intermediate artifact that replaces the interpreter
+			// within virtual milliseconds (Figure 9's ladder grows a rung).
+			if r.opts.Features.NativeTier {
+				r.njobs[s.Path] = r.submitNativeCompile(ctx, f)
+			}
 		}
 	}
 	constructed := len(r.displayQ) - qMark
@@ -1025,15 +1062,17 @@ func (r *Runtime) ProgramSource() string {
 func (r *Runtime) CompileReadyAt() (uint64, bool) {
 	var latest uint64
 	found := false
-	for _, j := range r.jobs {
-		at, ok := j.ReadyAt()
-		if !ok {
-			continue
+	for _, jobs := range []map[string]*toolchain.Job{r.jobs, r.njobs} {
+		for _, j := range jobs {
+			at, ok := j.ReadyAt()
+			if !ok {
+				continue
+			}
+			if at > latest {
+				latest = at
+			}
+			found = true
 		}
-		if at > latest {
-			latest = at
-		}
-		found = true
 	}
 	return latest, found
 }

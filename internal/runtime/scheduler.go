@@ -11,8 +11,10 @@ import (
 	"cascade/internal/engine/sweng"
 	"cascade/internal/fault"
 	"cascade/internal/ir"
+	"cascade/internal/njit"
 	"cascade/internal/obsv"
 	"cascade/internal/stdlib"
+	"cascade/internal/toolchain"
 	"cascade/internal/transport"
 )
 
@@ -188,7 +190,7 @@ func (r *Runtime) settleEngine(c *transport.Client) uint64 {
 	if u.Msgs > 0 {
 		r.vclk.AdvanceComm(u.Msgs, model)
 	}
-	return u.Ops*model.SWEvalOpPs + u.Cycles*model.HWCyclePs
+	return u.Ops*model.SWEvalOpPs + u.Cycles*model.HWCyclePs + u.NativeOps*model.NativeOpPs
 }
 
 // settleBatch converts the batch's engine work counters into virtual
@@ -260,6 +262,7 @@ func (r *Runtime) serviceJIT() {
 	if r.opts.Features.DisableJIT {
 		return
 	}
+	r.serviceNativeTier()
 	// Hot swap any finished compilations.
 	for path, job := range r.jobs {
 		if job.Canceled() {
@@ -278,8 +281,15 @@ func (r *Runtime) serviceJIT() {
 			continue
 		}
 		c := r.engines[path]
-		old := asSW(c)
-		if old == nil {
+		// The fabric swap's source is whichever software rung currently
+		// holds the engine: the interpreter, or the native tier if it
+		// got there first (the common case with Features.NativeTier).
+		var old engine.Engine
+		if sw := asSW(c); sw != nil {
+			old = sw
+		} else if ne := asNative(c); ne != nil {
+			old = ne
+		} else {
 			continue
 		}
 		hw, err := hweng.New(path, res.Prog, r.opts.Device, res.AreaLEs, r.lane(path), r.opts.Features.Native, r.now)
@@ -307,7 +317,11 @@ func (r *Runtime) serviceJIT() {
 		c.SwapLocal(hw)
 		r.areaLEs += res.AreaLEs
 		if o := r.opts.Observer; o != nil {
-			o.Emit(obsv.EvHotSwap, path, fmt.Sprintf("sw->hw area=%dLEs cacheHit=%v", res.AreaLEs, res.CacheHit))
+			from := "sw"
+			if _, wasNative := old.(*njit.Engine); wasNative {
+				from = "native"
+			}
+			o.Emit(obsv.EvHotSwap, path, fmt.Sprintf("%s->hw area=%dLEs cacheHit=%v", from, res.AreaLEs, res.CacheHit))
 			o.Promotions.Inc()
 			o.AreaLEs.Set(int64(r.areaLEs))
 		}
@@ -377,6 +391,52 @@ func (r *Runtime) serviceJIT() {
 	}
 }
 
+// serviceNativeTier hot-swaps finished native-tier compilations
+// (Features.NativeTier): the interpreter is replaced by a compiled
+// closure-threaded evaluator (internal/njit) long before the fabric
+// flow delivers a bitstream. The swap mirrors the fabric promotion —
+// state handoff between steps, inside the client, so dispatch routes
+// and transport counters are untouched — but bills no bus traffic:
+// both engines share the heap. The fabric swap later takes over from
+// the native engine the same way it would from the interpreter.
+func (r *Runtime) serviceNativeTier() {
+	for path, job := range r.njobs {
+		if job.Canceled() {
+			delete(r.njobs, path)
+			continue
+		}
+		if !job.Ready(r.vclk.Now()) {
+			continue
+		}
+		delete(r.njobs, path)
+		res := job.Result()
+		if res.Err != nil {
+			r.opts.View.Error(res.Err)
+			continue
+		}
+		c := r.engines[path]
+		old := asSW(c)
+		if old == nil {
+			// Already promoted past the interpreter — a warm bitstream
+			// cache can deliver the fabric first. The artifact stays
+			// cached; nothing to swap.
+			continue
+		}
+		ne := njit.New(path, res.Prog, r.lane(path), r.opts.Injector, r.now)
+		ne.SetState(old.GetState())
+		old.End()
+		c.SwapLocal(ne)
+		// Compiling-in the state costs a pass over the slots, not bus
+		// round-trips.
+		r.vclk.AdvanceOverhead(uint64(len(res.Prog.Slots)+1) * r.opts.Model.DispatchPs / 4)
+		if o := r.opts.Observer; o != nil {
+			o.Emit(obsv.EvHotSwap, path, fmt.Sprintf("sw->native cacheHit=%v", res.CacheHit))
+			o.Promotions.Inc()
+		}
+		r.opts.View.Info("engine %s promoted to native code (%d cells compiled)", path, res.RawAreaLEs)
+	}
+}
+
 // jobCtx is the context background compilations are bound to: the one
 // the current program version was eval'd under.
 func (r *Runtime) jobCtx() context.Context {
@@ -404,6 +464,20 @@ func (r *Runtime) serviceFaults() {
 	for _, path := range faulted {
 		if hw := asHW(r.engines[path]); hw != nil {
 			r.evict(path, hw)
+		}
+	}
+	// The native tier degrades the same way: a latched region fault
+	// against the compiled code cache demotes the engine back to the
+	// interpreter between steps.
+	var nfaulted []string
+	for _, path := range r.sched {
+		if ne := asNative(r.engines[path]); ne != nil && ne.Fault() != nil {
+			nfaulted = append(nfaulted, path)
+		}
+	}
+	for _, path := range nfaulted {
+		if ne := asNative(r.engines[path]); ne != nil {
+			r.evictNative(path, ne)
 		}
 	}
 }
@@ -470,6 +544,46 @@ func (r *Runtime) evict(path string, hw *hweng.Engine) {
 		}
 	}
 	r.opts.View.Info("engine %s moved to software (%d LEs released), recompiling", path, hw.AreaLEs())
+}
+
+// evictNative performs the native→interpreter reverse hot-swap for one
+// faulted native-tier engine: state is read out (heap to heap, no bus),
+// a fresh software engine inherits it, and the native compile is
+// resubmitted — a cache hit, so the tier climbs back almost instantly
+// unless the fault schedule keeps firing. The JIT phase is untouched:
+// the native tier lives inside the software phase.
+func (r *Runtime) evictNative(path string, ne *njit.Engine) {
+	model := &r.opts.Model
+	r.nativeFaults++
+	r.obs().Emit(obsv.EvFault, path, fmt.Sprintf("native-tier fault latched: %v", ne.Fault()))
+	r.opts.View.Info("native code fault on %s (%v): degrading to interpreter", path, ne.Fault())
+
+	st := ne.GetState()
+	f := r.elabsExec()[path]
+	if f == nil {
+		r.opts.View.Error(fmt.Errorf("runtime: cannot demote %s: no elaboration", path))
+		return
+	}
+	sw := sweng.New(f, r.lane(path), r.now, r.opts.Features.EagerSim)
+	// Constructing a software engine re-runs initial blocks; the user
+	// saw that output when the program first integrated, and the
+	// restored state overwrites their variable effects — discard it.
+	r.discardLane(path)
+	sw.SetState(st)
+	r.engines[path].SwapLocal(sw)
+	r.demotions++
+	r.vclk.AdvanceOverhead(uint64(len(f.Vars)+1) * model.DispatchPs / 4)
+	if o := r.opts.Observer; o != nil {
+		o.Emit(obsv.EvEviction, path, "native->sw code cache released")
+		o.Evictions.Inc()
+	}
+	if !r.opts.Features.DisableJIT {
+		if _, pending := r.njobs[path]; !pending {
+			r.njobs[path] = r.submitNativeCompile(r.jobCtx(), f)
+			r.obs().Emit(obsv.EvRecovery, path, "demotion: native compile resubmitted (tier cache warm)")
+		}
+	}
+	r.opts.View.Info("engine %s moved to interpreter, recompiling native tier", path)
 }
 
 // unforward reverses forwardStdlib: absorbed stdlib engines return to
@@ -719,15 +833,17 @@ func (r *Runtime) Idle(ps uint64) {
 func (r *Runtime) earliestReady(now, end uint64) (uint64, bool) {
 	var best uint64
 	found := false
-	for _, j := range r.jobs {
-		at, ok := j.ReadyAt()
-		if !ok || at <= now || at >= end {
-			continue
+	for _, jobs := range []map[string]*toolchain.Job{r.jobs, r.njobs} {
+		for _, j := range jobs {
+			at, ok := j.ReadyAt()
+			if !ok || at <= now || at >= end {
+				continue
+			}
+			if !found || at < best {
+				best = at
+			}
+			found = true
 		}
-		if !found || at < best {
-			best = at
-		}
-		found = true
 	}
 	return best, found
 }

@@ -163,6 +163,10 @@ func (r *Runtime) resetFreshLocked() {
 		j.Cancel()
 	}
 	r.jobs = map[string]*toolchain.Job{}
+	for _, j := range r.njobs {
+		j.Cancel()
+	}
+	r.njobs = map[string]*toolchain.Job{}
 	for path, c := range r.engines {
 		if hw := asHW(c); hw != nil {
 			hw.Release()
@@ -193,6 +197,7 @@ func (r *Runtime) resetFreshLocked() {
 	r.clockPath, r.clockVar = "", ""
 	r.vclk = vclock.Clock{}
 	r.hwFaults, r.evictions = 0, 0
+	r.nativeFaults, r.demotions = 0, 0
 	r.olIters, r.olWallCap = 64, 1<<14
 }
 

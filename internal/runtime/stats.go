@@ -3,7 +3,10 @@ package runtime
 import (
 	"fmt"
 
+	"cascade/internal/engine/hweng"
+	"cascade/internal/engine/sweng"
 	"cascade/internal/fault"
+	"cascade/internal/njit"
 	"cascade/internal/toolchain"
 	"cascade/internal/transport"
 	"cascade/internal/vclock"
@@ -17,7 +20,12 @@ type EngineStat struct {
 	Path      string
 	Location  string // "software" or "hardware"
 	Transport string // "local" or "tcp"
-	Xport     transport.Stats
+	// Tier names the execution rung within the location for in-process
+	// engines: "interpreter", "native" (closure-threaded Go), or
+	// "fabric". Empty for stdlib peripherals and remote engines (the
+	// daemon does not report its internal tier).
+	Tier  string
+	Xport transport.Stats
 }
 
 // Stats is a stable snapshot of the runtime's externally observable
@@ -51,6 +59,13 @@ type Stats struct {
 	HWFaults  int
 	Evictions int
 	Faults    fault.Stats
+
+	// Native-tier counters (Features.NativeTier): in-flight native
+	// compilations, native-engine faults observed, and the
+	// native→interpreter demotions they triggered.
+	PendingNative int
+	NativeFaults  int
+	Demotions     int
 
 	// Persist counts the crash-safe persistence layer's work (journal
 	// records, checkpoints, bytes, replay); Enabled is false on
@@ -91,6 +106,9 @@ func (r *Runtime) Stats() Stats {
 		PendingCompiles: len(r.jobs),
 		HWFaults:        r.hwFaults,
 		Evictions:       r.evictions,
+		PendingNative:   len(r.njobs),
+		NativeFaults:    r.nativeFaults,
+		Demotions:       r.demotions,
 		Faults:          r.opts.Injector.Stats(),
 		Persist:         r.persistStats(),
 	}
@@ -110,6 +128,7 @@ func (r *Runtime) Stats() Stats {
 			Path:      path,
 			Location:  c.Loc().String(),
 			Transport: c.TransportKind(),
+			Tier:      engineTier(c),
 			Xport:     c.Stats(),
 		}
 		st.Engines = append(st.Engines, es)
@@ -121,6 +140,20 @@ func (r *Runtime) Stats() Stats {
 		st.Xport.Add(s)
 	}
 	return st
+}
+
+// engineTier names the execution rung an in-process client currently
+// dispatches to ("" for remote engines and stdlib peripherals).
+func engineTier(c *transport.Client) string {
+	switch c.Underlying().(type) {
+	case *sweng.Engine:
+		return "interpreter"
+	case *njit.Engine:
+		return "native"
+	case *hweng.Engine:
+		return "fabric"
+	}
+	return ""
 }
 
 // Summary renders the snapshot as one status line (the REPL's :stats).
@@ -136,6 +169,10 @@ func (s Stats) Summary() string {
 		s.Compile.Joined, s.Compile.Canceled, s.Compile.Retried)
 	if s.Tenant != "" {
 		line += fmt.Sprintf(" tenant[%s region=%dLEs]", s.Tenant, s.RegionLEs)
+	}
+	if s.PendingNative > 0 || s.NativeFaults > 0 || s.Demotions > 0 {
+		line += fmt.Sprintf(" native[pending=%d faults=%d demotions=%d]",
+			s.PendingNative, s.NativeFaults, s.Demotions)
 	}
 	if s.Faults.Injected > 0 || s.HWFaults > 0 || s.Evictions > 0 {
 		line += fmt.Sprintf(" faults[injected=%d transient=%d permanent=%d hw=%d evictions=%d]",

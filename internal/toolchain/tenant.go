@@ -268,14 +268,38 @@ func (t *Toolchain) Tenants() []string {
 // device, counts into the tenant's stats mirror, and caches under the
 // tenant's namespace. tenantID "" is exactly Submit.
 func (t *Toolchain) SubmitTenant(ctx context.Context, tenantID string, f *elab.Flat, wrapped bool, nowPs uint64) *Job {
+	return t.submitTenant(ctx, tenantID, f, wrapped, false, nowPs)
+}
+
+// SubmitNative starts a background native-tier compilation: synthesis
+// runs as usual, but the back half targets closure-threaded Go instead
+// of the fabric — no fit or timing models, no disk store, and a latency
+// bill in virtual milliseconds rather than minutes. The artifact caches
+// under its own tier key, so native and fabric flows over the same
+// netlist never collide.
+func (t *Toolchain) SubmitNative(ctx context.Context, f *elab.Flat, nowPs uint64) *Job {
+	return t.submitTenant(ctx, "", f, false, true, nowPs)
+}
+
+// SubmitNativeTenant is SubmitNative scoped to a tenant's quota, stats,
+// observer, and cache namespace.
+func (t *Toolchain) SubmitNativeTenant(ctx context.Context, tenantID string, f *elab.Flat, nowPs uint64) *Job {
+	return t.submitTenant(ctx, tenantID, f, false, true, nowPs)
+}
+
+func (t *Toolchain) submitTenant(ctx context.Context, tenantID string, f *elab.Flat, wrapped, native bool, nowPs uint64) *Job {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	jctx, abort := context.WithCancel(ctx)
-	j := &Job{t: t, name: f.Name, submitPs: nowPs, done: make(chan struct{}), abort: abort,
+	j := &Job{t: t, name: f.Name, native: native, submitPs: nowPs, done: make(chan struct{}), abort: abort,
 		view: t.viewFor(tenantID)}
 	j.view.bump(func(s *Stats) { s.Submitted++ })
-	j.view.observer().EmitAt(nowPs, obsv.EvCompileSubmit, f.Name, fmt.Sprintf("wrapped=%v", wrapped))
+	detail := fmt.Sprintf("wrapped=%v", wrapped)
+	if native {
+		detail = "tier=native"
+	}
+	j.view.observer().EmitAt(nowPs, obsv.EvCompileSubmit, f.Name, detail)
 	go j.run(jctx, f, wrapped)
 	return j
 }

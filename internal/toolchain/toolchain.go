@@ -81,6 +81,15 @@ type Options struct {
 	MaxRetries  int
 	RetryBasePs uint64
 	RetryCapPs  uint64
+	// NativeBasePs and NativePsPerCell control the native-tier latency
+	// model: compiling a netlist to closure-threaded Go is a linear pass
+	// (no placement, no timing closure), so a native job is ready in
+	// virtual milliseconds while the fabric flow for the same design
+	// takes virtual minutes. 0 means the defaults of 250 virtual ms base
+	// plus 150 virtual µs per cell (~0.5 virtual s for the paper's PoW
+	// miner, against its ~10 virtual minute fabric compile).
+	NativeBasePs    uint64
+	NativePsPerCell uint64
 }
 
 // DefaultOptions calibrates the model so the paper's proof-of-work miner
@@ -89,15 +98,17 @@ type Options struct {
 // the user study's average per-build compile wait.
 func DefaultOptions() Options {
 	return Options{
-		SynthPsPerCell: 12_000 * vclock.Us,
-		PlacePs:        20_000 * vclock.Us,
-		BasePs:         45 * vclock.S,
-		LevelPs:        450, // ps per level: ~44 levels close timing at 50 MHz
-		Scale:          1,
-		CacheHitPs:     2 * vclock.Ms,
-		MaxRetries:     4,
-		RetryBasePs:    5 * vclock.S,
-		RetryCapPs:     60 * vclock.S,
+		SynthPsPerCell:  12_000 * vclock.Us,
+		PlacePs:         20_000 * vclock.Us,
+		BasePs:          45 * vclock.S,
+		LevelPs:         450, // ps per level: ~44 levels close timing at 50 MHz
+		Scale:           1,
+		CacheHitPs:      2 * vclock.Ms,
+		MaxRetries:      4,
+		RetryBasePs:     5 * vclock.S,
+		RetryCapPs:      60 * vclock.S,
+		NativeBasePs:    250 * vclock.Ms,
+		NativePsPerCell: 150 * vclock.Us,
 	}
 }
 
@@ -174,6 +185,12 @@ func New(dev *fpga.Device, opts Options) *Toolchain {
 	}
 	if opts.RetryCapPs == 0 {
 		opts.RetryCapPs = 60 * vclock.S
+	}
+	if opts.NativeBasePs == 0 {
+		opts.NativeBasePs = 250 * vclock.Ms
+	}
+	if opts.NativePsPerCell == 0 {
+		opts.NativePsPerCell = 150 * vclock.Us
 	}
 	return &Toolchain{
 		dev:     dev,
@@ -266,6 +283,10 @@ type Result struct {
 	// CacheHit reports that the flow was served from the bitstream
 	// cache (no place-and-route ran).
 	CacheHit bool
+	// NativeGo marks a native-tier artifact: the netlist compiled to
+	// closure-threaded Go rather than a bitstream. It occupies no fabric
+	// (AreaLEs is 0) and never consults the fit or timing models.
+	NativeGo bool
 	Err      error
 }
 
@@ -288,6 +309,31 @@ func (t *Toolchain) latency(cells int) uint64 {
 	place := float64(t.opts.PlacePs) * math.Pow(c, 1.3)
 	total := (synth + place + float64(t.opts.BasePs)) / t.opts.Scale
 	return uint64(total)
+}
+
+// nativeLatency returns the virtual compile duration of the native-tier
+// flow: a linear translation pass, dominated by its fixed startup cost.
+func (t *Toolchain) nativeLatency(cells int) uint64 {
+	total := (float64(t.opts.NativeBasePs) + float64(t.opts.NativePsPerCell)*float64(cells)) / t.opts.Scale
+	if total < 1 {
+		total = 1
+	}
+	return uint64(total)
+}
+
+// finishNative is the back half of the native-tier flow: no placement,
+// no fit check (the artifact occupies zero fabric), no timing closure
+// (the host CPU has no clock period to close against). The netlist and
+// its stats still ride along so the runtime can hand the program to the
+// closure-threaded compiler.
+func (t *Toolchain) finishNative(prog *netlist.Program) *Result {
+	st := prog.Stats
+	raw := st.LogicElements()
+	return &Result{
+		Prog: prog, Stats: st,
+		RawAreaLEs: raw, NativeGo: true,
+		DurationPs: t.nativeLatency(raw),
+	}
 }
 
 // hitLatency is the virtual duration of a cache-served flow.
@@ -403,6 +449,7 @@ type Job struct {
 	t        *Toolchain
 	view     jobView // tenant scoping: faults, observer, device, stats, cache namespace
 	name     string  // subprogram path, for trace events
+	native   bool    // native-tier flow (closure-threaded Go, not a bitstream)
 	submitPs uint64
 	done     chan struct{}
 
@@ -422,6 +469,9 @@ func (j *Job) State() JobState {
 	defer j.mu.Unlock()
 	return j.state
 }
+
+// Native reports whether this is a native-tier job.
+func (j *Job) Native() bool { return j.native }
 
 // Retries returns how many transient-fault retries this job has run.
 func (j *Job) Retries() int {
@@ -473,8 +523,13 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 	// into the result's duration, cache hit or not. The schedule is the
 	// submitting tenant's own — another tenant's injector never fires
 	// here.
+	// The native tier never consults the compile-fault schedule: the
+	// flow is an in-process translation pass with no license server or
+	// vendor toolchain to flake. Its fault surface is at runtime instead
+	// (region faults against the compiled code cache, which the runtime
+	// answers with a native -> interpreter demotion).
 	var backoff uint64
-	for attempt := 0; ; attempt++ {
+	for attempt := 0; !j.native; attempt++ {
 		err := j.view.faults().Compile(f.Name)
 		if err == nil {
 			break
@@ -512,6 +567,9 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 		return
 	}
 	key := j.view.cacheKey(fmt.Sprintf("%s|wrapped=%v", prog.Fingerprint(), wrapped))
+	if j.native {
+		key = j.view.cacheKey(prog.Fingerprint() + "|tier=native")
+	}
 
 	t.mu.Lock()
 	entry, hit := t.cache[key]
@@ -553,6 +611,27 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 		return
 	}
 	t.mu.Unlock()
+
+	// Native tier: the back half is the closure-threading pass — no fit
+	// or timing models, no disk store (the artifact is rebuilt from the
+	// netlist in negligible wall-clock time, so persistence buys
+	// nothing). It still lands in the in-memory cache so identical
+	// resubmissions hit or join like any other flow.
+	if j.native {
+		res := t.finishNative(prog)
+		res.DurationPs += backoff
+		t.mu.Lock()
+		entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs}
+		t.cache[key] = entry
+		t.mu.Unlock()
+		j.view.bump(func(s *Stats) { s.CacheMisses++ })
+		if obs := j.view.observer(); obs != nil {
+			obs.CacheMisses.Inc()
+			obs.EmitAt(j.submitPs, obsv.EvCacheMiss, j.name, "native codegen")
+		}
+		j.complete(res, entry)
+		return
+	}
 
 	// Not in memory: apply the fit and timing models (against the
 	// tenant's own device partition), then consult the disk store. A
@@ -641,9 +720,13 @@ func (j *Job) complete(res *Result, entry *cacheEntry) {
 		// bills (TestObserverRecordsBilledLatency pins the two together);
 		// the completion event is stamped at the flow's virtual finish.
 		o.CompileLatency.Observe(res.DurationPs)
-		if res.Err != nil {
+		switch {
+		case res.Err != nil:
 			o.EmitAt(readyAt, obsv.EvCompileFailed, j.name, res.Err.Error())
-		} else {
+		case res.NativeGo:
+			o.EmitAt(readyAt, obsv.EvBitstreamReady, j.name,
+				fmt.Sprintf("tier=native virtual=%.3fs cacheHit=%v", float64(res.DurationPs)/float64(vclock.S), res.CacheHit))
+		default:
 			o.EmitAt(readyAt, obsv.EvBitstreamReady, j.name,
 				fmt.Sprintf("area=%dLEs virtual=%.3fs cacheHit=%v", res.AreaLEs, float64(res.DurationPs)/float64(vclock.S), res.CacheHit))
 		}

@@ -38,6 +38,10 @@ type Model struct {
 	MsgPs uint64
 	// DispatchPs is the runtime's own per-iteration overhead.
 	DispatchPs uint64
+	// NativeOpPs is one compiled native-tier operation (internal/njit):
+	// a fused closure over word-packed state, far cheaper than an
+	// interpreted op but still software, so it cannot beat the fabric.
+	NativeOpPs uint64
 }
 
 // DefaultModel returns costs calibrated to the paper's testbed.
@@ -51,6 +55,9 @@ func DefaultModel() Model {
 		HWCyclesPerIter: 3,         // ABI wrapper costs ~3 cycles per tick
 		MsgPs:           1800 * Ns, // MMIO round trip (~560K transfers/s)
 		DispatchPs:      300 * Ns,  // scheduler bookkeeping per iteration
+		// ~240 ARM cycles per compiled closure at 800 MHz: ~50x faster
+		// than the interpreter, ~15x slower than a fabric cycle.
+		NativeOpPs: 300 * Ns,
 	}
 }
 

@@ -234,3 +234,15 @@ func DisableOpenLoop() Option {
 func Native() Option {
 	return func(o *Options) { o.Features.Native = true }
 }
+
+// WithNativeTier adds a middle rung to the JIT ladder: alongside the
+// fabric flow, each subprogram is compiled to closure-threaded Go
+// (internal/njit) and hot-swapped in place of the interpreter within
+// virtual milliseconds, long before the bitstream arrives; a
+// native-tier fault demotes the engine back to the interpreter.
+// Default: off — the classic interpreter-until-hardware ladder. Sets
+// Features.NativeTier; no effect under DisableJIT (no compiles run) or
+// with a remote engine daemon (tiering happens daemon-side).
+func WithNativeTier() Option {
+	return func(o *Options) { o.Features.NativeTier = true }
+}

@@ -1,0 +1,22 @@
+// Command genpow prints the §6.1 proof-of-work miner as plain Verilog:
+// the native_smoke.sh workload. Target 1-in-32 so solutions stream out
+// through $display at a steady clip on every tier.
+package main
+
+import (
+	"fmt"
+
+	"cascade/internal/workloads/pow"
+)
+
+func main() {
+	cfg := pow.DefaultConfig()
+	cfg.Target = 0x08000000
+	cfg.Display = true
+	fmt.Println(pow.Generate(cfg) + `
+wire [31:0] hashes, nonce, hash0, sol;
+wire found;
+Pow miner(.clk(clk.val), .hashes(hashes), .nonce(nonce),
+          .found(found), .hash0(hash0), .solution(sol));
+`)
+}

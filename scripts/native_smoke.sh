@@ -1,0 +1,56 @@
+#!/bin/sh
+# Native-tier smoke (CI): run the §6.1 proof-of-work miner twice — once
+# pinned to the interpreter (-no-jit), once with the native-Go JIT rung
+# (-native-tier, compile-scale 1 keeps the fabric flow far beyond the
+# tick budget) — and assert that (a) the engine was actually promoted to
+# native code, (b) every $display solution matches bit for bit, and
+# (c) the native run is measurably faster in wall-clock time.
+# Usage: native_smoke.sh <path-to-cascade-binary>
+set -eu
+
+bin=${1:?usage: native_smoke.sh <cascade-binary>}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+ticks=30000
+go run ./scripts/genpow > "$work/pow.v"
+
+now_ms() { echo $(($(date +%s%N) / 1000000)); }
+
+t0=$(now_ms)
+"$bin" -batch "$work/pow.v" -ticks "$ticks" -no-jit \
+  > "$work/interp.log" 2>&1
+t1=$(now_ms)
+"$bin" -batch "$work/pow.v" -ticks "$ticks" -native-tier -compile-scale 1 \
+  > "$work/native.log" 2>&1
+t2=$(now_ms)
+interp_ms=$((t1 - t0))
+native_ms=$((t2 - t1))
+
+if ! grep -q 'promoted to native code' "$work/native.log"; then
+  echo "FAIL: the native tier never took over the engine"
+  cat "$work/native.log"
+  exit 1
+fi
+
+grep '^FOUND' "$work/interp.log" > "$work/interp.found"
+grep '^FOUND' "$work/native.log" > "$work/native.found"
+if [ ! -s "$work/interp.found" ]; then
+  echo "FAIL: the miner found no solutions in $ticks ticks"
+  cat "$work/interp.log"
+  exit 1
+fi
+if ! diff -u "$work/interp.found" "$work/native.found"; then
+  echo "FAIL: native-tier solutions diverge from the interpreter's"
+  exit 1
+fi
+
+# The measured gap is ~3.5x; require a comfortable 1.25x so scheduler
+# jitter on a busy CI runner cannot flip the comparison.
+if [ $((native_ms * 5)) -ge $((interp_ms * 4)) ]; then
+  echo "FAIL: native tier not faster: interpreter ${interp_ms}ms vs native ${native_ms}ms"
+  exit 1
+fi
+
+echo "native smoke ok: $(wc -l < "$work/interp.found") solutions identical;" \
+  "interpreter ${interp_ms}ms, native ${native_ms}ms ($(((interp_ms * 10) / native_ms))x/10)"

@@ -47,6 +47,7 @@ import (
 	"cascade/internal/repl"
 	"cascade/internal/runtime"
 	"cascade/internal/stdlib"
+	"cascade/internal/supervise"
 	"cascade/internal/toolchain"
 	"cascade/internal/transport"
 	"cascade/internal/vclock"
@@ -117,6 +118,13 @@ type (
 	// RemoteOptions configures the connection to a cascade-engined
 	// daemon hosting the program's user engines (WithRemoteEngine).
 	RemoteOptions = runtime.RemoteOptions
+	// SuperviseOptions tunes the self-healing supervisor
+	// (WithSupervision): probe cadence, breaker failure threshold, and
+	// reopen timeout — all in virtual time.
+	SuperviseOptions = supervise.Options
+	// SuperviseStats counts the supervisor's work inside Stats: breaker
+	// state, probes, trips, failovers, re-hosts.
+	SuperviseStats = supervise.Stats
 	// Observer is the observability hub (internal/obsv): a bounded JIT
 	// lifecycle trace ring, a Prometheus-text metrics registry, and an
 	// optional HTTP endpoint. Wire one in with WithObservability (builds
@@ -158,6 +166,25 @@ type (
 	ServeOption = hyper.Option
 	// SessionOption configures a Session (Hypervisor.NewSession).
 	SessionOption = hyper.SessionOption
+)
+
+// Typed failure sentinels, matchable with errors.Is through any number
+// of wrapping layers.
+var (
+	// ErrEngineUnavailable reports that a remote engine's retry budget
+	// was exhausted without a successful round-trip. With supervision
+	// enabled (WithSupervision) the runtime fails over instead of
+	// surfacing it; without, the run degrades permanently.
+	ErrEngineUnavailable = transport.ErrEngineUnavailable
+	// ErrDaemonRestarted reports that the engine daemon's boot epoch
+	// changed mid-connection: the process serving this session died and
+	// a different incarnation answered. Errors carrying it also match
+	// ErrEngineUnavailable.
+	ErrDaemonRestarted = transport.ErrDaemonRestarted
+	// ErrOverloaded reports that the toolchain's admission control shed
+	// a compile submission (ToolchainOptions.MaxQueue); callers back off
+	// and resubmit rather than treating the design as uncompilable.
+	ErrOverloaded = toolchain.ErrOverloaded
 )
 
 // NewEngineHost builds an engine-protocol host; serve it on a listener

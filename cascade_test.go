@@ -81,6 +81,7 @@ func TestOptionConformance(t *testing.T) {
 		},
 		Parallelism:      7,
 		OpenLoopTargetPs: 123,
+		Supervise:        &SuperviseOptions{ProbeIntervalPs: 5},
 	}
 	got := buildOptions([]Option{
 		WithWorld(world),
@@ -97,6 +98,7 @@ func TestOptionConformance(t *testing.T) {
 		WithParallelism(7),
 		WithOpenLoopTarget(123),
 		WithFaultInjector(inj),
+		WithSupervision(SuperviseOptions{ProbeIntervalPs: 5}),
 	})
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("functional options diverge from struct literal:\n got %+v\nwant %+v", got, want)

@@ -28,6 +28,18 @@
 //	                                     # that don't request a size
 //	cascade-engined -observe 127.0.0.1:9926  # serve the daemon's own
 //	                                     # /metrics, /trace, /debug/pprof
+//	cascade-engined -journal host.journal    # survive restarts: sessions
+//	                                     # and engines re-bind on boot
+//	cascade-engined -max-queue 64        # shed compile submissions past
+//	                                     # this in-flight bound
+//
+// With -journal, the daemon appends every registry mutation (session
+// opens, spawns, state installs, ends) to the named file and replays it
+// on boot, re-binding the same session and engine IDs — so a client
+// that reconnects after a daemon crash finds its engines where it left
+// them. Execution progress since the last state install is NOT in the
+// journal; a supervised client detects the restart via the boot epoch
+// and re-seeds from its own committed state instead.
 package main
 
 import (
@@ -49,6 +61,8 @@ func main() {
 	noJIT := flag.Bool("no-jit", false, "pin hosted engines to software (no fabric promotion)")
 	sessQuota := flag.Int("session-quota", 0, "default fabric region in LEs for sessions that open without a quota (0 = a quarter of the fabric)")
 	observe := flag.String("observe", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. 127.0.0.1:0)")
+	journal := flag.String("journal", "", "journal registry mutations here and resume sessions/engines on restart")
+	maxQueue := flag.Int("max-queue", 0, "shed compile submissions past this many in flight (0 = unbounded)")
 	flag.Parse()
 
 	var obs *obsv.Observer
@@ -64,6 +78,7 @@ func main() {
 	tco := toolchain.DefaultOptions()
 	tco.Scale = *scale
 	tco.CacheDir = *cacheDir
+	tco.MaxQueue = *maxQueue
 	host := transport.NewHost(transport.HostOptions{
 		Device:                 dev,
 		Toolchain:              toolchain.New(dev, tco),
@@ -71,6 +86,15 @@ func main() {
 		DefaultSessionQuotaLEs: *sessQuota,
 		Observer:               obs,
 	})
+	if *journal != "" {
+		sessions, engines, err := host.EnableJournal(*journal)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-engined: journal: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[cascade-engined] journal %s: resumed %d session(s), %d engine(s)\n",
+			*journal, sessions, engines)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -20,6 +20,10 @@
 //	                            # open a private daemon session: a 25K-LE
 //	                            # fabric region and 2 fair-share compile
 //	                            # workers, isolated from other clients
+//	cascade -remote-engine addr -supervise
+//	                            # self-healing: probe the daemon, fail
+//	                            # over to local engines when it dies,
+//	                            # re-host when it comes back (:health)
 //	cascade -observe 127.0.0.1:9926  # serve /metrics, /trace, and
 //	                            # /debug/pprof; enables :trace/:metrics
 package main
@@ -34,6 +38,7 @@ import (
 	"cascade/internal/obsv"
 	"cascade/internal/repl"
 	"cascade/internal/runtime"
+	"cascade/internal/supervise"
 	"cascade/internal/toolchain"
 )
 
@@ -52,6 +57,7 @@ func main() {
 	remote := flag.String("remote-engine", "", "host user engines on a cascade-engined daemon at this address")
 	sessQuota := flag.Int("session-quota", 0, "with -remote-engine: open a private daemon session with a fabric region of this many LEs (0 = sessionless shared fabric)")
 	sessShare := flag.Int("session-share", 0, "with -remote-engine -session-quota: bound the session to this many fair-share compile workers (0 = global pool)")
+	supervised := flag.Bool("supervise", false, "with -remote-engine: self-healing supervision — liveness probes, circuit-broken failover to local engines, re-host on daemon recovery")
 	faultNet := flag.Float64("fault-net", 0, "per-attempt probability an engine-protocol round-trip is dropped and retried (0 = no injected faults; drops never change program output)")
 	faultSeed := flag.Uint64("fault-seed", 1, "deterministic fault-schedule seed (with -fault-net)")
 	observe := flag.String("observe", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. 127.0.0.1:0); also enables :trace and :metrics")
@@ -82,6 +88,13 @@ func main() {
 	} else if *sessQuota != 0 || *sessShare != 0 {
 		fmt.Fprintln(os.Stderr, "cascade: -session-quota/-session-share require -remote-engine")
 		os.Exit(1)
+	}
+	if *supervised {
+		if *remote == "" {
+			fmt.Fprintln(os.Stderr, "cascade: -supervise requires -remote-engine")
+			os.Exit(1)
+		}
+		opts.Supervise = &supervise.Options{}
 	}
 	if *observe != "" {
 		// runtime.New starts the endpoint and announces the bound

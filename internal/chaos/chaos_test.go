@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"cascade/internal/fault"
+)
+
+// TestScheduleDeterministic: the same config materializes the same
+// plan every time — the property the invariant-14 comparison harness
+// rests on.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:          42,
+		Steps:         200,
+		DaemonOutages: 3,
+		Fault:         fault.Config{NetDrop: 0.5, MaxNetFaults: 4},
+	}
+	a, b := cfg.Schedule(), cfg.Schedule()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config, different schedules:\n%v\n%v", a, b)
+	}
+	if len(a.Outages) != 3 {
+		t.Fatalf("planned %d outages, want 3: %v", len(a.Outages), a)
+	}
+}
+
+// TestScheduleSeedsDiffer: different seeds move the outages (splitmix64
+// actually consumes the seed).
+func TestScheduleSeedsDiffer(t *testing.T) {
+	cfg := Config{Steps: 200, DaemonOutages: 3}
+	cfg.Seed = 1
+	a := cfg.Schedule()
+	cfg.Seed = 2
+	b := cfg.Schedule()
+	if reflect.DeepEqual(a.Outages, b.Outages) {
+		t.Fatalf("seeds 1 and 2 planned identical outages: %v", a)
+	}
+}
+
+// TestScheduleBounded pins the structural guarantees: outages are
+// ordered, non-overlapping, inside the horizon, and each downtime
+// respects [MinDownSteps, MaxDownSteps].
+func TestScheduleBounded(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		cfg := Config{
+			Seed:          seed,
+			Steps:         120,
+			DaemonOutages: 4,
+			MinDownSteps:  2,
+			MaxDownSteps:  6,
+		}
+		s := cfg.Schedule()
+		var prevRestart uint64
+		for i, o := range s.Outages {
+			if o.KillAtStep == 0 || o.RestartAtStep >= s.Steps {
+				t.Fatalf("seed %d outage %d escapes horizon: %v", seed, i, s)
+			}
+			if o.KillAtStep <= prevRestart {
+				t.Fatalf("seed %d outage %d overlaps predecessor: %v", seed, i, s)
+			}
+			down := o.RestartAtStep - o.KillAtStep
+			if down < cfg.MinDownSteps || down > cfg.MaxDownSteps {
+				t.Fatalf("seed %d outage %d downtime %d outside [%d,%d]: %v",
+					seed, i, down, cfg.MinDownSteps, cfg.MaxDownSteps, s)
+			}
+			prevRestart = o.RestartAtStep
+		}
+	}
+}
+
+// TestScheduleZeroConfig: nothing planned, nothing injected — a chaos
+// config you never filled in is a fault-free run.
+func TestScheduleZeroConfig(t *testing.T) {
+	s := Config{}.Schedule()
+	if len(s.Outages) != 0 {
+		t.Fatalf("zero config planned outages: %v", s)
+	}
+	in := s.Injector()
+	if err := in.Net("site"); err != nil {
+		t.Fatalf("zero config injected a fault: %v", err)
+	}
+}
+
+// TestFaultSeedAdoption: a zero Fault.Seed inherits the schedule seed,
+// so one number names the whole composed schedule.
+func TestFaultSeedAdoption(t *testing.T) {
+	s := Config{Seed: 7, Fault: fault.Config{NetDrop: 1, MaxNetFaults: 1}}.Schedule()
+	if s.Fault.Seed != 7 {
+		t.Fatalf("fault seed = %d, want adopted 7", s.Fault.Seed)
+	}
+	got := (Config{Seed: 7, Fault: fault.Config{Seed: 9}}).Schedule()
+	if got.Fault.Seed != 9 {
+		t.Fatalf("explicit fault seed overridden: %d", got.Fault.Seed)
+	}
+}

@@ -1,0 +1,85 @@
+package hyper
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cascade/internal/runtime"
+)
+
+// watchdog converts a leaked-slot hang into a diagnosable failure
+// instead of a test-binary timeout. Healthy runs finish in milliseconds;
+// the margin only needs to beat race-detector slowdown.
+func watchdog(t *testing.T) <-chan time.Time {
+	t.Helper()
+	return time.After(60 * time.Second)
+}
+
+// TestCloseRacesPendingCompile pins the teardown contract for the shared
+// compile pool: a session closed while its tenant compile jobs are still
+// in flight — mid-quantum, mid-submission, mid-worker — must not leak a
+// fair-share slot or a global worker slot. The toolchain runs with a
+// single global worker, so any leaked slot turns the follow-up probe
+// compile into a permanent hang instead of a subtle slowdown; the rounds
+// also reuse one tenant ID so a stale registration or semaphore carried
+// across Close/NewSession would surface immediately.
+func TestCloseRacesPendingCompile(t *testing.T) {
+	to := isoToolchainOptions()
+	to.Workers = 1
+	hv := testHV(t, 20_000, 4_000, WithToolchainOptions(to))
+
+	const rounds = 6
+	for i := 0; i < rounds; i++ {
+		s := testSession(t, hv, WithID("racer"), WithCompileShare(1))
+		s.MustEval(runtime.DefaultPrelude)
+		// A fresh program each round: tenant-namespaced cache keys mean
+		// every round's JIT submission is a real compile occupying the
+		// lone worker, not a cache hit that never touches a slot.
+		s.MustEval(isoProgram(i))
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// Drive quanta until Close wins the race: acquire observes
+			// the closed flag between quanta and returns ErrClosed.
+			for s.RunTicksCtx(context.Background(), isoQuantum) == nil {
+			}
+		}()
+		// Close serializes on opMu against the driver, landing between
+		// quanta while this round's compile jobs are still pending on the
+		// worker pool.
+		if err := s.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", i, err)
+		}
+		<-done
+	}
+	if n := hv.SessionCount(); n != 0 {
+		t.Fatalf("%d sessions survived their Close", n)
+	}
+
+	// The probe reuses the raced tenant ID with a fair share of 1: its
+	// compile must acquire both the tenant slot and the single global
+	// worker. Synthesis only runs after both slots are held, so a
+	// synthesized flow in the probe's tenant stats proves nothing leaked.
+	probe := testSession(t, hv, WithID("racer"), WithCompileShare(1))
+	defer probe.Close()
+	if got := hv.Toolchain().TenantShare("racer"); got != 1 {
+		t.Fatalf("probe fair share = %d, want 1 (stale registration?)", got)
+	}
+	probe.MustEval(runtime.DefaultPrelude)
+	probe.MustEval(isoProgram(rounds))
+
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		probe.RunTicks(10 * isoQuantum)
+	}()
+	select {
+	case <-finished:
+	case <-watchdog(t):
+		t.Fatal("probe compile hung: a raced Close leaked a worker or fair-share slot")
+	}
+	if st := probe.Stats(); st.Compile.Synthesized == 0 {
+		t.Fatalf("probe never reached a worker: %+v", st.Compile)
+	}
+}

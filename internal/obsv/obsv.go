@@ -66,6 +66,10 @@ const (
 	EvCheckpoint                      // durable checkpoint written
 	EvSpawn                           // engine spawned on a remote host
 	EvTransportError                  // transport round-trip failed after retries
+	EvProbe                           // supervision liveness probe sent (detail: outcome)
+	EvBreaker                         // circuit breaker state transition
+	EvFailover                        // remote engine re-seeded locally after a trip
+	EvRehost                          // failed-over engine re-hosted on the remote
 )
 
 var eventKindNames = [...]string{
@@ -84,6 +88,10 @@ var eventKindNames = [...]string{
 	EvCheckpoint:     "checkpoint",
 	EvSpawn:          "spawn",
 	EvTransportError: "transport-error",
+	EvProbe:          "probe",
+	EvBreaker:        "breaker",
+	EvFailover:       "failover",
+	EvRehost:         "rehost",
 }
 
 func (k EventKind) String() string {
@@ -197,6 +205,11 @@ type Observer struct {
 	TransportDrops  *Counter   // cascade_transport_drops_total
 	TransportRetry  *Counter   // cascade_transport_retries_total
 	Checkpoints     *Counter   // cascade_checkpoints_total
+	Probes          *Counter   // cascade_supervise_probes_total
+	ProbeFailures   *Counter   // cascade_supervise_probe_failures_total
+	BreakerTrips    *Counter   // cascade_supervise_breaker_trips_total
+	Failovers       *Counter   // cascade_supervise_failovers_total
+	Rehosts         *Counter   // cascade_supervise_rehosts_total
 	Phase           *Gauge     // cascade_phase
 	AreaLEs         *Gauge     // cascade_area_les
 }
@@ -246,6 +259,11 @@ func New(opts Options) *Observer {
 	o.TransportDrops = o.NewCounter("cascade_transport_drops_total", "Fault-injected frame drops consumed by transports.")
 	o.TransportRetry = o.NewCounter("cascade_transport_retries_total", "Transport reconnect/resend attempts beyond the first.")
 	o.Checkpoints = o.NewCounter("cascade_checkpoints_total", "Durable checkpoints written.")
+	o.Probes = o.NewCounter("cascade_supervise_probes_total", "Supervision liveness probes sent to remote engine hosts.")
+	o.ProbeFailures = o.NewCounter("cascade_supervise_probe_failures_total", "Supervision probes that failed (or round-trips counted against the breaker).")
+	o.BreakerTrips = o.NewCounter("cascade_supervise_breaker_trips_total", "Circuit-breaker closed-to-open transitions.")
+	o.Failovers = o.NewCounter("cascade_supervise_failovers_total", "Remote engines re-seeded onto local engines after a breaker trip.")
+	o.Rehosts = o.NewCounter("cascade_supervise_rehosts_total", "Failed-over engines re-hosted on their remote once the breaker closed.")
 	o.Phase = o.NewGauge("cascade_phase", "Current JIT phase (0=empty 1=software 2=inlined 3=hardware 4=forwarded 5=open-loop 6=native).")
 	o.AreaLEs = o.NewGauge("cascade_area_les", "Fabric area of the current hardware engines, in logic elements.")
 	return o

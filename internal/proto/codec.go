@@ -160,6 +160,7 @@ func EncodeReply(dst []byte, rep *Reply) []byte {
 		dst = appendVec(dst, ev.Val)
 	}
 	dst = appendState(dst, rep.State)
+	dst = appendUvarint(dst, uint64(rep.Epoch))
 	return dst
 }
 
@@ -400,6 +401,7 @@ func DecodeReply(data []byte, rep *Reply) error {
 		rep.Events = append(rep.Events, ev)
 	}
 	rep.State = r.state()
+	rep.Epoch = uint32(r.uvarint())
 	return r.finish()
 }
 

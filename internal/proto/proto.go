@@ -28,7 +28,9 @@ import (
 // rejects versions it does not speak. Version 2 added the session
 // layer: KindSessionOpen/KindSessionClose and the Session, Quota, and
 // Share request fields that let one daemon host independent tenants.
-const Version = 2
+// Version 3 added KindPing liveness probes for supervision and
+// half-open connection detection.
+const Version = 3
 
 // Kind identifies the ABI request a message carries.
 type Kind uint8
@@ -56,6 +58,13 @@ const (
 	// session.
 	KindSessionOpen
 	KindSessionClose
+	// KindPing is a liveness probe: the host answers immediately,
+	// before any engine or session lookup, so the reply measures only
+	// daemon reachability. The supervisor's heartbeat probes use it,
+	// and the TCP transport sends one after every reconnect so a
+	// socket that dialed but died (half-open) fails at probe cost
+	// instead of burning the whole retry budget.
+	KindPing
 	kindMax
 )
 
@@ -87,6 +96,8 @@ func (k Kind) String() string {
 		return "session_open"
 	case KindSessionClose:
 		return "session_close"
+	case KindPing:
+		return "ping"
 	}
 	return "invalid"
 }
@@ -162,4 +173,13 @@ type Reply struct {
 	Bool   bool           // ThereAreEvals / ThereAreUpdates
 	Events []engine.Event // DrainWrites
 	State  *sim.State     // GetState
+
+	// Epoch is the serving host's boot epoch, stamped on every reply: a
+	// nonzero value that changes when the host process restarts. A
+	// transport that sees the epoch change knows the daemon it
+	// reconnected to is not the one that holds its engines' state — even
+	// if a journal re-bound the engine IDs — and can fail the call with
+	// a typed error instead of silently executing against stale state.
+	// 0 means the host predates epochs or the reply is synthetic.
+	Epoch uint32
 }

@@ -265,6 +265,7 @@ func (r *REPL) command(line string) bool {
   :quit            exit
   :phase           current JIT phase and virtual time
   :stats           scheduler and device statistics
+  :health          remote-engine supervision: breaker state, probes, failovers
   :engines         per-engine location, transport, and traffic counters
   :pad <value>     press/release buttons (bit i = button i)
   :leds            show the LED bank
@@ -293,6 +294,26 @@ func (r *REPL) command(line string) bool {
 			in := r.sess.Info()
 			fmt.Fprintf(r.out, "  session %s region=%dLEs share=%s resident=%v quanta=%d (of %d tenants)\n",
 				in.ID, in.QuotaLEs, shareLabel(in.CompileShare), in.Resident, in.Quanta, r.hv.SessionCount())
+		}
+	case ":health":
+		r.mu.Lock()
+		st := r.rt.Stats()
+		r.mu.Unlock()
+		sup := st.Supervise
+		if !sup.Enabled {
+			fmt.Fprintln(r.out, "supervision off (enable with -supervise; engines fail hard after the retry budget)")
+			break
+		}
+		fmt.Fprintf(r.out, "breaker=%s probes=%d failures=%d trips=%d failovers=%d rehosts=%d\n",
+			sup.State, sup.Probes, sup.ProbeFailures, sup.Trips, sup.Failovers, sup.Rehosts)
+		if st.Remote != "" {
+			fmt.Fprintf(r.out, "daemon %s: roundtrips=%d drops=%d retries=%d\n",
+				st.Remote, st.Xport.RoundTrips, st.Xport.Drops, st.Xport.Retries)
+		}
+		for _, e := range st.Engines {
+			if e.Transport == "tcp" {
+				fmt.Fprintf(r.out, "  engine %-12s remote (%s)\n", e.Path, e.Location)
+			}
 		}
 	case ":sessions":
 		if r.hv == nil {

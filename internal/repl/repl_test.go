@@ -9,6 +9,7 @@ import (
 	"cascade/internal/fpga"
 	"cascade/internal/hyper"
 	"cascade/internal/runtime"
+	"cascade/internal/supervise"
 	"cascade/internal/toolchain"
 	"cascade/internal/workloads/ledswitch"
 )
@@ -138,6 +139,29 @@ assign led.val = cnt;
 	}
 	if !strings.Contains(text, "software") {
 		t.Fatalf(":engines should list engine locations:\n%s", text)
+	}
+}
+
+// TestHealthCommand pins the :health rendering in both arrangements —
+// the golden companion to TestStatsSummaryGolden's supervise[] case.
+func TestHealthCommand(t *testing.T) {
+	// Supervision off: the command says so instead of rendering zeros.
+	r, out := newTestREPL(t, runtime.Options{})
+	if err := r.Interact(strings.NewReader(":health\n:quit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "supervision off") {
+		t.Fatalf(":health without supervision should say so:\n%s", out.String())
+	}
+
+	// Supervision on: the breaker status line, exactly as formatted.
+	r, out = newTestREPL(t, runtime.Options{Supervise: &supervise.Options{}})
+	if err := r.Interact(strings.NewReader(":health\n:quit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(),
+		"breaker=closed probes=0 failures=0 trips=0 failovers=0 rehosts=0") {
+		t.Fatalf(":health breaker line missing or drifted:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,181 @@
+package runtime
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cascade/internal/chaos"
+	"cascade/internal/fault"
+	"cascade/internal/fpga"
+	"cascade/internal/toolchain"
+)
+
+// chaosProg is the invariant-14 workload: two independent counters so
+// failover, re-host, and the overload path (two simultaneous native
+// submissions against a MaxQueue=1 toolchain) all have more than one
+// engine to disagree about. CtrA executes $finish, so every arm runs to
+// the same functional endpoint no matter how many clock edges chaos
+// eats along the way.
+const chaosProg = `
+module CtrA(input wire c);
+  reg [7:0] n = 0;
+  always @(posedge c) begin
+    n <= n + 1;
+    $display("a=%d", n);
+    if (n == 8'd40) $finish;
+  end
+endmodule
+module CtrB(input wire c);
+  reg [7:0] n = 0;
+  always @(posedge c) begin
+    n <= n + 1;
+    $display("b=%d", n);
+  end
+endmodule
+CtrA a(.c(clk.val));
+CtrB b(.c(clk.val));
+`
+
+// chaosArm is one run's comparable observables.
+type chaosArm struct {
+	out    string // the display stream — the paper-visible output
+	vtime  uint64 // final virtual clock
+	phases string // phase trajectory (transitions only)
+	stats  Stats
+}
+
+// runChaosArm executes chaosProg to $finish. With a schedule it runs
+// against a journaled daemon under full chaos — net drops and compile
+// faults from the schedule's injector, daemon kill/restart cycles
+// applied at the scheduled step boundaries, and client-side admission
+// control (MaxQueue=1) so the post-failover native submissions overload
+// and shed. Without a schedule it is the fault-free local baseline.
+func runChaosArm(t *testing.T, sched *chaos.Schedule, par int) chaosArm {
+	t.Helper()
+	view := &BufView{Quiet: true}
+	dev := fpga.NewCycloneV()
+	tco := toolchain.DefaultOptions()
+	tco.Scale = 1e9
+	tco.BasePs = 1
+	opts := Options{View: view, Parallelism: par, Device: dev}
+	var d *testDaemon
+	if sched != nil {
+		tco.MaxQueue = 1
+		d = newTestDaemon(t, filepath.Join(t.TempDir(), "host.journal"), false)
+		opts.Remote = supRemoteOptions(d.addr)
+		opts.Supervise = supTestOptions()
+		opts.Injector = sched.Injector()
+		// DisableInline keeps the two counters separate engines, so a
+		// failover submits two native compilations into the MaxQueue=1
+		// toolchain at once — the overload surface under test.
+		opts.Features = Features{NativeTier: true, DisableInline: true}
+	} else {
+		opts.Features = Features{DisableJIT: true}
+	}
+	opts.Toolchain = toolchain.New(dev, tco)
+	r := New(opts)
+	if err := r.Eval(DefaultPrelude); err != nil {
+		t.Fatal(err)
+	}
+	defer r.CloseRemote()
+	r.MustEval(chaosProg)
+
+	step0 := r.steps
+	phases := []string{r.phase.String()}
+	next := 0
+	const maxSteps = 20000
+	for i := 0; i < maxSteps && !r.Finished(); i++ {
+		r.Step()
+		// Outages land between steps — where a SIGKILL lands between two
+		// served frames — at the schedule's step offsets.
+		if sched != nil && next < len(sched.Outages) {
+			o := sched.Outages[next]
+			switch r.steps - step0 {
+			case o.KillAtStep:
+				d.kill()
+			case o.RestartAtStep:
+				d.restart()
+				next++
+			}
+		}
+		if p := r.phase.String(); p != phases[len(phases)-1] {
+			phases = append(phases, p)
+		}
+	}
+	if !r.Finished() {
+		t.Fatalf("arm never finished (par=%d sched=%v)", par, sched)
+	}
+	r.flushDisplays()
+	return chaosArm{
+		out:    view.Output(),
+		vtime:  r.vclk.Now(),
+		phases: strings.Join(phases, ">"),
+		stats:  r.Stats(),
+	}
+}
+
+// TestChaosInvariant14 is ROADMAP invariant 14: under any bounded,
+// seeded chaos schedule — dropped frames, compile faults, daemon
+// kill/restart cycles, load-shed compile submissions — the program's
+// output is byte-identical to the fault-free run, and the serial and
+// parallel arms of the same schedule agree on output, final virtual
+// time, and phase trajectory.
+func TestChaosInvariant14(t *testing.T) {
+	sched := chaos.Config{
+		Seed:          1777,
+		Steps:         100,
+		DaemonOutages: 2,
+		MinDownSteps:  2,
+		MaxDownSteps:  5,
+		Fault: fault.Config{
+			// Caps keep the drop surface bounded AND below the transport's
+			// retry budget, so an injected drop costs retries, never an
+			// unavailability verdict the two arms could attribute to
+			// different requests. (Compile and region faults compose
+			// through the same injector; their determinism property is
+			// pinned separately by TestFaultDeterminismProperty.)
+			NetDrop:      1,
+			MaxNetFaults: 2,
+		},
+	}.Schedule()
+	if len(sched.Outages) != 2 {
+		t.Fatalf("schedule did not plan 2 outages: %v", sched)
+	}
+
+	baseline := runChaosArm(t, nil, 1)
+	serial := runChaosArm(t, &sched, 1)
+	replay := runChaosArm(t, &sched, 1)
+	parallel := runChaosArm(t, &sched, 4)
+
+	// The invariant: chaos may cost time, never correctness.
+	if serial.out != baseline.out {
+		t.Fatalf("%v: serial chaos output diverged from fault-free baseline\nchaos:\n%s\nbaseline:\n%s",
+			sched, serial.out, baseline.out)
+	}
+	if parallel.out != baseline.out {
+		t.Fatalf("%v: parallel chaos output diverged from fault-free baseline\nchaos:\n%s\nbaseline:\n%s",
+			sched, parallel.out, baseline.out)
+	}
+
+	// Replay determinism: the same schedule at the same dispatch width
+	// reproduces the run byte-for-byte — output, final virtual clock,
+	// and phase trajectory. (Virtual time is NOT compared across widths:
+	// batch makespan billing legitimately depends on lane count.)
+	if serial.out != replay.out || serial.vtime != replay.vtime || serial.phases != replay.phases {
+		t.Fatalf("%v: chaos replay diverged:\nrun:    vtime=%d phases=%s\nreplay: vtime=%d phases=%s",
+			sched, serial.vtime, serial.phases, replay.vtime, replay.phases)
+	}
+
+	// The schedule actually exercised what it claims to compose.
+	sup := serial.stats.Supervise
+	if sup.Trips == 0 || sup.Failovers == 0 || sup.Rehosts == 0 {
+		t.Fatalf("%v: chaos run did not exercise the failover loop: %+v", sched, sup)
+	}
+	if serial.stats.Faults.Injected == 0 {
+		t.Fatalf("%v: injector never fired: %+v", sched, serial.stats.Faults)
+	}
+	if serial.stats.Compile.Shed == 0 {
+		t.Fatalf("%v: admission control never shed: %+v", sched, serial.stats.Compile)
+	}
+}

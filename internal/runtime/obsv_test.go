@@ -6,6 +6,7 @@ import (
 
 	"cascade/internal/fault"
 	"cascade/internal/obsv"
+	"cascade/internal/supervise"
 	"cascade/internal/toolchain"
 	"cascade/internal/transport"
 	"cascade/internal/vclock"
@@ -178,6 +179,10 @@ func TestStatsSummaryGolden(t *testing.T) {
 			// bytes; that must not fabricate a remote segment.
 			s.Xport = transport.Stats{RoundTrips: 999}
 		}, baseLine},
+		{"supervise", func(s *Stats) {
+			s.Supervise = supervise.Stats{Enabled: true, State: "half-open",
+				Probes: 9, ProbeFailures: 3, Trips: 2, Failovers: 2, Rehosts: 1}
+		}, baseLine + " supervise[state=half-open probes=9 fails=3 trips=2 failovers=2 rehosts=1]"},
 		{"persist", func(s *Stats) {
 			s.Persist = PersistStats{
 				Enabled:         true,
@@ -200,12 +205,15 @@ func TestStatsSummaryGolden(t *testing.T) {
 			s.Evictions = 1
 			s.Remote = "127.0.0.1:9925"
 			s.Xport = transport.Stats{RoundTrips: 10, BytesOut: 100, BytesIn: 200, Drops: 1, Retries: 2}
+			s.Supervise = supervise.Stats{Enabled: true, State: "closed",
+				Probes: 50, ProbeFailures: 4, Trips: 1, Failovers: 1, Rehosts: 1}
 			s.Persist = PersistStats{Enabled: true, Records: 12, JournalBytes: 3456,
 				Checkpoints: 2, CheckpointBytes: 789, CheckpointNs: 5_000_000, ReplayedRecords: 3}
 		}, baseLine +
 			" tenant[a region=5000LEs]" +
 			" faults[injected=3 transient=2 permanent=1 hw=2 evictions=1]" +
 			" remote[127.0.0.1:9925 roundtrips=10 out=100B in=200B drops=1 retries=2]" +
+			" supervise[state=closed probes=50 fails=4 trips=1 failovers=1 rehosts=1]" +
 			" persist[records=12 journal=3456B ckpts=2 ckptBytes=789 ckptMs=5 replayed=3]"},
 	}
 	for _, tc := range cases {

@@ -16,6 +16,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	goruntime "runtime"
 	"strings"
@@ -34,6 +35,7 @@ import (
 	"cascade/internal/obsv"
 	"cascade/internal/sim"
 	"cascade/internal/stdlib"
+	"cascade/internal/supervise"
 	"cascade/internal/toolchain"
 	"cascade/internal/transport"
 	"cascade/internal/vclock"
@@ -226,6 +228,16 @@ type Options struct {
 	// require in-process hardware and are skipped.
 	Remote *RemoteOptions
 
+	// Supervise enables self-healing supervision of the remote engine
+	// daemon (internal/supervise): virtual-time liveness probes over the
+	// engine protocol, a per-host circuit breaker that trips after
+	// consecutive round-trip failures, automatic failover of remote
+	// engines onto local software engines re-seeded from their last
+	// committed state, and automatic re-hosting once the daemon answers
+	// probes again. Nil (the default) disables supervision at zero cost;
+	// it only acts when Remote is also set.
+	Supervise *supervise.Options
+
 	// Tenant scopes this runtime on a *shared* Toolchain (the hypervisor
 	// arrangement, internal/hyper): compiles are submitted under this
 	// tenant ID, so they draw on the tenant's fair-share worker quota,
@@ -304,6 +316,22 @@ type Runtime struct {
 	xstats     map[string]transport.Stats
 	xerrMu     sync.Mutex
 	xerrs      []error
+
+	// sup is the self-healing supervisor for the daemon connection (nil:
+	// supervision disabled). committed holds each remote engine's last
+	// end-of-step state snapshot — the failover seed; failedOver marks
+	// engines currently re-seeded locally, awaiting re-host; supFails
+	// counts the round-trip failures the current step latched against
+	// the breaker (fed by flushTransportErrs, drained by
+	// serviceSupervision, both controller-only).
+	sup        *supervise.Supervisor
+	committed  map[string]*sim.State
+	failedOver map[string]bool
+	supFails   int
+	// supRestart marks that a latched failure carried the daemon-restart
+	// sentinel: the remote is reachable but its state is journal-stale,
+	// so the breaker is force-tripped regardless of threshold.
+	supRestart bool
 
 	jobs      map[string]*toolchain.Job
 	njobs     map[string]*toolchain.Job // native-tier compilations (Features.NativeTier)
@@ -414,8 +442,13 @@ func New(opts Options) *Runtime {
 		jobs:       map[string]*toolchain.Job{},
 		njobs:      map[string]*toolchain.Job{},
 		xstats:     map[string]transport.Stats{},
+		committed:  map[string]*sim.State{},
+		failedOver: map[string]bool{},
 		olIters:    64,
 		olWallCap:  1 << 14, // ramps up while bursts stay cheap
+	}
+	if opts.Supervise != nil {
+		r.sup = supervise.New(*opts.Supervise)
 	}
 	// Emit (controller-only) stamps events off the runtime's virtual
 	// clock; concurrent emitters (toolchain workers, transports, the
@@ -636,6 +669,15 @@ func (r *Runtime) flushTransportErrs() {
 	r.xerrs = nil
 	r.xerrMu.Unlock()
 	for _, err := range errs {
+		// Transport-unavailable failures (dial failed, retry budget
+		// exhausted) count against the supervisor's breaker; engine-level
+		// errors travel in reply envelopes and never carry the sentinel.
+		if r.sup != nil && errors.Is(err, transport.ErrEngineUnavailable) {
+			r.supFails++
+			if errors.Is(err, transport.ErrDaemonRestarted) {
+				r.supRestart = true
+			}
+		}
 		r.opts.View.Error(err)
 	}
 }
@@ -907,6 +949,8 @@ func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) erro
 	r.engines = map[string]*transport.Client{}
 	r.lanes = map[string]*laneIO{}
 	r.execElabs = map[string]*elab.Flat{}
+	r.committed = map[string]*sim.State{}
+	r.failedOver = map[string]bool{}
 	r.sched = nil
 	r.groupOf = map[string]string{}
 	r.areaLEs = 0
@@ -968,16 +1012,24 @@ func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) erro
 			}
 		}
 		var c *transport.Client
-		if r.opts.Remote != nil {
+		// A tripped breaker keeps new engines local: the daemon is
+		// presumed dead, so a re-integration mid-outage builds failed-over
+		// software engines and lets recovery re-host them later. A nil
+		// supervisor always reports Closed, preserving the plain remote
+		// path.
+		if r.opts.Remote != nil && r.sup.State() == supervise.Closed {
 			var err error
 			c, err = r.spawnRemote(s.Path, s.Module, s.Params)
 			if err != nil {
 				return err
 			}
 			if r.inlined {
-				c.SetState(mergeStates(saved))
+				st := mergeStates(saved)
+				c.SetState(st)
+				r.committed[s.Path] = st
 			} else if st, ok := saved[s.Path]; ok {
 				c.SetState(st)
+				r.committed[s.Path] = st
 			}
 		} else {
 			e := sweng.New(f, r.lane(s.Path), r.now, r.opts.Features.EagerSim)
@@ -987,6 +1039,12 @@ func (r *Runtime) restart(ctx context.Context, saved map[string]*sim.State) erro
 				e.SetState(st)
 			}
 			c = r.wrapLocal(s.Path, e)
+			if r.opts.Remote != nil {
+				r.failedOver[s.Path] = true
+				if r.opts.Features.NativeTier && !r.opts.Features.DisableJIT {
+					r.njobs[s.Path] = r.submitNativeCompile(ctx, f)
+				}
+			}
 		}
 		r.drainLane(s.Path) // initial-block output emitted at construction
 		r.engines[s.Path] = c

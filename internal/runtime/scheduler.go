@@ -2,7 +2,9 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -83,6 +85,7 @@ func (r *Runtime) step() {
 	r.settleCosts()
 	r.serviceFaults()
 	r.serviceJIT()
+	r.serviceSupervision()
 	r.persistAfterStep()
 }
 
@@ -263,8 +266,13 @@ func (r *Runtime) serviceJIT() {
 		return
 	}
 	r.serviceNativeTier()
-	// Hot swap any finished compilations.
-	for path, job := range r.jobs {
+	// Hot swap any finished compilations. Jobs are visited in sorted
+	// path order, not map order: with admission control on, observing a
+	// job ready frees its in-flight slot and a shed job's resubmit
+	// consumes one, so the visit order decides which engine wins the
+	// slot — it must not vary run to run.
+	for _, path := range sortedJobPaths(r.jobs) {
+		job := r.jobs[path]
 		if job.Canceled() {
 			// Aborted (context cancelled): the program stays where it
 			// is; drop the job so phase accounting doesn't wait on it.
@@ -277,6 +285,17 @@ func (r *Runtime) serviceJIT() {
 		delete(r.jobs, path)
 		res := job.Result()
 		if res.Err != nil {
+			// An admission-control shed is a backoff signal, not a verdict
+			// on the design: resubmit now that the virtual clock has moved
+			// past the shed point (in-flight work keeps draining, so the
+			// retry is eventually admitted).
+			if errors.Is(res.Err, toolchain.ErrOverloaded) {
+				if f := r.elabsExec()[path]; f != nil {
+					r.jobs[path] = r.submitCompile(r.jobCtx(), f)
+					r.obs().Emit(obsv.EvRecovery, path, "compile shed under load: resubmitted")
+				}
+				continue
+			}
 			r.opts.View.Error(res.Err)
 			continue
 		}
@@ -399,8 +418,25 @@ func (r *Runtime) serviceJIT() {
 // and transport counters are untouched — but bills no bus traffic:
 // both engines share the heap. The fabric swap later takes over from
 // the native engine the same way it would from the interpreter.
+// sortedJobPaths snapshots a job map's keys in sorted order, so the
+// service passes visit jobs deterministically (Go map order varies per
+// run, and under admission control visit order decides who gets the
+// freed in-flight slot).
+func sortedJobPaths(m map[string]*toolchain.Job) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
 func (r *Runtime) serviceNativeTier() {
-	for path, job := range r.njobs {
+	for _, path := range sortedJobPaths(r.njobs) {
+		job := r.njobs[path]
 		if job.Canceled() {
 			delete(r.njobs, path)
 			continue
@@ -411,6 +447,15 @@ func (r *Runtime) serviceNativeTier() {
 		delete(r.njobs, path)
 		res := job.Result()
 		if res.Err != nil {
+			// Shed under load: back off one service pass and resubmit,
+			// exactly as the fabric flow does.
+			if errors.Is(res.Err, toolchain.ErrOverloaded) {
+				if f := r.elabsExec()[path]; f != nil {
+					r.njobs[path] = r.submitNativeCompile(r.jobCtx(), f)
+					r.obs().Emit(obsv.EvRecovery, path, "native compile shed under load: resubmitted")
+				}
+				continue
+			}
 			r.opts.View.Error(res.Err)
 			continue
 		}

@@ -7,6 +7,7 @@ import (
 	"cascade/internal/engine/sweng"
 	"cascade/internal/fault"
 	"cascade/internal/njit"
+	"cascade/internal/supervise"
 	"cascade/internal/toolchain"
 	"cascade/internal/transport"
 	"cascade/internal/vclock"
@@ -78,6 +79,11 @@ type Stats struct {
 	Remote string
 	Xport  transport.Stats
 
+	// Supervise snapshots the self-healing supervisor — breaker state,
+	// probes, trips, failovers, re-hosts (Enabled=false when supervision
+	// is off).
+	Supervise supervise.Stats
+
 	// Tenant is the runtime's tenant ID on a shared (hypervisor-owned)
 	// toolchain; "" for a classic single-tenant runtime. RegionLEs is
 	// the capacity of the runtime's fabric partition — its Device's
@@ -111,6 +117,7 @@ func (r *Runtime) Stats() Stats {
 		Demotions:       r.demotions,
 		Faults:          r.opts.Injector.Stats(),
 		Persist:         r.persistStats(),
+		Supervise:       r.sup.Stats(),
 	}
 	if r.opts.Remote != nil {
 		st.Remote = r.opts.Remote.Addr
@@ -193,6 +200,11 @@ func (s Stats) Summary() string {
 		line += fmt.Sprintf(" remote[%s roundtrips=%d out=%dB in=%dB drops=%d retries=%d]",
 			addr, s.Xport.RoundTrips, s.Xport.BytesOut, s.Xport.BytesIn,
 			s.Xport.Drops, s.Xport.Retries)
+	}
+	if s.Supervise.Enabled {
+		line += fmt.Sprintf(" supervise[state=%s probes=%d fails=%d trips=%d failovers=%d rehosts=%d]",
+			s.Supervise.State, s.Supervise.Probes, s.Supervise.ProbeFailures,
+			s.Supervise.Trips, s.Supervise.Failovers, s.Supervise.Rehosts)
 	}
 	if s.Persist.Enabled {
 		line += fmt.Sprintf(" persist[records=%d journal=%dB ckpts=%d ckptBytes=%d ckptMs=%d replayed=%d]",

@@ -1,0 +1,275 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"cascade/internal/bits"
+	"cascade/internal/engine/sweng"
+	"cascade/internal/obsv"
+	"cascade/internal/proto"
+	"cascade/internal/supervise"
+	"cascade/internal/transport"
+	"cascade/internal/verilog"
+)
+
+// serviceSupervision runs the self-healing state machine between time
+// steps (after serviceJIT, still in the observable part of the step).
+// It feeds the breaker the round-trip failures the step observed, sends
+// liveness probes on the virtual-time heartbeat cadence (immediately
+// when the step saw failures — the daemon is likely gone, confirm now
+// rather than waiting out the cadence; and as the half-open trial once
+// the reopen timeout elapses), fails remote engines over to local
+// software when the breaker trips, and re-hosts them when it closes
+// again. Everything is billed on the virtual clock; no wall-clock
+// reads, so a supervised run replays byte-identically.
+func (r *Runtime) serviceSupervision() {
+	if r.sup == nil || r.opts.Remote == nil || r.design == nil {
+		return
+	}
+	vnow := r.vclk.Now()
+	fails := r.supFails
+	r.supFails = 0
+	restarted := r.supRestart
+	r.supRestart = false
+	tripped := false
+	// A daemon-restart detection (boot epoch changed on reconnect) is
+	// proof of state loss, not a mere reachability blip: force the trip
+	// past the threshold. Counting it as an ordinary failure would let a
+	// successful follow-up probe reset the streak and strand the run on
+	// a latched, inert client serving nothing.
+	if restarted && r.sup.ForceTrip(vnow) {
+		if o := r.obs(); o != nil {
+			o.Emit(obsv.EvBreaker, "", "-> open (daemon restarted: remote state stale)")
+			o.BreakerTrips.Inc()
+		}
+		tripped = true
+	}
+	for i := 0; i < fails; i++ {
+		if r.noteSupFailure(vnow) {
+			tripped = true
+		}
+	}
+	if !tripped && r.remoteT != nil && (fails > 0 || r.sup.ShouldProbe(vnow)) {
+		if r.probeRemote(vnow) {
+			tripped = true
+		}
+	}
+	if tripped {
+		r.failoverRemote()
+		return
+	}
+	// Healthy: commit this step's observable state. The committed
+	// snapshot is the failover seed — its display side effects have
+	// already been flushed, so an engine re-seeded from it continues the
+	// output stream with no duplicates and no holes (a step lost to an
+	// inert engine drops a clock edge, never an output line).
+	if fails == 0 && r.sup.State() == supervise.Closed {
+		r.commitRemoteStates()
+	}
+}
+
+// noteSupFailure counts one failure against the breaker, tracing the
+// transition it causes, and reports whether the breaker tripped.
+func (r *Runtime) noteSupFailure(vnow uint64) (tripped bool) {
+	prev := r.sup.State()
+	tripped = r.sup.NoteFailure(vnow)
+	if o := r.obs(); o != nil {
+		o.ProbeFailures.Inc()
+	}
+	switch {
+	case tripped:
+		if o := r.obs(); o != nil {
+			o.Emit(obsv.EvBreaker, "", "closed -> open (tripped)")
+			o.BreakerTrips.Inc()
+		}
+	case prev == supervise.HalfOpen && r.sup.State() == supervise.Open:
+		if o := r.obs(); o != nil {
+			o.Emit(obsv.EvBreaker, "", "half-open -> open (trial failed)")
+		}
+	}
+	return tripped
+}
+
+// probeRemote sends one liveness probe (a KindPing round-trip, answered
+// by the daemon before any engine lookup) and resolves it against the
+// breaker. A successful half-open trial closes the breaker and re-hosts
+// the failed-over engines. It reports whether the probe tripped the
+// breaker.
+func (r *Runtime) probeRemote(vnow uint64) (tripped bool) {
+	wasOpen := r.sup.State() == supervise.Open
+	r.sup.ProbeSent(vnow)
+	if wasOpen {
+		if o := r.obs(); o != nil {
+			o.Emit(obsv.EvBreaker, "", "open -> half-open (trial probe)")
+		}
+	}
+	req := proto.Request{Kind: proto.KindPing, VNow: vnow}
+	var rep proto.Reply
+	cost, err := r.remoteT.Roundtrip(&req, &rep)
+	// A probe is a protocol message like any other: one serialized
+	// boundary crossing per attempt, billed in virtual time.
+	r.vclk.AdvanceComm(1+cost.Retries, &r.opts.Model)
+	if o := r.obs(); o != nil {
+		o.Probes.Inc()
+	}
+	if err != nil {
+		if o := r.obs(); o != nil {
+			o.Emit(obsv.EvProbe, "", "failed: "+err.Error())
+		}
+		return r.noteSupFailure(vnow)
+	}
+	if o := r.obs(); o != nil {
+		o.Emit(obsv.EvProbe, "", "ok")
+	}
+	if r.sup.ProbeOK(vnow) {
+		if o := r.obs(); o != nil {
+			o.Emit(obsv.EvBreaker, "", "half-open -> closed (recovered)")
+		}
+		r.opts.View.Info("remote engine daemon recovered: re-hosting failed-over engines")
+		r.rehostRemote()
+	}
+	return false
+}
+
+// commitRemoteStates snapshots every remote engine's end-of-step state
+// into the committed map (the failover seed). Snapshot transfers are
+// billed through the client's per-word MMIO meter like any state
+// access. A snapshot that fails mid-transfer latches on the client and
+// is counted against the breaker next step; the previous commit stays.
+func (r *Runtime) commitRemoteStates() {
+	for _, s := range r.design.UserSubs() {
+		c := r.engines[s.Path]
+		if c == nil || !c.Remote() || c.Err() != nil {
+			continue
+		}
+		st := c.GetState()
+		if c.Err() != nil {
+			continue
+		}
+		r.committed[s.Path] = st
+	}
+}
+
+// failoverRemote is the breaker-trip path: every remote engine is
+// replaced by a fresh local software engine re-seeded from its last
+// committed state, and execution continues without the daemon. The JIT
+// phase does not climb while failed over — no local fabric compile is
+// submitted (the outage would abandon it on re-host); the native tier,
+// when enabled, gives the engine its usual faster local rung.
+func (r *Runtime) failoverRemote() {
+	n := 0
+	for _, s := range r.design.UserSubs() {
+		c := r.engines[s.Path]
+		if c == nil || !c.Remote() {
+			continue
+		}
+		f := r.elabsExec()[s.Path]
+		if f == nil {
+			r.opts.View.Error(fmt.Errorf("runtime: cannot fail over %s: no elaboration", s.Path))
+			continue
+		}
+		r.retireClient(s.Path, c)
+		sw := sweng.New(f, r.lane(s.Path), r.now, r.opts.Features.EagerSim)
+		// Construction re-runs initial blocks; the user saw that output
+		// when the program integrated, and the committed state overwrites
+		// their variable effects.
+		r.discardLane(s.Path)
+		if st := r.committed[s.Path]; st != nil {
+			sw.SetState(st)
+		}
+		r.engines[s.Path] = r.wrapLocal(s.Path, sw)
+		r.failedOver[s.Path] = true
+		r.vclk.AdvanceOverhead(uint64(len(f.Vars)+1) * r.opts.Model.DispatchPs / 4)
+		if o := r.obs(); o != nil {
+			o.Emit(obsv.EvFailover, s.Path, "re-seeded locally from last committed state")
+		}
+		if r.opts.Features.NativeTier && !r.opts.Features.DisableJIT {
+			r.njobs[s.Path] = r.submitNativeCompile(r.jobCtx(), f)
+		}
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	r.sup.NoteFailover(n)
+	if o := r.obs(); o != nil {
+		o.Failovers.Add(uint64(n))
+	}
+	r.opts.View.Info("remote engine daemon unreachable: %d engine(s) failed over to local software", n)
+}
+
+// rehostRemote is the recovery path: once a half-open trial closes the
+// breaker, every failed-over engine is spawned back onto the daemon,
+// seeded with its current local state, and the local engine retired. A
+// spawn or handoff failure stops the sweep — the remaining engines stay
+// local and the next recovery retries (the failure also counts against
+// the breaker through the usual error path).
+func (r *Runtime) rehostRemote() {
+	if len(r.failedOver) == 0 {
+		return
+	}
+	n := 0
+	for _, s := range r.design.UserSubs() {
+		if !r.failedOver[s.Path] {
+			continue
+		}
+		c := r.engines[s.Path]
+		if c == nil {
+			continue
+		}
+		st := c.GetState()
+		nc, err := r.spawnRemoteRebind(s.Path, s.Module, s.Params)
+		if err != nil {
+			r.opts.View.Info("re-host of %s failed (%v); staying local", s.Path, err)
+			break
+		}
+		nc.SetState(st)
+		if nc.Err() != nil {
+			r.opts.View.Info("re-host of %s failed mid-handoff; staying local", s.Path)
+			break
+		}
+		if j, ok := r.njobs[s.Path]; ok {
+			j.Cancel()
+			delete(r.njobs, s.Path)
+		}
+		r.retireClient(s.Path, c)
+		c.End()
+		r.engines[s.Path] = nc
+		r.committed[s.Path] = st
+		delete(r.failedOver, s.Path)
+		if o := r.obs(); o != nil {
+			o.Emit(obsv.EvRehost, s.Path, "re-hosted on "+r.opts.Remote.Addr)
+		}
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	r.sup.NoteRehost(n)
+	if o := r.obs(); o != nil {
+		o.Rehosts.Add(uint64(n))
+	}
+	r.opts.View.Info("%d engine(s) re-hosted on %s", n, r.opts.Remote.Addr)
+}
+
+// spawnRemoteRebind is spawnRemote with session recovery: a daemon that
+// restarted without its journal no longer knows this runtime's session
+// ID, so an "unknown session" refusal opens a fresh session and retries
+// once. (A daemon resumed from a journal re-binds the old ID and the
+// first spawn just works.)
+func (r *Runtime) spawnRemoteRebind(path string, mod *verilog.Module, params map[string]*bits.Vector) (*transport.Client, error) {
+	nc, err := r.spawnRemote(path, mod, params)
+	if err == nil || r.remoteSess == 0 || !strings.Contains(err.Error(), "unknown session") {
+		return nc, err
+	}
+	ro := r.opts.Remote
+	sess, serr := transport.OpenSession(r.remoteT, ro.SessionName,
+		ro.SessionQuotaLEs, ro.SessionShare, r.vclk.Now())
+	if serr != nil {
+		return nil, err
+	}
+	r.remoteSess = sess
+	r.opts.View.Info("daemon session re-opened as %d (previous session lost)", sess)
+	return r.spawnRemote(path, mod, params)
+}

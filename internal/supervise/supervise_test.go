@@ -1,0 +1,160 @@
+package supervise
+
+import (
+	"testing"
+
+	"cascade/internal/vclock"
+)
+
+// TestBreakerLifecycle walks the canonical trajectory: closed →
+// (threshold failures) → open → reopen timeout → half-open trial →
+// closed, with the counters and probe due-times pinned at every stop.
+func TestBreakerLifecycle(t *testing.T) {
+	s := New(Options{
+		ProbeIntervalPs: 100 * vclock.Ms,
+		FailThreshold:   2,
+		ReopenPs:        vclock.S,
+	})
+	if s.State() != Closed {
+		t.Fatalf("initial state = %v", s.State())
+	}
+	if s.ShouldProbe(50 * vclock.Ms) {
+		t.Fatal("probe due before the heartbeat interval elapsed")
+	}
+	if !s.ShouldProbe(100 * vclock.Ms) {
+		t.Fatal("probe not due at the heartbeat interval")
+	}
+	s.ProbeSent(100 * vclock.Ms)
+	if s.ProbeOK(100 * vclock.Ms) {
+		t.Fatal("closed-state probe reported a recovery")
+	}
+	if s.ShouldProbe(150 * vclock.Ms) {
+		t.Fatal("probe due again immediately after one was sent")
+	}
+
+	// One failure: under threshold, still closed.
+	if s.NoteFailure(200 * vclock.Ms) {
+		t.Fatal("tripped below the threshold")
+	}
+	if s.State() != Closed {
+		t.Fatalf("state after one failure = %v", s.State())
+	}
+	// Second consecutive failure: trip.
+	if !s.NoteFailure(300 * vclock.Ms) {
+		t.Fatal("did not trip at the threshold")
+	}
+	if s.State() != Open {
+		t.Fatalf("state after trip = %v", s.State())
+	}
+
+	// Open: no probe until the reopen timeout.
+	if s.ShouldProbe(300*vclock.Ms + 999*vclock.Ms) {
+		t.Fatal("probe due while open, before the reopen timeout")
+	}
+	reopenAt := 300*vclock.Ms + vclock.S
+	if !s.ShouldProbe(reopenAt) {
+		t.Fatal("half-open trial not due at the reopen timeout")
+	}
+	s.ProbeSent(reopenAt)
+	if s.State() != HalfOpen {
+		t.Fatalf("state after trial probe sent = %v", s.State())
+	}
+
+	// Trial fails: back to open, another full reopen period, no new trip.
+	s.NoteFailure(reopenAt)
+	if s.State() != Open {
+		t.Fatalf("state after failed trial = %v", s.State())
+	}
+	if s.ShouldProbe(reopenAt + vclock.S - 1) {
+		t.Fatal("probe due before the second reopen period elapsed")
+	}
+	secondTrial := reopenAt + vclock.S
+	s.ProbeSent(secondTrial)
+	if !s.ProbeOK(secondTrial) {
+		t.Fatal("successful trial did not report recovery")
+	}
+	if s.State() != Closed {
+		t.Fatalf("state after recovery = %v", s.State())
+	}
+
+	st := s.Stats()
+	want := Stats{Enabled: true, State: "closed", Probes: 3, ProbeFailures: 3, Trips: 1}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+}
+
+// TestFailuresMustBeConsecutive: a success between failures resets the
+// streak — sporadic drops on a healthy link never trip the breaker.
+func TestFailuresMustBeConsecutive(t *testing.T) {
+	s := New(Options{FailThreshold: 2})
+	s.NoteFailure(1)
+	s.ProbeOK(2)
+	if s.NoteFailure(3) {
+		t.Fatal("tripped on non-consecutive failures")
+	}
+	if s.State() != Closed {
+		t.Fatalf("state = %v, want closed", s.State())
+	}
+}
+
+// TestForceTrip: a forced trip bypasses the threshold (the caller has
+// proof of state loss), counts as a real trip, and is idempotent while
+// Open. From HalfOpen it re-opens as a fresh trip.
+func TestForceTrip(t *testing.T) {
+	s := New(Options{FailThreshold: 1 << 20, ReopenPs: 5})
+	if !s.ForceTrip(10) {
+		t.Fatal("forced trip below threshold did not trip")
+	}
+	if s.State() != Open || s.Stats().Trips != 1 {
+		t.Fatalf("after force-trip: state=%v stats=%+v", s.State(), s.Stats())
+	}
+	if s.ForceTrip(11) {
+		t.Fatal("force-trip while already open reported a transition")
+	}
+	if !s.ShouldProbe(15) {
+		t.Fatal("reopen timeout did not arm the trial probe")
+	}
+	s.ProbeSent(15) // -> half-open
+	if !s.ForceTrip(16) {
+		t.Fatal("force-trip from half-open did not re-open")
+	}
+	if s.State() != Open || s.Stats().Trips != 2 {
+		t.Fatalf("after half-open force-trip: state=%v stats=%+v", s.State(), s.Stats())
+	}
+}
+
+// TestNilSupervisorIsFree: every method is a nil-receiver no-op, so
+// disabled supervision never probes, never trips, and reports zeroes.
+func TestNilSupervisorIsFree(t *testing.T) {
+	var s *Supervisor
+	if s.ShouldProbe(1 << 60) {
+		t.Fatal("nil supervisor wants to probe")
+	}
+	s.ProbeSent(1)
+	if s.ProbeOK(1) {
+		t.Fatal("nil supervisor recovered")
+	}
+	if s.NoteFailure(1) {
+		t.Fatal("nil supervisor tripped")
+	}
+	if s.ForceTrip(1) {
+		t.Fatal("nil supervisor force-tripped")
+	}
+	s.NoteFailover(3)
+	s.NoteRehost(3)
+	if s.State() != Closed {
+		t.Fatalf("nil state = %v", s.State())
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+// TestDefaultsFilled pins the documented defaults.
+func TestDefaultsFilled(t *testing.T) {
+	s := New(Options{})
+	if s.opts.ProbeIntervalPs != 100*vclock.Ms || s.opts.FailThreshold != 2 || s.opts.ReopenPs != 2*vclock.S {
+		t.Fatalf("defaults = %+v", s.opts)
+	}
+}

@@ -295,6 +295,31 @@ func (t *Toolchain) submitTenant(ctx context.Context, tenantID string, f *elab.F
 	j := &Job{t: t, name: f.Name, native: native, submitPs: nowPs, done: make(chan struct{}), abort: abort,
 		view: t.viewFor(tenantID)}
 	j.view.bump(func(s *Stats) { s.Submitted++ })
+	// Admission control: with MaxQueue set, a submission arriving while
+	// that many are already in flight is shed — it completes instantly
+	// (in virtual terms, at cache-hit latency) with ErrOverloaded, and
+	// the caller's JIT loop backs off and resubmits. In-flight means
+	// "not yet observed ready on the virtual clock", so the decision is
+	// a pure function of the submission/observation order the virtual
+	// timeline dictates and replays deterministically.
+	if t.opts.MaxQueue > 0 {
+		t.mu.Lock()
+		if t.inflight >= t.opts.MaxQueue {
+			n := t.inflight
+			t.mu.Unlock()
+			j.view.bump(func(s *Stats) { s.Shed++ })
+			j.settled = true
+			j.complete(&Result{
+				Err:        fmt.Errorf("toolchain: %w: %d compiles in flight (max %d)", ErrOverloaded, n, t.opts.MaxQueue),
+				DurationPs: t.hitLatency(),
+			}, nil)
+			close(j.done)
+			return j
+		}
+		t.inflight++
+		j.tracked = true
+		t.mu.Unlock()
+	}
 	detail := fmt.Sprintf("wrapped=%v", wrapped)
 	if native {
 		detail = "tier=native"

@@ -22,13 +22,14 @@
 // restored onto a same-shape device — skips the place-and-route model
 // entirely, and a resubmission that lands while the original flow is
 // still in (virtual) flight joins it instead of starting over. Obsolete
-// jobs are cancelled with Job.Cancel (their results are discarded, but a
-// flow that already reached the cache stays cached); a cancelled
+// jobs are cancelled with Job.Cancel (their results are discarded, but
+// the flow still runs to the cache in the background); a cancelled
 // context aborts jobs that have not yet reached a worker.
 package toolchain
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -81,6 +82,16 @@ type Options struct {
 	MaxRetries  int
 	RetryBasePs uint64
 	RetryCapPs  uint64
+	// MaxQueue bounds how many submissions may be in flight (submitted
+	// and not yet observed ready or cancelled) before the service
+	// load-sheds: excess submissions fail immediately with a result
+	// wrapping ErrOverloaded instead of queueing without bound. The
+	// bound is measured in virtual time — a job stays "in flight" until
+	// its owner observes it ready on the virtual clock — so admission
+	// decisions replay deterministically. 0 (the default) disables
+	// admission control. Callers are expected to back off and resubmit
+	// (the runtime and daemon JIT loops do, with virtual backoff).
+	MaxQueue int
 	// NativeBasePs and NativePsPerCell control the native-tier latency
 	// model: compiling a netlist to closure-threaded Go is a linear pass
 	// (no placement, no timing closure), so a native job is ready in
@@ -131,6 +142,9 @@ type Stats struct {
 	TransientFaults int // transient compile faults observed
 	PermanentFaults int // permanent compile faults observed (reported once)
 
+	// Admission control (Options.MaxQueue).
+	Shed int // submissions load-shed with ErrOverloaded
+
 	// Disk bitstream-store counters (Options.CacheDir).
 	DiskHits    int // submissions served from the on-disk store
 	DiskWrites  int // entries durably written
@@ -164,7 +178,15 @@ type Toolchain struct {
 	stats    Stats
 	sem      chan struct{}
 	tenants  map[string]*tenant
+	inflight int // submissions not yet observed ready/cancelled (MaxQueue > 0)
 }
+
+// ErrOverloaded reports that the job service shed a submission under
+// admission control (Options.MaxQueue): too many compilations were
+// already in flight. It travels inside the shed job's Result.Err;
+// callers match it with errors.Is and resubmit after a virtual-time
+// backoff rather than treating the design as uncompilable.
+var ErrOverloaded = errors.New("toolchain overloaded")
 
 // New returns a toolchain targeting dev.
 func New(dev *fpga.Device, opts Options) *Toolchain {
@@ -457,6 +479,8 @@ type Job struct {
 	state     JobState
 	retries   int
 	canceled  bool
+	settled   bool // left the in-flight count (admission control)
+	tracked   bool // counted into Toolchain.inflight at submit
 	res       *Result
 	readyAtPs uint64
 	entry     *cacheEntry
@@ -499,7 +523,19 @@ func (t *Toolchain) Submit(ctx context.Context, f *elab.Flat, wrapped bool, nowP
 // run executes the flow on a worker slot.
 func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 	defer close(j.done)
+	defer j.abort() // release the derived context once the flow ends
 	t := j.t
+	// A context dead before any work was attempted aborts the job
+	// deterministically. After this point the flow runs to completion
+	// even if the owner Cancels it: whether the worker goroutine had
+	// started when the cancel landed is a wall-clock race, and letting
+	// that race decide the Synthesized/CacheMisses counters (or whether
+	// the bitstream reaches the cache) would make otherwise-identical
+	// runs diverge. Cancellation discards the subscription, not the flow.
+	if ctx.Err() != nil {
+		j.markCanceled()
+		return
+	}
 	// Wait for the tenant's fair-share slot, then a global worker; a
 	// context cancelled while queued aborts the job before any work is
 	// done.
@@ -509,10 +545,6 @@ func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
 		return
 	}
 	defer j.view.release(tsem)
-	if ctx.Err() != nil {
-		j.markCanceled()
-		return
-	}
 	j.setState(JobRunning)
 
 	// Consult the fault schedule for this attempt. Transient faults are
@@ -701,6 +733,27 @@ func (j *Job) markCanceled() {
 		return
 	}
 	j.view.bump(func(s *Stats) { s.Canceled++ })
+	j.settle()
+}
+
+// settle removes the job from the in-flight count, exactly once. A job
+// settles when its owner observes it ready on the virtual clock or
+// cancels it — the moments the submission stops occupying the bounded
+// queue admission control meters.
+func (j *Job) settle() {
+	j.mu.Lock()
+	already := j.settled
+	j.settled = true
+	tracked := j.tracked
+	j.mu.Unlock()
+	if already || !tracked {
+		return
+	}
+	j.t.mu.Lock()
+	if j.t.inflight > 0 {
+		j.t.inflight--
+	}
+	j.t.mu.Unlock()
 }
 
 func (j *Job) complete(res *Result, entry *cacheEntry) {
@@ -708,9 +761,13 @@ func (j *Job) complete(res *Result, entry *cacheEntry) {
 	j.res = res
 	j.readyAtPs = j.submitPs + res.DurationPs
 	j.entry = entry
-	if res.Err != nil {
+	switch {
+	case j.canceled:
+		// A cancelled job's flow still completes (see Cancel), but the
+		// lifecycle state stays cancelled.
+	case res.Err != nil:
 		j.state = JobFailed
-	} else {
+	default:
 		j.state = JobDone
 	}
 	readyAt := j.readyAtPs
@@ -734,10 +791,14 @@ func (j *Job) complete(res *Result, entry *cacheEntry) {
 }
 
 // Cancel marks the job obsolete: its result will never be reported
-// ready. A flow that already reached the bitstream cache stays cached —
-// cancellation drops the subscription, not the artifact.
+// ready. The flow itself still runs to completion in the background and
+// its bitstream reaches the cache — cancellation drops the
+// subscription, not the artifact. (Aborting the worker here would race
+// its startup: whether the flow had begun when the cancel landed is
+// wall-clock scheduling, and the stats counters and cache warmth must
+// not depend on it. Abandoning queued work promptly is what the submit
+// context is for.)
 func (j *Job) Cancel() {
-	j.abort()
 	j.markCanceled()
 }
 
@@ -799,5 +860,6 @@ func (j *Job) Ready(nowPs uint64) bool {
 		entry.published = true
 		j.t.mu.Unlock()
 	}
+	j.settle()
 	return true
 }

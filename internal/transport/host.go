@@ -2,10 +2,12 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cascade/internal/elab"
 	"cascade/internal/engine"
@@ -14,6 +16,7 @@ import (
 	"cascade/internal/fault"
 	"cascade/internal/fpga"
 	"cascade/internal/obsv"
+	"cascade/internal/persist"
 	"cascade/internal/proto"
 	"cascade/internal/toolchain"
 	"cascade/internal/verilog"
@@ -54,11 +57,28 @@ type HostOptions struct {
 type Host struct {
 	opts HostOptions
 
+	// epoch is this host's boot epoch, stamped into every reply. It is
+	// nonzero and differs between host instances, so a transport that
+	// reconnects after a daemon restart sees the change and can refuse
+	// to run against journal-resumed (stale) engine state. Wall-clock
+	// derived, which is fine: hosts are outside the runtime's
+	// virtual-time determinism contract, and clients react only to
+	// "changed", never to the value.
+	epoch uint32
+
 	mu       sync.Mutex
 	nextID   uint32
 	nextSess uint32
 	engines  map[uint32]*hosted
 	sessions map[uint32]*hostSession
+
+	// Session-resumption journal (EnableJournal). Guarded by jmu, not
+	// h.mu: appends happen on serving goroutines after the registry
+	// mutation they record.
+	jmu       sync.Mutex
+	jr        *persist.Journal
+	jseq      uint64
+	replaying bool
 }
 
 // hostSession is one daemon-side tenant: a region carved out of the
@@ -141,7 +161,27 @@ func NewHost(opts HostOptions) *Host {
 	if opts.DefaultSessionQuotaLEs <= 0 {
 		opts.DefaultSessionQuotaLEs = opts.Device.Capacity() / 4
 	}
-	return &Host{opts: opts, engines: map[uint32]*hosted{}, sessions: map[uint32]*hostSession{}}
+	return &Host{
+		opts:     opts,
+		epoch:    newEpoch(),
+		engines:  map[uint32]*hosted{},
+		sessions: map[uint32]*hostSession{},
+	}
+}
+
+// epochSeq breaks ties between hosts built in the same nanosecond (the
+// loopback tests build several per process).
+var epochSeq atomic.Uint32
+
+// newEpoch derives a nonzero boot epoch distinct from any other host
+// this process — or a quickly restarted predecessor — produced.
+func newEpoch() uint32 {
+	for {
+		e := uint32(time.Now().UnixNano()) ^ (epochSeq.Add(1) * 0x9e3779b9)
+		if e != 0 {
+			return e
+		}
+	}
 }
 
 // Handle executes one protocol request, filling rep. Transport servers
@@ -149,13 +189,17 @@ func NewHost(opts HostOptions) *Host {
 // panics on hostile input — unknown engines and bad spawns surface
 // through rep.Err.
 func (h *Host) Handle(req *proto.Request, rep *proto.Reply) {
-	*rep = proto.Reply{Kind: req.Kind, Engine: req.Engine}
+	*rep = proto.Reply{Kind: req.Kind, Engine: req.Engine, Epoch: h.epoch}
 	switch req.Kind {
+	case proto.KindPing:
+		// Liveness probe: answer before any engine or session lookup,
+		// so the reply measures daemon reachability and nothing else.
+		return
 	case proto.KindSpawn:
-		h.spawn(req, rep)
+		h.spawn(req, rep, 0)
 		return
 	case proto.KindSessionOpen:
-		h.sessionOpen(req, rep)
+		h.sessionOpen(req, rep, 0)
 		return
 	case proto.KindSessionClose:
 		h.sessionClose(req, rep)
@@ -190,6 +234,7 @@ func (h *Host) Handle(req *proto.Request, rep *proto.Reply) {
 	case proto.KindSetState:
 		if req.State != nil {
 			e.SetState(req.State)
+			h.journalReq(req, 0)
 		}
 	case proto.KindEndStep:
 		e.EndStep()
@@ -202,6 +247,7 @@ func (h *Host) Handle(req *proto.Request, rep *proto.Reply) {
 		h.mu.Lock()
 		delete(h.engines, req.Engine)
 		h.mu.Unlock()
+		h.journalReq(req, 0)
 	default:
 		rep.Err = fmt.Sprintf("unsupported request kind %d", req.Kind)
 		return
@@ -220,7 +266,9 @@ func (h *Host) finishReply(hd *hosted, rep *proto.Reply) {
 
 // spawn parses and elaborates the shipped source, builds a software
 // engine, and (when requested) submits its background compilation.
-func (h *Host) spawn(req *proto.Request, rep *proto.Reply) {
+// forced, when non-zero, pins the assigned engine ID (journal replay
+// re-creating an engine under the ID the original client holds).
+func (h *Host) spawn(req *proto.Request, rep *proto.Reply, forced uint32) {
 	mods, items, errs := verilog.ParseProgramFragment(req.Source)
 	if len(errs) > 0 {
 		rep.Err = fmt.Sprintf("parse spawn source: %v", errs[0])
@@ -256,13 +304,22 @@ func (h *Host) spawn(req *proto.Request, rep *proto.Reply) {
 		hd.job = h.opts.Toolchain.SubmitTenant(context.Background(), hd.tenant, flat, true, req.VNow)
 	}
 	h.mu.Lock()
-	h.nextID++
-	id := h.nextID
+	var id uint32
+	if forced != 0 {
+		id = forced
+		if id > h.nextID {
+			h.nextID = id
+		}
+	} else {
+		h.nextID++
+		id = h.nextID
+	}
 	h.engines[id] = hd
 	h.mu.Unlock()
 	h.opts.Observer.EmitAt(req.VNow, obsv.EvSpawn, req.Path,
 		fmt.Sprintf("hosted engine %d jit=%v", id, req.JIT && !h.opts.DisableJIT))
 	rep.Engine = id
+	h.journalReq(req, id)
 	h.finishReply(hd, rep)
 }
 
@@ -270,14 +327,23 @@ func (h *Host) spawn(req *proto.Request, rep *proto.Reply) {
 // of the requested quota (held for the session's lifetime), a private
 // device of that size its engines promote onto, and a toolchain tenant
 // registration scoping compile stats, cache namespace, and fair share.
-func (h *Host) sessionOpen(req *proto.Request, rep *proto.Reply) {
+// forced, when non-zero, pins the session ID (journal replay).
+func (h *Host) sessionOpen(req *proto.Request, rep *proto.Reply, forced uint32) {
 	quota := int(req.Quota)
 	if quota <= 0 {
 		quota = h.opts.DefaultSessionQuotaLEs
 	}
 	h.mu.Lock()
-	h.nextSess++
-	id := h.nextSess
+	var id uint32
+	if forced != 0 {
+		id = forced
+		if id > h.nextSess {
+			h.nextSess = id
+		}
+	} else {
+		h.nextSess++
+		id = h.nextSess
+	}
 	tenant := req.Path
 	if tenant == "" {
 		tenant = fmt.Sprintf("s%d", id)
@@ -303,6 +369,7 @@ func (h *Host) sessionOpen(req *proto.Request, rep *proto.Reply) {
 	h.opts.Observer.EmitAt(req.VNow, obsv.EvSpawn, tenant,
 		fmt.Sprintf("session %d open quota=%dLEs share=%d", id, quota, req.Share))
 	rep.Engine = id
+	h.journalReq(req, id)
 }
 
 // sessionClose tears a session down: ends every engine it owns,
@@ -336,6 +403,7 @@ func (h *Host) sessionClose(req *proto.Request, rep *proto.Reply) {
 	h.opts.Toolchain.UnregisterTenant(sess.tenant)
 	h.opts.Observer.EmitAt(req.VNow, obsv.EvSpawn, sess.tenant,
 		fmt.Sprintf("session %d closed (%d engines ended)", sess.id, len(owned)))
+	h.journalReq(req, 0)
 }
 
 // Sessions returns the number of currently open sessions.
@@ -343,6 +411,97 @@ func (h *Host) Sessions() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.sessions)
+}
+
+// hostJournalRequest is the single journal record kind: the payload is
+// a proto-encoded Request, with the host-assigned ID stuffed into the
+// Engine field for spawn/session-open so replay can pin it.
+const hostJournalRequest byte = 1
+
+// EnableJournal arms session resumption: registry-mutating requests
+// (session-open/close, spawn, set-state, end) are journaled via
+// internal/persist, and any records already in the file are replayed
+// first — sessions re-open their fabric regions and tenants, engines
+// respawn from their journaled source under the *same* IDs the
+// original clients hold, and the last journaled state reinstalls. A
+// client that reconnects after the daemon was SIGKILLed therefore
+// re-binds to live engines instead of erroring with "unknown engine";
+// state written since the last SetState is re-seeded by the client's
+// supervisor on re-host rather than recovered here.
+//
+// Call it once, before serving. It returns the number of sessions and
+// engines resumed from the journal.
+func (h *Host) EnableJournal(path string) (sessions, engines int, err error) {
+	jr, recs, err := persist.OpenJournal(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	h.replaying = true
+	for _, rec := range recs {
+		if rec.Kind != hostJournalRequest {
+			continue
+		}
+		req, derr := proto.DecodeRequest(rec.Data)
+		if derr != nil {
+			continue // a record from an older protocol: skip, keep going
+		}
+		h.replayReq(req)
+	}
+	h.replaying = false
+	h.jmu.Lock()
+	h.jr = jr
+	h.jseq = jr.LastSeq()
+	h.jmu.Unlock()
+	return h.Sessions(), h.Engines(), nil
+}
+
+// replayReq re-executes one journaled request against the fresh
+// registry. Replies are discarded: a record that no longer applies
+// (e.g. the fabric shrank) is skipped, never fatal.
+func (h *Host) replayReq(req *proto.Request) {
+	var rep proto.Reply
+	switch req.Kind {
+	case proto.KindSpawn:
+		rep = proto.Reply{Kind: req.Kind}
+		h.spawn(req, &rep, req.Engine)
+	case proto.KindSessionOpen:
+		rep = proto.Reply{Kind: req.Kind}
+		h.sessionOpen(req, &rep, req.Engine)
+	case proto.KindSetState, proto.KindEnd, proto.KindSessionClose:
+		h.Handle(req, &rep)
+	}
+}
+
+// journalReq appends one registry-mutating request to the journal (if
+// armed). assigned, when non-zero, replaces req.Engine in the record
+// so replay can pin the host-assigned ID.
+func (h *Host) journalReq(req *proto.Request, assigned uint32) {
+	h.jmu.Lock()
+	defer h.jmu.Unlock()
+	if h.jr == nil || h.replaying {
+		return
+	}
+	jc := *req
+	if assigned != 0 {
+		jc.Engine = assigned
+	}
+	h.jseq++
+	if err := h.jr.Append(h.jseq, hostJournalRequest, proto.EncodeRequest(nil, &jc)); err != nil {
+		return
+	}
+	h.jr.Sync()
+}
+
+// CloseJournal syncs and closes the resumption journal, if armed.
+func (h *Host) CloseJournal() error {
+	h.jmu.Lock()
+	defer h.jmu.Unlock()
+	if h.jr == nil {
+		return nil
+	}
+	err := h.jr.Close()
+	h.jr = nil
+	return err
 }
 
 // serviceJIT runs the host-side slice of the Figure-9 state machine for
@@ -375,6 +534,12 @@ func (h *Host) serviceJIT(hd *hosted, vnow uint64) {
 	hd.job = nil
 	res := job.Result()
 	if res.Err != nil {
+		if errors.Is(res.Err, toolchain.ErrOverloaded) {
+			// Load-shed, not a verdict on the design: resubmit now and
+			// let the next step boundary re-check readiness — a
+			// per-step virtual backoff until the queue drains.
+			hd.job = h.opts.Toolchain.SubmitTenant(context.Background(), hd.tenant, hd.flat, true, vnow)
+		}
 		return // stay in software; a hosted engine never kills the run
 	}
 	sw, ok := hd.e.(*sweng.Engine)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -20,6 +21,13 @@ type TCPOptions struct {
 	// Retries is how many additional attempts a failed round-trip gets
 	// before the error is surfaced (default 2). Each retry reconnects.
 	Retries int
+	// ProbeTimeout bounds the liveness ping sent on every reconnect
+	// (default 1s, clamped to CallTimeout). A dial can succeed against
+	// a dead peer — the kernel completes the handshake and then the
+	// socket just never answers — so each fresh connection is probed
+	// under this short deadline before the real request is resent;
+	// without it one dead socket costs a full CallTimeout per retry.
+	ProbeTimeout time.Duration
 	// Injector, when set, is consulted once per attempt: an injected
 	// drop loses the frame before transmission (deterministically, so
 	// fault runs replay) and counts against the attempt budget.
@@ -42,6 +50,12 @@ func (o *TCPOptions) fill() {
 	} else if o.Retries == 0 {
 		o.Retries = 2
 	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.ProbeTimeout > o.CallTimeout {
+		o.ProbeTimeout = o.CallTimeout
+	}
 }
 
 // TCP is a framed connection to a remote engine daemon. One TCP
@@ -58,6 +72,12 @@ type TCP struct {
 	conn net.Conn
 	wbuf []byte
 	rbuf []byte
+	// epoch latches the first nonzero boot epoch seen in a reply. A
+	// later reply carrying a different epoch means the daemon restarted
+	// between round-trips; the call fails with ErrDaemonRestarted (and
+	// the latch moves to the new epoch, so post-failover probes reach
+	// the reborn daemon cleanly). Guarded by mu.
+	epoch uint32
 
 	stMu    sync.Mutex
 	statsSn Stats // cumulative counters, guarded by stMu for concurrent Stats()
@@ -155,10 +175,18 @@ func (t *TCP) Roundtrip(req *proto.Request, rep *proto.Reply) (Cost, error) {
 			c.Close()
 		}
 		t.conn = nil // force redial on the next attempt
+		if errors.Is(err, ErrDaemonRestarted) {
+			// Fail fast, never retry: the latch already moved to the new
+			// epoch, so a retry WOULD succeed — against journal-resumed
+			// state missing everything since the last snapshot. Surfacing
+			// the typed error is the whole point; the supervisor fails
+			// over from its committed state instead.
+			break
+		}
 	}
 	t.settle(cost, false)
-	err := fmt.Errorf("transport: %s: round-trip failed after %d attempts: %w",
-		t.addr, t.opts.Retries+1, lastErr)
+	err := fmt.Errorf("transport: %s: round-trip failed after %d attempts: %w: %w",
+		t.addr, t.opts.Retries+1, ErrEngineUnavailable, lastErr)
 	if obs != nil {
 		obs.TransportErrors.Inc()
 		obs.TransportDrops.Add(cost.Drops)
@@ -179,6 +207,15 @@ func (t *TCP) attempt(req *proto.Request, rep *proto.Reply, cost *Cost) (net.Con
 		if err != nil {
 			return nil, err
 		}
+		// A successful dial proves nothing about the peer: the kernel
+		// completes the handshake even if the daemon died an instant
+		// later (a half-open socket). Ping it under the short probe
+		// deadline before spending a full CallTimeout on the real
+		// request — a dead reconnect now fails at probe cost.
+		if err := t.probe(conn, req.VNow, cost); err != nil {
+			conn.Close()
+			return nil, err
+		}
 		t.conn = conn
 	}
 	c := t.conn
@@ -186,31 +223,78 @@ func (t *TCP) attempt(req *proto.Request, rep *proto.Reply, cost *Cost) (net.Con
 	if err := c.SetDeadline(deadline); err != nil {
 		return c, err
 	}
+	if err := t.writeFrame(c, req, cost); err != nil {
+		return c, err
+	}
+	return c, t.readReply(c, rep, cost)
+}
+
+// probe sends one KindPing round-trip on a freshly dialed connection
+// under ProbeTimeout. Probe traffic counts into cost's byte totals
+// (it is real wire traffic) but carries no engine payload.
+func (t *TCP) probe(c net.Conn, vnow uint64, cost *Cost) error {
+	if err := c.SetDeadline(time.Now().Add(t.opts.ProbeTimeout)); err != nil {
+		return err
+	}
+	ping := proto.Request{Kind: proto.KindPing, VNow: vnow}
+	if err := t.writeFrame(c, &ping, cost); err != nil {
+		return fmt.Errorf("reconnect probe: %w", err)
+	}
+	var pong proto.Reply
+	if err := t.readReply(c, &pong, cost); err != nil {
+		return fmt.Errorf("reconnect probe: %w", err)
+	}
+	return nil
+}
+
+// writeFrame encodes req and writes it as one length-prefixed frame.
+func (t *TCP) writeFrame(c net.Conn, req *proto.Request, cost *Cost) error {
 	t.wbuf = t.wbuf[:0]
 	t.wbuf = append(t.wbuf, 0, 0, 0, 0)
 	t.wbuf = proto.EncodeRequest(t.wbuf, req)
 	payload := len(t.wbuf) - 4
 	if payload > proto.MaxFrame {
-		return c, proto.ErrFrameTooLarge
+		return proto.ErrFrameTooLarge
 	}
 	t.wbuf[0] = byte(payload)
 	t.wbuf[1] = byte(payload >> 8)
 	t.wbuf[2] = byte(payload >> 16)
 	t.wbuf[3] = byte(payload >> 24)
 	if _, err := c.Write(t.wbuf); err != nil {
-		return c, err
+		return err
 	}
 	cost.BytesOut += uint64(len(t.wbuf))
+	return nil
+}
+
+// readReply reads one reply frame and decodes it into rep.
+func (t *TCP) readReply(c net.Conn, rep *proto.Reply, cost *Cost) error {
 	buf, err := proto.ReadFrame(c, t.rbuf)
 	if err != nil {
-		return c, err
+		return err
 	}
 	t.rbuf = buf[:cap(buf)]
 	cost.BytesIn += uint64(len(buf) + 4)
 	if err := proto.DecodeReply(buf, rep); err != nil {
-		return c, err
+		return err
 	}
-	return c, nil
+	return t.checkEpoch(rep.Epoch)
+}
+
+// checkEpoch latches the host's boot epoch and detects restarts. Every
+// decoded reply passes through here — probe pongs included, so a
+// restart is caught on the very first frame after a reconnect.
+func (t *TCP) checkEpoch(e uint32) error {
+	if e == 0 || e == t.epoch {
+		return nil
+	}
+	if t.epoch == 0 {
+		t.epoch = e
+		return nil
+	}
+	prev := t.epoch
+	t.epoch = e
+	return fmt.Errorf("boot epoch changed %d -> %d: %w", prev, e, ErrDaemonRestarted)
 }
 
 // settle folds one call's cost into the cumulative stats snapshot.

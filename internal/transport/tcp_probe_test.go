@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"cascade/internal/proto"
+)
+
+// TestTCPProbeOnReconnect is the regression test for half-open socket
+// detection: a reconnect that succeeds at dial time but whose peer
+// never answers used to burn a full CallTimeout per retry on the one
+// dead socket. With probe-on-reconnect every fresh connection is
+// pinged under the short ProbeTimeout first, so the whole retry budget
+// drains at probe cost and the caller gets a typed
+// ErrEngineUnavailable fast.
+func TestTCPProbeOnReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		first := true
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if first {
+				// The eager DialTCP connection: kill it immediately so
+				// the first round-trip attempt fails and the retry path
+				// has to reconnect.
+				first = false
+				c.Close()
+				continue
+			}
+			// Every reconnect lands on a half-open peer: the handshake
+			// completes, then the "daemon" reads forever and never
+			// replies — exactly what a hung or dying cascade-engined
+			// looks like from the client side.
+			go io.Copy(io.Discard, c)
+		}
+	}()
+
+	const callTimeout = 5 * time.Second
+	tr, err := DialTCP(ln.Addr().String(), TCPOptions{
+		DialTimeout:  time.Second,
+		CallTimeout:  callTimeout,
+		ProbeTimeout: 50 * time.Millisecond,
+		Retries:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	start := time.Now()
+	var rep proto.Reply
+	_, err = tr.Roundtrip(&proto.Request{Kind: proto.KindThereAreEvals, Engine: 1}, &rep)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("round-trip against a half-open peer succeeded")
+	}
+	if !errors.Is(err, ErrEngineUnavailable) {
+		t.Fatalf("error not errors.Is(ErrEngineUnavailable): %v", err)
+	}
+	// Two reconnect attempts at probe cost (~50ms each) plus slack.
+	// Without the probe each reconnect would stall for the full 5s
+	// CallTimeout and the budget would take >10s to drain.
+	if elapsed >= callTimeout {
+		t.Fatalf("retry budget took %v to drain; probe-on-reconnect is not biting", elapsed)
+	}
+}
+
+// TestTCPProbeReconnectLiveHost pins the happy path: after losing its
+// connection to a healthy daemon, the transport redials, the probe
+// passes, and the round-trip completes without surfacing an error.
+func TestTCPProbeReconnectLiveHost(t *testing.T) {
+	_, addr := loopbackHost(t, HostOptions{DisableJIT: true})
+	tr, err := DialTCP(addr, TCPOptions{ProbeTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var rep proto.Reply
+	if _, err := tr.Roundtrip(&proto.Request{Kind: proto.KindPing}, &rep); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if rep.Kind != proto.KindPing || rep.Err != "" {
+		t.Fatalf("ping reply = %+v", rep)
+	}
+	// Drop the connection; the next call must redial + probe + serve.
+	tr.Close()
+	if _, err := tr.Roundtrip(&proto.Request{Kind: proto.KindPing}, &rep); err != nil {
+		t.Fatalf("ping after reconnect: %v", err)
+	}
+	if rep.Err != "" {
+		t.Fatalf("ping reply after reconnect carried error %q", rep.Err)
+	}
+}

@@ -152,6 +152,21 @@ func WithRemoteSession(quotaLEs, share int) Option {
 	}
 }
 
+// WithSupervision makes the remote-engine placement self-healing
+// (internal/supervise): virtual-time liveness probes over the engine
+// protocol, a per-host circuit breaker that opens after consecutive
+// round-trip failures, automatic failover of remote engines onto local
+// software engines re-seeded from their last committed state, and
+// automatic re-hosting once the daemon answers probes again. A zero
+// SuperviseOptions takes the defaults: 100 virtual ms probe cadence,
+// 2-failure trip threshold, 2 virtual s reopen timeout. Default: no
+// supervision — remote engines fail hard once the retry budget is
+// spent. Only acts alongside WithRemoteEngine; Features apply as for
+// WithRemoteEngine.
+func WithSupervision(so SuperviseOptions) Option {
+	return func(o *Options) { o.Supervise = &so }
+}
+
 // WithObservability builds a fresh observability hub from oo and wires
 // it through the whole pipeline: the runtime's lifecycle (phase
 // transitions, hot swaps, evictions, checkpoints), the toolchain's

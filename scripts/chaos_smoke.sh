@@ -1,0 +1,131 @@
+#!/bin/sh
+# Chaos smoke (CI): the end-to-end self-healing drill. Run the §6.1
+# proof-of-work miner with its user engines hosted on a supervised
+# cascade-engined daemon, SIGKILL the daemon twice mid-run, restart it
+# over its journal each time, and assert that
+#   (a) the client failed over to local engines both times,
+#   (b) it re-hosted onto the resumed daemon both times, and
+#   (c) every $display byte matches the fault-free local baseline
+# (DESIGN.md key invariant 14, end to end with real processes).
+# Must run from the repo root (generates the workload with go run).
+# Usage: chaos_smoke.sh <path-to-cascade-binary> <path-to-engined-binary>
+set -eu
+
+bin=${1:?usage: chaos_smoke.sh <cascade-binary> <cascade-engined-binary>}
+engined=${2:?usage: chaos_smoke.sh <cascade-binary> <cascade-engined-binary>}
+work=$(mktemp -d)
+daemon_pid=
+client_pid=
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    [ -n "$client_pid" ] && kill "$client_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# The workload must be $finish-bounded, not tick-bounded: every failover
+# deliberately drops one clock edge (the engine resumes from the last
+# committed step), so the chaos run needs a few more ticks than the
+# baseline to produce the same output sequence — invariant 14 equates
+# outputs, not clocks. Mining stops at the fifth solution.
+ticks=60000
+go run ./scripts/genpow > "$work/pow.v"
+cat >> "$work/pow.v" <<'PROG'
+reg prev_found = 0;
+reg [31:0] prev_sol = 0;
+reg [2:0] nfound = 0;
+always @(posedge clk.val) begin
+  prev_found <= found;
+  prev_sol <= sol;
+  if ((found && !prev_found) || (found && sol != prev_sol)) begin
+    nfound <= nfound + 1;
+    if (nfound == 4) $finish;
+  end
+end
+PROG
+
+# wait_for <count> <pattern> <file> <what>: poll until pattern appears
+# at least count times, failing loudly (with the client log, which holds
+# the supervision trail) if the client dies or the budget runs out.
+wait_for() {
+    want=$1; pattern=$2; file=$3; what=$4
+    i=0
+    while [ "$(grep -c "$pattern" "$file" 2>/dev/null || true)" -lt "$want" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 600 ]; then
+            echo "FAIL: timed out waiting for $what"
+            tail -40 "$work/client.log" 2>/dev/null || true
+            exit 1
+        fi
+        if [ -n "$client_pid" ] && ! kill -0 "$client_pid" 2>/dev/null; then
+            # The client may legitimately be done — only a missing
+            # pattern after exit is a failure.
+            if [ "$(grep -c "$pattern" "$file" 2>/dev/null || true)" -lt "$want" ]; then
+                echo "FAIL: client exited before $what"
+                tail -40 "$work/client.log" 2>/dev/null || true
+                exit 1
+            fi
+            return
+        fi
+        sleep 0.1
+    done
+}
+
+start_daemon() {
+    : > "$work/daemon.log"
+    "$engined" -listen "127.0.0.1:$port" -journal "$work/journal" \
+        >"$work/daemon.log" 2>&1 &
+    daemon_pid=$!
+    wait_for 1 "listening on" "$work/daemon.log" "daemon startup"
+}
+
+# Fault-free baseline: same program, same tick budget, local engines.
+"$bin" -batch "$work/pow.v" -ticks "$ticks" >"$work/local.log" 2>&1
+grep -v '^\[cascade\]' "$work/local.log" >"$work/local.out"
+if ! grep -q '^FOUND' "$work/local.out"; then
+    echo "FAIL: baseline found no solutions in $ticks ticks"
+    cat "$work/local.log"
+    exit 1
+fi
+
+port=$((20000 + $$ % 20000))
+start_daemon
+
+"$bin" -batch "$work/pow.v" -ticks "$ticks" \
+    -remote-engine "127.0.0.1:$port" -supervise >"$work/client.log" 2>&1 &
+client_pid=$!
+
+# Two kill/recover cycles. Each: wait for fresh miner output (proof the
+# current hosting actually serves traffic), SIGKILL the daemon, wait for
+# the breaker to trip and fail the engines over, restart the daemon over
+# its journal, and wait for the re-host.
+cycle=1
+while [ "$cycle" -le 2 ]; do
+    wait_for "$cycle" '^FOUND' "$work/client.log" "miner output (cycle $cycle)"
+    kill -9 "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=
+    wait_for "$cycle" 'failed over to local software' "$work/client.log" \
+        "failover $cycle"
+    start_daemon
+    wait_for "$cycle" 're-hosted on' "$work/client.log" "re-host $cycle"
+    cycle=$((cycle + 1))
+done
+
+if ! wait "$client_pid"; then
+    echo "FAIL: supervised client exited non-zero"
+    cat "$work/client.log"
+    exit 1
+fi
+client_pid=
+
+grep -v '^\[cascade\]' "$work/client.log" >"$work/client.out"
+if ! cmp -s "$work/local.out" "$work/client.out"; then
+    echo "FAIL: chaos-run output diverges from the fault-free baseline"
+    diff "$work/local.out" "$work/client.out" || true
+    exit 1
+fi
+failovers=$(grep -c 'failed over to local software' "$work/client.log")
+rehosts=$(grep -c 're-hosted on' "$work/client.log")
+echo "chaos smoke ok: $(grep -c '^FOUND' "$work/client.out") solutions identical" \
+    "through $failovers failover(s) and $rehosts re-host(s)"

@@ -166,6 +166,21 @@ type (
 	ServeOption = hyper.Option
 	// SessionOption configures a Session (Hypervisor.NewSession).
 	SessionOption = hyper.SessionOption
+	// FarmOptions configures the sharded compile farm
+	// (WithCompileFarm): worker count or remote links, per-shard queue
+	// depth, cache replication factor, and deterministic outage
+	// schedules for testing.
+	FarmOptions = toolchain.FarmOptions
+	// FarmStats counts the farm's routing work inside Stats: jobs
+	// routed, steals, reroutes, sheds, peer cache hits, replication
+	// placements, and control-message traffic.
+	FarmStats = toolchain.FarmStats
+	// ShardOutage is one deterministic shard-down window on the farm's
+	// route-decision clock — the farm's seeded fault surface.
+	ShardOutage = toolchain.ShardOutage
+	// ShardLink is one farm worker endpoint: in-process by default,
+	// or a cascade-engined -compile-worker daemon via DialCompileFarm.
+	ShardLink = toolchain.ShardLink
 )
 
 // Typed failure sentinels, matchable with errors.Is through any number
@@ -185,11 +200,34 @@ var (
 	// a compile submission (ToolchainOptions.MaxQueue); callers back off
 	// and resubmit rather than treating the design as uncompilable.
 	ErrOverloaded = toolchain.ErrOverloaded
+	// ErrShardUnavailable reports that a compile farm could not place a
+	// flow on any shard — every worker down or unreachable. Like
+	// ErrOverloaded it is a placement verdict, not a compile verdict:
+	// the runtime resubmits after a virtual-time backoff and the flow
+	// runs once a shard returns.
+	ErrShardUnavailable = toolchain.ErrShardUnavailable
 )
 
 // NewEngineHost builds an engine-protocol host; serve it on a listener
 // with its ServeListener method (see cmd/cascade-engined).
 func NewEngineHost(opts EngineHostOptions) *EngineHost { return transport.NewHost(opts) }
+
+// DialCompileFarm connects one ShardLink per address — each a
+// cascade-engined daemon started with -compile-worker — for
+// FarmOptions.Links / WithCompileFarm. On any dial failure the links
+// already made are closed and the error names the failing worker.
+func DialCompileFarm(addrs []string) ([]ShardLink, error) {
+	return transport.DialFarm(addrs, transport.TCPOptions{})
+}
+
+// SeededShardOutages derives a deterministic outage schedule from a
+// seed: n non-overlapping shard-down windows spread over the first
+// `routes` route decisions, for FarmOptions.Outages. The same seed
+// replays the same schedule, so farm-fault sessions reproduce byte for
+// byte (ROADMAP invariant 15).
+func SeededShardOutages(seed uint64, shards int, routes uint64, n int) []ShardOutage {
+	return toolchain.SeededOutages(seed, shards, routes, n)
+}
 
 // NewObserver builds a standalone observability hub (see Observer). Most
 // callers use WithObservability instead; build one directly to share it

@@ -2,6 +2,7 @@ package cascade
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
@@ -82,6 +83,7 @@ func TestOptionConformance(t *testing.T) {
 		Parallelism:      7,
 		OpenLoopTargetPs: 123,
 		Supervise:        &SuperviseOptions{ProbeIntervalPs: 5},
+		Farm:             &FarmOptions{Workers: 3},
 	}
 	got := buildOptions([]Option{
 		WithWorld(world),
@@ -99,6 +101,7 @@ func TestOptionConformance(t *testing.T) {
 		WithOpenLoopTarget(123),
 		WithFaultInjector(inj),
 		WithSupervision(SuperviseOptions{ProbeIntervalPs: 5}),
+		WithCompileFarm(FarmOptions{Workers: 3}),
 	})
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("functional options diverge from struct literal:\n got %+v\nwant %+v", got, want)
@@ -369,4 +372,44 @@ func Example() {
 	rt.RunTicks(9)
 	fmt.Printf("leds=%d engine=%v\n", rt.World().Led("main.led"), rt.Phase())
 	// Output: leds=10 engine=software(inlined)
+}
+
+// TestFacadeCompileFarm drives the standard facade program through a
+// sharded compile farm (WithCompileFarm) and checks the farm surface:
+// the run reaches hardware exactly as a local-backend run would, Stats
+// carries the farm counters, and the Summary line grows the farm[...]
+// segment. It also pins the ErrShardUnavailable re-export's contract:
+// matchable with errors.Is through wrapping, and distinct from
+// ErrOverloaded.
+func TestFacadeCompileFarm(t *testing.T) {
+	opts := append(fastOptions(),
+		WithCompileFarm(FarmOptions{Workers: 2}),
+		DisableInline(), // separate engines => several flows to route
+	)
+	rt := New(opts...)
+	rt.MustEval(DefaultPrelude)
+	rt.MustEval(`
+        reg [7:0] cnt = 1;
+        always @(posedge clk.val) cnt <= cnt + 1;
+        assign led.val = cnt;
+    `)
+	rt.RunTicks(1000)
+	if rt.Phase() == PhaseSoftware {
+		t.Fatalf("farm-backed run never left software: %v", rt.Phase())
+	}
+	st := rt.Stats()
+	if st.Farm.Shards != 2 || st.Farm.Jobs == 0 || st.Farm.Routed == 0 {
+		t.Fatalf("farm stats not populated: %+v", st.Farm)
+	}
+	if !strings.Contains(st.Summary(), " farm[shards=2") {
+		t.Fatalf("summary missing farm segment: %s", st.Summary())
+	}
+
+	if ErrShardUnavailable == nil || errors.Is(ErrShardUnavailable, ErrOverloaded) {
+		t.Fatal("ErrShardUnavailable must be its own sentinel")
+	}
+	wrapped := fmt.Errorf("toolchain: %w: all shards down", ErrShardUnavailable)
+	if !errors.Is(wrapped, ErrShardUnavailable) {
+		t.Fatal("ErrShardUnavailable not matchable through wrapping")
+	}
 }

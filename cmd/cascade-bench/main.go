@@ -12,7 +12,8 @@
 //	cascade-bench -experiment table1
 //	cascade-bench -experiment intext    # §6's in-text claims
 //	cascade-bench -experiment tier      # native-tier promotion ladder
-//	cascade-bench -tier                 # shorthand for the above
+//	cascade-bench -experiment farm      # compile-farm throughput scaling
+//	cascade-bench -tier                 # shorthand for -experiment tier
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "fig11 | fig12 | fig13 | table1 | intext | tier | all")
+	which := flag.String("experiment", "all", "fig11 | fig12 | fig13 | table1 | intext | tier | farm | all")
 	tier := flag.Bool("tier", false, "shorthand for -experiment tier")
 	flag.Parse()
 	if *tier {
@@ -125,6 +126,23 @@ func main() {
 		fmt.Printf("fabric ready        %8.0f s\n", f.FabricReadySec)
 		fmt.Printf("open-loop rate      %8.2f MHz\n", f.OpenLoopHz/1e6)
 		fmt.Printf("runtime stats       %s\n", f.Stats.Summary())
+		return nil
+	})
+
+	run("farm", func() error {
+		f, err := bench.RunFarm()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Compile farm: aggregate throughput vs worker count (15 ms real PnR per flow)")
+		for _, row := range f.Rows {
+			fmt.Printf("workers=%d  %8.2f jobs/s  (%.0f ms for %d jobs, stolen=%d msgs=%d)\n",
+				row.Workers, row.JobsPerSec, row.WallSec*1e3, f.Jobs, row.Stolen, row.Msgs)
+		}
+		fmt.Printf("1->4 worker scaling  %6.2f x   (ideal: 4x)\n", f.Scaling)
+		fmt.Printf("full flow            %8.2f virtual s\n", float64(f.MissPs)/1e12)
+		fmt.Printf("cold-start via cache %8.2f virtual ms (%.0fx faster)\n",
+			float64(f.ColdHitPs)/1e9, f.ColdRatio)
 		return nil
 	})
 

@@ -32,6 +32,19 @@
 //	                                     # and engines re-bind on boot
 //	cascade-engined -max-queue 64        # shed compile submissions past
 //	                                     # this in-flight bound
+//	cascade-engined -compile-worker      # also serve the compile-farm
+//	                                     # protocol: remote FarmBackends
+//	                                     # shard flows onto this daemon
+//	cascade-engined -compile-worker -peers 127.0.0.1:9925,127.0.0.1:9927
+//	                                     # consult sibling workers' caches
+//	                                     # before place-and-route
+//
+// With -compile-worker the daemon hosts the worker side of compile
+// flows: clients started with -compile-farm (or cascade.WithCompileFarm)
+// ship it netlist summaries and get back verified flow outcomes, served
+// from its memory cache, its -cache-dir store, its -peers siblings, or
+// a fresh run of the place-and-route model — so a cold client process
+// reaches hardware at network-cache-hit latency.
 //
 // With -journal, the daemon appends every registry mutation (session
 // opens, spawns, state installs, ends) to the named file and replays it
@@ -47,6 +60,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 
 	"cascade/internal/fpga"
 	"cascade/internal/obsv"
@@ -63,6 +77,8 @@ func main() {
 	observe := flag.String("observe", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. 127.0.0.1:0)")
 	journal := flag.String("journal", "", "journal registry mutations here and resume sessions/engines on restart")
 	maxQueue := flag.Int("max-queue", 0, "shed compile submissions past this many in flight (0 = unbounded)")
+	compileWorker := flag.Bool("compile-worker", false, "serve the compile-farm protocol (host the worker side of compile flows)")
+	peers := flag.String("peers", "", "comma-separated sibling compile-worker addresses to consult before place-and-route")
 	flag.Parse()
 
 	var obs *obsv.Observer
@@ -79,13 +95,26 @@ func main() {
 	tco.Scale = *scale
 	tco.CacheDir = *cacheDir
 	tco.MaxQueue = *maxQueue
+	var peerAddrs []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerAddrs = append(peerAddrs, p)
+			}
+		}
+	}
 	host := transport.NewHost(transport.HostOptions{
 		Device:                 dev,
 		Toolchain:              toolchain.New(dev, tco),
 		DisableJIT:             *noJIT,
 		DefaultSessionQuotaLEs: *sessQuota,
 		Observer:               obs,
+		CompileWorker:          *compileWorker,
+		Peers:                  peerAddrs,
 	})
+	if *compileWorker {
+		fmt.Printf("[cascade-engined] compile worker enabled (%d peer(s))\n", len(peerAddrs))
+	}
 	if *journal != "" {
 		sessions, engines, err := host.EnableJournal(*journal)
 		if err != nil {

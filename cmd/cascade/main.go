@@ -26,12 +26,18 @@
 //	                            # re-host when it comes back (:health)
 //	cascade -observe 127.0.0.1:9926  # serve /metrics, /trace, and
 //	                            # /debug/pprof; enables :trace/:metrics
+//	cascade -compile-farm 3     # shard compiles across 3 in-process farm
+//	                            # workers (replicated bitstream cache)
+//	cascade -compile-farm-addrs 127.0.0.1:9925,127.0.0.1:9927
+//	                            # shard compiles onto remote cascade-engined
+//	                            # -compile-worker daemons instead
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cascade/internal/fault"
 	"cascade/internal/fpga"
@@ -40,6 +46,7 @@ import (
 	"cascade/internal/runtime"
 	"cascade/internal/supervise"
 	"cascade/internal/toolchain"
+	"cascade/internal/transport"
 )
 
 func main() {
@@ -61,6 +68,8 @@ func main() {
 	faultNet := flag.Float64("fault-net", 0, "per-attempt probability an engine-protocol round-trip is dropped and retried (0 = no injected faults; drops never change program output)")
 	faultSeed := flag.Uint64("fault-seed", 1, "deterministic fault-schedule seed (with -fault-net)")
 	observe := flag.String("observe", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. 127.0.0.1:0); also enables :trace and :metrics")
+	farmWorkers := flag.Int("compile-farm", 0, "shard compile flows across this many in-process farm workers (0 = local backend)")
+	farmAddrs := flag.String("compile-farm-addrs", "", "comma-separated cascade-engined -compile-worker addresses to shard compile flows onto")
 	flag.Parse()
 
 	dev := fpga.NewCycloneV()
@@ -100,6 +109,23 @@ func main() {
 		// runtime.New starts the endpoint and announces the bound
 		// address through the view.
 		opts.Observer = obsv.New(obsv.Options{Addr: *observe})
+	}
+	if *farmAddrs != "" {
+		var addrs []string
+		for _, a := range strings.Split(*farmAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		links, err := transport.DialFarm(addrs, transport.TCPOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Farm = &toolchain.FarmOptions{Links: links}
+		fmt.Printf("[cascade] compile farm: %d remote worker(s)\n", len(links))
+	} else if *farmWorkers > 0 {
+		opts.Farm = &toolchain.FarmOptions{Workers: *farmWorkers}
 	}
 	if *faultNet > 0 {
 		// Cap injected drops per transport site below the default retry

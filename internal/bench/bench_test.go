@@ -144,3 +144,28 @@ func TestTable1Shape(t *testing.T) {
 		t.Errorf("blocking should dominate nonblocking (paper: 8x)")
 	}
 }
+
+func TestFarmShape(t *testing.T) {
+	f, err := RunFarm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f.Rows {
+		t.Logf("workers=%d %.1f jobs/s stolen=%d", row.Workers, row.JobsPerSec, row.Stolen)
+	}
+	t.Logf("scaling=%.2fx miss=%dps coldhit=%dps", f.Scaling, f.MissPs, f.ColdHitPs)
+	if len(f.Rows) != 3 {
+		t.Fatalf("rows=%d", len(f.Rows))
+	}
+	// Wall-clock throughput must grow with workers. The bound is loose
+	// (ideal is 4x) so a loaded CI machine doesn't flake the suite; the
+	// printed experiment shows the near-linear figure.
+	if f.Scaling < 1.5 {
+		t.Errorf("1->4 workers scaled only %.2fx", f.Scaling)
+	}
+	// Cold start reaches hardware at cache-hit latency: orders of
+	// magnitude below the full flow.
+	if f.ColdHitPs == 0 || f.MissPs == 0 || f.ColdHitPs*100 > f.MissPs {
+		t.Errorf("cold start not at cache-hit latency: hit=%dps full=%dps", f.ColdHitPs, f.MissPs)
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cascade/internal/elab"
+	"cascade/internal/fpga"
+	"cascade/internal/toolchain"
+)
+
+// FarmRow is one worker-count sample of the compile-farm scaling
+// experiment.
+type FarmRow struct {
+	Workers    int
+	WallSec    float64
+	JobsPerSec float64
+	Stolen     uint64
+	Msgs       uint64
+}
+
+// Farm holds the compile-farm experiment: aggregate compile throughput
+// against worker count (each shard burns real wall clock per
+// place-and-route, so throughput is CPU-bound like a real CAD farm),
+// plus the cold-start path — the virtual latency a restarted client
+// pays when the farm's replicated cache serves its bitstream versus
+// re-running the full flow.
+type Farm struct {
+	Rows    []FarmRow
+	Jobs    int
+	Scaling float64 // throughput at 4 workers over 1 worker (ideal: 4)
+
+	MissPs    uint64  // full place-and-route flow, virtual ps
+	ColdHitPs uint64  // cache-served restart, virtual ps
+	ColdRatio float64 // MissPs / ColdHitPs
+}
+
+// farmBenchProgram returns the i-th distinct design: counters of
+// different widths and strides, so every job carries its own netlist
+// fingerprint and the farm has real routing work.
+func farmBenchProgram(i int) string {
+	return fmt.Sprintf(`
+        reg [%d:0] cnt = 0;
+        always @(posedge clk.val) cnt <= cnt + %d;
+        assign led.val = cnt[7:0];
+    `, 8+i, 1+2*i)
+}
+
+// pnrWallNs is the modelled real CPU burn of one place-and-route
+// (FarmOptions.PnRWallNs): large enough to dominate scheduling noise,
+// small enough that the 1-worker serial baseline stays under a second.
+const pnrWallNs = 15e6 // 15 ms
+
+// RunFarm measures compile-farm throughput scaling: the same batch of
+// distinct designs submitted to farms of 1, 2, and 4 workers, each
+// place-and-route burning pnrWallNs of real wall clock on its shard.
+func RunFarm() (*Farm, error) {
+	const jobs = 16
+	flats := make([]*elab.Flat, jobs)
+	for i := range flats {
+		f, err := elabMain(farmBenchProgram(i))
+		if err != nil {
+			return nil, err
+		}
+		flats[i] = f
+	}
+
+	out := &Farm{Jobs: jobs}
+	for _, workers := range []int{1, 2, 4} {
+		dev := fpga.NewCycloneV()
+		tco := toolchain.DefaultOptions()
+		tco.Scale = 1e9
+		tco.BasePs = 1
+		tco.Workers = jobs // the client never bottlenecks the shards
+		tc := toolchain.New(dev, tco)
+		// Capacity exactly equals the batch: queues bound at jobs/workers,
+		// so a job whose rendezvous home is saturated steals to the
+		// idlest shard (balancing the batch) and nothing ever sheds.
+		fb := tc.UseFarm(toolchain.FarmOptions{
+			Workers:    workers,
+			QueueDepth: (jobs + workers - 1) / workers,
+			PnRWallNs:  pnrWallNs,
+		})
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i, f := range flats {
+			wg.Add(1)
+			go func(i int, f *elab.Flat) {
+				defer wg.Done()
+				j := tc.Submit(context.Background(), f, true, 0)
+				if res := j.Result(); res.Err != nil {
+					panic(fmt.Sprintf("farm bench job %d: %v", i, res.Err))
+				}
+			}(i, f)
+		}
+		wg.Wait()
+		wall := time.Since(start).Seconds()
+		st := fb.Stats()
+		out.Rows = append(out.Rows, FarmRow{
+			Workers:    workers,
+			WallSec:    wall,
+			JobsPerSec: float64(jobs) / wall,
+			Stolen:     st.Stolen,
+			Msgs:       st.Msgs,
+		})
+		fb.Close()
+	}
+	out.Scaling = out.Rows[len(out.Rows)-1].JobsPerSec / out.Rows[0].JobsPerSec
+
+	// Cold start: a fresh submission misses and pays the full flow; a
+	// restarted client resubmitting the same design is served from the
+	// farm's replicated cache at cache-hit latency. Paper-faithful
+	// latencies (Scale 1) so the virtual numbers mean something.
+	dev := fpga.NewCycloneV()
+	tco := toolchain.DefaultOptions()
+	tc := toolchain.New(dev, tco)
+	tc.UseFarm(toolchain.FarmOptions{Workers: 2})
+	j := tc.Submit(context.Background(), flats[0], true, 0)
+	res := j.Result()
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	out.MissPs = res.DurationPs
+	ready, _ := j.ReadyAt()
+	j.Ready(ready) // publish, as a client observing readiness would
+	j2 := tc.Submit(context.Background(), flats[0], true, ready)
+	res2 := j2.Result()
+	if res2.Err != nil {
+		return nil, res2.Err
+	}
+	if !res2.CacheHit {
+		return nil, fmt.Errorf("cold-start resubmission missed the farm cache")
+	}
+	out.ColdHitPs = res2.DurationPs
+	if out.ColdHitPs > 0 {
+		out.ColdRatio = float64(out.MissPs) / float64(out.ColdHitPs)
+	}
+	return out, nil
+}

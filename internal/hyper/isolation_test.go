@@ -163,8 +163,10 @@ func runSolo(i int) isoResult {
 }
 
 // runSessions executes all N tenants concurrently on one hypervisor and
-// returns each tenant's observations.
-func runSessions(t *testing.T, n, capacityLEs int) []isoResult {
+// returns each tenant's observations. A non-nil farm installs a compile
+// farm on the shared toolchain through the first tenant's runtime
+// options (installation is idempotent; later tenants find it in place).
+func runSessions(t *testing.T, n, capacityLEs int, farm *toolchain.FarmOptions) []isoResult {
 	t.Helper()
 	shared := fpga.NewDevice(capacityLEs, isoClockHz)
 	hv, err := New(
@@ -192,6 +194,7 @@ func runSessions(t *testing.T, n, capacityLEs int) []isoResult {
 				Injector:         injectorFor(i),
 				Parallelism:      2,
 				OpenLoopTargetPs: isoOLTarget,
+				Farm:             farm,
 			}),
 		)
 		if err != nil {
@@ -223,7 +226,7 @@ func runSessions(t *testing.T, n, capacityLEs int) []isoResult {
 // match its solo baseline byte for byte. Tenant 0 runs under a seeded
 // fault schedule — its retries must not leak into tenant 1 either.
 func TestIsolationSpatial(t *testing.T) {
-	got := runSessions(t, 2, 20_000)
+	got := runSessions(t, 2, 20_000, nil)
 	for i, g := range got {
 		sameResult(t, fmt.Sprintf("tenant %d (N=2 spatial)", i), g, runSolo(i))
 	}
@@ -234,7 +237,7 @@ func TestIsolationSpatial(t *testing.T) {
 // eviction and re-admission between quanta. Time-multiplexing must cost
 // wall time only: every tenant still matches its solo baseline exactly.
 func TestIsolationTimeMultiplexed(t *testing.T) {
-	got := runSessions(t, 4, 20_000)
+	got := runSessions(t, 4, 20_000, nil)
 	for i, g := range got {
 		sameResult(t, fmt.Sprintf("tenant %d (N=4 time-mux)", i), g, runSolo(i))
 	}
@@ -297,4 +300,18 @@ func TestIsolationAcrossClose(t *testing.T) {
 		}
 	}
 	sameResult(t, "survivor (neighbour crashed mid-run)", capture(view, survivor.Stats()), runSolo(1))
+}
+
+// TestIsolationWithCompileFarm composes invariant 15 with the isolation
+// property: tenants of a hypervisor whose shared toolchain shards every
+// fabric compile across an in-process farm must still match their solo
+// local-backend baselines byte for byte — fair-share admission survives
+// the backend swap, and the farm changes where flows run, never what a
+// tenant observes. Four tenants over a two-region fabric keep the
+// time-multiplexing pressure on while the farm routes.
+func TestIsolationWithCompileFarm(t *testing.T) {
+	got := runSessions(t, 4, 20_000, &toolchain.FarmOptions{Workers: 3})
+	for i, g := range got {
+		sameResult(t, fmt.Sprintf("tenant %d (N=4 farm)", i), g, runSolo(i))
+	}
 }

@@ -127,6 +127,36 @@ func EncodeRequest(dst []byte, req *Request) []byte {
 		dst = appendUvarint(dst, req.Share)
 	case KindSessionClose:
 		dst = appendUvarint(dst, uint64(req.Session))
+	case KindCompileSubmit:
+		f := req.Farm
+		if f == nil {
+			f = &FarmJob{}
+		}
+		dst = appendString(dst, f.Key)
+		dst = appendString(dst, f.Name)
+		dst = appendBool(dst, f.Wrapped)
+		dst = appendUvarint(dst, f.SubmitPs)
+		dst = appendUvarint(dst, f.BackoffPs)
+		dst = appendUvarint(dst, uint64(int64(f.Cells)))
+		dst = appendUvarint(dst, uint64(int64(f.FFs)))
+		dst = appendUvarint(dst, uint64(int64(f.MemBits)))
+		dst = appendUvarint(dst, uint64(int64(f.CritPath)))
+	case KindCompileStatus, KindCompileCancel, KindCacheFetch:
+		f := req.Farm
+		if f == nil {
+			f = &FarmJob{}
+		}
+		dst = appendString(dst, f.Key)
+	case KindCachePut:
+		f := req.Farm
+		if f == nil {
+			f = &FarmJob{}
+		}
+		dst = appendString(dst, f.Key)
+		dst = appendUvarint(dst, uint64(int64(f.AreaLEs)))
+		dst = appendUvarint(dst, uint64(int64(f.RawAreaLEs)))
+		dst = appendUvarint(dst, uint64(int64(f.CritPath)))
+		dst = appendBool(dst, f.Publish)
 	}
 	return dst
 }
@@ -161,6 +191,20 @@ func EncodeReply(dst []byte, rep *Reply) []byte {
 	}
 	dst = appendState(dst, rep.State)
 	dst = appendUvarint(dst, uint64(rep.Epoch))
+	if rep.Farm == nil {
+		dst = append(dst, 0)
+	} else {
+		f := rep.Farm
+		dst = append(dst, 1)
+		dst = appendUvarint(dst, uint64(int64(f.AreaLEs)))
+		dst = appendUvarint(dst, uint64(int64(f.RawAreaLEs)))
+		dst = appendUvarint(dst, uint64(int64(f.CritPath)))
+		dst = appendUvarint(dst, f.DurationPs)
+		dst = appendBool(dst, f.CacheHit)
+		dst = appendString(dst, f.HitSource)
+		dst = appendString(dst, f.FlowErr)
+		dst = appendBool(dst, f.Found)
+	}
 	return dst
 }
 
@@ -361,6 +405,28 @@ func DecodeRequest(data []byte) (*Request, error) {
 		req.Share = r.uvarint()
 	case KindSessionClose:
 		req.Session = uint32(r.uvarint())
+	case KindCompileSubmit:
+		f := &FarmJob{}
+		f.Key = r.string()
+		f.Name = r.string()
+		f.Wrapped = r.bool()
+		f.SubmitPs = r.uvarint()
+		f.BackoffPs = r.uvarint()
+		f.Cells = int(int64(r.uvarint()))
+		f.FFs = int(int64(r.uvarint()))
+		f.MemBits = int(int64(r.uvarint()))
+		f.CritPath = int(int64(r.uvarint()))
+		req.Farm = f
+	case KindCompileStatus, KindCompileCancel, KindCacheFetch:
+		req.Farm = &FarmJob{Key: r.string()}
+	case KindCachePut:
+		f := &FarmJob{}
+		f.Key = r.string()
+		f.AreaLEs = int(int64(r.uvarint()))
+		f.RawAreaLEs = int(int64(r.uvarint()))
+		f.CritPath = int(int64(r.uvarint()))
+		f.Publish = r.bool()
+		req.Farm = f
 	}
 	if err := r.finish(); err != nil {
 		return nil, err
@@ -402,6 +468,18 @@ func DecodeReply(data []byte, rep *Reply) error {
 	}
 	rep.State = r.state()
 	rep.Epoch = uint32(r.uvarint())
+	if r.bool() {
+		f := &FarmResult{}
+		f.AreaLEs = int(int64(r.uvarint()))
+		f.RawAreaLEs = int(int64(r.uvarint()))
+		f.CritPath = int(int64(r.uvarint()))
+		f.DurationPs = r.uvarint()
+		f.CacheHit = r.bool()
+		f.HitSource = r.string()
+		f.FlowErr = r.string()
+		f.Found = r.bool()
+		rep.Farm = f
+	}
 	return r.finish()
 }
 

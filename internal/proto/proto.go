@@ -29,8 +29,11 @@ import (
 // layer: KindSessionOpen/KindSessionClose and the Session, Quota, and
 // Share request fields that let one daemon host independent tenants.
 // Version 3 added KindPing liveness probes for supervision and
-// half-open connection detection.
-const Version = 3
+// half-open connection detection. Version 4 added the compile-farm
+// kinds (KindCompileSubmit/Status/Cancel, KindCacheFetch/CachePut) and
+// the Farm request/reply payloads, letting a daemon host the back half
+// of compile flows and a replicated bitstream cache for remote clients.
+const Version = 4
 
 // Kind identifies the ABI request a message carries.
 type Kind uint8
@@ -65,6 +68,23 @@ const (
 	// socket that dialed but died (half-open) fails at probe cost
 	// instead of burning the whole retry budget.
 	KindPing
+	// Compile-farm kinds (a daemon started as -compile-worker serves
+	// them; see internal/toolchain's FarmBackend and Worker).
+	// KindCompileSubmit runs the back half of one compile flow — cache
+	// consultation, the place-and-route model, durable storage — against
+	// the worker's shard-local cache tiers and returns the outcome.
+	// KindCompileStatus polls a key's cache state without compiling.
+	// KindCompileCancel is a no-op acknowledgement: like Job.Cancel, the
+	// flow still runs to completion so the bitstream reaches the cache —
+	// cancellation drops the subscription, never the artifact.
+	// KindCacheFetch asks the worker's bitstream cache for a key (the
+	// farm's peer-fetch tier); KindCachePut replicates a verified
+	// outcome onto the worker.
+	KindCompileSubmit
+	KindCompileStatus
+	KindCompileCancel
+	KindCacheFetch
+	KindCachePut
 	kindMax
 )
 
@@ -98,6 +118,16 @@ func (k Kind) String() string {
 		return "session_close"
 	case KindPing:
 		return "ping"
+	case KindCompileSubmit:
+		return "compile_submit"
+	case KindCompileStatus:
+		return "compile_status"
+	case KindCompileCancel:
+		return "compile_cancel"
+	case KindCacheFetch:
+		return "cache_fetch"
+	case KindCachePut:
+		return "cache_put"
 	}
 	return "invalid"
 }
@@ -155,6 +185,36 @@ type Request struct {
 	// pool only). Path doubles as the requested tenant name.
 	Quota uint64
 	Share uint64
+
+	// Farm carries the compile-farm kinds' payload (nil otherwise).
+	Farm *FarmJob
+}
+
+// FarmJob is the payload of the compile-farm request kinds. A
+// CompileSubmit ships the cache key plus the synthesized netlist's
+// summary — the toolchain's fit and timing models run from the summary
+// alone, so the worker never sees (or re-synthesizes) source, and the
+// client keeps the netlist for its own fabric. CacheFetch/Status/Cancel
+// use only Key; CachePut adds the verified outcome being replicated.
+type FarmJob struct {
+	Key       string
+	Name      string
+	Wrapped   bool
+	SubmitPs  uint64
+	BackoffPs uint64
+
+	// Netlist summary (CompileSubmit).
+	Cells    int
+	FFs      int
+	MemBits  int
+	CritPath int
+
+	// Verified outcome (CachePut). Publish marks the key's bitstream
+	// delivered instead of shipping a new outcome: the worker flips the
+	// entry so identical submissions hit outright on any clock.
+	AreaLEs    int
+	RawAreaLEs int
+	Publish    bool
 }
 
 // Reply is the response to one Request. Err is an engine-level failure
@@ -182,4 +242,23 @@ type Reply struct {
 	// a typed error instead of silently executing against stale state.
 	// 0 means the host predates epochs or the reply is synthetic.
 	Epoch uint32
+
+	// Farm carries a compile-farm reply's payload (nil otherwise).
+	Farm *FarmResult
+}
+
+// FarmResult is the outcome of one compile-farm request. FlowErr is a
+// design verdict (no fit, failed timing closure) as text — the client
+// rewraps it so a farmed flow's error output matches a local run's byte
+// for byte; transport failures surface as Go errors instead. Found
+// reports a CacheFetch hit.
+type FarmResult struct {
+	AreaLEs    int
+	RawAreaLEs int
+	CritPath   int
+	DurationPs uint64
+	CacheHit   bool
+	HitSource  string
+	FlowErr    string
+	Found      bool
 }

@@ -34,6 +34,15 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Kind: KindSpawn, Path: "main.m", Source: "module m(); endmodule", JIT: true, Session: 4},
 		{Kind: KindSessionOpen, Path: "tenant-a", Quota: 12_000, Share: 2},
 		{Kind: KindSessionClose, Session: 9},
+		{Kind: KindCompileSubmit, VNow: 7, Farm: &FarmJob{
+			Key: "fp|wrapped=true", Name: "main.m", Wrapped: true,
+			SubmitPs: 1 << 44, BackoffPs: 5e12,
+			Cells: 1200, FFs: 340, MemBits: 4096, CritPath: 17}},
+		{Kind: KindCompileStatus, Farm: &FarmJob{Key: "fp|wrapped=false"}},
+		{Kind: KindCompileCancel, Farm: &FarmJob{Key: "fp|wrapped=false"}},
+		{Kind: KindCacheFetch, Farm: &FarmJob{Key: "tenant=a|fp"}},
+		{Kind: KindCachePut, Farm: &FarmJob{Key: "fp", AreaLEs: 900, RawAreaLEs: 840, CritPath: 12}},
+		{Kind: KindCachePut, Farm: &FarmJob{Key: "fp", Publish: true}},
 	}
 	for _, req := range reqs {
 		enc := EncodeRequest(nil, req)
@@ -58,6 +67,11 @@ func TestReplyRoundTrip(t *testing.T) {
 			IO:     []IOEvent{{Kind: IOFinish, Code: 2}}},
 		{Kind: KindGetState, Engine: 4, State: testState()},
 		{Kind: KindEvaluate, Engine: 5, Err: "engine 5 unknown"},
+		{Kind: KindCompileSubmit, Epoch: 3, Farm: &FarmResult{
+			AreaLEs: 910, RawAreaLEs: 850, CritPath: 14, DurationPs: 47e12,
+			CacheHit: true, HitSource: "disk"}},
+		{Kind: KindCompileSubmit, Farm: &FarmResult{FlowErr: "toolchain: design requires 99 LEs"}},
+		{Kind: KindCacheFetch, Farm: &FarmResult{Found: true, AreaLEs: 1, RawAreaLEs: 1, CritPath: 1}},
 	}
 	for _, rep := range reps {
 		enc := EncodeReply(nil, rep)

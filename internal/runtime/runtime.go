@@ -238,6 +238,17 @@ type Options struct {
 	// it only acts when Remote is also set.
 	Supervise *supervise.Options
 
+	// Farm installs a sharded compile farm as the toolchain's fabric
+	// backend (toolchain.UseFarm): compile flows are rendezvous-hashed
+	// across in-process shards (Workers) or remote compile-worker
+	// daemons (Links), with a replicated bitstream cache, bounded
+	// per-shard queues with job stealing, and deterministic outage
+	// schedules. On a shared toolchain that already carries a farm (the
+	// hypervisor arrangement, where every tenant runtime passes the same
+	// Options), the existing farm is kept — installation is idempotent.
+	// Nil (the default) keeps the in-process local backend.
+	Farm *toolchain.FarmOptions
+
 	// Tenant scopes this runtime on a *shared* Toolchain (the hypervisor
 	// arrangement, internal/hyper): compiles are submitted under this
 	// tenant ID, so they draw on the tenant's fair-share worker quota,
@@ -421,6 +432,11 @@ func New(opts Options) *Runtime {
 		if opts.Injector != nil {
 			opts.Injector.SetObserver(opts.Observer)
 		}
+	}
+	if opts.Farm != nil && opts.Toolchain.Farm() == nil {
+		// Idempotent on shared toolchains: the first tenant runtime
+		// installs the farm, later ones find it already in place.
+		opts.Toolchain.UseFarm(*opts.Farm)
 	}
 	par := opts.Parallelism
 	if par == 0 {

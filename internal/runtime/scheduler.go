@@ -289,10 +289,14 @@ func (r *Runtime) serviceJIT() {
 			// on the design: resubmit now that the virtual clock has moved
 			// past the shed point (in-flight work keeps draining, so the
 			// retry is eventually admitted).
-			if errors.Is(res.Err, toolchain.ErrOverloaded) {
+			if errors.Is(res.Err, toolchain.ErrOverloaded) || errors.Is(res.Err, toolchain.ErrShardUnavailable) {
 				if f := r.elabsExec()[path]; f != nil {
 					r.jobs[path] = r.submitCompile(r.jobCtx(), f)
-					r.obs().Emit(obsv.EvRecovery, path, "compile shed under load: resubmitted")
+					msg := "compile shed under load: resubmitted"
+					if errors.Is(res.Err, toolchain.ErrShardUnavailable) {
+						msg = "compile farm unreachable: resubmitted"
+					}
+					r.obs().Emit(obsv.EvRecovery, path, msg)
 				}
 				continue
 			}
@@ -449,7 +453,7 @@ func (r *Runtime) serviceNativeTier() {
 		if res.Err != nil {
 			// Shed under load: back off one service pass and resubmit,
 			// exactly as the fabric flow does.
-			if errors.Is(res.Err, toolchain.ErrOverloaded) {
+			if errors.Is(res.Err, toolchain.ErrOverloaded) || errors.Is(res.Err, toolchain.ErrShardUnavailable) {
 				if f := r.elabsExec()[path]; f != nil {
 					r.njobs[path] = r.submitNativeCompile(r.jobCtx(), f)
 					r.obs().Emit(obsv.EvRecovery, path, "native compile shed under load: resubmitted")

@@ -84,6 +84,11 @@ type Stats struct {
 	// is off).
 	Supervise supervise.Stats
 
+	// Farm snapshots the sharded compile farm when one is installed on
+	// the toolchain (Features.CompileFarm / cascade.WithCompileFarm);
+	// Shards == 0 when compiles run on the local backend.
+	Farm toolchain.FarmStats
+
 	// Tenant is the runtime's tenant ID on a shared (hypervisor-owned)
 	// toolchain; "" for a classic single-tenant runtime. RegionLEs is
 	// the capacity of the runtime's fabric partition — its Device's
@@ -118,6 +123,9 @@ func (r *Runtime) Stats() Stats {
 		Faults:          r.opts.Injector.Stats(),
 		Persist:         r.persistStats(),
 		Supervise:       r.sup.Stats(),
+	}
+	if fs, ok := r.opts.Toolchain.FarmStats(); ok {
+		st.Farm = fs
 	}
 	if r.opts.Remote != nil {
 		st.Remote = r.opts.Remote.Addr
@@ -200,6 +208,12 @@ func (s Stats) Summary() string {
 		line += fmt.Sprintf(" remote[%s roundtrips=%d out=%dB in=%dB drops=%d retries=%d]",
 			addr, s.Xport.RoundTrips, s.Xport.BytesOut, s.Xport.BytesIn,
 			s.Xport.Drops, s.Xport.Retries)
+	}
+	if s.Farm.Shards > 0 {
+		line += fmt.Sprintf(" farm[shards=%d jobs=%d routed=%d stolen=%d rerouted=%d shed=%d unavailable=%d peerhits=%d replicated=%d msgs=%d]",
+			s.Farm.Shards, s.Farm.Jobs, s.Farm.Routed, s.Farm.Stolen,
+			s.Farm.Rerouted, s.Farm.Shed, s.Farm.Unavailable,
+			s.Farm.PeerHits, s.Farm.Replicated, s.Farm.Msgs)
 	}
 	if s.Supervise.Enabled {
 		line += fmt.Sprintf(" supervise[state=%s probes=%d fails=%d trips=%d failovers=%d rehosts=%d]",

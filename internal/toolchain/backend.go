@@ -1,0 +1,184 @@
+package toolchain
+
+import (
+	"context"
+	"errors"
+
+	"cascade/internal/fpga"
+	"cascade/internal/netlist"
+)
+
+// A Backend executes the back half of a compile flow — everything after
+// synthesis: cache consultation, the place-and-route (or native
+// codegen) model, and durable storage. The job service (job.go) owns
+// the front half — admission control, fair-share slots, the fault
+// schedule, synthesis — and hands each synthesized netlist to a
+// Backend, so the same Job semantics run unchanged over an in-process
+// worker pool (LocalBackend) or a sharded compile farm (FarmBackend).
+type Backend interface {
+	// Compile runs the back half of the flow for one task. The returned
+	// Result's DurationPs is the flow's total virtual bill including
+	// task.BackoffPs; HitSource attributes cache hits. A non-nil error
+	// means the backend itself could not serve the task (every farm
+	// shard down) — it is not a verdict on the design, and callers
+	// resubmit like an overload shed.
+	Compile(ctx context.Context, task *CompileTask) (*Result, error)
+	// Publish marks a key's bitstream as delivered (the submission was
+	// observed ready in virtual time): identical submissions hit the
+	// cache outright from then on, on any clock.
+	Publish(key string)
+	// Healthy reports whether the backend can currently serve compiles
+	// (a farm with every shard down is unhealthy).
+	Healthy() bool
+	// Capabilities describes the backend's shape for tooling.
+	Capabilities() Capabilities
+}
+
+// Capabilities describes a backend for stats and tooling.
+type Capabilities struct {
+	// Shards is the number of independent compile workers (1 for the
+	// in-process pool).
+	Shards int
+	// Durable reports a disk-backed bitstream store.
+	Durable bool
+	// PeerCache reports a replicated peer-fetch tier (compile farms).
+	PeerCache bool
+}
+
+// CompileTask is one unit of back-half work: a synthesized netlist plus
+// the submission's identity and virtual-time accounting.
+type CompileTask struct {
+	// Key is the content-addressed (tenant-namespaced) cache key.
+	Key string
+	// Name is the subprogram path, for trace events.
+	Name string
+	// Prog is the synthesized netlist.
+	Prog *netlist.Program
+	// Wrapped selects the ABI-wrapped flow; Native the native tier.
+	Wrapped bool
+	Native  bool
+	// SubmitPs is the submission's virtual time; BackoffPs the backoff
+	// a flaky flow accrued before reaching the backend.
+	SubmitPs  uint64
+	BackoffPs uint64
+	// Dev is the device fit and timing close against (the submitting
+	// tenant's fabric partition).
+	Dev *fpga.Device
+
+	// job links the task back to its Job for farm bookkeeping (route
+	// turnstile, per-shard depth accounting). Nil in direct calls.
+	job *Job
+}
+
+// ErrShardUnavailable reports that a compile-farm submission could not
+// be served because no shard was reachable (every shard down, or the
+// routed shard and all its replicas failed). It travels inside the
+// job's Result.Err; callers match it with errors.Is and resubmit after
+// a virtual-time backoff — like ErrOverloaded, it is a verdict on the
+// service's availability, never on the design.
+var ErrShardUnavailable = errors.New("compile shard unavailable")
+
+// LocalBackend is the in-process backend: the memory join cache plus
+// the durable tier chain (disk, when Options.CacheDir is set), executed
+// inline on the job service's worker pool.
+type LocalBackend struct {
+	t       *Toolchain
+	entries entryCache
+	tiers   []CacheTier
+}
+
+func newLocalBackend(t *Toolchain) *LocalBackend {
+	b := &LocalBackend{t: t, entries: newEntryCache()}
+	if t.opts.CacheDir != "" {
+		b.tiers = append(b.tiers, &diskTier{t: t, dir: t.opts.CacheDir})
+	}
+	return b
+}
+
+// Compile implements Backend.
+func (b *LocalBackend) Compile(_ context.Context, task *CompileTask) (*Result, error) {
+	t := b.t
+	if res, ok := b.entries.lookup(task.Key, task.SubmitPs, task.BackoffPs, t.hitLatency()); ok {
+		return res, nil
+	}
+
+	// Native tier: the back half is the closure-threading pass — no fit
+	// or timing models, no durable tiers (the artifact is rebuilt from
+	// the netlist in negligible wall-clock time, so persistence buys
+	// nothing). It still lands in the memory cache so identical
+	// resubmissions hit or join like any other flow.
+	if task.Native {
+		res := t.finishNative(task.Prog)
+		res.DurationPs += task.BackoffPs
+		b.entries.insert(task.Key, res, false, task.SubmitPs)
+		return res, nil
+	}
+
+	// Apply the fit and timing models (against the tenant's own device
+	// partition), then consult the durable tiers. A verified entry whose
+	// recorded outcome matches this synthesis — and which still fits the
+	// live device — means the bitstream was fully built by an earlier
+	// process: serve it at cache-hit latency. Anything less (corrupt,
+	// stale, new device) pays for place-and-route as usual.
+	res := t.finishOn(task.Dev, task.Prog, task.Wrapped)
+	if meta, src, ok := lookupTiers(b.tiers, task.Key); ok && res.Err == nil && metaMatches(meta, res) {
+		res.DurationPs = task.BackoffPs + t.hitLatency()
+		res.CacheHit = true
+		res.HitSource = src
+		b.entries.insert(task.Key, res, true, task.SubmitPs)
+		return res, nil
+	}
+	res.DurationPs += task.BackoffPs
+	b.entries.insert(task.Key, res, false, task.SubmitPs)
+	if res.Err == nil {
+		storeTiers(b.tiers, BitMeta{Key: task.Key, AreaLEs: res.AreaLEs,
+			RawAreaLEs: res.RawAreaLEs, CritPath: res.Stats.CritPath})
+	}
+	return res, nil
+}
+
+// Publish implements Backend.
+func (b *LocalBackend) Publish(key string) { b.entries.publish(key) }
+
+// Healthy implements Backend: the in-process pool is always available.
+func (b *LocalBackend) Healthy() bool { return true }
+
+// Capabilities implements Backend.
+func (b *LocalBackend) Capabilities() Capabilities {
+	return Capabilities{Shards: 1, Durable: len(b.tiers) > 0}
+}
+
+// backendFor resolves the backend a job dispatches to. Native jobs
+// always use the local backend: the native tier is an in-process
+// translation pass whose artifact (closure-threaded Go) cannot be
+// shipped from a farm shard, and its virtual latency is milliseconds —
+// there is nothing to farm out.
+func (t *Toolchain) backendFor(native bool) Backend {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if native || t.backend == nil {
+		return t.local
+	}
+	return t.backend
+}
+
+// SetBackend installs a compile backend for fabric flows. Native-tier
+// jobs keep using the local backend regardless. Install backends before
+// submitting work; swapping with jobs in flight leaves those jobs on
+// the backend they started with.
+func (t *Toolchain) SetBackend(b Backend) {
+	t.mu.Lock()
+	t.backend = b
+	t.mu.Unlock()
+}
+
+// Backend returns the installed fabric backend (the local backend when
+// none was installed).
+func (t *Toolchain) Backend() Backend {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.backend == nil {
+		return t.local
+	}
+	return t.backend
+}

@@ -1,0 +1,192 @@
+package toolchain
+
+import "sync"
+
+// The bitstream cache is layered (DESIGN.md "Compile backends & the
+// farm"): the memory tier is a join cache over full Results — it also
+// mediates "join an in-flight flow" semantics, so it lives inside each
+// backend as an entryCache — while the durable tiers behind it (disk
+// store, peer fetch on a compile farm) exchange only the verified flow
+// outcome (BitMeta) and are consulted in order through the CacheTier
+// interface once a miss has already paid for synthesis.
+
+// Hit sources, carried in Result.HitSource. The empty string means the
+// flow paid for the back half (place-and-route or native codegen).
+const (
+	HitMemory = "memory" // in-memory bitstream cache, published or past availability
+	HitJoined = "joined" // joined an identical flow still in (virtual) flight
+	HitDisk   = "disk"   // durable on-disk store (Options.CacheDir)
+	HitPeer   = "peer"   // another compile shard's cache (FarmBackend)
+)
+
+// BitMeta is the durable record of one successful flow outcome — what
+// the disk store persists and what compile shards exchange over the
+// wire. Validity (fit, timing) is always re-checked against the live
+// device by comparing these numbers to a fresh synthesis; the meta is
+// never trusted on its own.
+type BitMeta struct {
+	Key        string
+	AreaLEs    int
+	RawAreaLEs int
+	CritPath   int
+}
+
+// CacheTier is one rung of the durable bitstream-cache chain. Tiers are
+// consulted in order after the memory tier misses; the first hit wins
+// and is served at cache-hit latency. Store records a freshly built
+// bitstream; tiers are accelerators — their failures never fail a flow.
+type CacheTier interface {
+	// Name identifies the tier ("disk", "peer") for hit attribution.
+	Name() string
+	// Lookup returns the recorded outcome for key, if the tier holds a
+	// verified entry.
+	Lookup(key string) (BitMeta, bool)
+	// Store durably records a successful outcome.
+	Store(meta BitMeta)
+}
+
+// lookupTiers consults a tier chain in order; the first hit wins.
+func lookupTiers(tiers []CacheTier, key string) (BitMeta, string, bool) {
+	for _, tier := range tiers {
+		if meta, ok := tier.Lookup(key); ok {
+			return meta, tier.Name(), true
+		}
+	}
+	return BitMeta{}, "", false
+}
+
+// storeTiers records a successful outcome into every tier.
+func storeTiers(tiers []CacheTier, meta BitMeta) {
+	for _, tier := range tiers {
+		tier.Store(meta)
+	}
+}
+
+// metaMatches reports whether a durable entry's recorded outcome agrees
+// with a fresh synthesis against the live device — the staleness guard
+// every durable tier is checked through.
+func metaMatches(meta BitMeta, res *Result) bool {
+	return meta.AreaLEs == res.AreaLEs && meta.RawAreaLEs == res.RawAreaLEs &&
+		meta.CritPath == res.Stats.CritPath
+}
+
+// cacheEntry is one content-addressed bitstream.
+type cacheEntry struct {
+	res *Result
+	// availAtPs is the virtual time the originating flow completes on
+	// its submitter's clock; a resubmission landing earlier joins that
+	// flow instead of restarting it.
+	availAtPs uint64
+	// published is set once an owning job was observed complete in
+	// virtual time (the bitstream was actually delivered); published
+	// entries hit regardless of the submitter's clock.
+	published bool
+}
+
+// entryCache is the memory tier: full Results keyed by content hash,
+// with join-in-flight semantics. Each backend (and each farm shard)
+// owns one.
+type entryCache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+func newEntryCache() entryCache {
+	return entryCache{m: map[string]*cacheEntry{}}
+}
+
+// lookup serves a submission from the memory tier. A published entry —
+// or one whose originating flow already completed on the submitter's
+// clock — hits at cache-hit latency (after any retry backoff the
+// submission accrued first); an entry still in (virtual) flight is
+// joined: the copy finishes when the original does, but never before
+// the submission's own backoff elapsed. The returned Result is a
+// shallow copy (Prog and Stats are immutable) with CacheHit set and
+// HitSource distinguishing the two cases.
+func (c *entryCache) lookup(key string, submitPs, backoffPs, hitPs uint64) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	res := *entry.res
+	if entry.published || submitPs >= entry.availAtPs {
+		res.DurationPs = backoffPs + hitPs
+		res.HitSource = HitMemory
+	} else {
+		res.DurationPs = entry.availAtPs - submitPs
+		if min := backoffPs + hitPs; res.DurationPs < min {
+			res.DurationPs = min
+		}
+		res.HitSource = HitJoined
+	}
+	res.CacheHit = true
+	return &res, true
+}
+
+// insert records a flow's outcome under key and returns the entry (so a
+// farm can replicate the same pointer onto peer shards).
+func (c *entryCache) insert(key string, res *Result, published bool, submitPs uint64) *cacheEntry {
+	entry := &cacheEntry{res: res, availAtPs: submitPs + res.DurationPs, published: published}
+	c.mu.Lock()
+	c.m[key] = entry
+	c.mu.Unlock()
+	return entry
+}
+
+// adopt shares an existing entry under key (farm replication: the same
+// *cacheEntry lives in several shards' maps, so a join — and a later
+// publish — survives any single shard's death).
+func (c *entryCache) adopt(key string, entry *cacheEntry) {
+	c.mu.Lock()
+	c.m[key] = entry
+	c.mu.Unlock()
+}
+
+// get returns the live entry for key (nil when absent).
+func (c *entryCache) get(key string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[key]
+}
+
+// publish marks key's bitstream as delivered: from then on identical
+// submissions hit outright, on any clock. Publishing a shared entry
+// publishes it on every shard that adopted it.
+func (c *entryCache) publish(key string) {
+	c.mu.Lock()
+	if entry, ok := c.m[key]; ok {
+		entry.published = true
+	}
+	c.mu.Unlock()
+}
+
+// clear drops every entry — a restarted shard comes back with cold
+// memory (its durable tiers are unaffected).
+func (c *entryCache) clear() {
+	c.mu.Lock()
+	c.m = map[string]*cacheEntry{}
+	c.mu.Unlock()
+}
+
+// diskTier adapts the on-disk bitstream store (diskcache.go) to the
+// CacheTier interface.
+type diskTier struct {
+	t   *Toolchain
+	dir string
+}
+
+func (d *diskTier) Name() string { return HitDisk }
+
+func (d *diskTier) Lookup(key string) (BitMeta, bool) {
+	meta, ok := d.t.diskLookupIn(d.dir, key)
+	if !ok {
+		return BitMeta{}, false
+	}
+	return BitMeta{Key: meta.Key, AreaLEs: meta.AreaLEs, RawAreaLEs: meta.RawAreaLEs, CritPath: meta.CritPath}, true
+}
+
+func (d *diskTier) Store(meta BitMeta) {
+	d.t.diskStoreIn(d.dir, meta)
+}

@@ -25,6 +25,10 @@ import (
 // whose design no longer fits the current device (different capacity or
 // clock) is ignored — validity is re-checked against the live device on
 // every load, never trusted from disk.
+//
+// The store is exposed to backends through the CacheTier interface
+// (cache.go); the dir-parameterized helpers below let a compile farm
+// give each shard its own store under one root.
 
 const (
 	bitsMagic   = "cascade-bits"
@@ -39,20 +43,27 @@ type diskMeta struct {
 	CritPath   int
 }
 
-// diskPath maps a cache key to its entry file.
-func (t *Toolchain) diskPath(key string) string {
+// diskPathIn maps a cache key to its entry file under dir.
+func diskPathIn(dir, key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(t.opts.CacheDir, "bs-"+hex.EncodeToString(sum[:12])+".bits")
+	return filepath.Join(dir, "bs-"+hex.EncodeToString(sum[:12])+".bits")
 }
 
-// diskLookup loads and verifies the entry for key. Integrity failures
-// of any kind — unreadable, bad checksum, wrong key — count as misses
-// (and remove the bad entry); only a clean entry returns ok.
+// diskLookup loads and verifies the entry for key in the configured
+// store (Options.CacheDir).
 func (t *Toolchain) diskLookup(key string) (diskMeta, bool) {
-	if t.opts.CacheDir == "" {
+	return t.diskLookupIn(t.opts.CacheDir, key)
+}
+
+// diskLookupIn loads and verifies the entry for key under dir.
+// Integrity failures of any kind — unreadable, bad checksum, wrong key
+// — count as misses (and remove the bad entry); only a clean entry
+// returns ok.
+func (t *Toolchain) diskLookupIn(dir, key string) (diskMeta, bool) {
+	if dir == "" {
 		return diskMeta{}, false
 	}
-	path := t.diskPath(key)
+	path := diskPathIn(dir, key)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return diskMeta{}, false
@@ -68,20 +79,20 @@ func (t *Toolchain) diskLookup(key string) (diskMeta, bool) {
 	return meta, true
 }
 
-// diskStore durably records a successful flow outcome.
-func (t *Toolchain) diskStore(key string, res *Result) {
-	if t.opts.CacheDir == "" || res.Err != nil {
+// diskStoreIn durably records a successful flow outcome under dir.
+func (t *Toolchain) diskStoreIn(dir string, meta BitMeta) {
+	if dir == "" {
 		return
 	}
-	if err := os.MkdirAll(t.opts.CacheDir, 0o755); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return // the store is an accelerator; failures never fail the flow
 	}
-	meta := fmt.Sprintf("key=%s\narea=%d\nrawarea=%d\ncritpath=%d\n",
-		key, res.AreaLEs, res.RawAreaLEs, res.Stats.CritPath)
+	text := fmt.Sprintf("key=%s\narea=%d\nrawarea=%d\ncritpath=%d\n",
+		meta.Key, meta.AreaLEs, meta.RawAreaLEs, meta.CritPath)
 	blob := persist.EncodeContainer(bitsMagic, bitsVersion, []persist.Section{
-		{Name: "meta", Data: []byte(meta)},
+		{Name: "meta", Data: []byte(text)},
 	})
-	if err := persist.WriteFileAtomic(t.diskPath(key), blob, 0o644); err != nil {
+	if err := persist.WriteFileAtomic(diskPathIn(dir, meta.Key), blob, 0o644); err != nil {
 		return
 	}
 	t.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"cascade/internal/fpga"
@@ -118,6 +119,92 @@ func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
 	c := New(fpga.NewCycloneV(), diskCacheOptions(dir))
 	if res := waitResult(t, c, smallCounter, 0); !res.CacheHit {
 		t.Fatal("repopulated entry should serve the next process")
+	}
+}
+
+// TestDiskCacheConcurrentCorruptRewriteRace: the corrupt-entry path
+// under contention. Each round the entry file is corrupted, then a pack
+// of readers hammers Lookup while a writer rewrites the entry clean
+// (atomic temp + rename) — the interleavings a shared CacheDir sees
+// when several processes recover from a crash-damaged store at once.
+// A reader may observe the corrupt blob (miss + eviction) or the clean
+// one (hit), and an eviction may even race the rewrite and delete the
+// fresh entry; what must never happen is a hit with a wrong outcome, a
+// panic, or an unusable store.
+func TestDiskCacheConcurrentCorruptRewriteRace(t *testing.T) {
+	dir := t.TempDir()
+	tc := New(fpga.NewCycloneV(), diskCacheOptions(dir))
+	if res := waitResult(t, tc, smallCounter, 0); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "bs-*.bits"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one entry file, got %v (%v)", entries, err)
+	}
+	path := entries[0]
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := decodeBitsEntry(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := BitMeta{Key: want.Key, AreaLEs: want.AreaLEs,
+		RawAreaLEs: want.RawAreaLEs, CritPath: want.CritPath}
+	corrupt := append([]byte(nil), clean...)
+	corrupt[len(corrupt)/2] ^= 0x40
+
+	// Serial sanity first: a corrupt entry is a counted miss.
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tc.diskLookupIn(dir, want.Key); ok {
+		t.Fatal("corrupt entry must miss")
+	}
+	if st := tc.Stats(); st.DiskCorrupt != 1 {
+		t.Fatalf("stats after serial corrupt lookup: %+v", st)
+	}
+
+	const readers = 8
+	const rounds = 25
+	for round := 0; round < rounds; round++ {
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < readers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for k := 0; k < 4; k++ {
+					meta, ok := tc.diskLookupIn(dir, want.Key)
+					if ok && (meta.AreaLEs != want.AreaLEs ||
+						meta.RawAreaLEs != want.RawAreaLEs ||
+						meta.CritPath != want.CritPath) {
+						t.Errorf("round %d: lookup served a wrong outcome: %+v", round, meta)
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			tc.diskStoreIn(dir, good)
+		}()
+		close(start)
+		wg.Wait()
+	}
+
+	// Whatever interleaving won, the store ends usable: one rewrite
+	// round-trips, and the entry serves cleanly again.
+	tc.diskStoreIn(dir, good)
+	meta, ok := tc.diskLookupIn(dir, want.Key)
+	if !ok || meta != want {
+		t.Fatalf("store unusable after the race: ok=%v meta=%+v want=%+v", ok, meta, want)
 	}
 }
 

@@ -1,0 +1,803 @@
+package toolchain
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cascade/internal/obsv"
+	"cascade/internal/supervise"
+	"cascade/internal/vclock"
+)
+
+// FarmBackend shards the back half of the compile flow across N compile
+// workers with a replicated bitstream cache (DESIGN.md "Compile
+// backends & the farm"). Jobs are rendezvous-hashed on the synthesized
+// netlist's fingerprint; each shard runs a bounded queue, full queues
+// steal to the idlest live shard, and a fully saturated farm sheds with
+// ErrOverloaded exactly like admission control. Shards can be
+// in-process (Workers) or remote cascade-engined compile workers
+// (Links, wired by internal/transport).
+//
+// Determinism (DESIGN.md key invariant 15): every quantity a route
+// decision reads — per-shard queue depth, shard liveness, the hash ring
+// — is a pure function of the submission order and the virtual
+// timeline. Route decisions commit strictly in submission order (a
+// turnstile over the farm lock); queue-depth releases are stamped with
+// an event-sequence number when the owner settles the job and are
+// applied by later routes only when they precede the routing job's own
+// submission stamp. Cache serving reuses the exact memory-tier join
+// math of the local backend, peer hits bill exactly one cache-hit
+// latency, and farm control messages are metered on a separate counter
+// (FarmStats.Msgs/MsgPs) — modelled as fully overlapped with the flow's
+// compile window — so a farm-backed run is byte-identical to a
+// local-backend run.
+type FarmBackend struct {
+	t     *Toolchain
+	opts  FarmOptions
+	tiers []CacheTier // durable tiers all shards share (the disk store)
+
+	shards []*shard
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// seqNext/esqNext stamp submissions and settles into one event
+	// order; nextRoute is the turnstile: the submission sequence allowed
+	// to commit its route next. routed counts committed route decisions
+	// — the outage schedule's clock.
+	seqNext   uint64
+	esqNext   uint64
+	nextRoute uint64
+	routed    uint64
+	pending   []settleEv
+	keyHome   map[string]int
+	stats     FarmStats
+
+	gDepth   []*obsv.Gauge
+	cStolen  *obsv.Counter
+	cReroute *obsv.Counter
+	cPeer    *obsv.Counter
+	cShed    *obsv.Counter
+	cUnavail *obsv.Counter
+}
+
+// FarmOptions configures a sharded compile farm (Toolchain.UseFarm).
+type FarmOptions struct {
+	// Workers is the number of in-process compile shards (default 2).
+	// Ignored when Links is set.
+	Workers int
+	// Links connects the farm to remote compile workers (cascade-engined
+	// -compile-worker daemons), one shard per link. Wire them with
+	// internal/transport.DialFarm.
+	Links []ShardLink
+	// QueueDepth bounds each shard's queue of unobserved submissions
+	// (default 8). A submission routed to a full shard is stolen by the
+	// idlest live shard; when every live shard is full it is shed with
+	// ErrOverloaded.
+	QueueDepth int
+	// Replicas is how many shards hold each bitstream (default 2,
+	// clamped to the shard count): the acting home plus its successors
+	// on the hash ring. Determinism across shard restarts is guaranteed
+	// while fewer than Replicas shards are down at once.
+	Replicas int
+	// MsgPs is the virtual cost billed per farm control message
+	// (compile-submit, status, cache-fetch, replication, publish) into
+	// FarmStats.MsgPs — a separate meter, never the runtime's virtual
+	// clock (default 50 virtual µs, divided by Options.Scale).
+	MsgPs uint64
+	// Outages is a deterministic shard-fault schedule: shard s is down
+	// for every route decision whose ordinal falls in [FromRoute,
+	// ToRoute), and restarts cold (empty memory cache) at ToRoute. Use
+	// SeededOutages for generated schedules.
+	Outages []ShardOutage
+	// PnRWallNs, when positive, burns that much wall-clock per
+	// place-and-route a shard executes (virtual billing unchanged) —
+	// modelling the real CPU cost of a CAD flow so cascade-bench can
+	// demonstrate wall-clock throughput scaling across shards.
+	PnRWallNs int64
+	// WallSlots bounds each in-process shard's concurrent back-half
+	// executions (default 1): a shard is one compile machine.
+	WallSlots int
+	// Supervise tunes the per-shard circuit breaker used for remote
+	// links (zero value: supervise defaults).
+	Supervise supervise.Options
+}
+
+func (o *FarmOptions) fill() {
+	if len(o.Links) > 0 {
+		o.Workers = len(o.Links)
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Replicas > o.Workers {
+		o.Replicas = o.Workers
+	}
+	if o.MsgPs == 0 {
+		o.MsgPs = 50 * vclock.Us
+	}
+	if o.WallSlots <= 0 {
+		o.WallSlots = 1
+	}
+}
+
+// ShardOutage marks one shard dead for a window of route decisions.
+// Keying the window on route ordinals (not wall or virtual time) makes
+// fault schedules replay exactly: the Nth routing decision of a run
+// always sees the same shards alive.
+type ShardOutage struct {
+	Shard     int
+	FromRoute uint64 // first route ordinal the shard is down for (inclusive)
+	ToRoute   uint64 // ordinal at which the shard restarts, cold (exclusive)
+}
+
+// SeededOutages derives a deterministic outage schedule from a seed:
+// n non-overlapping windows spread over the first `routes` route
+// decisions, each taking one shard down. Windows never overlap, so with
+// the default replication factor (2) the schedule stays within the
+// determinism guarantee.
+func SeededOutages(seed uint64, shards int, routes uint64, n int) []ShardOutage {
+	if shards <= 0 || n <= 0 || routes == 0 {
+		return nil
+	}
+	r := farmRNG{state: seed ^ 0xfa_2a_cade}
+	span := routes / uint64(n)
+	if span < 2 {
+		span = 2
+	}
+	var out []ShardOutage
+	for i := 0; i < n; i++ {
+		base := uint64(i) * span
+		from := base + r.next()%(span/2+1)
+		width := 1 + r.next()%(span/2+1)
+		out = append(out, ShardOutage{
+			Shard:     int(r.next() % uint64(shards)),
+			FromRoute: from,
+			ToRoute:   from + width,
+		})
+	}
+	return out
+}
+
+// farmRNG is splitmix64 (like internal/chaos): tiny, seedable, stable
+// across platforms.
+type farmRNG struct{ state uint64 }
+
+func (r *farmRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FarmStats snapshots the farm's counters.
+type FarmStats struct {
+	Shards      int
+	Jobs        uint64 // submissions stamped into the farm's event order
+	Routed      uint64 // route decisions committed
+	Stolen      uint64 // jobs stolen from a full home shard by an idle one
+	Rerouted    uint64 // jobs whose hash-preferred home was down
+	Shed        uint64 // jobs shed with every live queue at its bound
+	Unavailable uint64 // jobs failed with every shard down
+	PeerHits    uint64 // submissions served from another shard's cache
+	Replicated  uint64 // replica insertions pushed to peer shards
+	Msgs        uint64 // farm control messages billed
+	MsgPs       uint64 // their total virtual cost (separate meter)
+	Depth       []int  // current per-shard queue depth
+	Down        []bool // current per-shard outage state
+}
+
+// settleEv is one queue-depth release awaiting application in event
+// order. The shard is read from the job at apply time: the turnstile
+// guarantees the job's own route committed before any later submission
+// applies its settle.
+type settleEv struct {
+	esq uint64
+	j   *Job
+}
+
+// shard is one compile worker: in-process (link nil) or remote.
+type shard struct {
+	idx     int
+	link    ShardLink
+	entries entryCache
+	slots   chan struct{} // wall-clock execution slots (in-process)
+	brk     *supervise.Supervisor
+
+	// Guarded by the farm mutex.
+	depth     int
+	schedDown bool // down per the outage schedule
+	brkOpen   bool // down per the circuit breaker (remote links)
+}
+
+func (s *shard) down() bool { return s.schedDown || s.brkOpen }
+
+// ShardSubmit is the wire form of one compile-submit to a remote
+// worker: the cache key plus the synthesized netlist's summary — the
+// model inputs. The worker never re-synthesizes; the client keeps the
+// netlist (the runtime needs it to program its own fabric) and the
+// worker reproduces the flow outcome from the summary.
+type ShardSubmit struct {
+	Key       string
+	Name      string
+	Wrapped   bool
+	SubmitPs  uint64
+	BackoffPs uint64
+	Cells     int
+	FFs       int
+	MemBits   int
+	CritPath  int
+}
+
+// ShardOutcome is the wire form of a compile-submit's result. FlowErr
+// carries a design verdict (no fit, failed timing) as text; the client
+// rewraps it so output formatting matches a local run byte for byte.
+type ShardOutcome struct {
+	AreaLEs    int
+	RawAreaLEs int
+	CritPath   int
+	DurationPs uint64
+	CacheHit   bool
+	HitSource  string
+	FlowErr    string
+}
+
+// ShardLink is the farm's connection to one remote compile worker.
+// internal/transport implements it over the engine protocol's framing
+// (proto kinds compile-submit/status/cancel/cache-fetch/cache-put);
+// defining the interface here keeps the toolchain free of a transport
+// dependency.
+type ShardLink interface {
+	// Submit runs the back half of a flow on the worker and returns its
+	// outcome. An error is a transport failure (the shard is dead), not
+	// a design verdict.
+	Submit(spec ShardSubmit) (ShardOutcome, error)
+	// Fetch asks the worker's cache for a key (the peer-fetch tier).
+	Fetch(key string) (BitMeta, bool, error)
+	// Put replicates a freshly built outcome onto the worker.
+	Put(meta BitMeta) error
+	// Publish marks a key delivered on the worker.
+	Publish(key string) error
+	// Ping is the breaker's liveness probe.
+	Ping() error
+	// Addr names the worker (metrics, REPL).
+	Addr() string
+	// Close releases the connection.
+	Close() error
+}
+
+// UseFarm installs a sharded compile farm as the toolchain's fabric
+// backend and returns it. Native-tier jobs keep compiling on the local
+// backend (their artifact is in-process Go; there is nothing to ship).
+// Install the farm before submitting work.
+func (t *Toolchain) UseFarm(fo FarmOptions) *FarmBackend {
+	fb := newFarmBackend(t, fo)
+	t.SetBackend(fb)
+	return fb
+}
+
+// Farm returns the installed farm backend (nil when compiling locally).
+func (t *Toolchain) Farm() *FarmBackend {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fb, _ := t.backend.(*FarmBackend)
+	return fb
+}
+
+// FarmStats snapshots the installed farm's counters; ok is false when
+// no farm is installed.
+func (t *Toolchain) FarmStats() (FarmStats, bool) {
+	fb := t.Farm()
+	if fb == nil {
+		return FarmStats{}, false
+	}
+	return fb.Stats(), true
+}
+
+func newFarmBackend(t *Toolchain, fo FarmOptions) *FarmBackend {
+	fo.fill()
+	fb := &FarmBackend{
+		t:       t,
+		opts:    fo,
+		keyHome: map[string]int{},
+		stats:   FarmStats{Shards: fo.Workers},
+	}
+	fb.cond = sync.NewCond(&fb.mu)
+	if t.opts.CacheDir != "" {
+		// Shards share one durable store: it is content-addressed and
+		// written atomically, and sharing it keeps disk-hit behaviour
+		// identical to the local backend's (invariant 15 with CacheDir).
+		fb.tiers = append(fb.tiers, &diskTier{t: t, dir: t.opts.CacheDir})
+	}
+	obs := t.observer()
+	for i := 0; i < fo.Workers; i++ {
+		s := &shard{
+			idx:     i,
+			entries: newEntryCache(),
+			slots:   make(chan struct{}, fo.WallSlots),
+			brk:     supervise.New(fo.Supervise),
+		}
+		if len(fo.Links) > 0 {
+			s.link = fo.Links[i]
+		}
+		fb.shards = append(fb.shards, s)
+		fb.gDepth = append(fb.gDepth, obs.NewLabeledGauge(
+			"cascade_farm_queue_depth", "compile submissions occupying this shard's bounded queue",
+			map[string]string{"shard": fmt.Sprint(i)}))
+	}
+	fb.cStolen = obs.NewCounter("cascade_farm_steals_total", "jobs stolen from a full home shard by an idle one")
+	fb.cReroute = obs.NewCounter("cascade_farm_reroutes_total", "jobs routed past a dead home shard")
+	fb.cPeer = obs.NewCounter("cascade_farm_peer_hits_total", "submissions served from another shard's bitstream cache")
+	fb.cShed = obs.NewCounter("cascade_farm_shed_total", "jobs shed with every shard queue at its bound")
+	fb.cUnavail = obs.NewCounter("cascade_farm_unavailable_total", "jobs failed with every shard down")
+	return fb
+}
+
+// Stats snapshots the farm counters.
+func (fb *FarmBackend) Stats() FarmStats {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	st := fb.stats
+	st.Depth = make([]int, len(fb.shards))
+	st.Down = make([]bool, len(fb.shards))
+	for i, s := range fb.shards {
+		st.Depth[i] = s.depth
+		st.Down[i] = s.down()
+	}
+	return st
+}
+
+// msgPs is the virtual bill of one farm control message, scaled like
+// every other toolchain latency.
+func (fb *FarmBackend) msgPs() uint64 {
+	ps := uint64(float64(fb.opts.MsgPs) / fb.t.opts.Scale)
+	if ps == 0 {
+		ps = 1
+	}
+	return ps
+}
+
+// billLocked meters n control messages. Callers hold fb.mu.
+func (fb *FarmBackend) billLocked(n uint64) {
+	fb.stats.Msgs += n
+	fb.stats.MsgPs += n * fb.msgPs()
+}
+
+// noteSubmit stamps a submission into the farm's event order; called
+// synchronously from submitTenant so the order is the caller's
+// deterministic submission order, not worker-goroutine scheduling.
+func (fb *FarmBackend) noteSubmit(j *Job) {
+	fb.mu.Lock()
+	j.farm = fb
+	j.farmShard = -1
+	j.farmHome = -1
+	j.farmSeq = fb.seqNext
+	fb.seqNext++
+	j.farmESQ = fb.esqNext
+	fb.esqNext++
+	fb.stats.Jobs++
+	fb.mu.Unlock()
+}
+
+// noteSettle stamps a queue-depth release. It is applied by later route
+// decisions whose submissions observed it (esq order), keeping depth a
+// pure function of the virtual-order history.
+func (fb *FarmBackend) noteSettle(j *Job) {
+	fb.mu.Lock()
+	fb.pending = append(fb.pending, settleEv{esq: fb.esqNext, j: j})
+	fb.esqNext++
+	fb.mu.Unlock()
+}
+
+// applySettlesLocked releases the queue slots of every settle stamped
+// before limit. Callers hold fb.mu inside the turnstile, so every
+// affected job's route has already committed and its shard is final.
+func (fb *FarmBackend) applySettlesLocked(limit uint64) {
+	kept := fb.pending[:0]
+	for _, ev := range fb.pending {
+		if ev.esq >= limit {
+			kept = append(kept, ev)
+			continue
+		}
+		if sh := ev.j.routedShard(); sh >= 0 {
+			s := fb.shards[sh]
+			if s.depth > 0 {
+				s.depth--
+			}
+			fb.gDepth[sh].Set(int64(s.depth))
+		}
+	}
+	fb.pending = kept
+}
+
+// applyOutagesLocked advances the outage schedule to the route ordinal
+// about to be decided. A shard leaving an outage window restarts cold:
+// its memory cache clears (replicas on its peers survive); the shared
+// durable store is unaffected.
+func (fb *FarmBackend) applyOutagesLocked() {
+	n := fb.routed
+	for _, s := range fb.shards {
+		was := s.schedDown
+		s.schedDown = false
+		for _, o := range fb.opts.Outages {
+			if o.Shard == s.idx && o.FromRoute <= n && n < o.ToRoute {
+				s.schedDown = true
+				break
+			}
+		}
+		if was && !s.schedDown {
+			s.entries.clear()
+		}
+	}
+}
+
+// probeLocked lets the breaker re-admit recovered remote shards.
+func (fb *FarmBackend) probeLocked(vnow uint64) {
+	for _, s := range fb.shards {
+		if s.link == nil || !s.brkOpen || !s.brk.ShouldProbe(vnow) {
+			continue
+		}
+		s.brk.ProbeSent(vnow)
+		fb.billLocked(1)
+		if err := s.link.Ping(); err == nil {
+			s.brk.ProbeOK(vnow)
+			s.brkOpen = false
+		} else {
+			s.brk.NoteFailure(vnow)
+		}
+	}
+}
+
+// rank orders the shards by rendezvous (highest-random-weight) hash of
+// (shard, fingerprint): each fingerprint gets its own stable preference
+// order over the shards, so losing one shard reroutes only that shard's
+// keys and no others move (consistent hashing without a ring table).
+func (fb *FarmBackend) rank(fingerprint string) []int {
+	// FNV-1a over the fingerprint, then one splitmix round per shard.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(fingerprint); i++ {
+		h ^= uint64(fingerprint[i])
+		h *= 1099511628211
+	}
+	type sw struct {
+		idx int
+		w   uint64
+	}
+	ws := make([]sw, len(fb.shards))
+	for i := range fb.shards {
+		r := farmRNG{state: h ^ (uint64(i+1) * 0x9e3779b97f4a7c15)}
+		ws[i] = sw{idx: i, w: r.next()}
+	}
+	sort.Slice(ws, func(a, b int) bool {
+		if ws[a].w != ws[b].w {
+			return ws[a].w > ws[b].w
+		}
+		return ws[a].idx < ws[b].idx
+	})
+	order := make([]int, len(ws))
+	for i, w := range ws {
+		order[i] = w.idx
+	}
+	return order
+}
+
+// route commits the routing decision for j, in strict submission order.
+// It picks the acting home (first live shard in rendezvous order),
+// steals to the idlest live shard when the home queue is full, sheds
+// with ErrOverloaded when every live queue is full, and fails with
+// ErrShardUnavailable when no shard is live.
+func (fb *FarmBackend) route(j *Job, fingerprint string) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	for fb.nextRoute != j.farmSeq {
+		fb.cond.Wait()
+	}
+	defer func() {
+		fb.nextRoute++
+		fb.cond.Broadcast()
+	}()
+	fb.applySettlesLocked(j.farmESQ)
+	fb.applyOutagesLocked()
+	fb.probeLocked(j.submitPs)
+	fb.routed++
+	fb.stats.Routed = fb.routed
+	fb.billLocked(2) // compile-submit + compile-status
+
+	order := fb.rank(fingerprint)
+	live := make([]bool, len(fb.shards))
+	for i, s := range fb.shards {
+		live[i] = !s.down()
+	}
+	home := -1
+	for _, idx := range order {
+		if live[idx] {
+			home = idx
+			break
+		}
+	}
+	if home < 0 {
+		fb.stats.Unavailable++
+		fb.cUnavail.Inc()
+		return fmt.Errorf("toolchain: %w: all %d compile shards down", ErrShardUnavailable, len(fb.shards))
+	}
+	if home != order[0] {
+		fb.stats.Rerouted++
+		fb.cReroute.Inc()
+	}
+	exec := home
+	if fb.shards[home].depth >= fb.opts.QueueDepth {
+		// Job-steal: the idlest live shard takes the work (lowest index
+		// breaks ties, so the choice is deterministic).
+		best, bestDepth := -1, fb.opts.QueueDepth
+		for idx, s := range fb.shards {
+			if live[idx] && s.depth < bestDepth {
+				best, bestDepth = idx, s.depth
+			}
+		}
+		if best < 0 {
+			fb.stats.Shed++
+			fb.cShed.Inc()
+			return fmt.Errorf("toolchain: %w: every compile shard queue at its bound (%d)", ErrOverloaded, fb.opts.QueueDepth)
+		}
+		exec = best
+		fb.stats.Stolen++
+		fb.cStolen.Inc()
+		fb.billLocked(1) // steal handoff
+	}
+	s := fb.shards[exec]
+	s.depth++
+	fb.gDepth[exec].Set(int64(s.depth))
+	j.setRoute(exec, home, order, live)
+	return nil
+}
+
+// skipRoute consumes j's turnstile slot without a decision — jobs that
+// die before routing (dead context, synthesis error) must still pass
+// the turnstile or every later submission would wait forever.
+func (fb *FarmBackend) skipRoute(j *Job) {
+	if fb == nil || j.farm == nil {
+		return
+	}
+	fb.mu.Lock()
+	for fb.nextRoute != j.farmSeq {
+		fb.cond.Wait()
+	}
+	fb.nextRoute++
+	fb.cond.Broadcast()
+	fb.mu.Unlock()
+}
+
+// Compile implements Backend: the back half of one flow, executed on
+// the shard route() picked.
+func (fb *FarmBackend) Compile(ctx context.Context, task *CompileTask) (*Result, error) {
+	j := task.job
+	if j == nil || j.routedShard() < 0 {
+		return nil, fmt.Errorf("toolchain: %w: farm compile without a routed job", ErrShardUnavailable)
+	}
+	if fb.shards[j.routedShard()].link != nil {
+		return fb.remoteCompile(task)
+	}
+	return fb.shardCompile(ctx, task)
+}
+
+// shardCompile runs the back half on an in-process shard: the acting
+// home's memory tier (exact local join semantics), then live peers'
+// memory tiers in rendezvous order (billed one cache-hit latency, like
+// any memory hit — which is what keeps invariant 15), then the durable
+// tiers, then the place-and-route model with replicated insertion.
+func (fb *FarmBackend) shardCompile(_ context.Context, task *CompileTask) (*Result, error) {
+	t := fb.t
+	j := task.job
+	exec, home := fb.shards[j.farmShard], fb.shards[j.farmHome]
+	hitPs := t.hitLatency()
+
+	// The executing shard's wall slot bounds real concurrency: a shard
+	// is one compile machine, whichever shard's queue the job sits in.
+	exec.slots <- struct{}{}
+	defer func() { <-exec.slots }()
+
+	if res, ok := home.entries.lookup(task.Key, task.SubmitPs, task.BackoffPs, hitPs); ok {
+		return res, nil
+	}
+	// Peer fetch: scan the shards that were live at route time, in this
+	// fingerprint's rendezvous order. Adopting the peer's live entry
+	// (the same pointer) makes the home a replica holder from now on —
+	// and lets a later publish reach every holder at once.
+	for _, idx := range j.farmOrder {
+		if idx == j.farmHome || !j.farmLive[idx] {
+			continue
+		}
+		p := fb.shards[idx]
+		if res, ok := p.entries.lookup(task.Key, task.SubmitPs, task.BackoffPs, hitPs); ok {
+			res.HitSource = HitPeer
+			home.entries.adopt(task.Key, p.entries.get(task.Key))
+			fb.mu.Lock()
+			fb.stats.PeerHits++
+			fb.billLocked(1) // cache-fetch
+			fb.mu.Unlock()
+			fb.cPeer.Inc()
+			return res, nil
+		}
+	}
+
+	res := t.finishOn(task.Dev, task.Prog, task.Wrapped)
+	if meta, src, ok := lookupTiers(fb.tiers, task.Key); ok && res.Err == nil && metaMatches(meta, res) {
+		res.DurationPs = task.BackoffPs + hitPs
+		res.CacheHit = true
+		res.HitSource = src
+		fb.insertReplicated(task, res, true)
+		return res, nil
+	}
+	if fb.opts.PnRWallNs > 0 && res.Err == nil {
+		// The modelled CAD flow's real CPU burn (bench realism); the
+		// virtual bill is untouched.
+		time.Sleep(time.Duration(fb.opts.PnRWallNs) * time.Nanosecond)
+	}
+	res.DurationPs += task.BackoffPs
+	fb.insertReplicated(task, res, false)
+	if res.Err == nil {
+		storeTiers(fb.tiers, BitMeta{Key: task.Key, AreaLEs: res.AreaLEs,
+			RawAreaLEs: res.RawAreaLEs, CritPath: res.Stats.CritPath})
+	}
+	return res, nil
+}
+
+// insertReplicated lands a flow outcome on the acting home and adopts
+// the same entry onto the next Replicas-1 live shards in rendezvous
+// order, so the bitstream (and any join against it) survives the death
+// of all but one holder.
+func (fb *FarmBackend) insertReplicated(task *CompileTask, res *Result, published bool) {
+	j := task.job
+	entry := fb.shards[j.farmHome].entries.insert(task.Key, res, published, task.SubmitPs)
+	placed := 1
+	for _, idx := range j.farmOrder {
+		if placed >= fb.opts.Replicas {
+			break
+		}
+		if idx == j.farmHome || !j.farmLive[idx] {
+			continue
+		}
+		fb.shards[idx].entries.adopt(task.Key, entry)
+		placed++
+	}
+	fb.mu.Lock()
+	fb.stats.Replicated += uint64(placed - 1)
+	fb.billLocked(uint64(placed - 1)) // cache-put per replica
+	fb.keyHome[task.Key] = j.farmHome
+	fb.mu.Unlock()
+}
+
+// remoteCompile ships the flow to the routed worker, failing over
+// through the fingerprint's rendezvous order when shards die mid-call;
+// failures feed the per-shard breaker (a dead shard is treated like a
+// dead engine: reroute, don't strand).
+func (fb *FarmBackend) remoteCompile(task *CompileTask) (*Result, error) {
+	j := task.job
+	st := task.Prog.Stats
+	spec := ShardSubmit{
+		Key: task.Key, Name: task.Name, Wrapped: task.Wrapped,
+		SubmitPs: task.SubmitPs, BackoffPs: task.BackoffPs,
+		Cells: st.Cells, FFs: st.FFs, MemBits: st.MemBits, CritPath: st.CritPath,
+	}
+	tryOrder := append([]int{j.farmShard}, j.farmOrder...)
+	tried := map[int]bool{}
+	for _, idx := range tryOrder {
+		if tried[idx] {
+			continue
+		}
+		tried[idx] = true
+		s := fb.shards[idx]
+		fb.mu.Lock()
+		dead := s.brkOpen
+		fb.mu.Unlock()
+		if dead && idx != j.farmShard {
+			continue
+		}
+		out, err := s.link.Submit(spec)
+		if err != nil {
+			fb.mu.Lock()
+			if s.brk.NoteFailure(task.SubmitPs) || s.brkOpen {
+				s.brkOpen = true
+			}
+			if idx != j.farmShard {
+				// fall through to the next replica
+			} else {
+				fb.stats.Rerouted++
+			}
+			fb.mu.Unlock()
+			fb.cReroute.Inc()
+			continue
+		}
+		fb.mu.Lock()
+		if s.brk.ProbeOK(task.SubmitPs) {
+			s.brkOpen = false
+		}
+		if out.HitSource == HitPeer {
+			fb.stats.PeerHits++
+		}
+		fb.billLocked(2)
+		fb.mu.Unlock()
+		res := &Result{
+			Prog: task.Prog, Stats: st,
+			AreaLEs: out.AreaLEs, RawAreaLEs: out.RawAreaLEs,
+			Wrapped: task.Wrapped, DurationPs: out.DurationPs,
+			CacheHit: out.CacheHit, HitSource: out.HitSource,
+		}
+		if out.FlowErr != "" {
+			res.Err = errors.New(out.FlowErr)
+		}
+		fb.mu.Lock()
+		fb.keyHome[task.Key] = idx
+		fb.mu.Unlock()
+		return res, nil
+	}
+	fb.mu.Lock()
+	fb.stats.Unavailable++
+	fb.mu.Unlock()
+	fb.cUnavail.Inc()
+	return nil, fmt.Errorf("toolchain: %w: no compile shard of %d answered for %s",
+		ErrShardUnavailable, len(fb.shards), task.Name)
+}
+
+// Publish implements Backend. In-process, publishing the shared entry
+// on any holder publishes every replica; remote, the home worker is
+// told (best-effort — a missed publish only costs a join instead of an
+// outright hit after a cold restart).
+func (fb *FarmBackend) Publish(key string) {
+	fb.mu.Lock()
+	home, known := fb.keyHome[key]
+	remote := len(fb.opts.Links) > 0
+	fb.billLocked(1)
+	fb.mu.Unlock()
+	if remote {
+		if known {
+			fb.shards[home].link.Publish(key)
+		}
+		return
+	}
+	for _, s := range fb.shards {
+		s.entries.publish(key)
+	}
+}
+
+// Healthy implements Backend: at least one shard is live.
+func (fb *FarmBackend) Healthy() bool {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	for _, s := range fb.shards {
+		if !s.down() {
+			return true
+		}
+	}
+	return false
+}
+
+// Capabilities implements Backend.
+func (fb *FarmBackend) Capabilities() Capabilities {
+	return Capabilities{
+		Shards:    len(fb.shards),
+		Durable:   len(fb.tiers) > 0 || len(fb.opts.Links) > 0,
+		PeerCache: true,
+	}
+}
+
+// Close releases remote links.
+func (fb *FarmBackend) Close() error {
+	var first error
+	for _, l := range fb.opts.Links {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

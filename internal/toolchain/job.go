@@ -1,0 +1,488 @@
+package toolchain
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cascade/internal/elab"
+	"cascade/internal/fault"
+	"cascade/internal/netlist"
+	"cascade/internal/obsv"
+	"cascade/internal/vclock"
+)
+
+// JobState is the lifecycle state of a background compilation.
+type JobState int
+
+// Job lifecycle states. A job that hits a transient fault moves to
+// JobRetrying while it backs off (in virtual time) before re-attempting
+// the flow; JobFailed covers both permanent faults and design errors
+// (no fit, failed timing closure).
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobRetrying
+	JobDone
+	JobFailed
+	JobCanceled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobRetrying:
+		return "retrying"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Job is a background compilation tracked in virtual time.
+type Job struct {
+	t        *Toolchain
+	view     jobView // tenant scoping: faults, observer, device, stats, cache namespace
+	name     string  // subprogram path, for trace events
+	native   bool    // native-tier flow (closure-threaded Go, not a bitstream)
+	submitPs uint64
+	done     chan struct{}
+
+	// Farm bookkeeping, written at submit (under the farm lock) and read
+	// by the route turnstile: the submission's commit sequence, its
+	// event-sequence number, and — once routed — the shard whose queue
+	// depth it occupies plus the route-time view (rendezvous order and
+	// shard liveness) the compile executes against. Zero-valued for
+	// local-backend jobs.
+	farm      *FarmBackend
+	farmSeq   uint64
+	farmESQ   uint64
+	farmShard int
+	farmHome  int
+	farmOrder []int
+	farmLive  []bool
+
+	mu        sync.Mutex
+	state     JobState
+	retries   int
+	canceled  bool
+	settled   bool // left the in-flight count (admission control)
+	tracked   bool // counted into Toolchain.inflight at submit
+	res       *Result
+	readyAtPs uint64
+	pubKey    string  // cache key to publish on first observed readiness ("" means none)
+	be        Backend // the backend that served the flow
+	abort     context.CancelFunc
+}
+
+// State returns the job's lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Native reports whether this is a native-tier job.
+func (j *Job) Native() bool { return j.native }
+
+// Retries returns how many transient-fault retries this job has run.
+func (j *Job) Retries() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.retries
+}
+
+// setRoute records the farm's routing decision: the executing shard,
+// the acting home, and the route-time view (rendezvous order, liveness
+// snapshot) the compile runs against. Called under the farm lock inside
+// the turnstile.
+func (j *Job) setRoute(exec, home int, order []int, live []bool) {
+	j.farmShard = exec
+	j.farmHome = home
+	j.farmOrder = order
+	j.farmLive = live
+}
+
+// routedShard is the shard whose queue depth this job occupies (-1
+// before routing, and forever for jobs that died pre-route). Read under
+// the farm lock by settle application, and by the job's own worker
+// goroutine after its route committed.
+func (j *Job) routedShard() int { return j.farmShard }
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// Submit starts a background compilation at virtual time nowPs. The
+// call returns immediately; the job runs on the service's worker pool
+// and its result becomes visible once it has compiled and the caller's
+// virtual clock passes its ready time. Cancelling ctx aborts the job if
+// it has not yet reached a worker; Job.Cancel discards the result of an
+// obsolete job at any point.
+func (t *Toolchain) Submit(ctx context.Context, f *elab.Flat, wrapped bool, nowPs uint64) *Job {
+	return t.SubmitTenant(ctx, "", f, wrapped, nowPs)
+}
+
+// run executes the flow on a worker slot.
+func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
+	defer close(j.done)
+	defer j.abort() // release the derived context once the flow ends
+	t := j.t
+	// The backend decision was snapshotted at submit time (noteSubmit set
+	// j.farm iff the farm stamped this submission into its event order):
+	// resolving it again here could race a concurrent SetBackend swap and
+	// leave a farm-sequenced job running locally — deadlocking the
+	// turnstile — or an unsequenced job waiting at it forever.
+	farm := j.farm
+	be := t.backendFor(j.native)
+	if farm != nil {
+		be = farm
+	} else if _, swapped := be.(*FarmBackend); swapped {
+		be = t.local // farm installed after this job was submitted
+	}
+	j.mu.Lock()
+	j.be = be
+	j.mu.Unlock()
+	// A context dead before any work was attempted aborts the job
+	// deterministically. After this point the flow runs to completion
+	// even if the owner Cancels it: whether the worker goroutine had
+	// started when the cancel landed is a wall-clock race, and letting
+	// that race decide the Synthesized/CacheMisses counters (or whether
+	// the bitstream reaches the cache) would make otherwise-identical
+	// runs diverge. Cancellation discards the subscription, not the flow.
+	if ctx.Err() != nil {
+		farm.skipRoute(j)
+		j.markCanceled()
+		return
+	}
+
+	// Farm jobs synthesize before taking a worker slot: the router needs
+	// the netlist fingerprint, and route decisions commit strictly in
+	// submission order (the farm turnstile) — an ordered commit must
+	// never wait behind a later submission's worker slot, or the
+	// turnstile deadlocks. Local jobs keep the classic order (slot,
+	// faults, synthesis) untouched.
+	var prog *netlist.Program
+	if farm != nil {
+		var err error
+		prog, err = j.synth(f)
+		if err != nil {
+			farm.skipRoute(j)
+			j.complete(&Result{Err: err, DurationPs: t.opts.BasePs / 4}, "")
+			return
+		}
+		if err := farm.route(j, prog.Fingerprint()); err != nil {
+			// Every shard queue at its bound (ErrOverloaded) or every
+			// shard down (ErrShardUnavailable): shed the submission like
+			// admission control does — instant in virtual terms, callers
+			// back off and resubmit.
+			j.view.bump(func(s *Stats) { s.Shed++ })
+			j.complete(&Result{Err: err, DurationPs: t.hitLatency()}, "")
+			return
+		}
+	}
+
+	// Wait for the tenant's fair-share slot, then a global worker; a
+	// context cancelled while queued aborts the job before any work is
+	// done.
+	tsem, ok := j.view.acquire(ctx)
+	if !ok {
+		j.markCanceled()
+		return
+	}
+	defer j.view.release(tsem)
+	j.setState(JobRunning)
+
+	// Consult the fault schedule for this attempt. Transient faults are
+	// retried with capped exponential backoff accumulated in *virtual*
+	// time (the flow's wall-clock is already virtual; retries just make
+	// the job ready later); permanent faults fail the job once and are
+	// never re-queued. The backoff accrued by a flaky flow is carried
+	// into the result's duration, cache hit or not. The schedule is the
+	// submitting tenant's own — another tenant's injector never fires
+	// here.
+	// The native tier never consults the compile-fault schedule: the
+	// flow is an in-process translation pass with no license server or
+	// vendor toolchain to flake. Its fault surface is at runtime instead
+	// (region faults against the compiled code cache, which the runtime
+	// answers with a native -> interpreter demotion).
+	var backoff uint64
+	for attempt := 0; !j.native; attempt++ {
+		err := j.view.faults().Compile(f.Name)
+		if err == nil {
+			break
+		}
+		if fault.IsTransient(err) && attempt < t.opts.MaxRetries {
+			backoff += t.backoffPs(attempt)
+			j.view.bump(func(s *Stats) {
+				s.Retried++
+				s.TransientFaults++
+			})
+			j.mu.Lock()
+			j.state = JobRetrying
+			j.retries++
+			j.mu.Unlock()
+			continue
+		}
+		transient := fault.IsTransient(err)
+		j.view.bump(func(s *Stats) {
+			if transient {
+				s.TransientFaults++
+			} else {
+				s.PermanentFaults++
+			}
+		})
+		j.complete(&Result{
+			Err:        fmt.Errorf("toolchain: flow failed: %w", err),
+			DurationPs: backoff + t.opts.BasePs/4,
+		}, "")
+		return
+	}
+
+	if prog == nil {
+		var err error
+		prog, err = j.synth(f)
+		if err != nil {
+			j.complete(&Result{Err: err, DurationPs: backoff + t.opts.BasePs/4}, "")
+			return
+		}
+	}
+	key := j.view.cacheKey(fmt.Sprintf("%s|wrapped=%v", prog.Fingerprint(), wrapped))
+	if j.native {
+		key = j.view.cacheKey(prog.Fingerprint() + "|tier=native")
+	}
+
+	task := &CompileTask{
+		Key: key, Name: j.name, Prog: prog,
+		Wrapped: wrapped, Native: j.native,
+		SubmitPs: j.submitPs, BackoffPs: backoff,
+		Dev: j.view.device(), job: j,
+	}
+	res, cerr := be.Compile(ctx, task)
+	if cerr != nil {
+		// The backend itself failed the task (no shard reachable) — not
+		// a verdict on the design. Complete with the typed error so the
+		// caller's JIT loop backs off and resubmits once shards reopen.
+		j.complete(&Result{Err: cerr, DurationPs: backoff + t.hitLatency()}, "")
+		return
+	}
+	j.classify(res)
+	j.complete(res, key)
+}
+
+// classify banks a served flow's cache outcome into the tenant's stats
+// mirror and the observability hub, attributing the hit source.
+func (j *Job) classify(res *Result) {
+	switch res.HitSource {
+	case HitJoined:
+		j.view.bump(func(s *Stats) { s.Joined++ })
+		if obs := j.view.observer(); obs != nil {
+			obs.CacheHits.Inc()
+			obs.EmitAt(j.submitPs, obsv.EvCacheHit, j.name, "joined in-flight flow")
+		}
+	case HitMemory, HitDisk, HitPeer:
+		src := res.HitSource
+		j.view.bump(func(s *Stats) {
+			s.CacheHits++
+			switch src {
+			case HitDisk:
+				s.DiskHits++
+			case HitPeer:
+				s.PeerHits++
+			}
+		})
+		if obs := j.view.observer(); obs != nil {
+			detail := "memory"
+			switch src {
+			case HitDisk:
+				detail = "disk store"
+			case HitPeer:
+				detail = "peer cache"
+			}
+			obs.CacheHits.Inc()
+			obs.EmitAt(j.submitPs, obsv.EvCacheHit, j.name, detail)
+		}
+	default:
+		j.view.bump(func(s *Stats) { s.CacheMisses++ })
+		if obs := j.view.observer(); obs != nil {
+			detail := "place-and-route"
+			if j.native {
+				detail = "native codegen"
+			}
+			obs.CacheMisses.Inc()
+			obs.EmitAt(j.submitPs, obsv.EvCacheMiss, j.name, detail)
+		}
+	}
+}
+
+// synth is the job-service path through synthesis: the global
+// synthesized-flow count still ticks (Compiles observes real synthesis
+// runs machine-wide), but the stats mirror is the submitting tenant's.
+func (j *Job) synth(f *elab.Flat) (*netlist.Program, error) {
+	j.t.mu.Lock()
+	j.t.compiles++
+	j.t.mu.Unlock()
+	j.view.bump(func(s *Stats) { s.Synthesized++ })
+	return netlist.Compile(f)
+}
+
+// markCanceled moves the job to the cancelled state. The stats counter
+// increments exactly once per job, on the first transition — whether the
+// worker noticed the abort or the owner called Cancel first is a
+// wall-clock race, and racy accounting would make otherwise-identical
+// sessions diverge in :stats.
+func (j *Job) markCanceled() {
+	j.mu.Lock()
+	already := j.canceled
+	j.canceled = true
+	j.state = JobCanceled
+	j.mu.Unlock()
+	if already {
+		return
+	}
+	j.view.bump(func(s *Stats) { s.Canceled++ })
+	j.settle()
+}
+
+// settle removes the job from the in-flight count, exactly once. A job
+// settles when its owner observes it ready on the virtual clock or
+// cancels it — the moments the submission stops occupying the bounded
+// queue admission control meters. On a farm the settle also frees the
+// job's slot in its shard's bounded queue, stamped into the farm's
+// event order so later route decisions observe it deterministically.
+func (j *Job) settle() {
+	j.mu.Lock()
+	already := j.settled
+	j.settled = true
+	tracked := j.tracked
+	j.mu.Unlock()
+	if already {
+		return
+	}
+	if j.farm != nil {
+		j.farm.noteSettle(j)
+	}
+	if !tracked {
+		return
+	}
+	j.t.mu.Lock()
+	if j.t.inflight > 0 {
+		j.t.inflight--
+	}
+	j.t.mu.Unlock()
+}
+
+func (j *Job) complete(res *Result, pubKey string) {
+	j.mu.Lock()
+	j.res = res
+	j.readyAtPs = j.submitPs + res.DurationPs
+	j.pubKey = pubKey
+	switch {
+	case j.canceled:
+		// A cancelled job's flow still completes (see Cancel), but the
+		// lifecycle state stays cancelled.
+	case res.Err != nil:
+		j.state = JobFailed
+	default:
+		j.state = JobDone
+	}
+	readyAt := j.readyAtPs
+	j.mu.Unlock()
+	if o := j.view.observer(); o != nil {
+		// The histogram records exactly the virtual duration the flow
+		// bills (TestObserverRecordsBilledLatency pins the two together);
+		// the completion event is stamped at the flow's virtual finish.
+		o.CompileLatency.Observe(res.DurationPs)
+		switch {
+		case res.Err != nil:
+			o.EmitAt(readyAt, obsv.EvCompileFailed, j.name, res.Err.Error())
+		case res.NativeGo:
+			o.EmitAt(readyAt, obsv.EvBitstreamReady, j.name,
+				fmt.Sprintf("tier=native virtual=%.3fs cacheHit=%v", float64(res.DurationPs)/float64(vclock.S), res.CacheHit))
+		default:
+			o.EmitAt(readyAt, obsv.EvBitstreamReady, j.name,
+				fmt.Sprintf("area=%dLEs virtual=%.3fs cacheHit=%v", res.AreaLEs, float64(res.DurationPs)/float64(vclock.S), res.CacheHit))
+		}
+	}
+}
+
+// Cancel marks the job obsolete: its result will never be reported
+// ready. The flow itself still runs to completion in the background and
+// its bitstream reaches the cache — cancellation drops the
+// subscription, not the artifact. (Aborting the worker here would race
+// its startup: whether the flow had begun when the cancel landed is
+// wall-clock scheduling, and the stats counters and cache warmth must
+// not depend on it. Abandoning queued work promptly is what the submit
+// context is for.)
+func (j *Job) Cancel() {
+	j.markCanceled()
+}
+
+// Wait blocks until the job has left the worker pool (compiled,
+// cancelled, or failed).
+func (j *Job) Wait() { <-j.done }
+
+// Canceled reports whether the job was cancelled.
+func (j *Job) Canceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// ReadyAt blocks until the flow's duration is known and returns the
+// virtual time at which the job finishes; ok is false for cancelled
+// jobs.
+func (j *Job) ReadyAt() (ps uint64, ok bool) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.canceled || j.res == nil {
+		return 0, false
+	}
+	return j.readyAtPs, true
+}
+
+// Result blocks until the job completes and returns its result (nil for
+// cancelled jobs).
+func (j *Job) Result() *Result {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.canceled {
+		return nil
+	}
+	return j.res
+}
+
+// Ready reports whether the job has finished by virtual time nowPs. It
+// blocks until the flow's virtual duration is known (synthesis is fast
+// in wall-clock terms) so that readiness depends only on virtual time —
+// the JIT timeline stays deterministic no matter how fast the host
+// steps. The first time a job is observed ready its bitstream is
+// published: from then on identical submissions hit the cache outright,
+// on any clock (the mechanism behind restoring a Snapshot onto a
+// same-shape device without re-running place-and-route).
+func (j *Job) Ready(nowPs uint64) bool {
+	<-j.done
+	j.mu.Lock()
+	if j.canceled || j.res == nil || nowPs < j.readyAtPs {
+		j.mu.Unlock()
+		return false
+	}
+	pubKey, be := j.pubKey, j.be
+	j.mu.Unlock()
+	if pubKey != "" && be != nil {
+		be.Publish(pubKey)
+	}
+	j.settle()
+	return true
+}

@@ -312,13 +312,22 @@ func (t *Toolchain) submitTenant(ctx context.Context, tenantID string, f *elab.F
 			j.complete(&Result{
 				Err:        fmt.Errorf("toolchain: %w: %d compiles in flight (max %d)", ErrOverloaded, n, t.opts.MaxQueue),
 				DurationPs: t.hitLatency(),
-			}, nil)
+			}, "")
 			close(j.done)
 			return j
 		}
 		t.inflight++
 		j.tracked = true
 		t.mu.Unlock()
+	}
+	// Fabric submissions on a compile farm are stamped into the farm's
+	// event order here, on the submitting thread — the stamp order IS
+	// the deterministic submission order the route turnstile replays.
+	// Native jobs never farm out (backendFor), so they are not stamped.
+	if !native {
+		if fb, ok := t.Backend().(*FarmBackend); ok {
+			fb.noteSubmit(j)
+		}
 	}
 	detail := fmt.Sprintf("wrapped=%v", wrapped)
 	if native {

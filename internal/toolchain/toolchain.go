@@ -25,10 +25,14 @@
 // jobs are cancelled with Job.Cancel (their results are discarded, but
 // the flow still runs to the cache in the background); a cancelled
 // context aborts jobs that have not yet reached a worker.
+//
+// The back half of every flow — cache consultation, the place-and-route
+// model, durable storage — executes on a pluggable Backend (backend.go):
+// the in-process LocalBackend by default, or a sharded compile farm
+// (farm.go) installed with UseFarm.
 package toolchain
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -142,26 +146,17 @@ type Stats struct {
 	TransientFaults int // transient compile faults observed
 	PermanentFaults int // permanent compile faults observed (reported once)
 
-	// Admission control (Options.MaxQueue).
+	// Admission control (Options.MaxQueue) and farm backpressure.
 	Shed int // submissions load-shed with ErrOverloaded
 
 	// Disk bitstream-store counters (Options.CacheDir).
 	DiskHits    int // submissions served from the on-disk store
 	DiskWrites  int // entries durably written
 	DiskCorrupt int // entries rejected by verification and evicted
-}
 
-// cacheEntry is one content-addressed bitstream.
-type cacheEntry struct {
-	res *Result
-	// availAtPs is the virtual time the originating flow completes on
-	// its submitter's clock; a resubmission landing earlier joins that
-	// flow instead of restarting it.
-	availAtPs uint64
-	// published is set once an owning job was observed complete in
-	// virtual time (the bitstream was actually delivered); published
-	// entries hit regardless of the submitter's clock.
-	published bool
+	// PeerHits counts submissions served from another compile shard's
+	// cache (FarmBackend peer fetch).
+	PeerHits int
 }
 
 // Toolchain is a blackbox compiler bound to a device, fronted by a
@@ -170,11 +165,16 @@ type Toolchain struct {
 	dev  *fpga.Device
 	opts Options
 
+	// local is the in-process backend every toolchain owns; backend is
+	// the installed fabric backend (nil: local). Native jobs always use
+	// local (see backendFor).
+	local   *LocalBackend
+	backend Backend
+
 	mu       sync.Mutex
 	faults   *fault.Injector
 	obs      *obsv.Observer
 	compiles int
-	cache    map[string]*cacheEntry
 	stats    Stats
 	sem      chan struct{}
 	tenants  map[string]*tenant
@@ -182,10 +182,11 @@ type Toolchain struct {
 }
 
 // ErrOverloaded reports that the job service shed a submission under
-// admission control (Options.MaxQueue): too many compilations were
-// already in flight. It travels inside the shed job's Result.Err;
-// callers match it with errors.Is and resubmit after a virtual-time
-// backoff rather than treating the design as uncompilable.
+// admission control (Options.MaxQueue), or that every shard queue of a
+// compile farm was at its bound: too many compilations were already in
+// flight. It travels inside the shed job's Result.Err; callers match it
+// with errors.Is and resubmit after a virtual-time backoff rather than
+// treating the design as uncompilable.
 var ErrOverloaded = errors.New("toolchain overloaded")
 
 // New returns a toolchain targeting dev.
@@ -214,13 +215,14 @@ func New(dev *fpga.Device, opts Options) *Toolchain {
 	if opts.NativePsPerCell == 0 {
 		opts.NativePsPerCell = 150 * vclock.Us
 	}
-	return &Toolchain{
+	t := &Toolchain{
 		dev:     dev,
 		opts:    opts,
-		cache:   map[string]*cacheEntry{},
 		sem:     make(chan struct{}, opts.Workers),
 		tenants: map[string]*tenant{},
 	}
+	t.local = newLocalBackend(t)
+	return t
 }
 
 // SetFaults installs a fault injector; compile attempts consult it. Call
@@ -303,8 +305,10 @@ type Result struct {
 	Wrapped    bool
 	DurationPs uint64
 	// CacheHit reports that the flow was served from the bitstream
-	// cache (no place-and-route ran).
-	CacheHit bool
+	// cache (no place-and-route ran); HitSource names the tier that
+	// served it (HitMemory, HitJoined, HitDisk, HitPeer).
+	CacheHit  bool
+	HitSource string
 	// NativeGo marks a native-tier artifact: the netlist compiled to
 	// closure-threaded Go rather than a bitstream. It occupies no fabric
 	// (AreaLEs is 0) and never consults the fit or timing models.
@@ -387,7 +391,15 @@ func (t *Toolchain) finish(prog *netlist.Program, wrapped bool) *Result {
 // partition closes fit and timing against its own region, not the whole
 // shared device.
 func (t *Toolchain) finishOn(dev *fpga.Device, prog *netlist.Program, wrapped bool) *Result {
-	st := prog.Stats
+	res := t.finishStats(dev, prog.Stats, wrapped)
+	res.Prog = prog
+	return res
+}
+
+// finishStats is the model core of finishOn, computable from the
+// netlist summary alone — what a farm compile worker runs when the
+// client ships it synthesis results instead of source.
+func (t *Toolchain) finishStats(dev *fpga.Device, st netlist.Stats, wrapped bool) *Result {
 	raw := st.LogicElements()
 	area := raw + InfraLEs
 	if wrapped {
@@ -401,7 +413,7 @@ func (t *Toolchain) finishOn(dev *fpga.Device, prog *netlist.Program, wrapped bo
 		dur = dur * 112 / 100
 	}
 	res := &Result{
-		Prog: prog, Stats: st,
+		Stats:   st,
 		AreaLEs: area, RawAreaLEs: raw, Wrapped: wrapped,
 		DurationPs: dur,
 	}
@@ -430,436 +442,4 @@ func (t *Toolchain) CompileSync(f *elab.Flat, wrapped bool) *Result {
 		return &Result{Err: err, DurationPs: t.opts.BasePs / 4}
 	}
 	return t.finish(prog, wrapped)
-}
-
-// JobState is the lifecycle state of a background compilation.
-type JobState int
-
-// Job lifecycle states. A job that hits a transient fault moves to
-// JobRetrying while it backs off (in virtual time) before re-attempting
-// the flow; JobFailed covers both permanent faults and design errors
-// (no fit, failed timing closure).
-const (
-	JobQueued JobState = iota
-	JobRunning
-	JobRetrying
-	JobDone
-	JobFailed
-	JobCanceled
-)
-
-func (s JobState) String() string {
-	switch s {
-	case JobQueued:
-		return "queued"
-	case JobRunning:
-		return "running"
-	case JobRetrying:
-		return "retrying"
-	case JobDone:
-		return "done"
-	case JobFailed:
-		return "failed"
-	case JobCanceled:
-		return "canceled"
-	}
-	return fmt.Sprintf("state(%d)", int(s))
-}
-
-// Job is a background compilation tracked in virtual time.
-type Job struct {
-	t        *Toolchain
-	view     jobView // tenant scoping: faults, observer, device, stats, cache namespace
-	name     string  // subprogram path, for trace events
-	native   bool    // native-tier flow (closure-threaded Go, not a bitstream)
-	submitPs uint64
-	done     chan struct{}
-
-	mu        sync.Mutex
-	state     JobState
-	retries   int
-	canceled  bool
-	settled   bool // left the in-flight count (admission control)
-	tracked   bool // counted into Toolchain.inflight at submit
-	res       *Result
-	readyAtPs uint64
-	entry     *cacheEntry
-	abort     context.CancelFunc
-}
-
-// State returns the job's lifecycle state.
-func (j *Job) State() JobState {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.state
-}
-
-// Native reports whether this is a native-tier job.
-func (j *Job) Native() bool { return j.native }
-
-// Retries returns how many transient-fault retries this job has run.
-func (j *Job) Retries() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.retries
-}
-
-func (j *Job) setState(s JobState) {
-	j.mu.Lock()
-	j.state = s
-	j.mu.Unlock()
-}
-
-// Submit starts a background compilation at virtual time nowPs. The
-// call returns immediately; the job runs on the service's worker pool
-// and its result becomes visible once it has compiled and the caller's
-// virtual clock passes its ready time. Cancelling ctx aborts the job if
-// it has not yet reached a worker; Job.Cancel discards the result of an
-// obsolete job at any point.
-func (t *Toolchain) Submit(ctx context.Context, f *elab.Flat, wrapped bool, nowPs uint64) *Job {
-	return t.SubmitTenant(ctx, "", f, wrapped, nowPs)
-}
-
-// run executes the flow on a worker slot.
-func (j *Job) run(ctx context.Context, f *elab.Flat, wrapped bool) {
-	defer close(j.done)
-	defer j.abort() // release the derived context once the flow ends
-	t := j.t
-	// A context dead before any work was attempted aborts the job
-	// deterministically. After this point the flow runs to completion
-	// even if the owner Cancels it: whether the worker goroutine had
-	// started when the cancel landed is a wall-clock race, and letting
-	// that race decide the Synthesized/CacheMisses counters (or whether
-	// the bitstream reaches the cache) would make otherwise-identical
-	// runs diverge. Cancellation discards the subscription, not the flow.
-	if ctx.Err() != nil {
-		j.markCanceled()
-		return
-	}
-	// Wait for the tenant's fair-share slot, then a global worker; a
-	// context cancelled while queued aborts the job before any work is
-	// done.
-	tsem, ok := j.view.acquire(ctx)
-	if !ok {
-		j.markCanceled()
-		return
-	}
-	defer j.view.release(tsem)
-	j.setState(JobRunning)
-
-	// Consult the fault schedule for this attempt. Transient faults are
-	// retried with capped exponential backoff accumulated in *virtual*
-	// time (the flow's wall-clock is already virtual; retries just make
-	// the job ready later); permanent faults fail the job once and are
-	// never re-queued. The backoff accrued by a flaky flow is carried
-	// into the result's duration, cache hit or not. The schedule is the
-	// submitting tenant's own — another tenant's injector never fires
-	// here.
-	// The native tier never consults the compile-fault schedule: the
-	// flow is an in-process translation pass with no license server or
-	// vendor toolchain to flake. Its fault surface is at runtime instead
-	// (region faults against the compiled code cache, which the runtime
-	// answers with a native -> interpreter demotion).
-	var backoff uint64
-	for attempt := 0; !j.native; attempt++ {
-		err := j.view.faults().Compile(f.Name)
-		if err == nil {
-			break
-		}
-		if fault.IsTransient(err) && attempt < t.opts.MaxRetries {
-			backoff += t.backoffPs(attempt)
-			j.view.bump(func(s *Stats) {
-				s.Retried++
-				s.TransientFaults++
-			})
-			j.mu.Lock()
-			j.state = JobRetrying
-			j.retries++
-			j.mu.Unlock()
-			continue
-		}
-		transient := fault.IsTransient(err)
-		j.view.bump(func(s *Stats) {
-			if transient {
-				s.TransientFaults++
-			} else {
-				s.PermanentFaults++
-			}
-		})
-		j.complete(&Result{
-			Err:        fmt.Errorf("toolchain: flow failed: %w", err),
-			DurationPs: backoff + t.opts.BasePs/4,
-		}, nil)
-		return
-	}
-
-	prog, err := j.synth(f)
-	if err != nil {
-		j.complete(&Result{Err: err, DurationPs: backoff + t.opts.BasePs/4}, nil)
-		return
-	}
-	key := j.view.cacheKey(fmt.Sprintf("%s|wrapped=%v", prog.Fingerprint(), wrapped))
-	if j.native {
-		key = j.view.cacheKey(prog.Fingerprint() + "|tier=native")
-	}
-
-	t.mu.Lock()
-	entry, hit := t.cache[key]
-	if hit {
-		res := *entry.res // shallow copy; Prog and Stats are immutable
-		detail := "memory"
-		joined := false
-		switch {
-		case entry.published || j.submitPs >= entry.availAtPs:
-			// The bitstream exists: serve it in near-zero virtual time
-			// (after any backoff a flaky flow accrued first).
-			res.DurationPs = backoff + t.hitLatency()
-			res.CacheHit = true
-		default:
-			// The original flow is still in (virtual) flight: join it
-			// and finish when it does, rather than starting over — but
-			// never before this submission's own retry backoff elapsed.
-			res.DurationPs = entry.availAtPs - j.submitPs
-			if min := backoff + t.hitLatency(); res.DurationPs < min {
-				res.DurationPs = min
-			}
-			res.CacheHit = true
-			joined = true
-			detail = "joined in-flight flow"
-		}
-		t.mu.Unlock()
-		j.view.bump(func(s *Stats) {
-			if joined {
-				s.Joined++
-			} else {
-				s.CacheHits++
-			}
-		})
-		if obs := j.view.observer(); obs != nil {
-			obs.CacheHits.Inc()
-			obs.EmitAt(j.submitPs, obsv.EvCacheHit, j.name, detail)
-		}
-		j.complete(&res, entry)
-		return
-	}
-	t.mu.Unlock()
-
-	// Native tier: the back half is the closure-threading pass — no fit
-	// or timing models, no disk store (the artifact is rebuilt from the
-	// netlist in negligible wall-clock time, so persistence buys
-	// nothing). It still lands in the in-memory cache so identical
-	// resubmissions hit or join like any other flow.
-	if j.native {
-		res := t.finishNative(prog)
-		res.DurationPs += backoff
-		t.mu.Lock()
-		entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs}
-		t.cache[key] = entry
-		t.mu.Unlock()
-		j.view.bump(func(s *Stats) { s.CacheMisses++ })
-		if obs := j.view.observer(); obs != nil {
-			obs.CacheMisses.Inc()
-			obs.EmitAt(j.submitPs, obsv.EvCacheMiss, j.name, "native codegen")
-		}
-		j.complete(res, entry)
-		return
-	}
-
-	// Not in memory: apply the fit and timing models (against the
-	// tenant's own device partition), then consult the disk store. A
-	// verified disk entry whose recorded outcome matches this synthesis
-	// — and which still fits the live device — means the bitstream was
-	// fully built by an earlier process: serve it at cache-hit latency.
-	// Anything less (corrupt, stale, new device) pays for
-	// place-and-route as usual.
-	res := t.finishOn(j.view.device(), prog, wrapped)
-	if meta, ok := t.diskLookup(key); ok && res.Err == nil &&
-		meta.AreaLEs == res.AreaLEs && meta.RawAreaLEs == res.RawAreaLEs &&
-		meta.CritPath == res.Stats.CritPath {
-		res.DurationPs = backoff + t.hitLatency()
-		res.CacheHit = true
-		t.mu.Lock()
-		entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs, published: true}
-		t.cache[key] = entry
-		t.mu.Unlock()
-		j.view.bump(func(s *Stats) {
-			s.CacheHits++
-			s.DiskHits++
-		})
-		if obs := j.view.observer(); obs != nil {
-			obs.CacheHits.Inc()
-			obs.EmitAt(j.submitPs, obsv.EvCacheHit, j.name, "disk store")
-		}
-		j.complete(res, entry)
-		return
-	}
-	res.DurationPs += backoff
-	t.mu.Lock()
-	entry = &cacheEntry{res: res, availAtPs: j.submitPs + res.DurationPs}
-	t.cache[key] = entry
-	t.mu.Unlock()
-	j.view.bump(func(s *Stats) { s.CacheMisses++ })
-	if obs := j.view.observer(); obs != nil {
-		obs.CacheMisses.Inc()
-		obs.EmitAt(j.submitPs, obsv.EvCacheMiss, j.name, "place-and-route")
-	}
-	t.diskStore(key, res)
-	j.complete(res, entry)
-}
-
-// synth is the job-service path through synthesis: the global
-// synthesized-flow count still ticks (Compiles observes real synthesis
-// runs machine-wide), but the stats mirror is the submitting tenant's.
-func (j *Job) synth(f *elab.Flat) (*netlist.Program, error) {
-	j.t.mu.Lock()
-	j.t.compiles++
-	j.t.mu.Unlock()
-	j.view.bump(func(s *Stats) { s.Synthesized++ })
-	return netlist.Compile(f)
-}
-
-// markCanceled moves the job to the cancelled state. The stats counter
-// increments exactly once per job, on the first transition — whether the
-// worker noticed the abort or the owner called Cancel first is a
-// wall-clock race, and racy accounting would make otherwise-identical
-// sessions diverge in :stats.
-func (j *Job) markCanceled() {
-	j.mu.Lock()
-	already := j.canceled
-	j.canceled = true
-	j.state = JobCanceled
-	j.mu.Unlock()
-	if already {
-		return
-	}
-	j.view.bump(func(s *Stats) { s.Canceled++ })
-	j.settle()
-}
-
-// settle removes the job from the in-flight count, exactly once. A job
-// settles when its owner observes it ready on the virtual clock or
-// cancels it — the moments the submission stops occupying the bounded
-// queue admission control meters.
-func (j *Job) settle() {
-	j.mu.Lock()
-	already := j.settled
-	j.settled = true
-	tracked := j.tracked
-	j.mu.Unlock()
-	if already || !tracked {
-		return
-	}
-	j.t.mu.Lock()
-	if j.t.inflight > 0 {
-		j.t.inflight--
-	}
-	j.t.mu.Unlock()
-}
-
-func (j *Job) complete(res *Result, entry *cacheEntry) {
-	j.mu.Lock()
-	j.res = res
-	j.readyAtPs = j.submitPs + res.DurationPs
-	j.entry = entry
-	switch {
-	case j.canceled:
-		// A cancelled job's flow still completes (see Cancel), but the
-		// lifecycle state stays cancelled.
-	case res.Err != nil:
-		j.state = JobFailed
-	default:
-		j.state = JobDone
-	}
-	readyAt := j.readyAtPs
-	j.mu.Unlock()
-	if o := j.view.observer(); o != nil {
-		// The histogram records exactly the virtual duration the flow
-		// bills (TestObserverRecordsBilledLatency pins the two together);
-		// the completion event is stamped at the flow's virtual finish.
-		o.CompileLatency.Observe(res.DurationPs)
-		switch {
-		case res.Err != nil:
-			o.EmitAt(readyAt, obsv.EvCompileFailed, j.name, res.Err.Error())
-		case res.NativeGo:
-			o.EmitAt(readyAt, obsv.EvBitstreamReady, j.name,
-				fmt.Sprintf("tier=native virtual=%.3fs cacheHit=%v", float64(res.DurationPs)/float64(vclock.S), res.CacheHit))
-		default:
-			o.EmitAt(readyAt, obsv.EvBitstreamReady, j.name,
-				fmt.Sprintf("area=%dLEs virtual=%.3fs cacheHit=%v", res.AreaLEs, float64(res.DurationPs)/float64(vclock.S), res.CacheHit))
-		}
-	}
-}
-
-// Cancel marks the job obsolete: its result will never be reported
-// ready. The flow itself still runs to completion in the background and
-// its bitstream reaches the cache — cancellation drops the
-// subscription, not the artifact. (Aborting the worker here would race
-// its startup: whether the flow had begun when the cancel landed is
-// wall-clock scheduling, and the stats counters and cache warmth must
-// not depend on it. Abandoning queued work promptly is what the submit
-// context is for.)
-func (j *Job) Cancel() {
-	j.markCanceled()
-}
-
-// Wait blocks until the job has left the worker pool (compiled,
-// cancelled, or failed).
-func (j *Job) Wait() { <-j.done }
-
-// Canceled reports whether the job was cancelled.
-func (j *Job) Canceled() bool {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.canceled
-}
-
-// ReadyAt blocks until the flow's duration is known and returns the
-// virtual time at which the job finishes; ok is false for cancelled
-// jobs.
-func (j *Job) ReadyAt() (ps uint64, ok bool) {
-	<-j.done
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.canceled || j.res == nil {
-		return 0, false
-	}
-	return j.readyAtPs, true
-}
-
-// Result blocks until the job completes and returns its result (nil for
-// cancelled jobs).
-func (j *Job) Result() *Result {
-	<-j.done
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.canceled {
-		return nil
-	}
-	return j.res
-}
-
-// Ready reports whether the job has finished by virtual time nowPs. It
-// blocks until the flow's virtual duration is known (synthesis is fast
-// in wall-clock terms) so that readiness depends only on virtual time —
-// the JIT timeline stays deterministic no matter how fast the host
-// steps. The first time a job is observed ready its bitstream is
-// published: from then on identical submissions hit the cache outright,
-// on any clock (the mechanism behind restoring a Snapshot onto a
-// same-shape device without re-running place-and-route).
-func (j *Job) Ready(nowPs uint64) bool {
-	<-j.done
-	j.mu.Lock()
-	if j.canceled || j.res == nil || nowPs < j.readyAtPs {
-		j.mu.Unlock()
-		return false
-	}
-	entry := j.entry
-	j.mu.Unlock()
-	if entry != nil {
-		j.t.mu.Lock()
-		entry.published = true
-		j.t.mu.Unlock()
-	}
-	j.settle()
-	return true
 }

@@ -1,0 +1,142 @@
+package toolchain
+
+import (
+	"cascade/internal/netlist"
+)
+
+// Worker is the worker side of a compile-farm shard: what a
+// cascade-engined daemon started with -compile-worker hosts. It owns
+// one shard's cache stack — a memory join cache, the durable disk tier
+// (the daemon's CacheDir), and an optional peer-fetch tier wired to
+// sibling workers — and reproduces the back half of a compile flow from
+// a shipped netlist summary: clients never ship source, and the worker
+// never re-synthesizes. A cold client process whose farm reaches a warm
+// worker gets its bitstream at network-cache-hit latency — the paper's
+// "standby" experience without any local state.
+type Worker struct {
+	t       *Toolchain
+	entries entryCache
+	local   []CacheTier // durable tiers owned by this shard (disk)
+	tiers   []CacheTier // full compile stack: local tiers, then peers
+}
+
+// NewWorker builds the worker service over a toolchain (whose device,
+// latency model, and CacheDir define this shard's behaviour).
+func NewWorker(t *Toolchain) *Worker {
+	w := &Worker{t: t, entries: newEntryCache()}
+	if t.opts.CacheDir != "" {
+		w.local = append(w.local, &diskTier{t: t, dir: t.opts.CacheDir})
+	}
+	w.tiers = w.local
+	return w
+}
+
+// SetPeerTier installs a peer-fetch cache tier behind the disk store —
+// the worker consults sibling workers before paying for place-and-route.
+// store may be nil (fetch-only peers). Only Compile consults peers;
+// Fetch and Status answer from this shard's own state, so mutually
+// peered workers never chase a miss around the ring.
+func (w *Worker) SetPeerTier(lookup func(key string) (BitMeta, bool), store func(BitMeta)) {
+	w.tiers = append(w.local[:len(w.local):len(w.local)], &funcTier{name: HitPeer, lookup: lookup, store: store})
+}
+
+// funcTier adapts callbacks to CacheTier (the transport wires peer
+// workers through it without the toolchain importing the transport).
+type funcTier struct {
+	name   string
+	lookup func(key string) (BitMeta, bool)
+	store  func(BitMeta)
+}
+
+func (f *funcTier) Name() string { return f.name }
+func (f *funcTier) Lookup(key string) (BitMeta, bool) {
+	if f.lookup == nil {
+		return BitMeta{}, false
+	}
+	return f.lookup(key)
+}
+func (f *funcTier) Store(meta BitMeta) {
+	if f.store != nil {
+		f.store(meta)
+	}
+}
+
+// Compile serves one compile-submit: the shard-local memory tier first
+// (join semantics identical to any backend's), then the fit and timing
+// models reproduced from the shipped netlist summary, then the durable
+// tiers. The outcome carries no netlist — the client reassembles its
+// Result around its own synthesized program.
+func (w *Worker) Compile(spec ShardSubmit) ShardOutcome {
+	hitPs := w.t.hitLatency()
+	if res, ok := w.entries.lookup(spec.Key, spec.SubmitPs, spec.BackoffPs, hitPs); ok {
+		return outcomeOf(res)
+	}
+	st := netlist.Stats{Cells: spec.Cells, FFs: spec.FFs, MemBits: spec.MemBits, CritPath: spec.CritPath}
+	res := w.t.finishStats(w.t.Device(), st, spec.Wrapped)
+	if meta, src, ok := lookupTiers(w.tiers, spec.Key); ok && res.Err == nil && metaMatches(meta, res) {
+		res.DurationPs = spec.BackoffPs + hitPs
+		res.CacheHit = true
+		res.HitSource = src
+		w.entries.insert(spec.Key, res, true, spec.SubmitPs)
+		return outcomeOf(res)
+	}
+	res.DurationPs += spec.BackoffPs
+	w.entries.insert(spec.Key, res, false, spec.SubmitPs)
+	if res.Err == nil {
+		storeTiers(w.tiers, BitMeta{Key: spec.Key, AreaLEs: res.AreaLEs,
+			RawAreaLEs: res.RawAreaLEs, CritPath: res.Stats.CritPath})
+	}
+	return outcomeOf(res)
+}
+
+// Status reports whether this worker itself holds a verified outcome
+// for key (memory or durable tier) without compiling anything — peers
+// are deliberately not consulted, so a status probe (or a sibling's
+// cache-fetch) never fans back out across the ring.
+func (w *Worker) Status(key string) (BitMeta, bool) {
+	if meta, ok := w.memMeta(key); ok {
+		return meta, true
+	}
+	meta, _, ok := lookupTiers(w.local, key)
+	return meta, ok
+}
+
+// Fetch serves a peer cache-fetch: this worker's memory entries and
+// durable tiers, without running any model (the asking shard re-checks
+// validity against its own synthesis, like every durable-tier consumer).
+func (w *Worker) Fetch(key string) (BitMeta, bool) {
+	return w.Status(key)
+}
+
+// Put lands a replicated outcome in the worker's durable tiers, or —
+// with publish set — marks the key's memory entry delivered.
+func (w *Worker) Put(meta BitMeta, publish bool) {
+	if publish {
+		w.entries.publish(meta.Key)
+		return
+	}
+	storeTiers(w.local, meta)
+}
+
+// memMeta extracts a durable record from a completed memory entry.
+func (w *Worker) memMeta(k string) (BitMeta, bool) {
+	entry := w.entries.get(k)
+	if entry == nil || entry.res == nil || entry.res.Err != nil {
+		return BitMeta{}, false
+	}
+	return BitMeta{Key: k, AreaLEs: entry.res.AreaLEs,
+		RawAreaLEs: entry.res.RawAreaLEs, CritPath: entry.res.Stats.CritPath}, true
+}
+
+// outcomeOf flattens a Result to its wire form; flow errors travel as
+// text and are rewrapped client-side.
+func outcomeOf(res *Result) ShardOutcome {
+	out := ShardOutcome{
+		AreaLEs: res.AreaLEs, RawAreaLEs: res.RawAreaLEs, CritPath: res.Stats.CritPath,
+		DurationPs: res.DurationPs, CacheHit: res.CacheHit, HitSource: res.HitSource,
+	}
+	if res.Err != nil {
+		out.FlowErr = res.Err.Error()
+	}
+	return out
+}

@@ -46,6 +46,19 @@ type HostOptions struct {
 	// session-open request that does not name a quota. Default: a
 	// quarter of the host device.
 	DefaultSessionQuotaLEs int
+	// CompileWorker enables the compile-farm service: the daemon hosts
+	// the worker side of compile flows (KindCompileSubmit and the cache
+	// kinds) against its toolchain's cache stack, so remote FarmBackends
+	// can shard flows onto it.
+	CompileWorker bool
+	// Peers lists sibling compile workers' addresses. A submission that
+	// misses this worker's memory and disk tiers consults the peers
+	// before paying for place-and-route — the replicated-cache fetch
+	// path. Dials are lazy and failures are misses, so daemons start in
+	// any order.
+	Peers []string
+	// PeerDial tunes the peer-fetch connections (zero value: defaults).
+	PeerDial TCPOptions
 }
 
 // Host is the serving side of the engine protocol: the core of
@@ -65,6 +78,9 @@ type Host struct {
 	// virtual-time determinism contract, and clients react only to
 	// "changed", never to the value.
 	epoch uint32
+
+	// worker is the compile-farm service (nil unless CompileWorker).
+	worker *toolchain.Worker
 
 	mu       sync.Mutex
 	nextID   uint32
@@ -161,12 +177,22 @@ func NewHost(opts HostOptions) *Host {
 	if opts.DefaultSessionQuotaLEs <= 0 {
 		opts.DefaultSessionQuotaLEs = opts.Device.Capacity() / 4
 	}
-	return &Host{
+	h := &Host{
 		opts:     opts,
 		epoch:    newEpoch(),
 		engines:  map[uint32]*hosted{},
 		sessions: map[uint32]*hostSession{},
 	}
+	if opts.CompileWorker {
+		h.worker = toolchain.NewWorker(opts.Toolchain)
+		if len(opts.Peers) > 0 {
+			// Fetch-only: a worker never writes through to its peers
+			// (the submitting farm replicates explicitly), so the ring
+			// cannot loop.
+			h.worker.SetPeerTier(newPeerRing(opts.Peers, opts.PeerDial).Lookup, nil)
+		}
+	}
+	return h
 }
 
 // epochSeq breaks ties between hosts built in the same nanosecond (the
@@ -203,6 +229,10 @@ func (h *Host) Handle(req *proto.Request, rep *proto.Reply) {
 		return
 	case proto.KindSessionClose:
 		h.sessionClose(req, rep)
+		return
+	case proto.KindCompileSubmit, proto.KindCompileStatus, proto.KindCompileCancel,
+		proto.KindCacheFetch, proto.KindCachePut:
+		h.handleFarm(req, rep)
 		return
 	}
 	h.mu.Lock()
@@ -406,6 +436,55 @@ func (h *Host) sessionClose(req *proto.Request, rep *proto.Reply) {
 	h.journalReq(req, 0)
 }
 
+// handleFarm serves the compile-farm kinds against the daemon's worker
+// service. A daemon not started as a compile worker answers every farm
+// kind with a reply-level error (the client's breaker treats it like
+// any shard failure).
+func (h *Host) handleFarm(req *proto.Request, rep *proto.Reply) {
+	if h.worker == nil {
+		rep.Err = "daemon is not a compile worker (start cascade-engined with -compile-worker)"
+		return
+	}
+	f := req.Farm
+	if f == nil {
+		rep.Err = "farm request missing payload"
+		return
+	}
+	switch req.Kind {
+	case proto.KindCompileSubmit:
+		h.opts.Observer.EmitAt(req.VNow, obsv.EvCompileSubmit, f.Name,
+			fmt.Sprintf("farm worker flow wrapped=%v", f.Wrapped))
+		out := h.worker.Compile(toolchain.ShardSubmit{
+			Key: f.Key, Name: f.Name, Wrapped: f.Wrapped,
+			SubmitPs: f.SubmitPs, BackoffPs: f.BackoffPs,
+			Cells: f.Cells, FFs: f.FFs, MemBits: f.MemBits, CritPath: f.CritPath,
+		})
+		rep.Farm = &proto.FarmResult{
+			AreaLEs: out.AreaLEs, RawAreaLEs: out.RawAreaLEs, CritPath: out.CritPath,
+			DurationPs: out.DurationPs, CacheHit: out.CacheHit, HitSource: out.HitSource,
+			FlowErr: out.FlowErr,
+		}
+	case proto.KindCompileStatus:
+		meta, ok := h.worker.Status(f.Key)
+		rep.Farm = &proto.FarmResult{Found: ok, AreaLEs: meta.AreaLEs,
+			RawAreaLEs: meta.RawAreaLEs, CritPath: meta.CritPath}
+	case proto.KindCompileCancel:
+		// Deliberate acknowledgement without action: like Job.Cancel, a
+		// cancelled flow still runs to completion so its bitstream
+		// reaches the cache — cancellation drops the subscription, never
+		// the artifact.
+		rep.Farm = &proto.FarmResult{}
+	case proto.KindCacheFetch:
+		meta, ok := h.worker.Fetch(f.Key)
+		rep.Farm = &proto.FarmResult{Found: ok, AreaLEs: meta.AreaLEs,
+			RawAreaLEs: meta.RawAreaLEs, CritPath: meta.CritPath}
+	case proto.KindCachePut:
+		h.worker.Put(toolchain.BitMeta{Key: f.Key, AreaLEs: f.AreaLEs,
+			RawAreaLEs: f.RawAreaLEs, CritPath: f.CritPath}, f.Publish)
+		rep.Farm = &proto.FarmResult{}
+	}
+}
+
 // Sessions returns the number of currently open sessions.
 func (h *Host) Sessions() int {
 	h.mu.Lock()
@@ -534,10 +613,11 @@ func (h *Host) serviceJIT(hd *hosted, vnow uint64) {
 	hd.job = nil
 	res := job.Result()
 	if res.Err != nil {
-		if errors.Is(res.Err, toolchain.ErrOverloaded) {
-			// Load-shed, not a verdict on the design: resubmit now and
-			// let the next step boundary re-check readiness — a
-			// per-step virtual backoff until the queue drains.
+		if errors.Is(res.Err, toolchain.ErrOverloaded) || errors.Is(res.Err, toolchain.ErrShardUnavailable) {
+			// Load-shed or farm outage, not a verdict on the design:
+			// resubmit now and let the next step boundary re-check
+			// readiness — a per-step virtual backoff until the queue
+			// drains (or a shard comes back).
 			hd.job = h.opts.Toolchain.SubmitTenant(context.Background(), hd.tenant, hd.flat, true, vnow)
 		}
 		return // stay in software; a hosted engine never kills the run

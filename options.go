@@ -250,6 +250,24 @@ func Native() Option {
 	return func(o *Options) { o.Features.Native = true }
 }
 
+// WithCompileFarm shards the runtime's fabric compile flows across a
+// farm of workers: rendezvous-hash routing on netlist fingerprints, a
+// replicated bitstream cache with peer fetch, bounded per-shard queues
+// with deterministic job-steal, and seeded outage schedules
+// (SeededShardOutages) for testing. A zero FarmOptions takes the
+// defaults — two in-process workers, depth-8 queues, two cache
+// replicas; set Links (DialCompileFarm) to shard onto remote
+// cascade-engined -compile-worker daemons instead. The farm installs
+// on the runtime's Toolchain; on a shared toolchain that already
+// carries one (WithToolchain across runtimes, or a hypervisor) the
+// existing farm is kept. Default: no farm — the in-process local
+// backend compiles everything. Works in every Features mode that
+// compiles (moot under DisableJIT); Features.NativeTier jobs always
+// compile locally — only fabric flows shard.
+func WithCompileFarm(fo FarmOptions) Option {
+	return func(o *Options) { o.Farm = &fo }
+}
+
 // WithNativeTier adds a middle rung to the JIT ladder: alongside the
 // fabric flow, each subprogram is compiled to closure-threaded Go
 // (internal/njit) and hot-swapped in place of the interpreter within

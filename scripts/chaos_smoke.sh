@@ -13,15 +13,9 @@ set -eu
 
 bin=${1:?usage: chaos_smoke.sh <cascade-binary> <cascade-engined-binary>}
 engined=${2:?usage: chaos_smoke.sh <cascade-binary> <cascade-engined-binary>}
-work=$(mktemp -d)
-daemon_pid=
+. "$(dirname "$0")/lib.sh"
+smoke_init
 client_pid=
-cleanup() {
-    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
-    [ -n "$client_pid" ] && kill "$client_pid" 2>/dev/null || true
-    rm -rf "$work"
-}
-trap cleanup EXIT
 
 # The workload must be $finish-bounded, not tick-bounded: every failover
 # deliberately drops one clock edge (the engine resumes from the last
@@ -44,71 +38,38 @@ always @(posedge clk.val) begin
 end
 PROG
 
-# wait_for <count> <pattern> <file> <what>: poll until pattern appears
-# at least count times, failing loudly (with the client log, which holds
-# the supervision trail) if the client dies or the budget runs out.
-wait_for() {
-    want=$1; pattern=$2; file=$3; what=$4
-    i=0
-    while [ "$(grep -c "$pattern" "$file" 2>/dev/null || true)" -lt "$want" ]; do
-        i=$((i + 1))
-        if [ "$i" -gt 600 ]; then
-            echo "FAIL: timed out waiting for $what"
-            tail -40 "$work/client.log" 2>/dev/null || true
-            exit 1
-        fi
-        if [ -n "$client_pid" ] && ! kill -0 "$client_pid" 2>/dev/null; then
-            # The client may legitimately be done — only a missing
-            # pattern after exit is a failure.
-            if [ "$(grep -c "$pattern" "$file" 2>/dev/null || true)" -lt "$want" ]; then
-                echo "FAIL: client exited before $what"
-                tail -40 "$work/client.log" 2>/dev/null || true
-                exit 1
-            fi
-            return
-        fi
-        sleep 0.1
-    done
-}
-
-start_daemon() {
-    : > "$work/daemon.log"
-    "$engined" -listen "127.0.0.1:$port" -journal "$work/journal" \
-        >"$work/daemon.log" 2>&1 &
-    daemon_pid=$!
-    wait_for 1 "listening on" "$work/daemon.log" "daemon startup"
-}
-
 # Fault-free baseline: same program, same tick budget, local engines.
 "$bin" -batch "$work/pow.v" -ticks "$ticks" >"$work/local.log" 2>&1
-grep -v '^\[cascade\]' "$work/local.log" >"$work/local.out"
+strip_status "$work/local.log" "$work/local.out"
 if ! grep -q '^FOUND' "$work/local.out"; then
     echo "FAIL: baseline found no solutions in $ticks ticks"
     cat "$work/local.log"
     exit 1
 fi
 
-port=$((20000 + $$ % 20000))
-start_daemon
+smoke_port 20000
+start_daemon "$work/daemon.log" -journal "$work/journal"
 
 "$bin" -batch "$work/pow.v" -ticks "$ticks" \
     -remote-engine "127.0.0.1:$port" -supervise >"$work/client.log" 2>&1 &
 client_pid=$!
+smoke_track "$client_pid"
 
 # Two kill/recover cycles. Each: wait for fresh miner output (proof the
 # current hosting actually serves traffic), SIGKILL the daemon, wait for
 # the breaker to trip and fail the engines over, restart the daemon over
-# its journal, and wait for the re-host.
+# its journal, and wait for the re-host. The client log holds the
+# supervision trail, so waits watch the client process.
 cycle=1
 while [ "$cycle" -le 2 ]; do
-    wait_for "$cycle" '^FOUND' "$work/client.log" "miner output (cycle $cycle)"
-    kill -9 "$daemon_pid" 2>/dev/null || true
-    wait "$daemon_pid" 2>/dev/null || true
-    daemon_pid=
-    wait_for "$cycle" 'failed over to local software' "$work/client.log" \
-        "failover $cycle"
-    start_daemon
-    wait_for "$cycle" 're-hosted on' "$work/client.log" "re-host $cycle"
+    wait_count "$cycle" '^FOUND' "$work/client.log" \
+        "miner output (cycle $cycle)" "$client_pid"
+    kill_daemon
+    wait_count "$cycle" 'failed over to local software' "$work/client.log" \
+        "failover $cycle" "$client_pid"
+    start_daemon "$work/daemon.log" -journal "$work/journal"
+    wait_count "$cycle" 're-hosted on' "$work/client.log" \
+        "re-host $cycle" "$client_pid"
     cycle=$((cycle + 1))
 done
 
@@ -119,12 +80,9 @@ if ! wait "$client_pid"; then
 fi
 client_pid=
 
-grep -v '^\[cascade\]' "$work/client.log" >"$work/client.out"
-if ! cmp -s "$work/local.out" "$work/client.out"; then
-    echo "FAIL: chaos-run output diverges from the fault-free baseline"
-    diff "$work/local.out" "$work/client.out" || true
-    exit 1
-fi
+strip_status "$work/client.log" "$work/client.out"
+assert_same_output "$work/local.out" "$work/client.out" \
+    "chaos-run output diverges from the fault-free baseline"
 failovers=$(grep -c 'failed over to local software' "$work/client.log")
 rehosts=$(grep -c 're-hosted on' "$work/client.log")
 echo "chaos smoke ok: $(grep -c '^FOUND' "$work/client.out") solutions identical" \

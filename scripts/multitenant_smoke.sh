@@ -11,13 +11,8 @@ set -eu
 
 bin=${1:?usage: multitenant_smoke.sh <cascade-binary> <cascade-engined-binary>}
 engined=${2:?usage: multitenant_smoke.sh <cascade-binary> <cascade-engined-binary>}
-work=$(mktemp -d)
-daemon_pid=
-cleanup() {
-    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
-    rm -rf "$work"
-}
-trap cleanup EXIT
+. "$(dirname "$0")/lib.sh"
+smoke_init
 
 # Three distinct tenants: different programs, different output shapes.
 cat > "$work/t1.v" <<'PROG'
@@ -52,21 +47,8 @@ end
 assign led.val = x[7:0];
 PROG
 
-# Fixed high port offset by the PID keeps parallel CI jobs apart.
-port=$((21000 + $$ % 20000))
-"$engined" -listen "127.0.0.1:$port" >"$work/daemon.log" 2>&1 &
-daemon_pid=$!
-
-i=0
-while ! grep -q "listening on" "$work/daemon.log" 2>/dev/null; do
-  i=$((i + 1))
-  if [ "$i" -gt 50 ]; then
-    echo "FAIL: daemon did not come up"
-    cat "$work/daemon.log"
-    exit 1
-  fi
-  sleep 0.1
-done
+smoke_port 21000
+start_daemon "$work/daemon.log"
 
 # Single-tenant baselines: each program alone, in-process, fault-free.
 for t in t1 t2 t3; do
@@ -96,28 +78,19 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
-# Per tenant: program output (minus [cascade] status lines, which
-# legitimately differ — promotion happens on the daemon's fabric) and
-# the final tick count must be byte-identical to the solo run.
+# Per tenant: program output and the final tick count must be
+# byte-identical to the solo run.
 for t in t1 t2 t3; do
-  grep -v '^\[cascade\]' "$work/$t.solo.log" >"$work/$t.solo.out"
-  grep -v '^\[cascade\]' "$work/$t.multi.log" >"$work/$t.multi.out"
+  strip_status "$work/$t.solo.log" "$work/$t.solo.out"
+  strip_status "$work/$t.multi.log" "$work/$t.multi.out"
   if ! grep -q "$t" "$work/$t.solo.out"; then
     echo "FAIL: $t solo run produced no output"
     cat "$work/$t.solo.log"
     exit 1
   fi
-  if ! cmp -s "$work/$t.solo.out" "$work/$t.multi.out"; then
-    echo "FAIL: $t multi-tenant output diverges from its solo run"
-    diff "$work/$t.solo.out" "$work/$t.multi.out" || true
-    exit 1
-  fi
-  ticks_solo=$(sed -n 's/.*done: ticks=\([0-9]*\).*/\1/p' "$work/$t.solo.log")
-  ticks_multi=$(sed -n 's/.*done: ticks=\([0-9]*\).*/\1/p' "$work/$t.multi.log")
-  if [ -z "$ticks_solo" ] || [ "$ticks_solo" != "$ticks_multi" ]; then
-    echo "FAIL: $t tick counts diverge: solo=$ticks_solo multi=$ticks_multi"
-    exit 1
-  fi
+  assert_same_output "$work/$t.solo.out" "$work/$t.multi.out" \
+    "$t multi-tenant output diverges from its solo run"
+  assert_same_ticks "$work/$t.solo.log" "$work/$t.multi.log" "$t solo vs multi"
 done
 
 lines=$(cat "$work"/t?.solo.out | wc -l)

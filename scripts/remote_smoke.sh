@@ -8,13 +8,8 @@ set -eu
 
 bin=${1:?usage: remote_smoke.sh <cascade-binary> <cascade-engined-binary>}
 engined=${2:?usage: remote_smoke.sh <cascade-binary> <cascade-engined-binary>}
-work=$(mktemp -d)
-daemon_pid=
-cleanup() {
-    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
-    rm -rf "$work"
-}
-trap cleanup EXIT
+. "$(dirname "$0")/lib.sh"
+smoke_init
 
 cat > "$work/prog.v" <<'PROG'
 reg [15:0] n = 1;
@@ -26,48 +21,23 @@ end
 assign led.val = n[7:0];
 PROG
 
-# Pick a port by binding :0 first is racy from sh; use a fixed high port
-# offset by the PID to keep parallel CI jobs apart.
-port=$((20000 + $$ % 20000))
-"$engined" -listen "127.0.0.1:$port" >"$work/daemon.log" 2>&1 &
-daemon_pid=$!
-
-# Wait for the daemon to accept.
-i=0
-while ! grep -q "listening on" "$work/daemon.log" 2>/dev/null; do
-  i=$((i + 1))
-  if [ "$i" -gt 50 ]; then
-    echo "FAIL: daemon did not come up"
-    cat "$work/daemon.log"
-    exit 1
-  fi
-  sleep 0.1
-done
+smoke_port 20000
+start_daemon "$work/daemon.log"
 
 "$bin" -batch "$work/prog.v" -ticks 20000 >"$work/local.log" 2>&1
 "$bin" -batch "$work/prog.v" -ticks 20000 \
   -remote-engine "127.0.0.1:$port" >"$work/remote.log" 2>&1
 
-# Compare program output only: the runtime's [cascade] status lines
-# legitimately differ (JIT promotion happens on the daemon's fabric in
-# the remote run), but every $display byte and the final tick count must
-# be identical.
-grep -v '^\[cascade\]' "$work/local.log" >"$work/local.out"
-grep -v '^\[cascade\]' "$work/remote.log" >"$work/remote.out"
+# Compare program output only: every $display byte and the final tick
+# count must be identical.
+strip_status "$work/local.log" "$work/local.out"
+strip_status "$work/remote.log" "$work/remote.out"
 if ! grep -q "n=" "$work/local.out"; then
   echo "FAIL: local run produced no output"
   cat "$work/local.log"
   exit 1
 fi
-if ! cmp -s "$work/local.out" "$work/remote.out"; then
-  echo "FAIL: remote program output diverges from local"
-  diff "$work/local.out" "$work/remote.out" || true
-  exit 1
-fi
-ticks_local=$(sed -n 's/.*done: ticks=\([0-9]*\).*/\1/p' "$work/local.log")
-ticks_remote=$(sed -n 's/.*done: ticks=\([0-9]*\).*/\1/p' "$work/remote.log")
-if [ -z "$ticks_local" ] || [ "$ticks_local" != "$ticks_remote" ]; then
-  echo "FAIL: tick counts diverge: local=$ticks_local remote=$ticks_remote"
-  exit 1
-fi
-echo "remote smoke ok: $(grep -c 'n=' "$work/local.out") display lines identical, ticks=$ticks_local"
+assert_same_output "$work/local.out" "$work/remote.out" \
+  "remote program output diverges from local"
+assert_same_ticks "$work/local.log" "$work/remote.log" "remote vs local"
+echo "remote smoke ok: $(grep -c 'n=' "$work/local.out") display lines identical, ticks=$(ticks_of "$work/local.log")"
